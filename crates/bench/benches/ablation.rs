@@ -1,0 +1,104 @@
+//! Ablation benches for the design choices DESIGN.md §7 calls out:
+//! preemptive flushing vs plain FLUSH, adaptive vs fixed unit counts, and
+//! the LRU baseline vs FIFO (the §3.3 fragmentation argument).
+//!
+//! Each bench reports wall time of the full replay; the interesting
+//! *quality* numbers (miss rates) are printed once per run so the ablation
+//! is visible in the bench log.
+
+use cce_bench::bench_trace;
+use cce_core::{
+    AdaptiveUnits, AffinityUnits, CacheOrg, CodeCache, FineFifo, Generational, LruCache,
+    PreemptiveFlush, SuperblockId, UnitFifo,
+};
+use cce_dbt::TraceLog;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::collections::HashMap;
+use std::hint::black_box;
+use std::sync::Once;
+
+fn replay(org: Box<dyn CacheOrg>, trace: &TraceLog) -> CodeCache {
+    let sizes: HashMap<SuperblockId, u32> =
+        trace.superblocks.iter().map(|s| (s.id, s.size)).collect();
+    let mut cache = CodeCache::new(org);
+    for ev in &trace.events {
+        let cce_dbt::TraceEvent::Access { id, direct_from } = *ev;
+        if cache.access(id).is_miss() {
+            let _ = cache.insert(id, sizes[&id]);
+        }
+        if let Some(from) = direct_from {
+            if cache.is_resident(from) && cache.is_resident(id) {
+                let _ = cache.link(from, id);
+            }
+        }
+    }
+    cache
+}
+
+fn print_quality_once(trace: &TraceLog, capacity: u64) {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let runs: Vec<(&str, Box<dyn CacheOrg>)> = vec![
+            ("FLUSH", Box::new(UnitFifo::flush_policy(capacity).unwrap())),
+            ("preemptive", Box::new(PreemptiveFlush::new(capacity).unwrap())),
+            ("8-unit", Box::new(UnitFifo::new(capacity, 8).unwrap())),
+            (
+                "affinity-8",
+                Box::new(AffinityUnits::new(capacity, 8).unwrap()),
+            ),
+            (
+                "adaptive",
+                Box::new(AdaptiveUnits::new(capacity, 8, 1, 256).unwrap()),
+            ),
+            (
+                "generational",
+                Box::new(Generational::new(capacity).unwrap()),
+            ),
+            ("fine FIFO", Box::new(FineFifo::new(capacity).unwrap())),
+            ("LRU", Box::new(LruCache::new(capacity).unwrap())),
+        ];
+        eprintln!("[ablation quality] {} @ {} bytes:", trace.name, capacity);
+        for (label, org) in runs {
+            let cache = replay(org, trace);
+            eprintln!(
+                "  {label:>10}: miss {:.2}%  evictions {}  unlinks {}",
+                cache.stats().miss_rate() * 100.0,
+                cache.stats().eviction_invocations,
+                cache.stats().unlink_operations,
+            );
+        }
+    });
+}
+
+fn ablation_policies(c: &mut Criterion) {
+    let trace = bench_trace("crafty");
+    let capacity = trace.max_cache_bytes() / 6;
+    print_quality_once(&trace, capacity);
+
+    let mut g = c.benchmark_group("ablation_policies");
+    let mk: Vec<(&str, fn(u64) -> Box<dyn CacheOrg>)> = vec![
+        ("flush", |cap| Box::new(UnitFifo::flush_policy(cap).unwrap())),
+        ("preemptive", |cap| Box::new(PreemptiveFlush::new(cap).unwrap())),
+        ("unit8", |cap| Box::new(UnitFifo::new(cap, 8).unwrap())),
+        ("affinity8", |cap| Box::new(AffinityUnits::new(cap, 8).unwrap())),
+        ("generational", |cap| Box::new(Generational::new(cap).unwrap())),
+        ("adaptive", |cap| {
+            Box::new(AdaptiveUnits::new(cap, 8, 1, 256).unwrap())
+        }),
+        ("fine_fifo", |cap| Box::new(FineFifo::new(cap).unwrap())),
+        ("lru", |cap| Box::new(LruCache::new(cap).unwrap())),
+    ];
+    for (label, make) in mk {
+        g.bench_with_input(BenchmarkId::from_parameter(label), &make, |b, make| {
+            b.iter(|| black_box(replay(make(capacity), &trace).stats().misses));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    name = ablation;
+    config = Criterion::default().sample_size(10);
+    targets = ablation_policies
+);
+criterion_main!(ablation);

@@ -1,0 +1,174 @@
+//! One Criterion group per paper table/figure: each benchmark runs the
+//! pipeline that regenerates that artifact, at bench scale.
+
+use cce_bench::{bench_trace, BENCH_SEED};
+use cce_core::Granularity;
+use cce_sim::measurement::Campaign;
+use cce_sim::pressure::simulate_at_pressure;
+use cce_sim::regression::fit_line;
+use cce_sim::simulator::SimConfig;
+use cce_sim::exectime::{ChainingScenario, DispatchCost};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn table1_workloads(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1_workloads");
+    for name in ["gzip", "gcc", "word"] {
+        g.bench_with_input(BenchmarkId::new("trace_generation", name), name, |b, n| {
+            let model = cce_bench::bench_model(n);
+            b.iter(|| black_box(model.trace(cce_bench::BENCH_SCALE, BENCH_SEED)));
+        });
+    }
+    g.finish();
+}
+
+fn fig3_fig4_size_statistics(c: &mut Criterion) {
+    let trace = bench_trace("word");
+    c.bench_function("fig3_fig4_size_statistics", |b| {
+        b.iter(|| black_box(trace.summary()));
+    });
+}
+
+fn fig6_miss_rates(c: &mut Criterion) {
+    let trace = bench_trace("gcc");
+    let mut g = c.benchmark_group("fig6_miss_rates");
+    for granularity in [
+        Granularity::Flush,
+        Granularity::units(8),
+        Granularity::units(64),
+        Granularity::Superblock,
+    ] {
+        g.bench_with_input(
+            BenchmarkId::new("pressure2", granularity.label()),
+            &granularity,
+            |b, &gr| {
+                b.iter(|| {
+                    black_box(
+                        simulate_at_pressure(&trace, gr, 2, &SimConfig::default()).unwrap(),
+                    )
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+fn fig7_fig11_fig15_pressure_sweep(c: &mut Criterion) {
+    let trace = bench_trace("crafty");
+    c.bench_function("fig7_fig11_fig15_pressure_sweep", |b| {
+        b.iter(|| {
+            let points = cce_sim::pressure::sweep_trace(
+                &trace,
+                &[Granularity::Flush, Granularity::units(8), Granularity::Superblock],
+                &[2, 6, 10],
+                &SimConfig::default(),
+            )
+            .unwrap();
+            black_box(points)
+        });
+    });
+}
+
+fn fig8_eviction_counts(c: &mut Criterion) {
+    let trace = bench_trace("vortex");
+    c.bench_function("fig8_eviction_counts", |b| {
+        b.iter(|| {
+            let fine =
+                simulate_at_pressure(&trace, Granularity::Superblock, 2, &SimConfig::default())
+                    .unwrap();
+            let medium =
+                simulate_at_pressure(&trace, Granularity::units(64), 2, &SimConfig::default())
+                    .unwrap();
+            black_box((
+                fine.stats.eviction_invocations,
+                medium.stats.eviction_invocations,
+            ))
+        });
+    });
+}
+
+fn fig9_regression(c: &mut Criterion) {
+    let campaign = Campaign::dynamorio_like();
+    c.bench_function("fig9_regression_10k_samples", |b| {
+        b.iter(|| {
+            let samples = campaign.eviction_samples(10_000, BENCH_SEED);
+            black_box(fit_line(&samples).unwrap())
+        });
+    });
+}
+
+fn fig10_fig14_overhead(c: &mut Criterion) {
+    let trace = bench_trace("parser");
+    let mut g = c.benchmark_group("fig10_fig14_overhead");
+    for (label, charge) in [("without_links", false), ("with_links", true)] {
+        g.bench_with_input(BenchmarkId::new("pressure10", label), &charge, |b, &ch| {
+            let cfg = SimConfig {
+                charge_unlinks: ch,
+                ..SimConfig::default()
+            };
+            b.iter(|| {
+                black_box(
+                    simulate_at_pressure(&trace, Granularity::units(8), 10, &cfg).unwrap(),
+                )
+            });
+        });
+    }
+    g.finish();
+}
+
+fn fig12_fig13_link_analysis(c: &mut Criterion) {
+    let trace = bench_trace("twolf");
+    c.bench_function("fig12_out_degree", |b| {
+        b.iter(|| black_box(trace.summary().mean_out_degree));
+    });
+    c.bench_function("fig13_census", |b| {
+        b.iter(|| {
+            let r = simulate_at_pressure(&trace, Granularity::units(8), 2, &SimConfig::default())
+                .unwrap();
+            black_box(r.census_inter_fraction())
+        });
+    });
+}
+
+fn table2_chaining(c: &mut Criterion) {
+    c.bench_function("table2_chaining_model", |b| {
+        let dispatch = DispatchCost::dynamorio();
+        b.iter(|| {
+            let mut total = 0.0;
+            for m in cce_workloads::catalog::table2() {
+                let s = ChainingScenario {
+                    base_seconds: m.base_seconds,
+                    instrs_per_entry: m.instrs_per_entry,
+                };
+                total += s.slowdown_percent(&dispatch);
+            }
+            black_box(total)
+        });
+    });
+    c.bench_function("table2_chaining_engine", |b| {
+        let program = cce_tinyvm::gen::generate(&cce_tinyvm::gen::GenConfig::small(77));
+        b.iter(|| {
+            let mut cfg = cce_dbt::EngineConfig::default();
+            cfg.hot_threshold = 2;
+            cfg.chaining = false;
+            let mut engine = cce_dbt::Engine::new(&program, cfg).unwrap();
+            black_box(engine.run(5_000_000))
+        });
+    });
+}
+
+criterion_group!(
+    name = figures;
+    config = Criterion::default().sample_size(10);
+    targets =
+        table1_workloads,
+        fig3_fig4_size_statistics,
+        fig6_miss_rates,
+        fig7_fig11_fig15_pressure_sweep,
+        fig8_eviction_counts,
+        fig9_regression,
+        fig10_fig14_overhead,
+        fig12_fig13_link_analysis,
+        table2_chaining
+);
+criterion_main!(figures);

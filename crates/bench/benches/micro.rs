@@ -1,0 +1,123 @@
+//! Microbenchmarks of the core data structures: cache operations, link
+//! graph maintenance, interpretation and superblock formation throughput.
+
+use cce_core::{CodeCache, Granularity, LinkGraph, SuperblockId};
+use cce_dbt::{Engine, EngineConfig};
+use cce_tinyvm::gen::{generate, GenConfig};
+use cce_tinyvm::interp::Interp;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+/// Steady-state churn: repeated touch of a working set larger than the
+/// cache, measuring accesses+insertions+evictions per second.
+fn cache_churn(c: &mut Criterion) {
+    const OPS: u64 = 10_000;
+    let mut g = c.benchmark_group("cache_churn");
+    g.throughput(Throughput::Elements(OPS));
+    for granularity in [
+        Granularity::Flush,
+        Granularity::units(8),
+        Granularity::units(64),
+        Granularity::Superblock,
+    ] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(granularity.label()),
+            &granularity,
+            |b, &gr| {
+                b.iter(|| {
+                    let mut cache = CodeCache::with_granularity(gr, 64 * 1024).unwrap();
+                    for i in 0..OPS {
+                        let id = SuperblockId(i % 512);
+                        if cache.access(id).is_miss() {
+                            cache.insert(id, 200 + (i % 7) as u32 * 40).unwrap();
+                        }
+                    }
+                    black_box(cache.stats().misses)
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+fn link_graph_ops(c: &mut Criterion) {
+    c.bench_function("link_graph_add_remove_1k_blocks", |b| {
+        b.iter(|| {
+            let mut g = LinkGraph::new();
+            for i in 0..1000u64 {
+                g.add_link(SuperblockId(i), SuperblockId((i + 1) % 1000));
+                g.add_link(SuperblockId(i), SuperblockId((i * 7 + 3) % 1000));
+            }
+            for i in (0..1000u64).step_by(3) {
+                g.remove_block(SuperblockId(i));
+            }
+            black_box(g.link_count())
+        });
+    });
+    c.bench_function("link_census_resident_graph", |b| {
+        let mut cache = CodeCache::with_granularity(Granularity::units(16), 1 << 20).unwrap();
+        for i in 0..2000u64 {
+            cache.insert(SuperblockId(i), 230).unwrap();
+        }
+        for i in 0..2000u64 {
+            let from = SuperblockId(i);
+            let to = SuperblockId((i * 13 + 7) % 2000);
+            if cache.is_resident(from) && cache.is_resident(to) {
+                let _ = cache.link(from, to);
+            }
+        }
+        b.iter(|| black_box(cache.link_census()));
+    });
+}
+
+fn interpreter_throughput(c: &mut Criterion) {
+    let program = generate(&GenConfig::default());
+    let mut g = c.benchmark_group("interpreter");
+    g.bench_function("blocks_per_second", |b| {
+        b.iter(|| {
+            let mut interp = Interp::new(&program);
+            interp.run(200_000);
+            black_box(interp.blocks_entered())
+        });
+    });
+    g.finish();
+}
+
+fn dbt_engine_end_to_end(c: &mut Criterion) {
+    let program = generate(&GenConfig::default());
+    c.bench_function("dbt_engine_end_to_end", |b| {
+        b.iter(|| {
+            let mut cfg = EngineConfig::default();
+            cfg.hot_threshold = 10;
+            let mut engine = Engine::new(&program, cfg).unwrap();
+            black_box(engine.run(200_000))
+        });
+    });
+}
+
+fn trace_replay_throughput(c: &mut Criterion) {
+    let trace = cce_bench::bench_trace("perlbmk");
+    let mut g = c.benchmark_group("trace_replay");
+    g.throughput(Throughput::Elements(trace.events.len() as u64));
+    g.bench_function("events_per_second", |b| {
+        let cfg = cce_sim::simulator::SimConfig {
+            granularity: Granularity::units(8),
+            capacity: trace.max_cache_bytes() / 2,
+            ..cce_sim::simulator::SimConfig::default()
+        };
+        b.iter(|| black_box(cce_sim::simulator::simulate(&trace, &cfg).unwrap()));
+    });
+    g.finish();
+}
+
+criterion_group!(
+    name = micro;
+    config = Criterion::default().sample_size(10);
+    targets =
+        cache_churn,
+        link_graph_ops,
+        interpreter_throughput,
+        dbt_engine_end_to_end,
+        trace_replay_throughput
+);
+criterion_main!(micro);

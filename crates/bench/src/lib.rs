@@ -1,0 +1,58 @@
+//! # cce-bench — Criterion benchmark harness
+//!
+//! One benchmark group per paper table/figure (`benches/figures.rs`),
+//! microbenchmarks of the core data structures (`benches/micro.rs`), and
+//! ablation benches for the extension policies DESIGN.md §7 calls out
+//! (`benches/ablation.rs`).
+//!
+//! Benches run the same pipelines as `cce-experiments` at reduced scale so
+//! `cargo bench` completes in minutes; the experiment binary is the tool
+//! for full-scale reproduction.
+//!
+//! Shared helpers for the benches live here.
+
+use cce_workloads::BenchmarkModel;
+
+/// Scale used by the benchmark harness (fractions of Table 1 sizes).
+pub const BENCH_SCALE: f64 = 0.08;
+
+/// Seed used by the benchmark harness.
+pub const BENCH_SEED: u64 = 99;
+
+/// A small, cached trace for a named benchmark at bench scale.
+///
+/// # Panics
+///
+/// Panics if `name` is not a Table 1 benchmark.
+#[must_use]
+pub fn bench_trace(name: &str) -> cce_dbt::TraceLog {
+    bench_model(name).trace(BENCH_SCALE, BENCH_SEED)
+}
+
+/// Looks up a Table 1 benchmark model.
+///
+/// # Panics
+///
+/// Panics if `name` is not a Table 1 benchmark.
+#[must_use]
+pub fn bench_model(name: &str) -> BenchmarkModel {
+    cce_workloads::by_name(name).unwrap_or_else(|| panic!("{name} is not in Table 1"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_traces_are_small_but_nonempty() {
+        let t = bench_trace("gcc");
+        assert!(!t.events.is_empty());
+        assert!(t.superblocks.len() < 1000, "bench scale must stay small");
+    }
+
+    #[test]
+    #[should_panic(expected = "not in Table 1")]
+    fn unknown_benchmark_panics() {
+        let _ = bench_model("nope");
+    }
+}

@@ -1,0 +1,510 @@
+//! The [`CodeCache`]: organization + link graph + statistics.
+//!
+//! This is the type a dynamic optimizer embeds. It exposes the three
+//! operations the paper's control-flow diagram (Figure 1) requires of a
+//! cache manager — **lookup** ([`CodeCache::access`]), **insert with
+//! eviction** ([`CodeCache::insert`]) and **chain** ([`CodeCache::link`]) —
+//! and transparently maintains the back-pointer table so no eviction can
+//! leave a dangling link.
+
+use crate::error::CacheError;
+use crate::ids::{Granularity, SuperblockId, UnitId};
+use crate::links::LinkGraph;
+use crate::org::unit_fifo::UnitFifo;
+use crate::org::{fine_fifo::FineFifo, CacheOrg, RawEviction};
+use crate::stats::CacheStats;
+use std::collections::HashSet;
+
+/// Outcome of a cache lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessResult {
+    /// The superblock is resident; execution jumps straight into the cache.
+    Hit,
+    /// First-ever request for this superblock (compulsory miss).
+    ColdMiss,
+    /// The superblock was resident once but has been evicted — the
+    /// replacement policy's fault.
+    CapacityMiss,
+}
+
+impl AccessResult {
+    /// True for [`AccessResult::Hit`].
+    #[must_use]
+    pub fn is_hit(self) -> bool {
+        matches!(self, AccessResult::Hit)
+    }
+
+    /// True for either miss kind.
+    #[must_use]
+    pub fn is_miss(self) -> bool {
+        !self.is_hit()
+    }
+}
+
+/// One eviction-mechanism invocation, annotated with unlink work.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct EvictionReport {
+    /// `(superblock, size)` pairs evicted, in eviction order.
+    pub evicted: Vec<(SuperblockId, u32)>,
+    /// Total bytes freed.
+    pub bytes: u64,
+    /// For each evicted block that had incoming links from *survivors*:
+    /// `(block, number_of_incoming_links_unpatched)`. This is exactly the
+    /// per-block `numLinks` of the paper's Eq. 4.
+    pub unlinked: Vec<(SuperblockId, u32)>,
+    /// Links dropped without unpatching work: both endpoints died in this
+    /// invocation (intra-unit links, including self links), or the link's
+    /// source died taking its patched jump with it.
+    pub links_dropped_free: u64,
+}
+
+/// Result of a successful [`CodeCache::insert`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct InsertReport {
+    /// Eviction invocations performed to make room.
+    pub evictions: Vec<EvictionReport>,
+    /// Bytes lost to unit padding by this insertion.
+    pub padding: u64,
+}
+
+impl InsertReport {
+    /// True if the insertion evicted anything.
+    #[must_use]
+    pub fn evicted_anything(&self) -> bool {
+        !self.evictions.is_empty()
+    }
+}
+
+/// A software code cache with pluggable eviction organization.
+///
+/// See the [crate-level documentation](crate) for an end-to-end example.
+#[derive(Debug)]
+pub struct CodeCache {
+    org: Box<dyn CacheOrg>,
+    links: LinkGraph,
+    stats: CacheStats,
+    seen: HashSet<SuperblockId>,
+}
+
+impl CodeCache {
+    /// Wraps an organization (use this for custom policies).
+    #[must_use]
+    pub fn new(org: Box<dyn CacheOrg>) -> CodeCache {
+        CodeCache {
+            org,
+            links: LinkGraph::new(),
+            stats: CacheStats::new(),
+            seen: HashSet::new(),
+        }
+    }
+
+    /// Creates a cache of `capacity` bytes at one of the paper's
+    /// granularities.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError::ZeroCapacity`] or [`CacheError::TooManyUnits`]
+    /// for invalid geometry.
+    pub fn with_granularity(g: Granularity, capacity: u64) -> Result<CodeCache, CacheError> {
+        let org: Box<dyn CacheOrg> = match g {
+            Granularity::Flush => Box::new(UnitFifo::new(capacity, 1)?),
+            Granularity::Units(n) => Box::new(UnitFifo::new(capacity, n.get())?),
+            Granularity::Superblock => Box::new(FineFifo::new(capacity)?),
+        };
+        Ok(CodeCache::new(org))
+    }
+
+    /// Looks up `id`, recording hit/miss statistics. Does **not** insert.
+    pub fn access(&mut self, id: SuperblockId) -> AccessResult {
+        self.stats.accesses += 1;
+        let result = if self.org.contains(id) {
+            self.stats.hits += 1;
+            self.org.note_hit(id);
+            AccessResult::Hit
+        } else if self.seen.contains(&id) {
+            self.stats.misses += 1;
+            self.stats.capacity_misses += 1;
+            AccessResult::CapacityMiss
+        } else {
+            self.stats.misses += 1;
+            self.stats.cold_misses += 1;
+            AccessResult::ColdMiss
+        };
+        self.org.note_access(result.is_hit());
+        result
+    }
+
+    /// Inserts a freshly translated superblock, evicting as required and
+    /// unpatching every link into each evicted block.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the organization's validation errors
+    /// ([`CacheError::AlreadyResident`], [`CacheError::ZeroSize`],
+    /// [`CacheError::BlockTooLarge`]).
+    pub fn insert(&mut self, id: SuperblockId, size: u32) -> Result<InsertReport, CacheError> {
+        self.insert_hinted(id, size, None)
+    }
+
+    /// Like [`CodeCache::insert`], with a placement hint: `partner` is the
+    /// resident superblock whose exit will immediately be chained to the
+    /// newcomer (the transition source that caused this regeneration).
+    /// Placement-aware organizations use it to keep the upcoming link
+    /// intra-unit; others ignore it.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CodeCache::insert`].
+    pub fn insert_hinted(
+        &mut self,
+        id: SuperblockId,
+        size: u32,
+        partner: Option<SuperblockId>,
+    ) -> Result<InsertReport, CacheError> {
+        let raw = self.org.insert_with_hint(id, size, partner)?;
+        self.seen.insert(id);
+        self.stats.insertions += 1;
+        self.stats.bytes_inserted += u64::from(size);
+        self.stats.padding_bytes += raw.padding;
+        let mut report = InsertReport {
+            evictions: Vec::with_capacity(raw.evictions.len()),
+            padding: raw.padding,
+        };
+        for ev in raw.evictions {
+            report.evictions.push(self.settle_eviction(ev));
+        }
+        self.stats.high_water_bytes = self.stats.high_water_bytes.max(self.org.used());
+        self.stats.high_water_blocks = self
+            .stats
+            .high_water_blocks
+            .max(self.org.resident_count() as u64);
+        Ok(report)
+    }
+
+    /// Convenience: access, and on a miss insert with `size`. Returns the
+    /// access outcome plus the insertion report when one happened.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CodeCache::insert`] errors.
+    pub fn access_or_insert(
+        &mut self,
+        id: SuperblockId,
+        size: u32,
+    ) -> Result<(AccessResult, Option<InsertReport>), CacheError> {
+        let outcome = self.access(id);
+        if outcome.is_hit() {
+            Ok((outcome, None))
+        } else {
+            let report = self.insert(id, size)?;
+            Ok((outcome, Some(report)))
+        }
+    }
+
+    /// Chains `from → to` (the DBT patched `from`'s exit stub to jump
+    /// directly to `to`). Returns `true` if the link is new.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError::NotResident`] if either endpoint is not
+    /// currently cached — a real DBT can only patch resident code.
+    pub fn link(&mut self, from: SuperblockId, to: SuperblockId) -> Result<bool, CacheError> {
+        if !self.org.contains(from) {
+            return Err(CacheError::NotResident(from));
+        }
+        if !self.org.contains(to) {
+            return Err(CacheError::NotResident(to));
+        }
+        let new = self.links.add_link(from, to);
+        if new {
+            self.stats.links_created += 1;
+            let same_unit = self.org.unit_of(from) == self.org.unit_of(to);
+            if !same_unit {
+                self.stats.inter_unit_links_created += 1;
+            }
+        }
+        Ok(new)
+    }
+
+    /// Flushes the entire cache manually (e.g. a Dynamo-style preemptive
+    /// flush on a detected phase change). Returns the eviction report, or
+    /// `None` if the cache was empty.
+    pub fn flush(&mut self) -> Option<EvictionReport> {
+        let ev = self.org.flush_all()?;
+        Some(self.settle_eviction(ev))
+    }
+
+    /// True if `id` is resident.
+    #[must_use]
+    pub fn is_resident(&self, id: SuperblockId) -> bool {
+        self.org.contains(id)
+    }
+
+    /// The eviction unit holding `id`, if resident.
+    #[must_use]
+    pub fn unit_of(&self, id: SuperblockId) -> Option<UnitId> {
+        self.org.unit_of(id)
+    }
+
+    /// Capacity in bytes.
+    #[must_use]
+    pub fn capacity(&self) -> u64 {
+        self.org.capacity()
+    }
+
+    /// Occupied bytes.
+    #[must_use]
+    pub fn used(&self) -> u64 {
+        self.org.used()
+    }
+
+    /// Resident superblock count.
+    #[must_use]
+    pub fn resident_count(&self) -> usize {
+        self.org.resident_count()
+    }
+
+    /// The eviction granularity in force.
+    #[must_use]
+    pub fn granularity(&self) -> Granularity {
+        self.org.granularity()
+    }
+
+    /// Accumulated statistics.
+    #[must_use]
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// The live link graph (back-pointer table included).
+    #[must_use]
+    pub fn link_graph(&self) -> &LinkGraph {
+        &self.links
+    }
+
+    /// Takes a census of the live link population: `(intra_unit,
+    /// inter_unit)` counts. Self-links are intra by definition; a link is
+    /// inter-unit when its endpoints currently reside in different
+    /// eviction units (the paper's Figure 13 metric).
+    #[must_use]
+    pub fn link_census(&self) -> (u64, u64) {
+        let mut intra = 0;
+        let mut inter = 0;
+        for (from, to) in self.links.iter_links() {
+            if from == to || self.org.unit_of(from) == self.org.unit_of(to) {
+                intra += 1;
+            } else {
+                inter += 1;
+            }
+        }
+        (intra, inter)
+    }
+
+    /// Direct access to the underlying organization.
+    #[must_use]
+    pub fn org(&self) -> &dyn CacheOrg {
+        self.org.as_ref()
+    }
+
+    /// Processes one raw eviction: classifies and removes all links
+    /// touching the evicted set, updating statistics.
+    fn settle_eviction(&mut self, ev: RawEviction) -> EvictionReport {
+        let bytes = ev.bytes();
+        self.stats.eviction_invocations += 1;
+        self.stats.blocks_evicted += ev.evicted.len() as u64;
+        self.stats.bytes_evicted += bytes;
+
+        let dying: HashSet<SuperblockId> = ev.evicted.iter().map(|&(id, _)| id).collect();
+        let mut report = EvictionReport {
+            evicted: ev.evicted,
+            bytes,
+            unlinked: Vec::new(),
+            links_dropped_free: 0,
+        };
+        let links_before = self.links.link_count();
+        let mut unlinked_total = 0u64;
+        for &(id, _) in &report.evicted {
+            // Incoming links from blocks that survive this invocation are
+            // the ones that must be unpatched through the back-pointer
+            // table (Eq. 4). Links among co-victims — and outgoing links,
+            // which die with their source — cost nothing.
+            let survivors = self
+                .links
+                .incoming(id)
+                .iter()
+                .filter(|s| !dying.contains(s))
+                .count() as u32;
+            self.links.remove_block(id);
+            if survivors > 0 {
+                report.unlinked.push((id, survivors));
+                self.stats.unlink_operations += 1;
+                self.stats.links_unlinked += u64::from(survivors);
+                unlinked_total += u64::from(survivors);
+            }
+        }
+        report.links_dropped_free = (links_before - self.links.link_count()) - unlinked_total;
+        self.stats.links_dropped_free += report.links_dropped_free;
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sb(n: u64) -> SuperblockId {
+        SuperblockId(n)
+    }
+
+    #[test]
+    fn access_classifies_cold_and_capacity_misses() {
+        let mut c = CodeCache::with_granularity(Granularity::Flush, 100).unwrap();
+        assert_eq!(c.access(sb(1)), AccessResult::ColdMiss);
+        c.insert(sb(1), 60).unwrap();
+        assert_eq!(c.access(sb(1)), AccessResult::Hit);
+        // Force eviction of sb1.
+        assert_eq!(c.access(sb(2)), AccessResult::ColdMiss);
+        c.insert(sb(2), 60).unwrap();
+        assert_eq!(c.access(sb(1)), AccessResult::CapacityMiss);
+        let s = c.stats();
+        assert_eq!(s.accesses, 4);
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.cold_misses, 2);
+        assert_eq!(s.capacity_misses, 1);
+    }
+
+    #[test]
+    fn link_requires_residency() {
+        let mut c = CodeCache::with_granularity(Granularity::units(2), 200).unwrap();
+        c.insert(sb(1), 40).unwrap();
+        assert_eq!(c.link(sb(1), sb(2)), Err(CacheError::NotResident(sb(2))));
+        assert_eq!(c.link(sb(2), sb(1)), Err(CacheError::NotResident(sb(2))));
+        c.insert(sb(2), 40).unwrap();
+        assert_eq!(c.link(sb(1), sb(2)), Ok(true));
+        assert_eq!(c.link(sb(1), sb(2)), Ok(false), "duplicate patch is a no-op");
+        assert_eq!(c.stats().links_created, 1);
+    }
+
+    #[test]
+    fn inter_unit_links_classified_at_creation() {
+        // 2 units of 50 bytes each.
+        let mut c = CodeCache::with_granularity(Granularity::units(2), 100).unwrap();
+        c.insert(sb(1), 30).unwrap(); // unit 0
+        c.insert(sb(2), 30).unwrap(); // unit 1 (doesn't fit unit 0)
+        c.insert(sb(3), 15).unwrap(); // unit 1
+        c.link(sb(2), sb(3)).unwrap(); // intra (both unit 1)
+        c.link(sb(1), sb(2)).unwrap(); // inter
+        c.link(sb(1), sb(1)).unwrap(); // self ⇒ intra
+        let s = c.stats();
+        assert_eq!(s.links_created, 3);
+        assert_eq!(s.inter_unit_links_created, 1);
+        assert!((s.inter_unit_link_fraction() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flush_drops_all_links_for_free() {
+        let mut c = CodeCache::with_granularity(Granularity::Flush, 100).unwrap();
+        c.insert(sb(1), 30).unwrap();
+        c.insert(sb(2), 30).unwrap();
+        c.link(sb(1), sb(2)).unwrap();
+        c.link(sb(2), sb(1)).unwrap();
+        // Overflow triggers the flush.
+        let report = c.insert(sb(3), 60).unwrap();
+        assert_eq!(report.evictions.len(), 1);
+        let ev = &report.evictions[0];
+        assert!(ev.unlinked.is_empty(), "full flush needs no unlinking");
+        assert_eq!(ev.links_dropped_free, 2);
+        assert_eq!(c.stats().unlink_operations, 0);
+        assert_eq!(c.link_graph().link_count(), 0);
+    }
+
+    #[test]
+    fn fine_fifo_eviction_unpatches_survivor_links() {
+        let mut c = CodeCache::with_granularity(Granularity::Superblock, 100).unwrap();
+        c.insert(sb(1), 40).unwrap();
+        c.insert(sb(2), 40).unwrap();
+        c.link(sb(2), sb(1)).unwrap(); // survivor → victim link
+        // Inserting 30 evicts sb1 (oldest); sb2 survives and must be
+        // unpatched.
+        let report = c.insert(sb(3), 30).unwrap();
+        let ev = &report.evictions[0];
+        assert_eq!(ev.evicted, vec![(sb(1), 40)]);
+        assert_eq!(ev.unlinked, vec![(sb(1), 1)]);
+        assert_eq!(c.stats().unlink_operations, 1);
+        assert_eq!(c.stats().links_unlinked, 1);
+        // The graph no longer records the dangling link.
+        assert!(!c.link_graph().contains_link(sb(2), sb(1)));
+    }
+
+    #[test]
+    fn links_between_covictims_are_free() {
+        let mut c = CodeCache::with_granularity(Granularity::Superblock, 100).unwrap();
+        c.insert(sb(1), 50).unwrap();
+        c.insert(sb(2), 50).unwrap();
+        c.link(sb(1), sb(2)).unwrap();
+        c.link(sb(2), sb(1)).unwrap();
+        // 100-byte insert evicts both in one invocation.
+        let report = c.insert(sb(3), 100).unwrap();
+        let ev = &report.evictions[0];
+        assert_eq!(ev.evicted.len(), 2);
+        assert!(ev.unlinked.is_empty());
+        assert_eq!(ev.links_dropped_free, 2);
+    }
+
+    #[test]
+    fn self_link_never_requires_unpatching() {
+        let mut c = CodeCache::with_granularity(Granularity::Superblock, 50).unwrap();
+        c.insert(sb(1), 50).unwrap();
+        c.link(sb(1), sb(1)).unwrap();
+        let report = c.insert(sb(2), 50).unwrap();
+        let ev = &report.evictions[0];
+        assert!(ev.unlinked.is_empty());
+        assert_eq!(ev.links_dropped_free, 1);
+    }
+
+    #[test]
+    fn access_or_insert_combines_the_two() {
+        let mut c = CodeCache::with_granularity(Granularity::units(4), 400).unwrap();
+        let (r, ins) = c.access_or_insert(sb(9), 80).unwrap();
+        assert_eq!(r, AccessResult::ColdMiss);
+        assert!(ins.is_some());
+        let (r, ins) = c.access_or_insert(sb(9), 80).unwrap();
+        assert_eq!(r, AccessResult::Hit);
+        assert!(ins.is_none());
+    }
+
+    #[test]
+    fn manual_flush_reports_and_empties() {
+        let mut c = CodeCache::with_granularity(Granularity::units(2), 200).unwrap();
+        assert!(c.flush().is_none());
+        c.insert(sb(1), 50).unwrap();
+        c.insert(sb(2), 50).unwrap();
+        let ev = c.flush().unwrap();
+        assert_eq!(ev.evicted.len(), 2);
+        assert_eq!(c.resident_count(), 0);
+        assert_eq!(c.used(), 0);
+        assert_eq!(c.stats().eviction_invocations, 1);
+    }
+
+    #[test]
+    fn high_water_marks_track_peaks() {
+        let mut c = CodeCache::with_granularity(Granularity::Superblock, 100).unwrap();
+        c.insert(sb(1), 60).unwrap();
+        c.insert(sb(2), 40).unwrap();
+        c.insert(sb(3), 90).unwrap(); // evicts both
+        let s = c.stats();
+        assert_eq!(s.high_water_bytes, 100);
+        assert_eq!(s.high_water_blocks, 2);
+    }
+
+    #[test]
+    fn stats_bytes_accounting_balances() {
+        let mut c = CodeCache::with_granularity(Granularity::units(4), 400).unwrap();
+        for i in 0..50 {
+            let size = 30 + (i % 5) as u32 * 10;
+            let _ = c.access_or_insert(sb(i), size).unwrap();
+        }
+        let s = c.stats();
+        assert_eq!(s.bytes_inserted, s.bytes_evicted + c.used());
+    }
+}

@@ -1,0 +1,99 @@
+//! Error type for code-cache operations.
+
+use crate::ids::SuperblockId;
+use std::error::Error;
+use std::fmt;
+
+/// An error returned by [`crate::CodeCache`] and the cache organizations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheError {
+    /// A cache was created with zero capacity.
+    ZeroCapacity,
+    /// A superblock of zero bytes was inserted.
+    ZeroSize(SuperblockId),
+    /// The superblock cannot fit in the cache's eviction granule.
+    ///
+    /// For unit-partitioned caches `max` is the unit capacity; for the
+    /// fine-grained FIFO it is the full cache capacity.
+    BlockTooLarge {
+        /// The offending superblock.
+        id: SuperblockId,
+        /// Its size in bytes.
+        size: u32,
+        /// The largest insertable size.
+        max: u64,
+    },
+    /// The superblock is already resident; re-inserting it would corrupt
+    /// the layout.
+    AlreadyResident(SuperblockId),
+    /// A link endpoint is not resident in the cache.
+    NotResident(SuperblockId),
+    /// More units were requested than the capacity can hold (each unit
+    /// would be zero bytes).
+    TooManyUnits {
+        /// Requested unit count.
+        units: u32,
+        /// Cache capacity in bytes.
+        capacity: u64,
+    },
+}
+
+impl fmt::Display for CacheError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CacheError::ZeroCapacity => write!(f, "cache capacity must be nonzero"),
+            CacheError::ZeroSize(id) => write!(f, "superblock {id} has zero size"),
+            CacheError::BlockTooLarge { id, size, max } => write!(
+                f,
+                "superblock {id} ({size} bytes) exceeds the eviction granule ({max} bytes)"
+            ),
+            CacheError::AlreadyResident(id) => {
+                write!(f, "superblock {id} is already resident")
+            }
+            CacheError::NotResident(id) => write!(f, "superblock {id} is not resident"),
+            CacheError::TooManyUnits { units, capacity } => write!(
+                f,
+                "cannot split {capacity}-byte cache into {units} nonempty units"
+            ),
+        }
+    }
+}
+
+impl Error for CacheError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_lowercase_and_informative() {
+        let msgs = [
+            CacheError::ZeroCapacity.to_string(),
+            CacheError::ZeroSize(SuperblockId(1)).to_string(),
+            CacheError::BlockTooLarge {
+                id: SuperblockId(2),
+                size: 100,
+                max: 50,
+            }
+            .to_string(),
+            CacheError::AlreadyResident(SuperblockId(3)).to_string(),
+            CacheError::NotResident(SuperblockId(4)).to_string(),
+            CacheError::TooManyUnits {
+                units: 9,
+                capacity: 8,
+            }
+            .to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.is_empty());
+            assert!(m.chars().next().unwrap().is_lowercase());
+            assert!(!m.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn takes_err<E: Error + Send + Sync + 'static>(_e: E) {}
+        takes_err(CacheError::ZeroCapacity);
+    }
+}

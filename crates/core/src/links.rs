@@ -1,0 +1,256 @@
+//! Superblock chaining: the link graph and back-pointer table.
+//!
+//! When a dynamic optimizer patches the exit of cached superblock *A* to
+//! jump directly to cached superblock *B* ("chaining", paper §3.1), the
+//! cache manager must remember the link: if *B* is later evicted while *A*
+//! survives, *A*'s patched jump would dangle into freed memory. The
+//! industry solution — and the one modelled here — is a **back-pointer
+//! table**: for every block, the set of blocks that link *into* it.
+//!
+//! [`LinkGraph`] stores both directions. The forward direction answers
+//! "which exits does this block have patched" (outbound degree, Figure 12);
+//! the backward direction is the back-pointer table consulted on eviction
+//! (unlinking overhead, Eq. 4). The paper estimates 16 bytes per back
+//! pointer, making the table ≈11.5% of the code cache; see
+//! [`LinkGraph::back_pointer_bytes`].
+
+use crate::ids::SuperblockId;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Bytes per back-pointer-table entry (an 8-byte pointer plus an 8-byte
+/// list link, per the paper's footnote 2).
+pub const BYTES_PER_BACK_POINTER: u64 = 16;
+
+/// Links removed when a block leaves the graph.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RemovedLinks {
+    /// Blocks that linked *into* the removed block (excluding itself).
+    /// These are the potential dangling jumps that must be unpatched.
+    pub incoming: Vec<SuperblockId>,
+    /// Blocks the removed block linked *out* to (excluding itself). Their
+    /// back-pointer entries for the removed block were dropped.
+    pub outgoing: Vec<SuperblockId>,
+    /// Whether the block linked to itself (a loop).
+    pub had_self_link: bool,
+}
+
+/// A directed graph of superblock links with a back-pointer table.
+///
+/// The graph only ever contains *resident* blocks; [`crate::CodeCache`]
+/// removes a block's links at eviction time.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LinkGraph {
+    out: BTreeMap<SuperblockId, BTreeSet<SuperblockId>>,
+    /// The back-pointer table.
+    incoming: BTreeMap<SuperblockId, BTreeSet<SuperblockId>>,
+    link_count: u64,
+}
+
+impl LinkGraph {
+    /// Creates an empty graph.
+    #[must_use]
+    pub fn new() -> LinkGraph {
+        LinkGraph::default()
+    }
+
+    /// Records a link `from → to`. Returns `false` if the link already
+    /// existed (patching an already-patched exit is a no-op).
+    pub fn add_link(&mut self, from: SuperblockId, to: SuperblockId) -> bool {
+        let inserted = self.out.entry(from).or_default().insert(to);
+        if inserted {
+            self.incoming.entry(to).or_default().insert(from);
+            self.link_count += 1;
+        }
+        inserted
+    }
+
+    /// True if the link `from → to` is present.
+    #[must_use]
+    pub fn contains_link(&self, from: SuperblockId, to: SuperblockId) -> bool {
+        self.out.get(&from).is_some_and(|s| s.contains(&to))
+    }
+
+    /// Number of links currently recorded.
+    #[must_use]
+    pub fn link_count(&self) -> u64 {
+        self.link_count
+    }
+
+    /// Number of links leaving `id`.
+    #[must_use]
+    pub fn out_degree(&self, id: SuperblockId) -> usize {
+        self.out.get(&id).map_or(0, BTreeSet::len)
+    }
+
+    /// Number of links entering `id` (back-pointer-table fan-in).
+    #[must_use]
+    pub fn in_degree(&self, id: SuperblockId) -> usize {
+        self.incoming.get(&id).map_or(0, BTreeSet::len)
+    }
+
+    /// The blocks linking into `id`, in deterministic order.
+    #[must_use]
+    pub fn incoming(&self, id: SuperblockId) -> Vec<SuperblockId> {
+        self.incoming
+            .get(&id)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// The blocks `id` links out to, in deterministic order.
+    #[must_use]
+    pub fn outgoing(&self, id: SuperblockId) -> Vec<SuperblockId> {
+        self.out
+            .get(&id)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Removes `id` and every link touching it.
+    pub fn remove_block(&mut self, id: SuperblockId) -> RemovedLinks {
+        let mut removed = RemovedLinks::default();
+        if let Some(targets) = self.out.remove(&id) {
+            for t in targets {
+                if t == id {
+                    removed.had_self_link = true;
+                    self.link_count -= 1;
+                    continue;
+                }
+                if let Some(back) = self.incoming.get_mut(&t) {
+                    back.remove(&id);
+                    if back.is_empty() {
+                        self.incoming.remove(&t);
+                    }
+                }
+                removed.outgoing.push(t);
+                self.link_count -= 1;
+            }
+        }
+        if let Some(sources) = self.incoming.remove(&id) {
+            for s in sources {
+                if s == id {
+                    // Self link already accounted for above.
+                    continue;
+                }
+                if let Some(fwd) = self.out.get_mut(&s) {
+                    fwd.remove(&id);
+                    if fwd.is_empty() {
+                        self.out.remove(&s);
+                    }
+                }
+                removed.incoming.push(s);
+                self.link_count -= 1;
+            }
+        }
+        removed
+    }
+
+    /// Drops every link at once (a full cache flush needs no back-pointer
+    /// walks — this is the FLUSH policy's key advantage).
+    pub fn clear(&mut self) {
+        self.out.clear();
+        self.incoming.clear();
+        self.link_count = 0;
+    }
+
+    /// Estimated memory footprint of the back-pointer table at
+    /// [`BYTES_PER_BACK_POINTER`] bytes per link.
+    #[must_use]
+    pub fn back_pointer_bytes(&self) -> u64 {
+        self.link_count * BYTES_PER_BACK_POINTER
+    }
+
+    /// Iterates every live link as `(from, to)` pairs in deterministic
+    /// order.
+    pub fn iter_links(&self) -> impl Iterator<Item = (SuperblockId, SuperblockId)> + '_ {
+        self.out
+            .iter()
+            .flat_map(|(&from, targets)| targets.iter().map(move |&to| (from, to)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sb(n: u64) -> SuperblockId {
+        SuperblockId(n)
+    }
+
+    #[test]
+    fn add_and_query_links() {
+        let mut g = LinkGraph::new();
+        assert!(g.add_link(sb(1), sb(2)));
+        assert!(!g.add_link(sb(1), sb(2)), "duplicate link rejected");
+        assert!(g.contains_link(sb(1), sb(2)));
+        assert!(!g.contains_link(sb(2), sb(1)));
+        assert_eq!(g.link_count(), 1);
+        assert_eq!(g.out_degree(sb(1)), 1);
+        assert_eq!(g.in_degree(sb(2)), 1);
+        assert_eq!(g.incoming(sb(2)), vec![sb(1)]);
+        assert_eq!(g.outgoing(sb(1)), vec![sb(2)]);
+    }
+
+    #[test]
+    fn remove_block_reports_both_directions() {
+        let mut g = LinkGraph::new();
+        g.add_link(sb(1), sb(3));
+        g.add_link(sb(2), sb(3));
+        g.add_link(sb(3), sb(4));
+        let removed = g.remove_block(sb(3));
+        assert_eq!(removed.incoming, vec![sb(1), sb(2)]);
+        assert_eq!(removed.outgoing, vec![sb(4)]);
+        assert!(!removed.had_self_link);
+        assert_eq!(g.link_count(), 0);
+        // Survivors keep no stale edges.
+        assert_eq!(g.out_degree(sb(1)), 0);
+        assert_eq!(g.in_degree(sb(4)), 0);
+    }
+
+    #[test]
+    fn self_links_are_tracked_but_not_dangling() {
+        let mut g = LinkGraph::new();
+        g.add_link(sb(7), sb(7));
+        assert_eq!(g.link_count(), 1);
+        let removed = g.remove_block(sb(7));
+        assert!(removed.had_self_link);
+        assert!(removed.incoming.is_empty());
+        assert!(removed.outgoing.is_empty());
+        assert_eq!(g.link_count(), 0);
+    }
+
+    #[test]
+    fn clear_drops_everything_at_once() {
+        let mut g = LinkGraph::new();
+        for i in 0..10 {
+            g.add_link(sb(i), sb(i + 1));
+        }
+        assert_eq!(g.link_count(), 10);
+        g.clear();
+        assert_eq!(g.link_count(), 0);
+        assert_eq!(g.back_pointer_bytes(), 0);
+    }
+
+    #[test]
+    fn back_pointer_table_footprint() {
+        let mut g = LinkGraph::new();
+        g.add_link(sb(1), sb(2));
+        g.add_link(sb(2), sb(3));
+        assert_eq!(g.back_pointer_bytes(), 32);
+    }
+
+    #[test]
+    fn link_count_stays_consistent_under_churn() {
+        let mut g = LinkGraph::new();
+        for i in 0..20u64 {
+            g.add_link(sb(i), sb((i + 1) % 20));
+            g.add_link(sb(i), sb((i + 7) % 20));
+        }
+        let before = g.link_count();
+        let removed = g.remove_block(sb(5));
+        let dropped = removed.incoming.len() as u64
+            + removed.outgoing.len() as u64
+            + u64::from(removed.had_self_link);
+        assert_eq!(g.link_count(), before - dropped);
+    }
+}

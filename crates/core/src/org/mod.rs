@@ -1,0 +1,222 @@
+//! Cache organizations — the eviction-policy layer.
+//!
+//! A [`CacheOrg`] owns the placement of superblocks in the cache's byte
+//! space and decides *what to evict* when an insertion needs room. It knows
+//! nothing about superblock links; [`crate::CodeCache`] layers the link
+//! graph and the derived statistics on top.
+//!
+//! Provided organizations:
+//!
+//! | Type | Granularity | Paper reference |
+//! |---|---|---|
+//! | [`unit_fifo::UnitFifo`] | FLUSH / N-unit FIFO | §4, Figure 5 |
+//! | [`fine_fifo::FineFifo`] | per-superblock FIFO | §4.2 (DynamoRIO) |
+//! | [`preemptive::PreemptiveFlush`] | full flush on phase change | §2.3 (Dynamo) |
+//! | [`lru::LruCache`] | per-superblock LRU (fragmenting baseline) | §3.3 |
+//! | [`adaptive::AdaptiveUnits`] | pressure-adaptive unit count | §5.4 future work |
+//! | [`affinity::AffinityUnits`] | link-affinity unit placement | §5.4 future work |
+//! | [`generational::Generational`] | nursery + tenured regions | §2.2 / paper ref. 15 |
+
+pub mod adaptive;
+pub mod affinity;
+pub mod fine_fifo;
+pub mod generational;
+pub mod lru;
+pub mod preemptive;
+pub mod unit_fifo;
+
+use crate::error::CacheError;
+use crate::ids::{Granularity, SuperblockId, UnitId};
+use std::fmt;
+
+/// One invocation of the eviction mechanism: the set of superblocks it
+/// removed, in eviction order.
+///
+/// The paper charges a *fixed* invocation cost plus a per-byte cost per
+/// event (Eq. 2), so the grouping of evicted blocks into events is what the
+/// granularity trade-off is about.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RawEviction {
+    /// `(superblock, size_bytes)` pairs removed by this invocation.
+    pub evicted: Vec<(SuperblockId, u32)>,
+}
+
+impl RawEviction {
+    /// Total bytes freed by this invocation.
+    #[must_use]
+    pub fn bytes(&self) -> u64 {
+        self.evicted.iter().map(|&(_, s)| u64::from(s)).sum()
+    }
+}
+
+/// The result of a successful insertion at the organization layer.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RawInsert {
+    /// Eviction-mechanism invocations performed to make room (possibly
+    /// empty).
+    pub evictions: Vec<RawEviction>,
+    /// Bytes lost to padding (e.g. the unused tail of a unit skipped
+    /// because the incoming block did not fit).
+    pub padding: u64,
+}
+
+/// A cache organization: placement plus eviction policy.
+///
+/// Implementations must be deterministic — identical operation sequences
+/// must produce identical eviction sequences — because the workspace's
+/// experiments rely on reproducibility.
+///
+/// This trait is object-safe; [`crate::CodeCache`] stores a
+/// `Box<dyn CacheOrg>` so user code can plug in custom policies (see the
+/// `custom_policy` example at the workspace root).
+pub trait CacheOrg: fmt::Debug {
+    /// Total capacity in bytes.
+    fn capacity(&self) -> u64;
+
+    /// Bytes currently occupied by resident superblocks (excluding
+    /// padding).
+    fn used(&self) -> u64;
+
+    /// True if `id` is resident.
+    fn contains(&self, id: SuperblockId) -> bool;
+
+    /// The eviction unit currently holding `id`, if resident.
+    ///
+    /// Two superblocks in the same unit die together on a flush; that is
+    /// what makes their links *intra-unit* (removable for free).
+    fn unit_of(&self, id: SuperblockId) -> Option<UnitId>;
+
+    /// Inserts `id` with the given byte size, evicting as required.
+    ///
+    /// # Errors
+    ///
+    /// * [`CacheError::AlreadyResident`] if `id` is resident.
+    /// * [`CacheError::ZeroSize`] if `size == 0`.
+    /// * [`CacheError::BlockTooLarge`] if `size` exceeds the granule.
+    fn insert(&mut self, id: SuperblockId, size: u32) -> Result<RawInsert, CacheError>;
+
+    /// Inserts with a *placement hint*: `partner` is a resident superblock
+    /// the newcomer is about to be linked with (the chain source that
+    /// triggered the regeneration). Placement-aware organizations
+    /// (e.g. [`crate::AffinityUnits`]) co-locate the two to keep the link
+    /// intra-unit; the default ignores the hint.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CacheOrg::insert`].
+    fn insert_with_hint(
+        &mut self,
+        id: SuperblockId,
+        size: u32,
+        partner: Option<SuperblockId>,
+    ) -> Result<RawInsert, CacheError> {
+        let _ = partner;
+        self.insert(id, size)
+    }
+
+    /// Number of resident superblocks.
+    fn resident_count(&self) -> usize;
+
+    /// Resident superblocks in an implementation-defined deterministic
+    /// order.
+    fn resident_blocks(&self) -> Vec<SuperblockId> {
+        self.resident_entries().into_iter().map(|(id, _)| id).collect()
+    }
+
+    /// Resident superblocks with their byte sizes, in the same
+    /// deterministic order as [`CacheOrg::resident_blocks`].
+    fn resident_entries(&self) -> Vec<(SuperblockId, u32)>;
+
+    /// The granularity this organization implements.
+    fn granularity(&self) -> Granularity;
+
+    /// Evicts everything as a single invocation. Returns the invocation,
+    /// or `None` if the cache was already empty.
+    fn flush_all(&mut self) -> Option<RawEviction>;
+
+    /// Feedback channel: called by [`crate::CodeCache`] after every access
+    /// with the hit/miss outcome. Policies that react to runtime behaviour
+    /// (preemptive flush, adaptive granularity) override this; the default
+    /// is a no-op.
+    fn note_access(&mut self, hit: bool) {
+        let _ = hit;
+    }
+
+    /// Recency feedback: called by [`crate::CodeCache`] when `id` is hit.
+    /// Only recency-aware policies (LRU) need to override this.
+    fn note_hit(&mut self, id: SuperblockId) {
+        let _ = id;
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod org_tests {
+    //! A reusable conformance suite run against every organization.
+
+    use super::*;
+
+    /// Drives `org` through a generic workload and checks the invariants
+    /// every organization must uphold.
+    pub(crate) fn conformance(mut org: Box<dyn CacheOrg>) {
+        let cap = org.capacity();
+        assert!(cap > 0);
+        assert_eq!(org.used(), 0);
+        assert_eq!(org.resident_count(), 0);
+
+        // Insert blocks of varied sizes until well past capacity.
+        let mut next = 0u64;
+        let sizes = [64u32, 96, 48, 128, 80, 56, 112, 72];
+        let mut inserted = Vec::new();
+        while inserted.iter().map(|&(_, s)| u64::from(s)).sum::<u64>() < cap * 3 {
+            let id = SuperblockId(next);
+            let size = sizes[(next as usize) % sizes.len()];
+            next += 1;
+            let r = org.insert(id, size).expect("insert must succeed");
+            inserted.push((id, size));
+            // Evicted blocks must no longer be resident.
+            for ev in &r.evictions {
+                assert!(!ev.evicted.is_empty(), "empty eviction invocation");
+                for &(eid, _) in &ev.evicted {
+                    assert!(!org.contains(eid), "evicted {eid} still resident");
+                }
+            }
+            // The inserted block must be resident with a unit.
+            assert!(org.contains(id));
+            assert!(org.unit_of(id).is_some());
+            // Usage never exceeds capacity.
+            assert!(org.used() <= cap, "used {} > capacity {cap}", org.used());
+            assert_eq!(
+                org.resident_blocks().len(),
+                org.resident_count(),
+                "resident enumeration disagrees with count"
+            );
+        }
+
+        // Duplicate insertion is rejected.
+        let last = inserted.last().unwrap().0;
+        assert!(matches!(
+            org.insert(last, 64),
+            Err(CacheError::AlreadyResident(_))
+        ));
+
+        // Zero-size insertion is rejected.
+        assert!(matches!(
+            org.insert(SuperblockId(u64::MAX), 0),
+            Err(CacheError::ZeroSize(_))
+        ));
+
+        // Oversized insertion is rejected.
+        let too_big = u32::try_from(cap + 1).unwrap_or(u32::MAX);
+        assert!(matches!(
+            org.insert(SuperblockId(u64::MAX - 1), too_big),
+            Err(CacheError::BlockTooLarge { .. })
+        ));
+
+        // flush_all empties the cache.
+        let ev = org.flush_all().expect("cache was nonempty");
+        assert!(ev.bytes() > 0);
+        assert_eq!(org.used(), 0);
+        assert_eq!(org.resident_count(), 0);
+        assert!(org.flush_all().is_none());
+    }
+}

@@ -1,0 +1,315 @@
+//! Property-based tests over the code-cache invariants.
+//!
+//! These drive random access/insert/link workloads through every cache
+//! organization and assert the bookkeeping identities that the paper's
+//! overhead models depend on (if these break, every figure downstream is
+//! garbage).
+
+use cce_core::{CodeCache, Granularity, SuperblockId};
+use proptest::prelude::*;
+
+/// A randomly generated workload step.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Touch superblock `id` of `size` bytes: access, insert on miss.
+    Touch { id: u64, size: u32 },
+    /// Try to chain `from → to` (ignored unless both resident).
+    Link { from: u64, to: u64 },
+}
+
+fn op_strategy(max_id: u64, max_size: u32) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0..max_id, 1..=max_size).prop_map(|(id, size)| Op::Touch { id, size }),
+        1 => (0..max_id, 0..max_id).prop_map(|(from, to)| Op::Link { from, to }),
+    ]
+}
+
+fn granularity_strategy() -> impl Strategy<Value = Granularity> {
+    prop_oneof![
+        Just(Granularity::Flush),
+        (1u32..=6).prop_map(|p| Granularity::units(1 << p)),
+        Just(Granularity::Superblock),
+    ]
+}
+
+/// Runs `ops` against a fresh cache, asserting step invariants, and
+/// returns the cache for end-state checks.
+fn run_workload(g: Granularity, capacity: u64, ops: &[Op]) -> CodeCache {
+    let mut cache = CodeCache::with_granularity(g, capacity).expect("valid geometry");
+    // Mirror of truth: per-id sizes used, to keep sizes stable per id.
+    for op in ops {
+        match *op {
+            Op::Touch { id, size } => {
+                let id = SuperblockId(id);
+                let r = cache.access(id);
+                if r.is_miss() {
+                    match cache.insert(id, size) {
+                        Ok(_) => {}
+                        Err(cce_core::CacheError::BlockTooLarge { .. }) => continue,
+                        Err(e) => panic!("unexpected insert failure: {e}"),
+                    }
+                    assert!(cache.is_resident(id), "inserted block must be resident");
+                }
+            }
+            Op::Link { from, to } => {
+                let from = SuperblockId(from);
+                let to = SuperblockId(to);
+                if cache.is_resident(from) && cache.is_resident(to) {
+                    cache.link(from, to).expect("both endpoints are resident");
+                } else {
+                    assert!(cache.link(from, to).is_err());
+                }
+            }
+        }
+        assert!(cache.used() <= cache.capacity(), "over-full cache");
+    }
+    cache
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn accounting_identities_hold(
+        g in granularity_strategy(),
+        ops in prop::collection::vec(op_strategy(64, 120), 1..400),
+    ) {
+        let cache = run_workload(g, 512, &ops);
+        let s = cache.stats();
+        // Access identity.
+        prop_assert_eq!(s.accesses, s.hits + s.misses);
+        prop_assert_eq!(s.misses, s.cold_misses + s.capacity_misses);
+        // Byte conservation: everything inserted is either resident or was
+        // evicted.
+        prop_assert_eq!(s.bytes_inserted, s.bytes_evicted + cache.used());
+        // Block conservation.
+        prop_assert_eq!(s.insertions, s.blocks_evicted + cache.resident_count() as u64);
+        // Link conservation: created = unlinked + dropped free + live.
+        prop_assert_eq!(
+            s.links_created,
+            s.links_unlinked + s.links_dropped_free + cache.link_graph().link_count()
+        );
+        // High-water marks bound current state.
+        prop_assert!(s.high_water_bytes <= cache.capacity());
+        prop_assert!(cache.used() <= s.high_water_bytes || s.insertions == 0);
+    }
+
+    #[test]
+    fn flush_and_one_unit_are_equivalent(
+        ops in prop::collection::vec(op_strategy(48, 100), 1..300),
+    ) {
+        let a = run_workload(Granularity::Flush, 400, &ops);
+        let b = run_workload(Granularity::units(1), 400, &ops);
+        prop_assert_eq!(a.stats(), b.stats());
+    }
+
+    #[test]
+    fn flush_policy_never_unlinks(
+        ops in prop::collection::vec(op_strategy(48, 100), 1..300),
+    ) {
+        let cache = run_workload(Granularity::Flush, 400, &ops);
+        prop_assert_eq!(cache.stats().unlink_operations, 0);
+        prop_assert_eq!(cache.stats().inter_unit_links_created, 0);
+    }
+
+    #[test]
+    fn finer_granularity_never_misses_more_on_scan_free_reuse(
+        seed_ops in prop::collection::vec((0u64..32, 40u32..80), 50..200),
+    ) {
+        // A repeated-touch workload (every block touched twice in a row):
+        // fine FIFO must do at least as well as FLUSH on misses, because
+        // back-to-back touches always hit under any policy, and FIFO keeps
+        // a superset of recently inserted blocks compared to a flushed
+        // cache right after a flush.
+        let mut ops = Vec::new();
+        for &(id, size) in &seed_ops {
+            ops.push(Op::Touch { id, size });
+            ops.push(Op::Touch { id, size });
+        }
+        let coarse = run_workload(Granularity::Flush, 256, &ops);
+        let fine = run_workload(Granularity::Superblock, 256, &ops);
+        // Immediate-reuse hits exist under both.
+        prop_assert!(fine.stats().hits >= seed_ops.len() as u64);
+        prop_assert!(coarse.stats().hits >= seed_ops.len() as u64);
+    }
+
+    #[test]
+    fn eviction_invocations_monotone_in_granularity(
+        seed_ops in prop::collection::vec((0u64..64, 30u32..60), 100..300),
+    ) {
+        // Coarser granularities must invoke eviction at most as often as
+        // the finest FIFO on the same workload (the premise of Figure 8).
+        let ops: Vec<Op> = seed_ops
+            .iter()
+            .map(|&(id, size)| Op::Touch { id, size })
+            .collect();
+        let fine = run_workload(Granularity::Superblock, 512, &ops);
+        for g in [Granularity::Flush, Granularity::units(4), Granularity::units(16)] {
+            let c = run_workload(g, 512, &ops);
+            prop_assert!(
+                c.stats().eviction_invocations <= fine.stats().eviction_invocations,
+                "{} invoked {} > fine {}",
+                g,
+                c.stats().eviction_invocations,
+                fine.stats().eviction_invocations
+            );
+        }
+    }
+
+    #[test]
+    fn resident_blocks_enumeration_matches_count(
+        g in granularity_strategy(),
+        ops in prop::collection::vec(op_strategy(64, 120), 1..200),
+    ) {
+        let cache = run_workload(g, 512, &ops);
+        let blocks = cache.org().resident_blocks();
+        prop_assert_eq!(blocks.len(), cache.resident_count());
+        for b in blocks {
+            prop_assert!(cache.is_resident(b));
+            prop_assert!(cache.unit_of(b).is_some());
+        }
+    }
+}
+
+#[test]
+fn lru_org_upholds_identities_too() {
+    use cce_core::LruCache;
+    let mut cache = CodeCache::new(Box::new(LruCache::new(512).unwrap()));
+    for i in 0..200u64 {
+        let id = SuperblockId(i % 37);
+        let size = 20 + (i % 7) as u32 * 13;
+        if cache.access(id).is_miss() {
+            cache.insert(id, size).unwrap();
+        }
+        if i % 3 == 0 {
+            let to = SuperblockId((i + 5) % 37);
+            if cache.is_resident(id) && cache.is_resident(to) {
+                cache.link(id, to).unwrap();
+            }
+        }
+    }
+    let s = cache.stats();
+    assert_eq!(s.accesses, s.hits + s.misses);
+    assert_eq!(s.bytes_inserted, s.bytes_evicted + cache.used());
+    assert_eq!(
+        s.links_created,
+        s.links_unlinked + s.links_dropped_free + cache.link_graph().link_count()
+    );
+}
+
+mod extension_orgs {
+    //! The accounting identities, re-checked over the extension
+    //! organizations (affinity placement, generational, preemptive,
+    //! adaptive) with randomized workloads and hinted insertions.
+
+    use cce_core::{
+        AdaptiveUnits, AffinityUnits, CacheOrg, CodeCache, Generational, PreemptiveFlush,
+        SuperblockId,
+    };
+    use proptest::prelude::*;
+
+    #[derive(Debug, Clone)]
+    enum Op {
+        Touch { id: u64, size: u32, partner: Option<u64> },
+        Link { from: u64, to: u64 },
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            4 => (0u64..48, 16u32..96, prop::option::of(0u64..48))
+                .prop_map(|(id, size, partner)| Op::Touch { id, size, partner }),
+            1 => (0u64..48, 0u64..48).prop_map(|(from, to)| Op::Link { from, to }),
+        ]
+    }
+
+    fn org_strategy() -> impl Strategy<Value = u8> {
+        0u8..4
+    }
+
+    fn build(kind: u8, capacity: u64) -> CodeCache {
+        let org: Box<dyn CacheOrg> = match kind {
+            0 => Box::new(AffinityUnits::new(capacity, 4).expect("geometry")),
+            1 => Box::new(Generational::new(capacity).expect("geometry")),
+            2 => Box::new(PreemptiveFlush::new(capacity).expect("geometry")),
+            _ => Box::new(AdaptiveUnits::new(capacity, 4, 1, 64).expect("geometry")),
+        };
+        CodeCache::new(org)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn extension_orgs_uphold_accounting(
+            kind in org_strategy(),
+            ops in prop::collection::vec(op_strategy(), 1..300),
+        ) {
+            let mut cache = build(kind, 640);
+            for op in &ops {
+                match *op {
+                    Op::Touch { id, size, partner } => {
+                        let id = SuperblockId(id);
+                        if cache.access(id).is_miss() {
+                            let hint = partner.map(SuperblockId).filter(|p| cache.is_resident(*p));
+                            match cache.insert_hinted(id, size, hint) {
+                                Ok(_) => prop_assert!(cache.is_resident(id)),
+                                Err(cce_core::CacheError::BlockTooLarge { .. }) => {}
+                                Err(e) => return Err(TestCaseError::fail(format!("{e}"))),
+                            }
+                        }
+                    }
+                    Op::Link { from, to } => {
+                        let (from, to) = (SuperblockId(from), SuperblockId(to));
+                        if cache.is_resident(from) && cache.is_resident(to) {
+                            cache.link(from, to).expect("resident endpoints");
+                        }
+                    }
+                }
+                prop_assert!(cache.used() <= cache.capacity());
+            }
+            let s = cache.stats();
+            prop_assert_eq!(s.accesses, s.hits + s.misses);
+            prop_assert_eq!(s.misses, s.cold_misses + s.capacity_misses);
+            prop_assert_eq!(s.bytes_inserted, s.bytes_evicted + cache.used());
+            prop_assert_eq!(s.insertions, s.blocks_evicted + cache.resident_count() as u64);
+            prop_assert_eq!(
+                s.links_created,
+                s.links_unlinked + s.links_dropped_free + cache.link_graph().link_count()
+            );
+            // Resident enumeration agrees with membership and units exist.
+            let entries = cache.org().resident_entries();
+            prop_assert_eq!(entries.len(), cache.resident_count());
+            for (id, size) in entries {
+                prop_assert!(cache.is_resident(id));
+                prop_assert!(size > 0);
+                prop_assert!(cache.unit_of(id).is_some());
+            }
+        }
+
+        #[test]
+        fn census_never_counts_self_links_as_inter(
+            kind in org_strategy(),
+            ids in prop::collection::vec(0u64..32, 10..60),
+        ) {
+            let mut cache = build(kind, 2048);
+            for &i in &ids {
+                let id = SuperblockId(i);
+                if cache.access(id).is_miss() {
+                    let _ = cache.insert(id, 64);
+                }
+                if cache.is_resident(id) {
+                    cache.link(id, id).expect("self link on resident block");
+                }
+            }
+            let (_, inter) = cache.link_census();
+            // Only self-links were created, so the census must see zero
+            // inter-unit links under every organization.
+            let only_self = cache
+                .link_graph()
+                .iter_links()
+                .all(|(a, b)| a == b);
+            prop_assert!(only_self);
+            prop_assert_eq!(inter, 0);
+        }
+    }
+}

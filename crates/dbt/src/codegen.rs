@@ -1,0 +1,254 @@
+//! Emission of translated superblock code with patchable exit stubs.
+//!
+//! The cache experiments only need superblock *sizes*, but a credible
+//! translator must be able to produce the bytes those sizes describe.
+//! [`emit`] lowers a recorded guest path into translated code:
+//!
+//! * an 8-byte prologue (the guest-context spill slot a real translator
+//!   reserves);
+//! * the re-encoded guest instructions, inflated to the configured
+//!   expansion factor with interleaved padding (standing in for the
+//!   address-translation and side-table work real translations add);
+//! * one 16-byte **exit stub** per superblock exit: a jump slot that
+//!   either holds a patched target address (a chained link) or the
+//!   dispatcher sentinel.
+//!
+//! [`TranslatedCode::patch_stub`] and [`TranslatedCode::unpatch_stub`]
+//! are the byte-level operations behind [`cce_core::CodeCache::link`] and
+//! the unlink pass of every eviction — the thing Eq. 4 charges for.
+//!
+//! The emitted byte length equals
+//! [`TranslationConfig::translated_size`] *exactly*; a test pins that, so
+//! the size model used by every experiment is the size of real output.
+
+use crate::translate::TranslationConfig;
+use crate::DbtError;
+use cce_tinyvm::encode::encode_instr;
+use cce_tinyvm::program::{BlockId, Program};
+use serde::{Deserialize, Serialize};
+
+/// Byte the dispatcher sentinel fills stub slots with.
+pub const DISPATCH_SENTINEL: u8 = 0x00;
+/// Opcode byte of a patched (chained) stub.
+pub const STUB_JMP_OPCODE: u8 = 0xE9;
+
+/// One exit stub within a translated superblock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExitStub {
+    /// Byte offset of the stub within the translated code.
+    pub offset: usize,
+    /// Patched target address, if chained.
+    pub target: Option<u64>,
+}
+
+/// Translated superblock code. See the module docs.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TranslatedCode {
+    /// The emitted bytes.
+    pub bytes: Vec<u8>,
+    /// Exit stubs, in path order.
+    stubs: Vec<ExitStub>,
+}
+
+impl TranslatedCode {
+    /// The exit stubs, in path order.
+    #[must_use]
+    pub fn stubs(&self) -> &[ExitStub] {
+        &self.stubs
+    }
+
+    /// True if stub `idx` is patched to a target.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    #[must_use]
+    pub fn is_patched(&self, idx: usize) -> bool {
+        self.stubs[idx].target.is_some()
+    }
+
+    /// Patches stub `idx` to jump directly to `target_addr` (chaining).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn patch_stub(&mut self, idx: usize, target_addr: u64) {
+        let stub = &mut self.stubs[idx];
+        stub.target = Some(target_addr);
+        let off = stub.offset;
+        self.bytes[off] = STUB_JMP_OPCODE;
+        self.bytes[off + 1..off + 9].copy_from_slice(&target_addr.to_le_bytes());
+    }
+
+    /// Reverts stub `idx` to the dispatcher (unlinking — what the
+    /// back-pointer table exists to make possible).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn unpatch_stub(&mut self, idx: usize) {
+        let stub = &mut self.stubs[idx];
+        stub.target = None;
+        let off = stub.offset;
+        for b in &mut self.bytes[off..off + 9] {
+            *b = DISPATCH_SENTINEL;
+        }
+    }
+
+    /// The patched target of stub `idx`, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    #[must_use]
+    pub fn stub_target(&self, idx: usize) -> Option<u64> {
+        self.stubs[idx].target
+    }
+}
+
+/// Emits translated code for the recorded `path`.
+///
+/// # Errors
+///
+/// Returns [`DbtError::InvalidConfig`] if the translation config shrinks
+/// code (expansion < 1), which leaves no room for the guest encodings, or
+/// if a guest instruction cannot be encoded.
+pub fn emit(
+    program: &Program,
+    path: &[BlockId],
+    config: &TranslationConfig,
+) -> Result<TranslatedCode, DbtError> {
+    if config.expansion_num < config.expansion_den {
+        return Err(DbtError::InvalidConfig(
+            "translation cannot shrink code below its guest encoding",
+        ));
+    }
+    let guest_bytes = crate::superblock::guest_bytes(program, path);
+    let exits = crate::superblock::count_exits(program, path);
+    let total = config.translated_size(guest_bytes, exits) as usize;
+
+    let mut bytes = Vec::with_capacity(total);
+    // Prologue: context-pointer slot.
+    bytes.resize(config.prologue_bytes as usize, 0xCC);
+    // Body: guest encodings inflated to the expansion target.
+    let body_target = (u64::from(guest_bytes) * u64::from(config.expansion_num)
+        / u64::from(config.expansion_den)) as usize;
+    for &bid in path {
+        for instr in &program.block(bid).instrs {
+            encode_instr(instr, &mut bytes)
+                .map_err(|_| DbtError::InvalidConfig("guest instruction not encodable"))?;
+        }
+        // Terminators become either fall-through checks (padding here) or
+        // exit stubs (emitted below); reserve their guest length as body.
+        let tlen = program.block(bid).terminator.encoded_len() as usize;
+        bytes.resize(bytes.len() + tlen, 0x90);
+    }
+    // Inflation padding up to the expansion target.
+    let body_end = config.prologue_bytes as usize + body_target;
+    if bytes.len() > body_end {
+        return Err(DbtError::InvalidConfig(
+            "expansion target smaller than the guest encoding",
+        ));
+    }
+    bytes.resize(body_end, 0x90);
+    // Exit stubs.
+    let mut stubs = Vec::with_capacity(exits as usize);
+    for _ in 0..exits {
+        let offset = bytes.len();
+        bytes.resize(offset + config.exit_stub_bytes as usize, DISPATCH_SENTINEL);
+        stubs.push(ExitStub { offset, target: None });
+    }
+    debug_assert_eq!(bytes.len(), total, "emitted size vs size model");
+    Ok(TranslatedCode { bytes, stubs })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cce_tinyvm::builder::ProgramBuilder;
+    use cce_tinyvm::isa::{Cond, Instr, Reg};
+
+    fn path_program() -> (Program, Vec<BlockId>) {
+        let mut b = ProgramBuilder::new();
+        let f = b.begin_function("main");
+        let e = b.block(f);
+        let mid = b.block(f);
+        let out = b.block(f);
+        let exit = b.block(f);
+        b.push(e, Instr::MovImm { dst: Reg::R1, imm: 5 });
+        b.jump(e, mid);
+        b.push(mid, Instr::AddImm { dst: Reg::R1, src: Reg::R1, imm: -1 });
+        b.branch(mid, Cond::Gt, Reg::R1, Reg::ZERO, out, exit);
+        b.push(out, Instr::Nop);
+        b.halt(out);
+        b.halt(exit);
+        b.set_entry(f, e);
+        (b.finish().unwrap(), vec![e, mid])
+    }
+
+    #[test]
+    fn emitted_size_matches_the_size_model() {
+        let (p, path) = path_program();
+        let cfg = TranslationConfig::default();
+        let code = emit(&p, &path, &cfg).unwrap();
+        let guest = crate::superblock::guest_bytes(&p, &path);
+        let exits = crate::superblock::count_exits(&p, &path);
+        assert_eq!(code.bytes.len() as u32, cfg.translated_size(guest, exits));
+        assert_eq!(code.stubs().len(), exits as usize);
+    }
+
+    #[test]
+    fn stubs_patch_and_unpatch_bytes() {
+        let (p, path) = path_program();
+        let mut code = emit(&p, &path, &TranslationConfig::default()).unwrap();
+        assert!(!code.is_patched(0));
+        code.patch_stub(0, 0xDEAD_BEEF_1234);
+        assert!(code.is_patched(0));
+        assert_eq!(code.stub_target(0), Some(0xDEAD_BEEF_1234));
+        let off = code.stubs()[0].offset;
+        assert_eq!(code.bytes[off], STUB_JMP_OPCODE);
+        assert_eq!(
+            u64::from_le_bytes(code.bytes[off + 1..off + 9].try_into().unwrap()),
+            0xDEAD_BEEF_1234
+        );
+        code.unpatch_stub(0);
+        assert!(!code.is_patched(0));
+        assert!(code.bytes[off..off + 9].iter().all(|&b| b == DISPATCH_SENTINEL));
+    }
+
+    #[test]
+    fn shrinking_translation_is_rejected() {
+        let (p, path) = path_program();
+        let cfg = TranslationConfig {
+            expansion_num: 1,
+            expansion_den: 2,
+            ..TranslationConfig::default()
+        };
+        assert!(matches!(
+            emit(&p, &path, &cfg),
+            Err(DbtError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn every_engine_superblock_is_emittable() {
+        use crate::engine::{Engine, EngineConfig};
+        use cce_tinyvm::gen::{generate, GenConfig};
+        let program = generate(&GenConfig::small(61));
+        let mut cfg = EngineConfig::default();
+        cfg.hot_threshold = 2;
+        let mut engine = Engine::new(&program, cfg.clone()).unwrap();
+        let _ = engine.run(50_000_000);
+        for sb in engine.superblocks() {
+            let code = emit(&program, &sb.blocks, &cfg.translation)
+                .unwrap_or_else(|e| panic!("{:?}: {e}", sb.id));
+            assert_eq!(
+                code.bytes.len() as u32,
+                sb.translated_bytes,
+                "{:?}: emitted bytes disagree with the registry size",
+                sb.id
+            );
+            assert_eq!(code.stubs().len(), sb.exits as usize);
+        }
+    }
+}

@@ -1,0 +1,268 @@
+//! The dispatcher's lookup table: original PC → code-cache entry.
+//!
+//! Figure 1 of the paper routes every dispatched superblock entry through
+//! a hash table; Eq. 3 charges its update on every miss and the Table 2
+//! model charges its lookup on every unlinked transition. This is that
+//! table, built the way DynamoRIO builds it: open addressing with linear
+//! probing over a power-of-two array, tombstone-free deletion via
+//! backward-shift, and probe-length statistics so the dispatch cost model
+//! can be grounded in measured behaviour rather than a constant.
+
+use cce_core::SuperblockId;
+use cce_tinyvm::program::Pc;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Slot {
+    Empty,
+    Full(Pc, SuperblockId),
+}
+
+/// Open-addressing dispatch table. See the module docs.
+#[derive(Debug, Clone)]
+pub struct DispatchTable {
+    slots: Vec<Slot>,
+    len: usize,
+    /// Total probes over all lookups (hit or miss).
+    probes: u64,
+    /// Total lookups.
+    lookups: u64,
+}
+
+impl DispatchTable {
+    /// Creates a table with at least `capacity` slots (rounded up to a
+    /// power of two, minimum 8).
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> DispatchTable {
+        let n = capacity.next_power_of_two().max(8);
+        DispatchTable {
+            slots: vec![Slot::Empty; n],
+            len: 0,
+            probes: 0,
+            lookups: 0,
+        }
+    }
+
+    /// Number of mappings.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the table is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Mean probes per lookup so far (1.0 is a perfect hash).
+    #[must_use]
+    pub fn mean_probe_length(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.probes as f64 / self.lookups as f64
+        }
+    }
+
+    /// Load factor (0..1).
+    #[must_use]
+    pub fn load_factor(&self) -> f64 {
+        self.len as f64 / self.slots.len() as f64
+    }
+
+    fn mask(&self) -> usize {
+        self.slots.len() - 1
+    }
+
+    fn index_of(pc: Pc, mask: usize) -> usize {
+        // Fibonacci hashing on the PC.
+        ((pc.addr().wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 17) as usize) & mask
+    }
+
+    /// Looks up the cache entry for `pc`, counting probes.
+    pub fn lookup(&mut self, pc: Pc) -> Option<SuperblockId> {
+        self.lookups += 1;
+        let mask = self.mask();
+        let mut i = Self::index_of(pc, mask);
+        loop {
+            self.probes += 1;
+            match self.slots[i] {
+                Slot::Empty => return None,
+                Slot::Full(p, id) if p == pc => return Some(id),
+                Slot::Full(..) => i = (i + 1) & mask,
+            }
+        }
+    }
+
+    /// Inserts or updates the mapping `pc → id`. Grows at 70% load.
+    pub fn insert(&mut self, pc: Pc, id: SuperblockId) {
+        if (self.len + 1) * 10 > self.slots.len() * 7 {
+            self.grow();
+        }
+        let mask = self.mask();
+        let mut i = Self::index_of(pc, mask);
+        loop {
+            match self.slots[i] {
+                Slot::Empty => {
+                    self.slots[i] = Slot::Full(pc, id);
+                    self.len += 1;
+                    return;
+                }
+                Slot::Full(p, _) if p == pc => {
+                    self.slots[i] = Slot::Full(pc, id);
+                    return;
+                }
+                Slot::Full(..) => i = (i + 1) & mask,
+            }
+        }
+    }
+
+    /// Removes the mapping for `pc` (an evicted superblock), keeping the
+    /// probe chains intact via backward-shift deletion. Returns the
+    /// removed id, if any.
+    pub fn remove(&mut self, pc: Pc) -> Option<SuperblockId> {
+        let mask = self.mask();
+        let mut i = Self::index_of(pc, mask);
+        let removed = loop {
+            match self.slots[i] {
+                Slot::Empty => return None,
+                Slot::Full(p, id) if p == pc => break id,
+                Slot::Full(..) => i = (i + 1) & mask,
+            }
+        };
+        // Backward-shift: move later chain members up so no probe chain
+        // breaks (tombstones would inflate probe lengths forever). An
+        // element at `j` with home slot `h` may fill the hole at `i`
+        // exactly when its probe path h→j passes through i, i.e. when the
+        // cyclic distance h→j is at least the cyclic distance i→j.
+        self.slots[i] = Slot::Empty;
+        let n = self.slots.len();
+        let mut j = (i + 1) & mask;
+        while let Slot::Full(p, id) = self.slots[j] {
+            let home = Self::index_of(p, mask);
+            let dist_home_j = (j + n - home) & mask;
+            let dist_hole_j = (j + n - i) & mask;
+            if dist_home_j >= dist_hole_j {
+                self.slots[i] = Slot::Full(p, id);
+                self.slots[j] = Slot::Empty;
+                i = j;
+            }
+            j = (j + 1) & mask;
+        }
+        self.len -= 1;
+        Some(removed)
+    }
+
+    fn grow(&mut self) {
+        let doubled = self.slots.len() * 2;
+        let old = std::mem::replace(&mut self.slots, vec![Slot::Empty; doubled]);
+        self.len = 0;
+        for s in old {
+            if let Slot::Full(p, id) = s {
+                self.insert(p, id);
+            }
+        }
+    }
+}
+
+impl Default for DispatchTable {
+    fn default() -> DispatchTable {
+        DispatchTable::with_capacity(256)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pc(n: u64) -> Pc {
+        Pc(0x40_0000 + n * 13)
+    }
+
+    fn sb(n: u64) -> SuperblockId {
+        SuperblockId(n)
+    }
+
+    #[test]
+    fn insert_lookup_remove_roundtrip() {
+        let mut t = DispatchTable::default();
+        for i in 0..500 {
+            t.insert(pc(i), sb(i));
+        }
+        assert_eq!(t.len(), 500);
+        for i in 0..500 {
+            assert_eq!(t.lookup(pc(i)), Some(sb(i)), "i={i}");
+        }
+        for i in (0..500).step_by(2) {
+            assert_eq!(t.remove(pc(i)), Some(sb(i)));
+        }
+        assert_eq!(t.len(), 250);
+        for i in 0..500 {
+            let want = if i % 2 == 0 { None } else { Some(sb(i)) };
+            assert_eq!(t.lookup(pc(i)), want, "i={i}");
+        }
+    }
+
+    #[test]
+    fn update_replaces_in_place() {
+        let mut t = DispatchTable::default();
+        t.insert(pc(1), sb(10));
+        t.insert(pc(1), sb(20));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.lookup(pc(1)), Some(sb(20)));
+    }
+
+    #[test]
+    fn missing_keys_return_none() {
+        let mut t = DispatchTable::default();
+        assert!(t.is_empty());
+        assert_eq!(t.lookup(pc(9)), None);
+        assert_eq!(t.remove(pc(9)), None);
+    }
+
+    #[test]
+    fn probe_length_stays_short_under_load() {
+        let mut t = DispatchTable::with_capacity(8);
+        for i in 0..10_000 {
+            t.insert(pc(i), sb(i));
+        }
+        for i in 0..10_000 {
+            assert!(t.lookup(pc(i)).is_some());
+        }
+        assert!(t.load_factor() <= 0.7 + 1e-9);
+        assert!(
+            t.mean_probe_length() < 2.5,
+            "mean probes {}",
+            t.mean_probe_length()
+        );
+    }
+
+    #[test]
+    fn heavy_churn_preserves_chains() {
+        // Insert/remove interleaved: backward-shift deletion must never
+        // orphan a key.
+        let mut t = DispatchTable::with_capacity(16);
+        for round in 0u64..50 {
+            for i in 0..64 {
+                t.insert(pc(round * 64 + i), sb(i));
+            }
+            for i in 0..64 {
+                if (i + round) % 3 != 0 {
+                    assert!(t.remove(pc(round * 64 + i)).is_some(), "round {round} i {i}");
+                }
+            }
+        }
+        // Everything that was not removed must still be reachable.
+        for round in 0u64..50 {
+            for i in 0..64 {
+                if (i + round) % 3 == 0 {
+                    assert_eq!(
+                        t.lookup(pc(round * 64 + i)),
+                        Some(sb(i)),
+                        "round {round} i {i}"
+                    );
+                }
+            }
+        }
+    }
+}

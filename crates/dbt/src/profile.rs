@@ -1,0 +1,129 @@
+//! Execution-count profiling of candidate trace heads.
+//!
+//! Like DynamoRIO, the translator does not profile every block: only
+//! *candidate heads* — targets of backward branches and function entries —
+//! accumulate counters, and a head whose count reaches the hotness
+//! threshold triggers superblock formation. The paper's systems use a
+//! threshold of 50 (§4.1), which is this profiler's default.
+
+use cce_tinyvm::program::Pc;
+use std::collections::HashMap;
+
+/// Default hotness threshold (superblock formed at the 50th execution),
+/// matching DynamoRIO's configuration in the paper.
+pub const DEFAULT_HOT_THRESHOLD: u32 = 50;
+
+/// Counts head executions and reports hotness.
+#[derive(Debug, Clone)]
+pub struct Profiler {
+    threshold: u32,
+    counts: HashMap<Pc, u32>,
+}
+
+impl Profiler {
+    /// Creates a profiler with the given hotness threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold == 0` (a zero threshold would form superblocks
+    /// for never-executed code).
+    #[must_use]
+    pub fn new(threshold: u32) -> Profiler {
+        assert!(threshold > 0, "hot threshold must be nonzero");
+        Profiler {
+            threshold,
+            counts: HashMap::new(),
+        }
+    }
+
+    /// The configured threshold.
+    #[must_use]
+    pub fn threshold(&self) -> u32 {
+        self.threshold
+    }
+
+    /// Records one execution of the head at `pc`. Returns `true` exactly
+    /// once: on the execution at which the head becomes hot.
+    pub fn record(&mut self, pc: Pc) -> bool {
+        let c = self.counts.entry(pc).or_insert(0);
+        *c += 1;
+        *c == self.threshold
+    }
+
+    /// Current count for `pc`.
+    #[must_use]
+    pub fn count(&self, pc: Pc) -> u32 {
+        self.counts.get(&pc).copied().unwrap_or(0)
+    }
+
+    /// Forgets a head (called once it has been promoted to a superblock,
+    /// so the table stays small).
+    pub fn retire(&mut self, pc: Pc) {
+        self.counts.remove(&pc);
+    }
+
+    /// Number of heads currently being profiled.
+    #[must_use]
+    pub fn tracked(&self) -> usize {
+        self.counts.len()
+    }
+}
+
+impl Default for Profiler {
+    fn default() -> Profiler {
+        Profiler::new(DEFAULT_HOT_THRESHOLD)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_exactly_once_at_threshold() {
+        let mut p = Profiler::new(3);
+        let pc = Pc(0x400000);
+        assert!(!p.record(pc));
+        assert!(!p.record(pc));
+        assert!(p.record(pc), "third execution crosses the threshold");
+        assert!(!p.record(pc), "must not fire twice");
+        assert_eq!(p.count(pc), 4);
+    }
+
+    #[test]
+    fn heads_are_independent() {
+        let mut p = Profiler::new(2);
+        let a = Pc(1);
+        let b = Pc(2);
+        assert!(!p.record(a));
+        assert!(!p.record(b));
+        assert!(p.record(a));
+        assert!(p.record(b));
+        assert_eq!(p.tracked(), 2);
+    }
+
+    #[test]
+    fn retire_frees_the_entry() {
+        let mut p = Profiler::new(2);
+        let pc = Pc(9);
+        p.record(pc);
+        p.retire(pc);
+        assert_eq!(p.tracked(), 0);
+        assert_eq!(p.count(pc), 0);
+        // Counting restarts from scratch if re-profiled.
+        assert!(!p.record(pc));
+        assert!(p.record(pc));
+    }
+
+    #[test]
+    fn default_matches_dynamorio() {
+        assert_eq!(Profiler::default().threshold(), DEFAULT_HOT_THRESHOLD);
+        assert_eq!(DEFAULT_HOT_THRESHOLD, 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_threshold_panics() {
+        let _ = Profiler::new(0);
+    }
+}

@@ -1,0 +1,157 @@
+//! Superblock representation.
+//!
+//! A superblock is a single-entry, multiple-exit region (Hwu et al.)
+//! assembled from the dynamically executed basic-block sequence starting
+//! at a hot head. Control enters only at the top; every conditional branch
+//! whose other arm leaves the recorded path becomes a *side exit*, and the
+//! final block's terminator provides the remaining exits. Each exit is a
+//! potential chain point: if its target superblock is cached, the exit
+//! stub is patched into a direct link.
+
+use cce_core::SuperblockId;
+use cce_tinyvm::program::{BlockId, Pc, Program, Terminator};
+use serde::{Deserialize, Serialize};
+
+/// A formed superblock: guest path plus translated-code geometry.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Superblock {
+    /// Cache identity (stable across evictions and regenerations).
+    pub id: SuperblockId,
+    /// Guest address of the entry block.
+    pub head_pc: Pc,
+    /// The recorded guest path, in execution order.
+    pub blocks: Vec<BlockId>,
+    /// Guest bytes covered by the path.
+    pub guest_bytes: u32,
+    /// Translated size in bytes — what the code cache stores.
+    pub translated_bytes: u32,
+    /// Number of exits (side exits + final exits).
+    pub exits: u32,
+}
+
+impl Superblock {
+    /// Number of guest basic blocks in the path.
+    #[must_use]
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+}
+
+/// Counts the exits of a recorded path: one per conditional-branch arm or
+/// indirect target that leaves the path, plus the final fall-out.
+///
+/// # Panics
+///
+/// Panics if `path` is empty or contains ids not in `program`.
+#[must_use]
+pub fn count_exits(program: &Program, path: &[BlockId]) -> u32 {
+    assert!(!path.is_empty(), "a superblock has at least one block");
+    let mut exits = 0u32;
+    for (i, &bid) in path.iter().enumerate() {
+        let next = path.get(i + 1).copied();
+        let term = &program.block(bid).terminator;
+        match term {
+            Terminator::Jump(t) => {
+                if next != Some(*t) {
+                    exits += 1;
+                }
+            }
+            Terminator::Branch {
+                taken, fallthrough, ..
+            } => {
+                // The arm that stays on the path is not an exit; the other
+                // is. If neither arm is the recorded successor (path ended
+                // here), both arms are exits.
+                let on_path =
+                    usize::from(next == Some(*taken)) + usize::from(next == Some(*fallthrough));
+                exits += 2 - on_path.min(2) as u32;
+            }
+            Terminator::Call { .. } | Terminator::Return | Terminator::Halt => {
+                // Calls/returns leave the superblock through the dispatcher.
+                exits += 1;
+            }
+            Terminator::IndirectJump { targets, .. } => {
+                // An indirect branch is one exit stub (it cannot be
+                // statically chained to all its targets), regardless of the
+                // target count.
+                let _ = targets;
+                exits += 1;
+            }
+        }
+    }
+    exits
+}
+
+/// Sums the guest byte sizes of a path.
+///
+/// # Panics
+///
+/// Panics if `path` contains ids not in `program`.
+#[must_use]
+pub fn guest_bytes(program: &Program, path: &[BlockId]) -> u32 {
+    path.iter().map(|&b| program.block(b).byte_len()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cce_tinyvm::builder::ProgramBuilder;
+    use cce_tinyvm::isa::{Cond, Instr, Reg};
+
+    /// main: e -> (branch) b1 / b2; b1 -> b3; b3 halt; b2 -> b3.
+    fn diamond() -> (Program, Vec<BlockId>) {
+        let mut b = ProgramBuilder::new();
+        let f = b.begin_function("main");
+        let e = b.block(f);
+        let b1 = b.block(f);
+        let b2 = b.block(f);
+        let b3 = b.block(f);
+        b.push(e, Instr::MovImm { dst: Reg::R1, imm: 1 });
+        b.branch(e, Cond::Eq, Reg::R1, Reg::ZERO, b2, b1);
+        b.push(b1, Instr::Nop);
+        b.jump(b1, b3);
+        b.push(b2, Instr::Nop);
+        b.jump(b2, b3);
+        b.halt(b3);
+        b.set_entry(f, e);
+        (b.finish().unwrap(), vec![e, b1, b3])
+    }
+
+    #[test]
+    fn exit_counting_on_a_diamond_path() {
+        let (p, path) = diamond();
+        // e: branch with one arm (b1) on path → 1 side exit (b2).
+        // b1: jump to b3 on path → 0 exits.
+        // b3: halt → 1 exit.
+        assert_eq!(count_exits(&p, &path), 2);
+    }
+
+    #[test]
+    fn straightline_path_has_single_exit() {
+        let (p, path) = diamond();
+        // Just the tail block.
+        assert_eq!(count_exits(&p, &path[2..]), 1);
+    }
+
+    #[test]
+    fn path_ending_at_branch_counts_both_arms() {
+        let (p, path) = diamond();
+        // Path of only the entry block: both branch arms exit.
+        assert_eq!(count_exits(&p, &path[..1]), 2);
+    }
+
+    #[test]
+    fn guest_bytes_sums_block_lengths() {
+        let (p, path) = diamond();
+        let expect: u32 = path.iter().map(|&b| p.block(b).byte_len()).sum();
+        assert_eq!(guest_bytes(&p, &path), expect);
+        assert!(expect > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one block")]
+    fn empty_path_panics() {
+        let (p, _) = diamond();
+        let _ = count_exits(&p, &[]);
+    }
+}

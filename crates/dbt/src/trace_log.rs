@@ -1,0 +1,265 @@
+//! The code-cache access trace — our analogue of DynamoRIO's verbose log.
+//!
+//! The paper drove its cache simulator from saved DynamoRIO logs so that
+//! experiments were repeatable across policies (§4.1). A [`TraceLog`] is
+//! the same idea: the per-superblock registry (id, head PC, translated
+//! size) plus the time-ordered sequence of superblock entries. Each entry
+//! records whether control arrived *directly* from another superblock's
+//! exit — the chainable transitions from which each cache configuration
+//! decides, at replay time, which links actually get patched (a link only
+//! forms when both endpoints are simultaneously resident, which differs
+//! across policies).
+//!
+//! Logs serialize to JSON for save/replay parity with the paper's
+//! methodology.
+
+use cce_core::SuperblockId;
+use cce_tinyvm::program::Pc;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::io::{Read, Write};
+
+/// Registry entry for one superblock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SuperblockInfo {
+    /// Stable identity.
+    pub id: SuperblockId,
+    /// Guest address of the head.
+    pub head_pc: Pc,
+    /// Translated size in bytes (the cache entry size).
+    pub size: u32,
+    /// Guest basic blocks in the path.
+    pub guest_blocks: u32,
+    /// Exit stubs (upper bound on chainable out-links).
+    pub exits: u32,
+}
+
+/// One event in the access trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// Control entered superblock `id`.
+    Access {
+        /// The superblock entered.
+        id: SuperblockId,
+        /// `Some(s)` if the entry came straight off superblock `s`'s exit
+        /// (a chainable transition); `None` if control went through the
+        /// interpreter/dispatcher for unrelated work first.
+        direct_from: Option<SuperblockId>,
+    },
+}
+
+/// A complete, replayable access trace.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct TraceLog {
+    /// Human-readable workload name.
+    pub name: String,
+    /// Superblock registry in formation order.
+    pub superblocks: Vec<SuperblockInfo>,
+    /// Time-ordered access events.
+    pub events: Vec<TraceEvent>,
+}
+
+/// Aggregate statistics of a trace (inputs to Table 1 and Figures 3, 4
+/// and 12).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceSummary {
+    /// Number of distinct superblocks (Table 1's middle column).
+    pub superblock_count: usize,
+    /// Total accesses.
+    pub accesses: u64,
+    /// Sum of translated sizes — the unbounded cache size `maxCache`.
+    pub total_code_bytes: u64,
+    /// Median translated size (Figure 4).
+    pub median_size: u32,
+    /// Mean translated size.
+    pub mean_size: f64,
+    /// Mean distinct outbound chainable targets per superblock (Figure 12).
+    pub mean_out_degree: f64,
+    /// Fraction of accesses that were direct (chainable) transitions.
+    pub direct_fraction: f64,
+}
+
+impl TraceLog {
+    /// Creates an empty log with a name.
+    #[must_use]
+    pub fn new(name: &str) -> TraceLog {
+        TraceLog {
+            name: name.to_owned(),
+            superblocks: Vec::new(),
+            events: Vec::new(),
+        }
+    }
+
+    /// Registers a formed superblock.
+    pub fn record_superblock(&mut self, info: SuperblockInfo) {
+        self.superblocks.push(info);
+    }
+
+    /// Appends an access event.
+    pub fn record_access(&mut self, id: SuperblockId, direct_from: Option<SuperblockId>) {
+        self.events.push(TraceEvent::Access { id, direct_from });
+    }
+
+    /// Looks up a superblock's registry entry.
+    #[must_use]
+    pub fn superblock(&self, id: SuperblockId) -> Option<&SuperblockInfo> {
+        // The registry is small relative to the event stream; linear scan
+        // is fine for lookups, and replay builds its own map anyway.
+        self.superblocks.iter().find(|s| s.id == id)
+    }
+
+    /// The unbounded cache size: total translated bytes of all
+    /// superblocks (the paper's `maxCache`).
+    #[must_use]
+    pub fn max_cache_bytes(&self) -> u64 {
+        self.superblocks.iter().map(|s| u64::from(s.size)).sum()
+    }
+
+    /// Computes the aggregate statistics.
+    #[must_use]
+    pub fn summary(&self) -> TraceSummary {
+        let mut sizes: Vec<u32> = self.superblocks.iter().map(|s| s.size).collect();
+        sizes.sort_unstable();
+        let median_size = if sizes.is_empty() {
+            0
+        } else {
+            sizes[sizes.len() / 2]
+        };
+        let total: u64 = sizes.iter().map(|&s| u64::from(s)).sum();
+        let mean_size = if sizes.is_empty() {
+            0.0
+        } else {
+            total as f64 / sizes.len() as f64
+        };
+
+        let mut out_edges: BTreeMap<SuperblockId, BTreeSet<SuperblockId>> = BTreeMap::new();
+        let mut direct = 0u64;
+        for ev in &self.events {
+            let TraceEvent::Access { id, direct_from } = ev;
+            if let Some(from) = direct_from {
+                direct += 1;
+                out_edges.entry(*from).or_default().insert(*id);
+            }
+        }
+        let total_out: usize = out_edges.values().map(BTreeSet::len).sum();
+        let mean_out_degree = if self.superblocks.is_empty() {
+            0.0
+        } else {
+            total_out as f64 / self.superblocks.len() as f64
+        };
+        let direct_fraction = if self.events.is_empty() {
+            0.0
+        } else {
+            direct as f64 / self.events.len() as f64
+        };
+
+        TraceSummary {
+            superblock_count: self.superblocks.len(),
+            accesses: self.events.len() as u64,
+            total_code_bytes: total,
+            median_size,
+            mean_size,
+            mean_out_degree,
+            direct_fraction,
+        }
+    }
+
+    /// Serializes the log as JSON to `writer`.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O or serialization error.
+    pub fn save<W: Write>(&self, writer: W) -> Result<(), serde_json::Error> {
+        serde_json::to_writer(writer, self)
+    }
+
+    /// Deserializes a log previously written by [`TraceLog::save`].
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O or parse error.
+    pub fn load<R: Read>(reader: R) -> Result<TraceLog, serde_json::Error> {
+        serde_json::from_reader(reader)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sb(n: u64) -> SuperblockId {
+        SuperblockId(n)
+    }
+
+    fn sample() -> TraceLog {
+        let mut log = TraceLog::new("sample");
+        for (i, size) in [(0u64, 100u32), (1, 200), (2, 300)] {
+            log.record_superblock(SuperblockInfo {
+                id: sb(i),
+                head_pc: Pc(0x1000 + i * 64),
+                size,
+                guest_blocks: 3,
+                exits: 2,
+            });
+        }
+        log.record_access(sb(0), None);
+        log.record_access(sb(1), Some(sb(0)));
+        log.record_access(sb(2), Some(sb(1)));
+        log.record_access(sb(0), None);
+        log.record_access(sb(1), Some(sb(0)));
+        log
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let s = sample().summary();
+        assert_eq!(s.superblock_count, 3);
+        assert_eq!(s.accesses, 5);
+        assert_eq!(s.total_code_bytes, 600);
+        assert_eq!(s.median_size, 200);
+        assert!((s.mean_size - 200.0).abs() < 1e-9);
+        // Distinct out edges: 0→1, 1→2 ⇒ 2 links over 3 superblocks.
+        assert!((s.mean_out_degree - 2.0 / 3.0).abs() < 1e-9);
+        assert!((s.direct_fraction - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn max_cache_is_total_code_bytes() {
+        let log = sample();
+        assert_eq!(log.max_cache_bytes(), 600);
+    }
+
+    #[test]
+    fn duplicate_direct_transitions_count_once_in_out_degree() {
+        let mut log = sample();
+        log.record_access(sb(1), Some(sb(0))); // repeat 0→1
+        let s = log.summary();
+        assert!((s.mean_out_degree - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let log = sample();
+        let mut buf = Vec::new();
+        log.save(&mut buf).unwrap();
+        let back = TraceLog::load(buf.as_slice()).unwrap();
+        assert_eq!(log, back);
+    }
+
+    #[test]
+    fn empty_log_summary_is_all_zero() {
+        let s = TraceLog::new("empty").summary();
+        assert_eq!(s.superblock_count, 0);
+        assert_eq!(s.accesses, 0);
+        assert_eq!(s.median_size, 0);
+        assert_eq!(s.mean_out_degree, 0.0);
+        assert_eq!(s.direct_fraction, 0.0);
+    }
+
+    #[test]
+    fn superblock_lookup() {
+        let log = sample();
+        assert_eq!(log.superblock(sb(1)).unwrap().size, 200);
+        assert!(log.superblock(sb(9)).is_none());
+    }
+}

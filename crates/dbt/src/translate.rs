@@ -1,0 +1,108 @@
+//! Translation geometry: how large a superblock is once translated.
+//!
+//! Dynamic translators expand code: loads/stores get address checks,
+//! branches become exit stubs, and the superblock gets a small prologue.
+//! In DynamoRIO the expansion is roughly 1.3–1.6× for integer code plus a
+//! fixed-size stub per exit. The code cache stores *translated* bytes, so
+//! this model determines the entry sizes that all cache experiments see.
+
+use serde::{Deserialize, Serialize};
+
+/// Size model for translated superblocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TranslationConfig {
+    /// Code expansion as a rational `numerator / denominator` applied to
+    /// the guest byte count (default 7/5 = 1.4×).
+    pub expansion_num: u32,
+    /// See [`TranslationConfig::expansion_num`].
+    pub expansion_den: u32,
+    /// Bytes of exit stub emitted per superblock exit (default 16: a
+    /// patchable jump plus a dispatcher trampoline).
+    pub exit_stub_bytes: u32,
+    /// Fixed prologue bytes per superblock (default 8).
+    pub prologue_bytes: u32,
+}
+
+impl TranslationConfig {
+    /// Translated size of a superblock with `guest_bytes` of source code
+    /// and `exits` exit stubs.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use cce_dbt::TranslationConfig;
+    /// let t = TranslationConfig::default();
+    /// // 100 guest bytes, 2 exits: 140 + 32 + 8 = 180 translated bytes.
+    /// assert_eq!(t.translated_size(100, 2), 180);
+    /// ```
+    #[must_use]
+    pub fn translated_size(&self, guest_bytes: u32, exits: u32) -> u32 {
+        let expanded =
+            (u64::from(guest_bytes) * u64::from(self.expansion_num)) / u64::from(self.expansion_den);
+        u32::try_from(expanded).unwrap_or(u32::MAX)
+            .saturating_add(exits.saturating_mul(self.exit_stub_bytes))
+            .saturating_add(self.prologue_bytes)
+    }
+}
+
+impl Default for TranslationConfig {
+    fn default() -> TranslationConfig {
+        TranslationConfig {
+            expansion_num: 7,
+            expansion_den: 5,
+            exit_stub_bytes: 16,
+            prologue_bytes: 8,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_expansion_is_1_4x() {
+        let t = TranslationConfig::default();
+        assert_eq!(t.translated_size(1000, 0), 1408);
+    }
+
+    #[test]
+    fn exits_add_stub_bytes() {
+        let t = TranslationConfig::default();
+        let base = t.translated_size(100, 0);
+        assert_eq!(t.translated_size(100, 3), base + 48);
+    }
+
+    #[test]
+    fn size_is_monotone_in_guest_bytes() {
+        let t = TranslationConfig::default();
+        let mut prev = 0;
+        for g in (0..2000).step_by(97) {
+            let s = t.translated_size(g, 1);
+            assert!(s >= prev);
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn identity_translation_possible() {
+        let t = TranslationConfig {
+            expansion_num: 1,
+            expansion_den: 1,
+            exit_stub_bytes: 0,
+            prologue_bytes: 0,
+        };
+        assert_eq!(t.translated_size(345, 7), 345);
+    }
+
+    #[test]
+    fn saturates_instead_of_overflowing() {
+        let t = TranslationConfig {
+            expansion_num: u32::MAX,
+            expansion_den: 1,
+            exit_stub_bytes: u32::MAX,
+            prologue_bytes: u32::MAX,
+        };
+        let _ = t.translated_size(u32::MAX, u32::MAX);
+    }
+}

@@ -1,0 +1,62 @@
+//! Model-based property test: the open-addressing dispatch table must
+//! behave exactly like a `HashMap` under arbitrary operation sequences.
+
+use cce_core::SuperblockId;
+use cce_dbt::hashtable::DispatchTable;
+use cce_tinyvm::program::Pc;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u64, u64),
+    Remove(u64),
+    Lookup(u64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (0u64..200, 0u64..1000).prop_map(|(k, v)| Op::Insert(k, v)),
+        2 => (0u64..200).prop_map(Op::Remove),
+        2 => (0u64..200).prop_map(Op::Lookup),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn dispatch_table_matches_hashmap_model(
+        ops in prop::collection::vec(op_strategy(), 1..600),
+    ) {
+        let mut table = DispatchTable::with_capacity(8);
+        let mut model: HashMap<u64, u64> = HashMap::new();
+        for op in ops {
+            match op {
+                Op::Insert(k, v) => {
+                    table.insert(Pc(k), SuperblockId(v));
+                    model.insert(k, v);
+                }
+                Op::Remove(k) => {
+                    let got = table.remove(Pc(k));
+                    let want = model.remove(&k);
+                    prop_assert_eq!(got, want.map(SuperblockId));
+                }
+                Op::Lookup(k) => {
+                    let got = table.lookup(Pc(k));
+                    let want = model.get(&k).copied().map(SuperblockId);
+                    prop_assert_eq!(got, want);
+                }
+            }
+            prop_assert_eq!(table.len(), model.len());
+            prop_assert!(table.load_factor() <= 0.7 + 1e-9);
+        }
+        // Final sweep: every model key reachable, probe lengths sane.
+        for (&k, &v) in &model {
+            prop_assert_eq!(table.lookup(Pc(k)), Some(SuperblockId(v)));
+        }
+        if table.len() > 8 {
+            prop_assert!(table.mean_probe_length() < 4.0);
+        }
+    }
+}

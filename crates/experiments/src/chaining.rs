@@ -1,0 +1,126 @@
+//! Chaining experiments: Table 2 and the §5.3 execution-time estimates.
+
+use crate::grid::Grid;
+use crate::miss_figs::grid_at;
+use crate::Options;
+use cce_sim::exectime::{exec_time_reduction_percent, ChainingScenario, DispatchCost};
+use cce_sim::report::TextTable;
+use cce_workloads::catalog;
+use std::fmt::Write as _;
+
+/// Table 2: predicted slowdown from disabling superblock chaining.
+pub fn table2(_opts: &Options) -> String {
+    let dispatch = DispatchCost::dynamorio();
+    let mut t = TextTable::new(
+        "Table 2 — Slowdown from disabling superblock chaining",
+        [
+            "Benchmark",
+            "Enabled (s, paper)",
+            "Disabled (s, model)",
+            "Disabled (s, paper)",
+            "Slowdown (model)",
+            "Slowdown (paper)",
+        ],
+    );
+    for m in catalog::table2() {
+        let scenario = ChainingScenario {
+            base_seconds: m.base_seconds,
+            instrs_per_entry: m.instrs_per_entry,
+        };
+        let disabled = scenario.disabled_seconds(&dispatch);
+        let paper_slowdown =
+            (m.paper_disabled_seconds - m.base_seconds) / m.base_seconds * 100.0;
+        t.row([
+            m.name.clone(),
+            format!("{:.0}", m.base_seconds),
+            format!("{disabled:.0}"),
+            format!("{:.0}", m.paper_disabled_seconds),
+            format!("{:.0}%", scenario.slowdown_percent(&dispatch)),
+            format!("{paper_slowdown:.0}%"),
+        ]);
+    }
+    let mut out = t.to_string();
+    let no_prot = DispatchCost::no_protection();
+    let gzip = catalog::by_name("gzip").unwrap();
+    let s = ChainingScenario {
+        base_seconds: gzip.base_seconds,
+        instrs_per_entry: gzip.instrs_per_entry,
+    };
+    let _ = writeln!(
+        out,
+        "\nDominant cost: the mprotect pair per dispatcher entry ({} of {} instructions). \
+         Without protection changes gzip's slowdown drops to {:.0}% — \"reduced, but still \
+         significant\" (§5.1).",
+        DispatchCost::dynamorio().mprotect_pair as u64,
+        DispatchCost::dynamorio().total() as u64,
+        s.slowdown_percent(&no_prot)
+    );
+    out
+}
+
+/// §5.3: execution-time reduction from switching FLUSH → 8-unit FIFO at
+/// cache pressure 10.
+pub fn sec5_3(opts: &Options) -> String {
+    let grid = grid_at(opts, &[10]);
+    render_sec5_3(&grid)
+}
+
+pub(crate) fn render_sec5_3(grid: &Grid) -> String {
+    let mut t = TextTable::new(
+        "Section 5.3 — Execution-time reduction, FLUSH → 8-Unit FIFO (pressure 10)",
+        [
+            "Benchmark",
+            "FLUSH mgmt (s)",
+            "8-Unit mgmt (s)",
+            "Reduction",
+        ],
+    );
+    let mut crafty_red = f64::NAN;
+    let mut twolf_red = f64::NAN;
+    for m in catalog::table2() {
+        let Some(flush) = grid.cell(&m.name, "FLUSH", 10) else {
+            continue;
+        };
+        let Some(medium) = grid.cell(&m.name, "8-Unit", 10) else {
+            continue;
+        };
+        // Trace-consistent units: the application work corresponding to
+        // the simulated accesses is `accesses × instrs_per_entry` guest
+        // instructions; management overhead is in the same currency, so
+        // the §5.3 ratio needs no cross-run scaling. The seconds shown
+        // are those instruction counts expressed on the benchmark's
+        // Table 2 runtime (base_seconds × overhead/app).
+        let app_instr = flush.accesses as f64 * m.instrs_per_entry;
+        let oh_flush_instr = flush.overhead_with_links();
+        let oh_medium_instr = medium.overhead_with_links();
+        let red = exec_time_reduction_percent(app_instr, oh_flush_instr, oh_medium_instr);
+        let oh_flush_s = m.base_seconds * oh_flush_instr / app_instr;
+        let oh_medium_s = m.base_seconds * oh_medium_instr / app_instr;
+        if m.name == "crafty" {
+            crafty_red = red;
+        }
+        if m.name == "twolf" {
+            twolf_red = red;
+        }
+        t.row([
+            m.name.clone(),
+            format!("{oh_flush_s:.0}"),
+            format!("{oh_medium_s:.0}"),
+            format!("{red:.2}%"),
+        ]);
+    }
+    let mut out = t.to_string();
+    let _ = writeln!(
+        out,
+        "\nPaper anchors at pressure 10: crafty 19.33%, twolf 19.79% \
+         (measured here: crafty {crafty_red:.2}%, twolf {twolf_red:.2}%). Direction and \
+         double-digit scale depend on how hard the workload stresses cache management; \
+         our statistical traces reproduce the direction (medium-grained wins) with \
+         smaller magnitudes. Two caveats: our traces compress application execution \
+         (~10² reuses per superblock vs ~10⁶ in a real run), so management seconds \
+         dwarf the Table 2 base times — only the *relative* comparison is meaningful — \
+         and small-footprint benchmarks (gzip, mcf, bzip2) hit the unit-size clamp at \
+         pressure 10, where '8-Unit' degenerates toward FLUSH."
+    );
+    out
+}

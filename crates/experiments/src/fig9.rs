@@ -1,0 +1,52 @@
+//! Figure 9: the eviction-overhead regression (and its Eq. 3/Eq. 4
+//! companions).
+
+use crate::Options;
+use cce_sim::measurement::Campaign;
+use cce_sim::regression::fit_line;
+use cce_sim::report::TextTable;
+use std::fmt::Write as _;
+
+/// Figure 9: collect >10 000 instrumented eviction measurements, fit a
+/// least-squares trendline, and compare the recovered constants to the
+/// paper's Equations 2–4.
+pub fn fig9(opts: &Options) -> String {
+    let campaign = Campaign::dynamorio_like();
+    let n = 10_000;
+    let mut t = TextTable::new(
+        "Figure 9 — Least-squares cost models recovered from instrumented measurements",
+        ["Routine", "Samples", "Fitted model", "Paper model", "R²"],
+    );
+    let ev = fit_line(&campaign.eviction_samples(n, opts.seed)).expect("enough samples");
+    t.row([
+        "eviction (Eq. 2)".to_owned(),
+        n.to_string(),
+        ev.model.to_string(),
+        "2.77*x + 3055.0".to_owned(),
+        format!("{:.3}", ev.r_squared),
+    ]);
+    let miss = fit_line(&campaign.miss_samples(n, opts.seed)).expect("enough samples");
+    t.row([
+        "miss service (Eq. 3)".to_owned(),
+        n.to_string(),
+        miss.model.to_string(),
+        "75.40*x + 1922.0".to_owned(),
+        format!("{:.3}", miss.r_squared),
+    ]);
+    let unlink = fit_line(&campaign.unlink_samples(n, opts.seed)).expect("enough samples");
+    t.row([
+        "unlinking (Eq. 4)".to_owned(),
+        n.to_string(),
+        unlink.model.to_string(),
+        "296.50*x + 95.7".to_owned(),
+        format!("{:.3}", unlink.r_squared),
+    ]);
+    let mut out = t.to_string();
+    let example = ev.model.eval(230.0);
+    let _ = writeln!(
+        out,
+        "\nWorked example (paper §4.3): evicting 230 bytes ⇒ {example:.0} instructions \
+         (paper: 3 690). The fixed term dominates ⇒ evicting larger regions amortizes better."
+    );
+    out
+}

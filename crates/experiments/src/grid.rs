@@ -1,0 +1,194 @@
+//! The shared simulation grid: every `(benchmark × granularity ×
+//! pressure)` cell, computed once and consumed by all figure
+//! regenerators.
+
+use cce_core::Granularity;
+use cce_sim::pressure::simulate_at_pressure;
+use cce_sim::simulator::SimConfig;
+use cce_workloads::BenchmarkModel;
+use serde::{Deserialize, Serialize};
+
+/// One simulated cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GridCell {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Granularity label (`FLUSH`, `8-Unit`, `FIFO`).
+    pub granularity: String,
+    /// Cache-pressure factor.
+    pub pressure: u32,
+    /// Trace accesses.
+    pub accesses: u64,
+    /// Cache misses.
+    pub misses: u64,
+    /// Eviction-mechanism invocations.
+    pub eviction_invocations: u64,
+    /// Σ Eq. 3 (instructions).
+    pub miss_overhead: f64,
+    /// Σ Eq. 2 (instructions).
+    pub eviction_overhead: f64,
+    /// Σ Eq. 4 (instructions).
+    pub unlink_overhead: f64,
+    /// Links created during replay.
+    pub links_created: u64,
+    /// Links whose endpoints were in different units at creation.
+    pub inter_unit_links: u64,
+    /// Intra-unit links summed over the simulator's live-graph censuses.
+    pub census_intra_links: u64,
+    /// Inter-unit links summed over the simulator's live-graph censuses.
+    pub census_inter_links: u64,
+}
+
+impl GridCell {
+    /// Management overhead excluding link maintenance (§4.4, Figs 10–11).
+    #[must_use]
+    pub fn overhead_without_links(&self) -> f64 {
+        self.miss_overhead + self.eviction_overhead
+    }
+
+    /// Management overhead including link maintenance (§5.3, Figs 14–15).
+    #[must_use]
+    pub fn overhead_with_links(&self) -> f64 {
+        self.overhead_without_links() + self.unlink_overhead
+    }
+}
+
+/// The full grid plus the axes it was computed over.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Grid {
+    /// Scale factor the traces were generated at.
+    pub scale: f64,
+    /// Trace seed.
+    pub seed: u64,
+    /// Granularity labels in sweep order (coarse → fine).
+    pub granularities: Vec<String>,
+    /// Pressure factors in sweep order.
+    pub pressures: Vec<u32>,
+    /// All cells.
+    pub cells: Vec<GridCell>,
+}
+
+impl Grid {
+    /// Cells for one `(granularity, pressure)` line across benchmarks.
+    #[must_use]
+    pub fn line(&self, granularity: &str, pressure: u32) -> Vec<&GridCell> {
+        self.cells
+            .iter()
+            .filter(|c| c.granularity == granularity && c.pressure == pressure)
+            .collect()
+    }
+
+    /// Unified miss rate (Eq. 1) for one `(granularity, pressure)` point.
+    #[must_use]
+    pub fn unified_miss_rate(&self, granularity: &str, pressure: u32) -> f64 {
+        cce_sim::metrics::unified_miss_rate(
+            self.line(granularity, pressure)
+                .iter()
+                .map(|c| (c.misses, c.accesses)),
+        )
+    }
+
+    /// Total eviction invocations for one point.
+    #[must_use]
+    pub fn total_evictions(&self, granularity: &str, pressure: u32) -> u64 {
+        self.line(granularity, pressure)
+            .iter()
+            .map(|c| c.eviction_invocations)
+            .sum()
+    }
+
+    /// Total overhead for one point, with or without link maintenance.
+    #[must_use]
+    pub fn total_overhead(&self, granularity: &str, pressure: u32, with_links: bool) -> f64 {
+        self.line(granularity, pressure)
+            .iter()
+            .map(|c| {
+                if with_links {
+                    c.overhead_with_links()
+                } else {
+                    c.overhead_without_links()
+                }
+            })
+            .sum()
+    }
+
+    /// Aggregate inter-unit fraction of the *live* link population for
+    /// one point (Figure 13's metric, from the periodic censuses).
+    #[must_use]
+    pub fn inter_unit_fraction(&self, granularity: &str, pressure: u32) -> f64 {
+        let cells = self.line(granularity, pressure);
+        let inter: u64 = cells.iter().map(|c| c.census_inter_links).sum();
+        let total: u64 = cells
+            .iter()
+            .map(|c| c.census_inter_links + c.census_intra_links)
+            .sum();
+        if total == 0 {
+            0.0
+        } else {
+            inter as f64 / total as f64
+        }
+    }
+
+    /// The cell for a specific benchmark/granularity/pressure.
+    #[must_use]
+    pub fn cell(&self, benchmark: &str, granularity: &str, pressure: u32) -> Option<&GridCell> {
+        self.cells.iter().find(|c| {
+            c.benchmark == benchmark && c.granularity == granularity && c.pressure == pressure
+        })
+    }
+}
+
+/// Computes the grid for `models` at the given scale/seed over the
+/// granularity spectrum and pressure set.
+///
+/// Traces are generated once per benchmark and replayed for every
+/// configuration — the paper's save-and-replay methodology.
+pub fn compute_grid(
+    models: &[BenchmarkModel],
+    granularities: &[Granularity],
+    pressures: &[u32],
+    scale: f64,
+    seed: u64,
+    verbose: bool,
+) -> Grid {
+    let base = SimConfig::default();
+    let mut cells = Vec::with_capacity(models.len() * granularities.len() * pressures.len());
+    for model in models {
+        if verbose {
+            eprintln!(
+                "  [grid] {} ({} superblocks at scale {scale})",
+                model.name,
+                model.scaled_superblocks(scale)
+            );
+        }
+        let trace = model.trace(scale, seed);
+        for &pressure in pressures {
+            for &g in granularities {
+                let r = simulate_at_pressure(&trace, g, pressure, &base)
+                    .expect("generated traces are well-formed");
+                cells.push(GridCell {
+                    benchmark: model.name.clone(),
+                    granularity: g.label(),
+                    pressure,
+                    accesses: r.stats.accesses,
+                    misses: r.stats.misses,
+                    eviction_invocations: r.stats.eviction_invocations,
+                    miss_overhead: r.miss_overhead,
+                    eviction_overhead: r.eviction_overhead,
+                    unlink_overhead: r.unlink_overhead,
+                    links_created: r.stats.links_created,
+                    inter_unit_links: r.stats.inter_unit_links_created,
+                    census_intra_links: r.census_intra_links,
+                    census_inter_links: r.census_inter_links,
+                });
+            }
+        }
+    }
+    Grid {
+        scale,
+        seed,
+        granularities: granularities.iter().map(|g| g.label()).collect(),
+        pressures: pressures.to_vec(),
+        cells,
+    }
+}

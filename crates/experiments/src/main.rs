@@ -1,0 +1,220 @@
+//! Regenerators for every table and figure of the CGO 2004 paper.
+//!
+//! ```text
+//! cargo run --release -p cce-experiments -- <command> [--scale F] [--seed N] [--out PATH]
+//!
+//! commands:
+//!   table1 fig3 fig4 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15
+//!   table2 sec5_3
+//!   ablation future_work stability     (beyond-the-paper studies)
+//!   all        run everything and (with --out) write an EXPERIMENTS.md
+//! ```
+//!
+//! `--scale` shrinks every workload proportionally (default 1.0 =
+//! Table 1 superblock counts); `--seed` controls trace generation.
+
+mod all;
+mod chaining;
+mod extensions;
+mod fig9;
+mod grid;
+mod miss_figs;
+mod overhead_figs;
+mod stats_figs;
+mod tools;
+
+use std::process::ExitCode;
+
+/// Parsed command-line options.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Workload scale in (0, 1].
+    pub scale: f64,
+    /// Trace seed.
+    pub seed: u64,
+    /// Output file (in addition to stdout), if any.
+    pub out: Option<String>,
+    /// Benchmark name for the `trace` tool.
+    pub bench: Option<String>,
+    /// Saved-log path for the `replay` tool.
+    pub log: Option<String>,
+    /// Cache pressure for the `replay` tool.
+    pub pressure: Option<u32>,
+    /// Print progress to stderr.
+    pub verbose: bool,
+}
+
+impl Default for Options {
+    fn default() -> Options {
+        Options {
+            scale: 1.0,
+            seed: 42,
+            out: None,
+            bench: None,
+            log: None,
+            pressure: None,
+            verbose: true,
+        }
+    }
+}
+
+fn usage() -> &'static str {
+    "usage: cce-experiments <command> [--scale F] [--seed N] [--out PATH] [--quiet]\n\
+     commands: table1 fig3 fig4 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 \
+     table2 sec5_3 ablation future_work stability multiprog analysis all\n     tools: trace --bench <name> --out <path> | replay --log <path> [--pressure N]"
+}
+
+fn parse_args(args: &[String]) -> Result<(String, Options), String> {
+    let mut cmd = None;
+    let mut opts = Options::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                let v = args.get(i).ok_or("--scale needs a value")?;
+                opts.scale = v.parse().map_err(|_| format!("bad scale: {v}"))?;
+                if !(opts.scale > 0.0 && opts.scale <= 1.0) {
+                    return Err("scale must be in (0, 1]".to_owned());
+                }
+            }
+            "--seed" => {
+                i += 1;
+                let v = args.get(i).ok_or("--seed needs a value")?;
+                opts.seed = v.parse().map_err(|_| format!("bad seed: {v}"))?;
+            }
+            "--out" => {
+                i += 1;
+                opts.out = Some(args.get(i).ok_or("--out needs a path")?.clone());
+            }
+            "--bench" => {
+                i += 1;
+                opts.bench = Some(args.get(i).ok_or("--bench needs a name")?.clone());
+            }
+            "--log" => {
+                i += 1;
+                opts.log = Some(args.get(i).ok_or("--log needs a path")?.clone());
+            }
+            "--pressure" => {
+                i += 1;
+                let v = args.get(i).ok_or("--pressure needs a value")?;
+                opts.pressure = Some(v.parse().map_err(|_| format!("bad pressure: {v}"))?);
+            }
+            "--quiet" => opts.verbose = false,
+            other if cmd.is_none() && !other.starts_with('-') => cmd = Some(other.to_owned()),
+            other => return Err(format!("unknown argument: {other}")),
+        }
+        i += 1;
+    }
+    let cmd = cmd.ok_or_else(|| usage().to_owned())?;
+    Ok((cmd, opts))
+}
+
+fn run(cmd: &str, opts: &Options) -> Result<String, String> {
+    let output = match cmd {
+        "table1" => stats_figs::table1(opts),
+        "fig3" => stats_figs::fig3(opts),
+        "fig4" => stats_figs::fig4(opts),
+        "fig12" => stats_figs::fig12(opts),
+        "fig6" => miss_figs::fig6(opts),
+        "fig7" => miss_figs::fig7(opts),
+        "fig8" => miss_figs::fig8(opts),
+        "fig9" => fig9::fig9(opts),
+        "fig10" => overhead_figs::fig10(opts),
+        "fig11" => overhead_figs::fig11(opts),
+        "fig13" => overhead_figs::fig13(opts),
+        "fig14" => overhead_figs::fig14(opts),
+        "fig15" => overhead_figs::fig15(opts),
+        "table2" => chaining::table2(opts),
+        "sec5_3" => chaining::sec5_3(opts),
+        "ablation" => extensions::ablation(opts),
+        "future_work" => extensions::future_work(opts),
+        "stability" => extensions::stability(opts),
+        "multiprog" => extensions::multiprog(opts),
+        "analysis" => extensions::analysis(opts),
+        "trace" => return tools::trace(opts),
+        "replay" => return tools::replay(opts),
+        "all" => all::all(opts),
+        other => return Err(format!("unknown command: {other}\n{}", usage())),
+    };
+    Ok(output)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, opts) = match parse_args(&args) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&cmd, &opts) {
+        Ok(output) => {
+            println!("{output}");
+            let skip_generic_write = cmd == "trace"; // trace wrote its own file
+            if let Some(path) = opts.out.as_ref().filter(|_| !skip_generic_write) {
+                if let Err(e) = std::fs::write(path, &output) {
+                    eprintln!("failed to write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("wrote {path}");
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| (*x).to_owned()).collect()
+    }
+
+    #[test]
+    fn parses_command_and_flags() {
+        let (cmd, o) = parse_args(&s(&["fig6", "--scale", "0.5", "--seed", "7"])).unwrap();
+        assert_eq!(cmd, "fig6");
+        assert_eq!(o.scale, 0.5);
+        assert_eq!(o.seed, 7);
+    }
+
+    #[test]
+    fn rejects_bad_scale() {
+        assert!(parse_args(&s(&["fig6", "--scale", "0"])).is_err());
+        assert!(parse_args(&s(&["fig6", "--scale", "2"])).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_flag() {
+        assert!(parse_args(&s(&["fig6", "--what"])).is_err());
+    }
+
+    #[test]
+    fn missing_command_is_usage_error() {
+        assert!(parse_args(&s(&[])).is_err());
+    }
+
+    #[test]
+    fn small_scale_smoke_every_command() {
+        let opts = Options {
+            scale: 0.02,
+            seed: 1,
+            verbose: false,
+            ..Options::default()
+        };
+        for cmd in [
+            "table1", "fig3", "fig4", "fig6", "fig8", "fig9", "fig12", "fig13", "table2",
+            "ablation", "future_work", "stability", "multiprog", "analysis",
+        ] {
+            let out = run(cmd, &opts).unwrap_or_else(|e| panic!("{cmd}: {e}"));
+            assert!(!out.is_empty(), "{cmd} produced no output");
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Miss-rate and eviction-count experiments: Figures 6, 7 and 8.
+
+use crate::grid::{compute_grid, Grid};
+use crate::Options;
+use cce_core::Granularity;
+use cce_sim::report::{pct, TextTable};
+use cce_workloads::catalog;
+use std::fmt::Write as _;
+
+/// The paper's granularity sweep: FLUSH, 2..=256 units, fine FIFO.
+pub fn spectrum() -> Vec<Granularity> {
+    Granularity::spectrum(8)
+}
+
+pub(crate) fn grid_at(opts: &Options, pressures: &[u32]) -> Grid {
+    compute_grid(
+        &catalog::all(),
+        &spectrum(),
+        pressures,
+        opts.scale,
+        opts.seed,
+        opts.verbose,
+    )
+}
+
+/// Figure 6: unified miss rate vs granularity at pressure 2.
+pub fn fig6(opts: &Options) -> String {
+    let grid = grid_at(opts, &[2]);
+    render_fig6(&grid)
+}
+
+pub(crate) fn render_fig6(grid: &Grid) -> String {
+    let mut t = TextTable::new(
+        "Figure 6 — Unified miss rate vs eviction granularity (cache pressure 2)",
+        ["Granularity", "Unified miss rate"],
+    );
+    for g in &grid.granularities {
+        t.row([g.clone(), pct(grid.unified_miss_rate(g, 2))]);
+    }
+    let mut out = t.to_string();
+    let first = grid.unified_miss_rate(&grid.granularities[0], 2);
+    let last = grid.unified_miss_rate(grid.granularities.last().unwrap(), 2);
+    let _ = writeln!(
+        out,
+        "\nExpected shape: miss rates decline as evictions get finer — FLUSH worst \
+         ({}), fine FIFO best ({}). (At the very fine unit counts a small rise from \
+         unit padding is visible; the fragmentation-free circular buffer of the \
+         per-superblock FIFO recovers it.)",
+        pct(first),
+        pct(last)
+    );
+    out
+}
+
+/// Figure 7: unified miss rate vs granularity as pressure increases.
+pub fn fig7(opts: &Options) -> String {
+    let pressures = [2, 4, 6, 8, 10];
+    let grid = grid_at(opts, &pressures);
+    render_fig7(&grid)
+}
+
+pub(crate) fn render_fig7(grid: &Grid) -> String {
+    let mut headers = vec!["Granularity".to_owned()];
+    headers.extend(grid.pressures.iter().map(|p| format!("pressure {p}")));
+    let mut t = TextTable::new(
+        "Figure 7 — Unified miss rate as cache pressure increases",
+        headers,
+    );
+    for g in &grid.granularities {
+        let mut row = vec![g.clone()];
+        row.extend(
+            grid.pressures
+                .iter()
+                .map(|&p| pct(grid.unified_miss_rate(g, p))),
+        );
+        t.row(row);
+    }
+    let mut out = t.to_string();
+    out.push_str("\nExpected shape: differences widen with pressure; every column declines top to bottom.\n");
+    out
+}
+
+/// Figure 8: eviction invocations relative to finest-grained FIFO.
+pub fn fig8(opts: &Options) -> String {
+    let grid = grid_at(opts, &[2]);
+    render_fig8(&grid)
+}
+
+pub(crate) fn render_fig8(grid: &Grid) -> String {
+    let fine_label = grid.granularities.last().unwrap().clone();
+    let baseline = grid.total_evictions(&fine_label, 2).max(1);
+    let mut t = TextTable::new(
+        "Figure 8 — Eviction invocations relative to finest-grained FIFO (pressure 2)",
+        ["Granularity", "Invocations", "Relative to FIFO"],
+    );
+    for g in &grid.granularities {
+        let n = grid.total_evictions(g, 2);
+        t.row([
+            g.clone(),
+            n.to_string(),
+            format!("{:.1}%", n as f64 / baseline as f64 * 100.0),
+        ]);
+    }
+    let mut out = t.to_string();
+    let units64 = grid.total_evictions("64-Unit", 2) as f64 / baseline as f64;
+    let _ = writeln!(
+        out,
+        "\nPaper anchor: 64-unit ≈ 1/3 the invocations of fine-grained FIFO; measured: {:.2}×.",
+        units64
+    );
+    out
+}

@@ -1,0 +1,153 @@
+//! Overhead and link experiments: Figures 10, 11, 13, 14 and 15.
+
+use crate::grid::Grid;
+use crate::miss_figs::grid_at;
+use crate::Options;
+use cce_sim::report::{pct, TextTable};
+use std::fmt::Write as _;
+
+fn render_overhead_vs_granularity(grid: &Grid, pressure: u32, with_links: bool, title: &str) -> String {
+    let flush_label = &grid.granularities[0];
+    let baseline = grid.total_overhead(flush_label, pressure, with_links);
+    let mut t = TextTable::new(title, ["Granularity", "Overhead (instr)", "Relative to FLUSH"]);
+    let mut best = (flush_label.clone(), 1.0f64);
+    for g in &grid.granularities {
+        let o = grid.total_overhead(g, pressure, with_links);
+        let rel = o / baseline;
+        if rel < best.1 {
+            best = (g.clone(), rel);
+        }
+        t.row([g.clone(), format!("{o:.3e}"), format!("{:.1}%", rel * 100.0)]);
+    }
+    let mut out = t.to_string();
+    let _ = writeln!(
+        out,
+        "\nMinimum at {} ({:.1}% of FLUSH). Expected shape: U-curve — coarse policies \
+         pay misses, the finest pays eviction invocations{}; the medium grains win.",
+        best.0,
+        best.1 * 100.0,
+        if with_links { " and link maintenance" } else { "" }
+    );
+    out
+}
+
+fn render_overhead_vs_pressure(grid: &Grid, with_links: bool, title: &str) -> String {
+    let flush_label = grid.granularities[0].clone();
+    let mut headers = vec!["Granularity".to_owned()];
+    headers.extend(grid.pressures.iter().map(|p| format!("pressure {p}")));
+    let mut t = TextTable::new(title, headers);
+    for g in &grid.granularities {
+        let mut row = vec![g.clone()];
+        for &p in &grid.pressures {
+            let base = grid.total_overhead(&flush_label, p, with_links);
+            let o = grid.total_overhead(g, p, with_links);
+            row.push(format!("{:.1}%", o / base * 100.0));
+        }
+        t.row(row);
+    }
+    let mut out = t.to_string();
+    // The fine-vs-FLUSH reversal the paper highlights.
+    let fine = grid.granularities.last().unwrap();
+    let lo_p = grid.pressures[0];
+    let hi_p = *grid.pressures.last().unwrap();
+    let fine_lo = grid.total_overhead(fine, lo_p, with_links)
+        / grid.total_overhead(&flush_label, lo_p, with_links);
+    let fine_hi = grid.total_overhead(fine, hi_p, with_links)
+        / grid.total_overhead(&flush_label, hi_p, with_links);
+    let _ = writeln!(
+        out,
+        "\nFine FIFO vs FLUSH: {:.1}% at pressure {lo_p} → {:.1}% at pressure {hi_p}. \
+         Expected: the ratio rises with pressure (the paper's reversal).",
+        fine_lo * 100.0,
+        fine_hi * 100.0
+    );
+    out
+}
+
+/// Figure 10: relative overhead (miss + eviction) at maxCache/10.
+pub fn fig10(opts: &Options) -> String {
+    let grid = grid_at(opts, &[10]);
+    render_fig10(&grid)
+}
+
+pub(crate) fn render_fig10(grid: &Grid) -> String {
+    render_overhead_vs_granularity(
+        grid,
+        10,
+        false,
+        "Figure 10 — Relative overhead (miss + eviction penalties), cache = maxCache/10",
+    )
+}
+
+/// Figure 11: relative overhead vs pressure, without link maintenance.
+pub fn fig11(opts: &Options) -> String {
+    let grid = grid_at(opts, &[2, 4, 6, 8, 10]);
+    render_fig11(&grid)
+}
+
+pub(crate) fn render_fig11(grid: &Grid) -> String {
+    render_overhead_vs_pressure(
+        grid,
+        false,
+        "Figure 11 — Relative overhead (no link maintenance) vs cache pressure",
+    )
+}
+
+/// Figure 13: percentage of links that cross cache-unit boundaries.
+pub fn fig13(opts: &Options) -> String {
+    let grid = grid_at(opts, &[2]);
+    render_fig13(&grid)
+}
+
+pub(crate) fn render_fig13(grid: &Grid) -> String {
+    let mut t = TextTable::new(
+        "Figure 13 — Inter-unit superblock links (pressure 2)",
+        ["Granularity", "Inter-unit fraction"],
+    );
+    for g in &grid.granularities {
+        t.row([g.clone(), pct(grid.inter_unit_fraction(g, 2))]);
+    }
+    let mut out = t.to_string();
+    let two = grid.inter_unit_fraction("2-Unit", 2);
+    let fine = grid.inter_unit_fraction(grid.granularities.last().unwrap(), 2);
+    let _ = writeln!(
+        out,
+        "\nPaper anchors: FLUSH 0%; 2 units ≈ 24.3% (measured {}); fine FIFO large but < 100% \
+         because self-links stay intra-unit (measured {}). Shape reproduced (0% rising \
+         steadily, near-total at per-superblock units); our synthetic CFGs are more \
+         loop-local than real Windows binaries, so the absolute mid-range fractions sit \
+         below the paper's.",
+        pct(two),
+        pct(fine)
+    );
+    out
+}
+
+/// Figure 14: relative overhead including link maintenance, maxCache/10.
+pub fn fig14(opts: &Options) -> String {
+    let grid = grid_at(opts, &[10]);
+    render_fig14(&grid)
+}
+
+pub(crate) fn render_fig14(grid: &Grid) -> String {
+    render_overhead_vs_granularity(
+        grid,
+        10,
+        true,
+        "Figure 14 — Relative overhead incl. link maintenance (Eq. 4), cache = maxCache/10",
+    )
+}
+
+/// Figure 15: relative overhead including link maintenance vs pressure.
+pub fn fig15(opts: &Options) -> String {
+    let grid = grid_at(opts, &[2, 4, 6, 8, 10]);
+    render_fig15(&grid)
+}
+
+pub(crate) fn render_fig15(grid: &Grid) -> String {
+    render_overhead_vs_pressure(
+        grid,
+        true,
+        "Figure 15 — Relative overhead incl. link maintenance vs cache pressure",
+    )
+}

@@ -1,0 +1,151 @@
+//! Utility commands: dump benchmark traces to disk and replay saved logs
+//! — the paper's save-and-reuse workflow as a command-line tool.
+
+use crate::Options;
+use cce_core::Granularity;
+use cce_sim::pressure::{capacity_for_pressure, effective_granularity};
+use cce_sim::report::{pct, TextTable};
+use cce_sim::simulator::{simulate, SimConfig};
+use cce_workloads::catalog;
+use std::fmt::Write as _;
+
+/// `trace`: generate a benchmark's access trace and write it as JSON.
+///
+/// Requires `--bench <name>` and `--out <path>`.
+pub fn trace(opts: &Options) -> Result<String, String> {
+    let bench = opts
+        .bench
+        .as_deref()
+        .ok_or("trace requires --bench <table-1 name>")?;
+    let out = opts
+        .out
+        .as_deref()
+        .ok_or("trace requires --out <path> for the JSON log")?;
+    let model = catalog::by_name(bench).ok_or_else(|| format!("unknown benchmark {bench}"))?;
+    let log = model.trace(opts.scale, opts.seed);
+    let file = std::fs::File::create(out).map_err(|e| format!("create {out}: {e}"))?;
+    log.save(std::io::BufWriter::new(file))
+        .map_err(|e| format!("write {out}: {e}"))?;
+    let s = log.summary();
+    let mut msg = String::new();
+    let _ = writeln!(
+        msg,
+        "wrote {out}: {} superblocks, {} accesses, maxCache {} KB \
+         (median size {} B, mean out-degree {:.2})",
+        s.superblock_count,
+        s.accesses,
+        s.total_code_bytes / 1024,
+        s.median_size,
+        s.mean_out_degree
+    );
+    Ok(msg)
+}
+
+/// `replay`: load a saved JSON trace and simulate it at one or all
+/// granularities.
+///
+/// Requires `--log <path>`; `--pressure <n>` defaults to 2.
+pub fn replay(opts: &Options) -> Result<String, String> {
+    let path = opts
+        .log
+        .as_deref()
+        .ok_or("replay requires --log <path to a saved trace>")?;
+    let file = std::fs::File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+    let log = cce_dbt::TraceLog::load(std::io::BufReader::new(file))
+        .map_err(|e| format!("parse {path}: {e}"))?;
+    let pressure = opts.pressure.unwrap_or(2);
+    let capacity = capacity_for_pressure(log.max_cache_bytes(), pressure);
+    let max_block = log
+        .superblocks
+        .iter()
+        .map(|s| u64::from(s.size))
+        .max()
+        .unwrap_or(1);
+
+    let mut t = TextTable::new(
+        &format!(
+            "Replay of {} ({} accesses) at pressure {pressure} ({capacity} B)",
+            log.name,
+            log.events.len()
+        ),
+        [
+            "granularity",
+            "miss rate",
+            "evictions",
+            "unlink ops",
+            "overhead (instr)",
+        ],
+    );
+    for g in Granularity::spectrum(8) {
+        let eff = effective_granularity(g, capacity, max_block);
+        let r = simulate(
+            &log,
+            &SimConfig {
+                granularity: eff,
+                capacity,
+                ..SimConfig::default()
+            },
+        )
+        .map_err(|e| format!("simulate: {e}"))?;
+        t.row([
+            g.label(),
+            pct(r.stats.miss_rate()),
+            r.stats.eviction_invocations.to_string(),
+            r.stats.unlink_operations.to_string(),
+            format!("{:.3e}", r.total_overhead()),
+        ]);
+    }
+    Ok(t.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_then_replay_roundtrip() {
+        let dir = std::env::temp_dir().join("cce_tools_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("mcf.json").to_string_lossy().into_owned();
+        let opts = Options {
+            scale: 0.1,
+            seed: 5,
+            out: Some(path.clone()),
+            bench: Some("mcf".to_owned()),
+            log: None,
+            pressure: None,
+            verbose: false,
+        };
+        let msg = trace(&opts).unwrap();
+        assert!(msg.contains("superblocks"));
+
+        let replay_opts = Options {
+            log: Some(path.clone()),
+            pressure: Some(4),
+            out: None,
+            bench: None,
+            ..Options::default()
+        };
+        let table = replay(&replay_opts).unwrap();
+        assert!(table.contains("FLUSH"));
+        assert!(table.contains("FIFO"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_arguments_are_reported() {
+        let opts = Options::default();
+        assert!(trace(&opts).unwrap_err().contains("--bench"));
+        assert!(replay(&opts).unwrap_err().contains("--log"));
+    }
+
+    #[test]
+    fn unknown_benchmark_is_an_error() {
+        let opts = Options {
+            bench: Some("nope".to_owned()),
+            out: Some("/tmp/x.json".to_owned()),
+            ..Options::default()
+        };
+        assert!(trace(&opts).unwrap_err().contains("unknown benchmark"));
+    }
+}

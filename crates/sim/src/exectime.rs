@@ -1,0 +1,216 @@
+//! Execution-time modelling: Table 2 and §5.3.
+//!
+//! Two estimates are built from counted events:
+//!
+//! * **Chaining slowdown (Table 2).** With chaining disabled, *every*
+//!   superblock entry takes the dispatcher path: guest-state save/restore,
+//!   a hash-table lookup, and — the dominant term the paper calls out —
+//!   the pair of `mprotect` system calls DynamoRIO issues to protect the
+//!   translator from guest code. The run's extra time is then
+//!   `entries × dispatch_cost`, and entries per second follow from the
+//!   benchmark's instruction rate and its mean guest instructions per
+//!   superblock entry.
+//! * **Granularity savings (§5.3).** Cache-management overhead
+//!   (instructions, from the simulator) is converted to seconds with the
+//!   benchmark's CPI and the paper's 2.4 GHz Xeon clock, scaled from
+//!   trace accesses to the real run's entry count; the relative execution
+//!   time of two policies follows.
+
+use serde::{Deserialize, Serialize};
+
+/// Clock frequency of the paper's measurement machine (dual Xeon 2.4 GHz).
+pub const XEON_CLOCK_GHZ: f64 = 2.4;
+
+/// Converts an instruction count to seconds at the given CPI and clock.
+///
+/// # Example
+///
+/// ```
+/// use cce_sim::exectime::instructions_to_seconds;
+/// // 2.4e9 instructions at CPI 1.0 on a 2.4 GHz machine = 1 second.
+/// let s = instructions_to_seconds(2.4e9, 1.0, 2.4);
+/// assert!((s - 1.0).abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn instructions_to_seconds(instructions: f64, cpi: f64, clock_ghz: f64) -> f64 {
+    instructions * cpi / (clock_ghz * 1e9)
+}
+
+/// Per-dispatched-entry cost decomposition, in instructions.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DispatchCost {
+    /// Hash-table lookup (original PC → cache PC).
+    pub hash_lookup: f64,
+    /// Guest context save + restore around the translator.
+    pub context_switch: f64,
+    /// The pair of memory-protection system calls guarding the
+    /// translator (the dominant cost per the paper's Table 2 discussion).
+    pub mprotect_pair: f64,
+}
+
+impl DispatchCost {
+    /// DynamoRIO-like costs: cheap lookup, moderate context switch, very
+    /// expensive protection changes.
+    #[must_use]
+    pub fn dynamorio() -> DispatchCost {
+        DispatchCost {
+            hash_lookup: 45.0,
+            context_switch: 230.0,
+            mprotect_pair: 5725.0,
+        }
+    }
+
+    /// A system that does not re-protect its cache on every dispatch
+    /// ("In systems where this is not necessary, the slowdown is reduced,
+    /// but is still significant" — §5.1).
+    #[must_use]
+    pub fn no_protection() -> DispatchCost {
+        DispatchCost {
+            mprotect_pair: 0.0,
+            ..DispatchCost::dynamorio()
+        }
+    }
+
+    /// Total instructions per dispatched entry.
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.hash_lookup + self.context_switch + self.mprotect_pair
+    }
+}
+
+/// The per-benchmark inputs of the Table 2 model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChainingScenario {
+    /// Measured runtime with chaining enabled, seconds.
+    pub base_seconds: f64,
+    /// Mean guest instructions executed per superblock entry.
+    pub instrs_per_entry: f64,
+}
+
+impl ChainingScenario {
+    /// Predicted runtime with chaining disabled: every entry pays the
+    /// dispatcher, so the run slows by `dispatch / instrs_per_entry`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `instrs_per_entry <= 0`.
+    #[must_use]
+    pub fn disabled_seconds(&self, dispatch: &DispatchCost) -> f64 {
+        assert!(self.instrs_per_entry > 0.0, "instrs_per_entry must be positive");
+        self.base_seconds * (1.0 + dispatch.total() / self.instrs_per_entry)
+    }
+
+    /// Predicted slowdown percentage, the paper's Table 2 metric:
+    /// `(disabled − enabled) / enabled × 100`.
+    #[must_use]
+    pub fn slowdown_percent(&self, dispatch: &DispatchCost) -> f64 {
+        (self.disabled_seconds(dispatch) - self.base_seconds) / self.base_seconds * 100.0
+    }
+}
+
+/// Estimated superblock entries in the benchmark's *real* run: total
+/// instructions divided by instructions per entry.
+#[must_use]
+pub fn real_entries(base_seconds: f64, cpi: f64, clock_ghz: f64, instrs_per_entry: f64) -> f64 {
+    let total_instr = base_seconds * clock_ghz * 1e9 / cpi;
+    total_instr / instrs_per_entry
+}
+
+/// Scales a simulated per-access overhead to real-run seconds: the
+/// simulator charges `overhead_per_access` instructions per cache access,
+/// the real run performs `entries` accesses.
+#[must_use]
+pub fn scaled_overhead_seconds(
+    overhead_per_access: f64,
+    entries: f64,
+    cpi: f64,
+    clock_ghz: f64,
+) -> f64 {
+    instructions_to_seconds(overhead_per_access * entries, cpi, clock_ghz)
+}
+
+/// §5.3's metric: percent reduction in overall execution time from
+/// switching policies, where each policy's time is application time plus
+/// its management overhead.
+///
+/// Returns a negative value when the new policy is *worse*.
+#[must_use]
+pub fn exec_time_reduction_percent(
+    app_seconds: f64,
+    overhead_seconds_old: f64,
+    overhead_seconds_new: f64,
+) -> f64 {
+    let t_old = app_seconds + overhead_seconds_old;
+    let t_new = app_seconds + overhead_seconds_new;
+    (t_old - t_new) / t_old * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dispatch_total_sums_components() {
+        let d = DispatchCost::dynamorio();
+        assert!((d.total() - 6000.0).abs() < 1e-9);
+        assert!(DispatchCost::no_protection().total() < d.total());
+    }
+
+    #[test]
+    fn gzip_like_slowdown_is_order_30x() {
+        // gzip: tight loops, ~180 guest instructions per superblock
+        // entry → Table 2 reports 3357%.
+        let s = ChainingScenario {
+            base_seconds: 230.0,
+            instrs_per_entry: 180.0,
+        };
+        let pct = s.slowdown_percent(&DispatchCost::dynamorio());
+        assert!((2500.0..4500.0).contains(&pct), "slowdown {pct}%");
+    }
+
+    #[test]
+    fn mcf_like_slowdown_is_much_smaller() {
+        // mcf: memory bound, long runs per entry → Table 2 reports 447%.
+        let s = ChainingScenario {
+            base_seconds: 368.0,
+            instrs_per_entry: 1300.0,
+        };
+        let pct = s.slowdown_percent(&DispatchCost::dynamorio());
+        assert!((300.0..700.0).contains(&pct), "slowdown {pct}%");
+    }
+
+    #[test]
+    fn protection_free_system_still_slows_significantly() {
+        let s = ChainingScenario {
+            base_seconds: 100.0,
+            instrs_per_entry: 200.0,
+        };
+        let with = s.slowdown_percent(&DispatchCost::dynamorio());
+        let without = s.slowdown_percent(&DispatchCost::no_protection());
+        assert!(without < with);
+        assert!(without > 50.0, "still significant: {without}%");
+    }
+
+    #[test]
+    fn reduction_percent_signs() {
+        // 10s app, 3s old overhead, 1s new ⇒ (13-11)/13 ≈ 15.4%.
+        let r = exec_time_reduction_percent(10.0, 3.0, 1.0);
+        assert!((r - 2.0 / 13.0 * 100.0).abs() < 1e-9);
+        assert!(exec_time_reduction_percent(10.0, 1.0, 3.0) < 0.0);
+    }
+
+    #[test]
+    fn real_entries_scales_with_runtime() {
+        let e1 = real_entries(100.0, 1.0, 2.4, 300.0);
+        let e2 = real_entries(200.0, 1.0, 2.4, 300.0);
+        assert!((e2 / e1 - 2.0).abs() < 1e-9);
+        assert!(e1 > 0.0);
+    }
+
+    #[test]
+    fn scaled_overhead_roundtrip() {
+        // 100 instr/access × 1e9 accesses at CPI 1, 2.4 GHz.
+        let s = scaled_overhead_seconds(100.0, 1e9, 1.0, 2.4);
+        assert!((s - 100.0e9 / 2.4e9).abs() < 1e-6);
+    }
+}

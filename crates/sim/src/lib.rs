@@ -1,0 +1,65 @@
+//! # cce-sim — trace-driven simulation and analytical overhead models
+//!
+//! This crate is the paper's "combined simulation and analytical study"
+//! (§4–§5) in library form:
+//!
+//! * [`overhead`] — the three measured linear cost models: eviction
+//!   (Eq. 2), miss/regeneration (Eq. 3) and unlinking (Eq. 4), with the
+//!   paper's constants as the defaults;
+//! * [`simulator`] — replays a [`cce_dbt::TraceLog`] against a
+//!   [`cce_core::CodeCache`] of any granularity and charges the overhead
+//!   models for every miss, eviction invocation and unlink operation;
+//! * [`metrics`] — the weighted unified miss rate (Eq. 1) and
+//!   normalization helpers for the relative-overhead figures;
+//! * [`regression`] — ordinary least squares, used both to re-derive the
+//!   cost models from measurements (Figure 9) and in tests;
+//! * [`measurement`] — an instrumented-measurement campaign over our own
+//!   DBT's eviction/regeneration/unlink routines, standing in for the
+//!   paper's PAPI hardware-counter runs;
+//! * [`pressure`] — the `maxCache/n` cache-pressure sweeps behind
+//!   Figures 7, 11 and 15;
+//! * [`exectime`] — instruction-to-seconds conversion, the dispatch-cost
+//!   model behind Table 2's chaining-disabled slowdowns, and §5.3's
+//!   execution-time-reduction estimates;
+//! * [`analysis`] — reuse-distance profiles and the analytic miss-rate
+//!   floor they impose on every FIFO-family policy;
+//! * [`seeds`] — multi-seed robustness analysis (confidence intervals);
+//! * [`report`] — plain-text/CSV tables for the experiment binaries.
+//!
+//! # Example: one simulator cell
+//!
+//! ```
+//! use cce_core::Granularity;
+//! use cce_sim::simulator::{simulate, SimConfig};
+//! use cce_workloads::catalog;
+//!
+//! let trace = catalog::by_name("mcf").unwrap().trace(0.5, 1);
+//! let config = SimConfig {
+//!     granularity: Granularity::units(8),
+//!     capacity: trace.max_cache_bytes() / 2, // cache pressure 2
+//!     ..SimConfig::default()
+//! };
+//! let result = simulate(&trace, &config)?;
+//! assert!(result.stats.miss_rate() > 0.0);
+//! # Ok::<(), cce_sim::SimError>(())
+//! ```
+
+pub mod analysis;
+pub mod exectime;
+pub mod measurement;
+pub mod metrics;
+pub mod overhead;
+pub mod pressure;
+pub mod regression;
+pub mod report;
+pub mod seeds;
+pub mod simulator;
+
+pub use overhead::{LinearModel, OverheadModel};
+pub use regression::fit_line;
+pub use simulator::{simulate, SimConfig, SimError, SimResult};
+
+// `cce-workloads` is a dev-dependency (doc tests and integration tests
+// only), so the library proper stays decoupled from the benchmark models.
+#[cfg(test)]
+use cce_workloads as _;

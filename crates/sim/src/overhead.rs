@@ -1,0 +1,144 @@
+//! The paper's measured cost models (Equations 2–4).
+//!
+//! All three are linear models in instructions:
+//!
+//! * **Eviction** (Eq. 2): `2.77 · bytes + 3055` per eviction-mechanism
+//!   invocation — dominated by the fixed invocation cost, which is the
+//!   entire case for coarser granules.
+//! * **Miss / regeneration** (Eq. 3): `75.4 · bytes + 1922` per code-cache
+//!   miss — dominated by the per-byte re-translation work (~50 000
+//!   instructions for a typical SPEC superblock, §3.2).
+//! * **Unlinking** (Eq. 4): `296.5 · links + 95.7` per evicted superblock
+//!   with incoming inter-unit links.
+
+use serde::{Deserialize, Serialize};
+
+/// A fitted line `y = slope · x + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinearModel {
+    /// Cost per unit of the independent variable.
+    pub slope: f64,
+    /// Fixed cost per event.
+    pub intercept: f64,
+}
+
+impl LinearModel {
+    /// Evaluates the model at `x`.
+    #[must_use]
+    pub fn eval(&self, x: f64) -> f64 {
+        self.slope * x + self.intercept
+    }
+}
+
+impl std::fmt::Display for LinearModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.2}*x + {:.1}", self.slope, self.intercept)
+    }
+}
+
+/// The three cost models used by the simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OverheadModel {
+    /// Eq. 2: instructions per eviction invocation vs bytes evicted.
+    pub eviction: LinearModel,
+    /// Eq. 3: instructions per miss vs superblock bytes.
+    pub miss: LinearModel,
+    /// Eq. 4: instructions per unlink operation vs links removed.
+    pub unlink: LinearModel,
+}
+
+impl OverheadModel {
+    /// The constants measured on DynamoRIO in the paper (Eqs. 2–4).
+    #[must_use]
+    pub fn cgo2004() -> OverheadModel {
+        OverheadModel {
+            eviction: LinearModel {
+                slope: 2.77,
+                intercept: 3055.0,
+            },
+            miss: LinearModel {
+                slope: 75.4,
+                intercept: 1922.0,
+            },
+            unlink: LinearModel {
+                slope: 296.5,
+                intercept: 95.7,
+            },
+        }
+    }
+
+    /// Instructions to evict `bytes` in one invocation (Eq. 2).
+    #[must_use]
+    pub fn eviction_cost(&self, bytes: u64) -> f64 {
+        self.eviction.eval(bytes as f64)
+    }
+
+    /// Instructions to service a miss for a `bytes`-sized superblock
+    /// (Eq. 3).
+    #[must_use]
+    pub fn miss_cost(&self, bytes: u64) -> f64 {
+        self.miss.eval(f64::from(u32::try_from(bytes).unwrap_or(u32::MAX)))
+    }
+
+    /// Instructions to unpatch `links` incoming links of one evicted
+    /// superblock (Eq. 4).
+    #[must_use]
+    pub fn unlink_cost(&self, links: u32) -> f64 {
+        self.unlink.eval(f64::from(links))
+    }
+}
+
+impl Default for OverheadModel {
+    fn default() -> OverheadModel {
+        OverheadModel::cgo2004()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_worked_examples_hold() {
+        let m = OverheadModel::cgo2004();
+        // §4.3: "An eviction of 230 bytes … would require 3,690
+        // instructions."
+        assert!((m.eviction_cost(230) - 3692.1).abs() < 3.0);
+        // §4.3: "a cache miss for a 230-byte superblock … 19,264
+        // instructions."
+        assert!((m.miss_cost(230) - 19264.0).abs() < 81.0);
+        // Eq. 4 at 1 link.
+        assert!((m.unlink_cost(1) - 392.2).abs() < 0.5);
+    }
+
+    #[test]
+    fn eviction_fixed_cost_dominates_small_blocks() {
+        // The paper's key observation: the constant term dominates, so
+        // evicting bigger regions amortizes better.
+        let m = OverheadModel::cgo2004();
+        let one_big = m.eviction_cost(10 * 230);
+        let ten_small = 10.0 * m.eviction_cost(230);
+        assert!(one_big < ten_small / 3.0);
+    }
+
+    #[test]
+    fn miss_cost_is_byte_dominated() {
+        let m = OverheadModel::cgo2004();
+        let c = m.miss_cost(500);
+        assert!(c > 0.9 * (75.4 * 500.0));
+    }
+
+    #[test]
+    fn linear_model_display() {
+        let l = LinearModel {
+            slope: 2.77,
+            intercept: 3055.0,
+        };
+        assert_eq!(l.to_string(), "2.77*x + 3055.0");
+    }
+
+    #[test]
+    fn default_is_paper_constants() {
+        assert_eq!(OverheadModel::default(), OverheadModel::cgo2004());
+    }
+}

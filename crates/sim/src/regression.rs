@@ -1,0 +1,123 @@
+//! Ordinary least-squares regression.
+//!
+//! The paper derived its cost models by fitting least-squares trendlines
+//! to PAPI instruction-count samples (Figure 9). [`fit_line`] is that
+//! fit; [`FitResult`] also carries R² so the experiment output can report
+//! the quality of the recovered model.
+
+use crate::overhead::LinearModel;
+
+/// A least-squares fit with its coefficient of determination.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FitResult {
+    /// The fitted line.
+    pub model: LinearModel,
+    /// Coefficient of determination (1.0 = perfect fit).
+    pub r_squared: f64,
+    /// Number of samples fitted.
+    pub n: usize,
+}
+
+/// Fits `y = slope·x + intercept` to the samples by ordinary least
+/// squares.
+///
+/// Returns `None` if there are fewer than two samples or the x-values are
+/// all identical (the slope would be undefined).
+///
+/// # Example
+///
+/// ```
+/// use cce_sim::fit_line;
+/// let samples: Vec<(f64, f64)> = (0..100)
+///     .map(|i| (i as f64, 2.77 * i as f64 + 3055.0))
+///     .collect();
+/// let fit = fit_line(&samples).unwrap();
+/// assert!((fit.model.slope - 2.77).abs() < 1e-9);
+/// assert!((fit.model.intercept - 3055.0).abs() < 1e-6);
+/// assert!(fit.r_squared > 0.999999);
+/// ```
+#[must_use]
+pub fn fit_line(samples: &[(f64, f64)]) -> Option<FitResult> {
+    let n = samples.len();
+    if n < 2 {
+        return None;
+    }
+    let nf = n as f64;
+    let sum_x: f64 = samples.iter().map(|&(x, _)| x).sum();
+    let sum_y: f64 = samples.iter().map(|&(_, y)| y).sum();
+    let mean_x = sum_x / nf;
+    let mean_y = sum_y / nf;
+    let sxx: f64 = samples.iter().map(|&(x, _)| (x - mean_x) * (x - mean_x)).sum();
+    if sxx == 0.0 {
+        return None;
+    }
+    let sxy: f64 = samples
+        .iter()
+        .map(|&(x, y)| (x - mean_x) * (y - mean_y))
+        .sum();
+    let slope = sxy / sxx;
+    let intercept = mean_y - slope * mean_x;
+
+    let ss_tot: f64 = samples.iter().map(|&(_, y)| (y - mean_y) * (y - mean_y)).sum();
+    let ss_res: f64 = samples
+        .iter()
+        .map(|&(x, y)| {
+            let pred = slope * x + intercept;
+            (y - pred) * (y - pred)
+        })
+        .sum();
+    let r_squared = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
+
+    Some(FitResult {
+        model: LinearModel { slope, intercept },
+        r_squared,
+        n,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_line_recovers_exactly() {
+        let s: Vec<(f64, f64)> = (1..50).map(|i| (i as f64, 3.0 * i as f64 - 7.0)).collect();
+        let f = fit_line(&s).unwrap();
+        assert!((f.model.slope - 3.0).abs() < 1e-12);
+        assert!((f.model.intercept + 7.0).abs() < 1e-10);
+        assert!((f.r_squared - 1.0).abs() < 1e-12);
+        assert_eq!(f.n, 49);
+    }
+
+    #[test]
+    fn constant_y_has_zero_slope_and_perfect_r2() {
+        let s: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 5.0)).collect();
+        let f = fit_line(&s).unwrap();
+        assert!(f.model.slope.abs() < 1e-12);
+        assert!((f.model.intercept - 5.0).abs() < 1e-12);
+        assert_eq!(f.r_squared, 1.0);
+    }
+
+    #[test]
+    fn degenerate_inputs_are_none() {
+        assert!(fit_line(&[]).is_none());
+        assert!(fit_line(&[(1.0, 2.0)]).is_none());
+        assert!(fit_line(&[(3.0, 1.0), (3.0, 9.0)]).is_none(), "vertical line");
+    }
+
+    #[test]
+    fn noise_lowers_r2_but_keeps_slope() {
+        // Deterministic pseudo-noise.
+        let s: Vec<(f64, f64)> = (0..1000)
+            .map(|i| {
+                let x = i as f64;
+                let noise = ((i * 2_654_435_761_u64) % 1000) as f64 / 1000.0 - 0.5;
+                (x, 2.0 * x + 10.0 + noise * 50.0)
+            })
+            .collect();
+        let f = fit_line(&s).unwrap();
+        assert!((f.model.slope - 2.0).abs() < 0.01);
+        assert!(f.r_squared > 0.99);
+        assert!(f.r_squared < 1.0);
+    }
+}

@@ -1,0 +1,170 @@
+//! Plain-text and CSV tables for the experiment regenerators.
+
+use std::fmt;
+
+/// A simple column-aligned table.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TextTable {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with a title and column headers.
+    #[must_use]
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(title: &str, headers: I) -> TextTable {
+        TextTable {
+            title: title.to_owned(),
+            headers: headers.into_iter().map(Into::into).collect(),
+        rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row's length differs from the header count.
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) -> &mut Self {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row width must match the header"
+        );
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the table has no data rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders as CSV (header row first, comma-separated, quotes around
+    /// cells containing commas).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let quote = |s: &str| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_owned()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| quote(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&r.iter().map(|c| quote(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for TextTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        writeln!(f, "## {}", self.title)?;
+        let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            write!(f, "|")?;
+            for i in 0..cols {
+                write!(f, " {:width$} |", cells[i], width = widths[i])?;
+            }
+            writeln!(f)
+        };
+        line(f, &self.headers)?;
+        write!(f, "|")?;
+        for w in &widths {
+            write!(f, "{:-<width$}|", "", width = w + 2)?;
+        }
+        writeln!(f)?;
+        for r in &self.rows {
+            line(f, r)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a fraction as a percentage with two decimals (e.g. `12.34%`).
+#[must_use]
+pub fn pct(fraction: f64) -> String {
+    format!("{:.2}%", fraction * 100.0)
+}
+
+/// Formats a float with two decimals.
+#[must_use]
+pub fn f2(value: f64) -> String {
+    format!("{value:.2}")
+}
+
+/// Formats a ratio relative to a baseline as a percentage (the paper's
+/// "relative" figures), e.g. `relative(0.5)` → `50.0%`.
+#[must_use]
+pub fn relative(ratio: f64) -> String {
+    format!("{:.1}%", ratio * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_markdownish() {
+        let mut t = TextTable::new("Demo", ["name", "value"]);
+        t.row(["gzip", "301"]);
+        t.row(["word", "18043"]);
+        let s = t.to_string();
+        assert!(s.contains("## Demo"));
+        assert!(s.contains("| gzip"));
+        assert!(s.contains("| 18043 |"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut t = TextTable::new("Demo", ["a", "b"]);
+        t.row(["only-one"]);
+    }
+
+    #[test]
+    fn csv_quotes_commas() {
+        let mut t = TextTable::new("x", ["a", "b"]);
+        t.row(["hello, world", "pl\"ain"]);
+        let csv = t.to_csv();
+        assert!(csv.starts_with("a,b\n"));
+        assert!(csv.contains("\"hello, world\""));
+        assert!(csv.contains("\"pl\"\"ain\""));
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(pct(0.1234), "12.34%");
+        assert_eq!(f2(3.14159), "3.14");
+        assert_eq!(relative(1.5), "150.0%");
+    }
+}

@@ -1,0 +1,469 @@
+//! Trace-driven code-cache simulation.
+//!
+//! [`simulate`] replays a [`TraceLog`] — from the real DBT engine or from
+//! the statistical workload models — against a fresh [`CodeCache`] at one
+//! (granularity, capacity) point, charging the [`OverheadModel`] for every
+//! miss, eviction invocation and unlink operation. This is the paper's
+//! code-cache simulator (§4.1) with the overhead penalties of §4.4/§5.3
+//! built in.
+
+use crate::overhead::OverheadModel;
+use cce_core::{CacheError, CodeCache, Granularity, SuperblockId};
+use cce_dbt::{TraceEvent, TraceLog};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Simulator configuration for one cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimConfig {
+    /// Eviction granularity of the simulated cache.
+    pub granularity: Granularity,
+    /// Capacity in bytes (the paper uses `maxCache / pressure`).
+    pub capacity: u64,
+    /// Cost models to charge.
+    pub overhead: OverheadModel,
+    /// Whether superblock chaining is simulated (links form on direct
+    /// transitions when both endpoints are resident).
+    pub chaining: bool,
+    /// Whether unlink penalties (Eq. 4) are charged — §4.4 runs without
+    /// them (Figures 10–11), §5.3 with them (Figures 14–15).
+    pub charge_unlinks: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> SimConfig {
+        SimConfig {
+            granularity: Granularity::Superblock,
+            capacity: 1 << 20,
+            overhead: OverheadModel::cgo2004(),
+            chaining: true,
+            charge_unlinks: true,
+        }
+    }
+}
+
+/// Errors from [`simulate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The cache geometry was invalid.
+    Cache(CacheError),
+    /// The trace references a superblock missing from its registry.
+    UnknownSuperblock(SuperblockId),
+    /// The trace has no events.
+    EmptyTrace,
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Cache(e) => write!(f, "cache error: {e}"),
+            SimError::UnknownSuperblock(id) => {
+                write!(f, "trace references unregistered superblock {id}")
+            }
+            SimError::EmptyTrace => write!(f, "trace has no access events"),
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::Cache(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CacheError> for SimError {
+    fn from(e: CacheError) -> SimError {
+        SimError::Cache(e)
+    }
+}
+
+/// The outcome of simulating one trace at one configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimResult {
+    /// Workload name (from the trace).
+    pub name: String,
+    /// Granularity simulated.
+    pub granularity_label: String,
+    /// Capacity in bytes.
+    pub capacity: u64,
+    /// Full cache statistics.
+    pub stats: cce_core::CacheStats,
+    /// Σ Eq. 3 over misses, in instructions.
+    pub miss_overhead: f64,
+    /// Σ Eq. 2 over eviction invocations, in instructions.
+    pub eviction_overhead: f64,
+    /// Σ Eq. 4 over unlink operations, in instructions (0 when not
+    /// charged).
+    pub unlink_overhead: f64,
+    /// Superblocks that could not fit the eviction granule and were
+    /// simulated as permanently uncached (normally 0).
+    pub uncacheable: u64,
+    /// Intra-unit links counted across periodic live-graph censuses.
+    pub census_intra_links: u64,
+    /// Inter-unit links counted across periodic live-graph censuses.
+    pub census_inter_links: u64,
+}
+
+impl SimResult {
+    /// Total management overhead in instructions.
+    #[must_use]
+    pub fn total_overhead(&self) -> f64 {
+        self.miss_overhead + self.eviction_overhead + self.unlink_overhead
+    }
+
+    /// Management overhead per trace access, in instructions.
+    #[must_use]
+    pub fn overhead_per_access(&self) -> f64 {
+        if self.stats.accesses == 0 {
+            0.0
+        } else {
+            self.total_overhead() / self.stats.accesses as f64
+        }
+    }
+
+    /// Fraction of live links spanning unit boundaries, averaged over the
+    /// simulation's periodic link-graph censuses (Figure 13's metric).
+    #[must_use]
+    pub fn census_inter_fraction(&self) -> f64 {
+        let total = self.census_intra_links + self.census_inter_links;
+        if total == 0 {
+            0.0
+        } else {
+            self.census_inter_links as f64 / total as f64
+        }
+    }
+}
+
+/// Replays `trace` against a cache configured by `config`.
+///
+/// # Errors
+///
+/// Returns [`SimError::Cache`] for invalid geometry,
+/// [`SimError::UnknownSuperblock`] for a malformed trace, and
+/// [`SimError::EmptyTrace`] if there is nothing to replay.
+pub fn simulate(trace: &TraceLog, config: &SimConfig) -> Result<SimResult, SimError> {
+    let cache = CodeCache::with_granularity(config.granularity, config.capacity)?;
+    simulate_cache(trace, cache, config.granularity.label(), config)
+}
+
+/// Replays `trace` against an arbitrary pre-built cache (any
+/// [`cce_core::CacheOrg`] implementation) — the entry point for ablations
+/// of policies outside the paper's FLUSH/N-unit/FIFO spectrum. The
+/// `label` names the policy in the result; `config.granularity` and
+/// `config.capacity` are ignored (the cache brings its own).
+///
+/// # Errors
+///
+/// Same conditions as [`simulate`].
+pub fn simulate_cache(
+    trace: &TraceLog,
+    mut cache: CodeCache,
+    label: String,
+    config: &SimConfig,
+) -> Result<SimResult, SimError> {
+    if trace.events.is_empty() {
+        return Err(SimError::EmptyTrace);
+    }
+    let sizes: HashMap<SuperblockId, u32> = trace
+        .superblocks
+        .iter()
+        .map(|s| (s.id, s.size))
+        .collect();
+    let mut miss_overhead = 0.0;
+    let mut eviction_overhead = 0.0;
+    let mut unlink_overhead = 0.0;
+    let mut uncacheable = 0u64;
+    let mut census_intra = 0u64;
+    let mut census_inter = 0u64;
+    // Sample the live link graph ~64 times over the run.
+    let census_every = (trace.events.len() / 64).max(1);
+
+    for (event_idx, ev) in trace.events.iter().enumerate() {
+        let TraceEvent::Access { id, direct_from } = *ev;
+        let size = *sizes.get(&id).ok_or(SimError::UnknownSuperblock(id))?;
+        let result = cache.access(id);
+        if result.is_miss() {
+            miss_overhead += config.overhead.miss_cost(u64::from(size));
+            // Placement hint: the chain source of this direct transition,
+            // if still resident (placement-aware organizations co-locate).
+            let partner = direct_from.filter(|f| cache.is_resident(*f));
+            match cache.insert_hinted(id, size, partner) {
+                Ok(report) => {
+                    for ev in &report.evictions {
+                        eviction_overhead += config.overhead.eviction_cost(ev.bytes);
+                        if config.charge_unlinks {
+                            for &(_, links) in &ev.unlinked {
+                                unlink_overhead += config.overhead.unlink_cost(links);
+                            }
+                        }
+                    }
+                }
+                Err(CacheError::BlockTooLarge { .. }) => uncacheable += 1,
+                Err(e) => return Err(SimError::Cache(e)),
+            }
+        }
+        if config.chaining {
+            if let Some(from) = direct_from {
+                if cache.is_resident(from) && cache.is_resident(id) {
+                    cache
+                        .link(from, id)
+                        .expect("both endpoints checked resident");
+                }
+            }
+        }
+        if event_idx % census_every == census_every - 1 {
+            let (intra, inter) = cache.link_census();
+            census_intra += intra;
+            census_inter += inter;
+        }
+    }
+
+    Ok(SimResult {
+        name: trace.name.clone(),
+        granularity_label: label,
+        capacity: cache.capacity(),
+        stats: *cache.stats(),
+        miss_overhead,
+        eviction_overhead,
+        unlink_overhead,
+        uncacheable,
+        census_intra_links: census_intra,
+        census_inter_links: census_inter,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cce_dbt::SuperblockInfo;
+    use cce_tinyvm::program::Pc;
+
+    fn sb(n: u64) -> SuperblockId {
+        SuperblockId(n)
+    }
+
+    /// A trace of `n` superblocks of equal `size`, accessed round-robin
+    /// `laps` times with direct transitions.
+    fn round_robin(n: u64, size: u32, laps: u64) -> TraceLog {
+        let mut log = TraceLog::new("rr");
+        for i in 0..n {
+            log.record_superblock(SuperblockInfo {
+                id: sb(i),
+                head_pc: Pc(i * 1000),
+                size,
+                guest_blocks: 4,
+                exits: 2,
+            });
+        }
+        let mut prev: Option<SuperblockId> = None;
+        for _ in 0..laps {
+            for i in 0..n {
+                log.record_access(sb(i), prev);
+                prev = Some(sb(i));
+            }
+        }
+        log
+    }
+
+    #[test]
+    fn fits_entirely_only_cold_misses() {
+        let trace = round_robin(10, 100, 5);
+        let cfg = SimConfig {
+            capacity: 2000,
+            ..SimConfig::default()
+        };
+        let r = simulate(&trace, &cfg).unwrap();
+        assert_eq!(r.stats.misses, 10);
+        assert_eq!(r.stats.capacity_misses, 0);
+        assert_eq!(r.stats.eviction_invocations, 0);
+        assert_eq!(r.eviction_overhead, 0.0);
+        assert!(r.miss_overhead > 0.0);
+    }
+
+    #[test]
+    fn cyclic_scan_thrashes_fifo() {
+        // Classic FIFO pathology: a cyclic scan over a working set larger
+        // than the cache misses on every access.
+        let trace = round_robin(10, 100, 5);
+        let cfg = SimConfig {
+            capacity: 500, // holds 5 of 10
+            ..SimConfig::default()
+        };
+        let r = simulate(&trace, &cfg).unwrap();
+        assert_eq!(r.stats.miss_rate(), 1.0);
+    }
+
+    #[test]
+    fn cyclic_scan_defeats_every_granularity_equally() {
+        // A pure cyclic scan over twice the cache is the degenerate case
+        // where no FIFO-family granularity can help: each block's reuse
+        // distance exceeds any policy's retention. Both extremes miss
+        // 100% — the interesting differences need real locality (covered
+        // by the pressure-sweep tests).
+        let trace = round_robin(10, 100, 20);
+        for g in [Granularity::Flush, Granularity::units(2), Granularity::Superblock] {
+            let r = simulate(
+                &trace,
+                &SimConfig {
+                    granularity: g,
+                    capacity: 500,
+                    ..SimConfig::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(r.stats.miss_rate(), 1.0, "{g}");
+        }
+    }
+
+    #[test]
+    fn fine_fifo_keeps_a_hot_pair_alive_better_than_flush() {
+        // Two hot blocks re-touched between streaming insertions: the
+        // fine-grained FIFO re-inserts them right after each eviction and
+        // keeps most touches hits; FLUSH periodically wipes them with
+        // everything else.
+        let mut log = TraceLog::new("hotpair");
+        let hot_a = sb(1000);
+        let hot_b = sb(1001);
+        for (i, id) in [(0u64, hot_a), (1, hot_b)] {
+            let _ = i;
+            log.record_superblock(SuperblockInfo {
+                id,
+                head_pc: Pc(id.0 * 100),
+                size: 100,
+                guest_blocks: 2,
+                exits: 2,
+            });
+        }
+        for i in 0..300u64 {
+            log.record_superblock(SuperblockInfo {
+                id: sb(i),
+                head_pc: Pc(i * 100),
+                size: 100,
+                guest_blocks: 2,
+                exits: 2,
+            });
+        }
+        let mut prev = None;
+        for i in 0..300u64 {
+            for id in [hot_a, hot_b, hot_a, hot_b, sb(i)] {
+                log.record_access(id, prev);
+                prev = Some(id);
+            }
+        }
+        let run = |g| {
+            simulate(
+                &log,
+                &SimConfig {
+                    granularity: g,
+                    capacity: 1000,
+                    ..SimConfig::default()
+                },
+            )
+            .unwrap()
+            .stats
+            .miss_rate()
+        };
+        let fine = run(Granularity::Superblock);
+        let flush = run(Granularity::Flush);
+        assert!(fine < flush, "fine {fine} vs flush {flush}");
+    }
+
+    #[test]
+    fn unlink_charges_follow_config() {
+        let trace = round_robin(10, 100, 10);
+        let base = SimConfig {
+            granularity: Granularity::units(2),
+            capacity: 500,
+            ..SimConfig::default()
+        };
+        let with = simulate(&trace, &base).unwrap();
+        let without = simulate(
+            &trace,
+            &SimConfig {
+                charge_unlinks: false,
+                ..base
+            },
+        )
+        .unwrap();
+        assert_eq!(without.unlink_overhead, 0.0);
+        assert_eq!(with.stats, without.stats, "charging must not change behaviour");
+        assert!(with.unlink_overhead >= 0.0);
+    }
+
+    #[test]
+    fn chaining_off_creates_no_links() {
+        let trace = round_robin(5, 100, 5);
+        let r = simulate(
+            &trace,
+            &SimConfig {
+                capacity: 1000,
+                chaining: false,
+                ..SimConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(r.stats.links_created, 0);
+    }
+
+    #[test]
+    fn oversized_block_is_reported_not_fatal() {
+        let mut trace = round_robin(2, 100, 2);
+        trace.record_superblock(SuperblockInfo {
+            id: sb(99),
+            head_pc: Pc(99_000),
+            size: 5000,
+            guest_blocks: 40,
+            exits: 2,
+        });
+        trace.record_access(sb(99), None);
+        trace.record_access(sb(99), None);
+        let r = simulate(
+            &trace,
+            &SimConfig {
+                capacity: 1000,
+                ..SimConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(r.uncacheable, 2);
+    }
+
+    #[test]
+    fn empty_trace_is_an_error() {
+        let log = TraceLog::new("empty");
+        assert_eq!(
+            simulate(&log, &SimConfig::default()).unwrap_err(),
+            SimError::EmptyTrace
+        );
+    }
+
+    #[test]
+    fn unknown_superblock_is_an_error() {
+        let mut log = TraceLog::new("bad");
+        log.record_access(sb(7), None);
+        assert_eq!(
+            simulate(&log, &SimConfig::default()).unwrap_err(),
+            SimError::UnknownSuperblock(sb(7))
+        );
+    }
+
+    #[test]
+    fn overhead_per_access_is_total_over_accesses() {
+        let trace = round_robin(10, 100, 10);
+        let r = simulate(
+            &trace,
+            &SimConfig {
+                capacity: 500,
+                ..SimConfig::default()
+            },
+        )
+        .unwrap();
+        let expect = r.total_overhead() / r.stats.accesses as f64;
+        assert!((r.overhead_per_access() - expect).abs() < 1e-9);
+    }
+}

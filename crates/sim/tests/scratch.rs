@@ -1,0 +1,32 @@
+//! Temporary calibration probe (not a real test suite).
+
+use cce_core::Granularity;
+use cce_sim::pressure::simulate_at_pressure;
+use cce_sim::simulator::SimConfig;
+
+#[test]
+#[ignore]
+fn probe() {
+    for name in ["word", "gcc", "gzip"] {
+        let m = cce_workloads::by_name(name).unwrap();
+        let t = m.trace(0.3, 42);
+        println!(
+            "== {name}: sbs={} accesses={} maxCache={}KB",
+            t.superblocks.len(),
+            t.events.len(),
+            t.max_cache_bytes() / 1024
+        );
+        for g in Granularity::spectrum(8) {
+            let r = simulate_at_pressure(&t, g, 2, &SimConfig::default()).unwrap();
+            println!(
+                "{:>9}: miss={:.4} capmiss={} evict_inv={} padding={} blocks_evicted={}",
+                g.label(),
+                r.stats.miss_rate(),
+                r.stats.capacity_misses,
+                r.stats.eviction_invocations,
+                r.stats.padding_bytes,
+                r.stats.blocks_evicted,
+            );
+        }
+    }
+}

@@ -1,0 +1,413 @@
+//! Incremental, validated construction of [`Program`]s.
+//!
+//! [`ProgramBuilder`] lets callers (tests, examples, and the random program
+//! generators in [`crate::gen`]) assemble functions block by block, then
+//! validates the control-flow graph and performs the byte layout in
+//! [`ProgramBuilder::finish`].
+
+use crate::isa::{Cond, Instr, Reg};
+use crate::program::{BasicBlock, BlockId, FuncId, Function, Pc, Program, Terminator};
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+/// An error produced while validating a program under construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// The program has no functions.
+    Empty,
+    /// A function has no entry block set.
+    MissingEntry(FuncId),
+    /// A block was never given a terminator.
+    MissingTerminator(BlockId),
+    /// A terminator targets a block in a different function.
+    CrossFunctionTarget { block: BlockId, target: BlockId },
+    /// A call references an unknown function.
+    UnknownCallee { block: BlockId, callee: FuncId },
+    /// An indirect jump has no targets.
+    EmptyIndirect(BlockId),
+    /// The entry block of a function is owned by another function.
+    ForeignEntry(FuncId),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::Empty => write!(f, "program has no functions"),
+            BuildError::MissingEntry(fid) => {
+                write!(f, "function {} has no entry block", fid.0)
+            }
+            BuildError::MissingTerminator(b) => {
+                write!(f, "block {} has no terminator", b.0)
+            }
+            BuildError::CrossFunctionTarget { block, target } => write!(
+                f,
+                "block {} branches to block {} in a different function",
+                block.0, target.0
+            ),
+            BuildError::UnknownCallee { block, callee } => {
+                write!(f, "block {} calls unknown function {}", block.0, callee.0)
+            }
+            BuildError::EmptyIndirect(b) => {
+                write!(f, "block {} has an indirect jump with no targets", b.0)
+            }
+            BuildError::ForeignEntry(fid) => {
+                write!(f, "entry block of function {} belongs elsewhere", fid.0)
+            }
+        }
+    }
+}
+
+impl Error for BuildError {}
+
+struct PendingBlock {
+    func: FuncId,
+    instrs: Vec<Instr>,
+    terminator: Option<Terminator>,
+}
+
+struct PendingFunction {
+    name: String,
+    entry: Option<BlockId>,
+    blocks: Vec<BlockId>,
+}
+
+/// Builder for [`Program`]s. See the crate-level example.
+#[derive(Default)]
+pub struct ProgramBuilder {
+    functions: Vec<PendingFunction>,
+    blocks: Vec<PendingBlock>,
+    memory_words: usize,
+}
+
+impl fmt::Debug for ProgramBuilder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ProgramBuilder")
+            .field("functions", &self.functions.len())
+            .field("blocks", &self.blocks.len())
+            .finish()
+    }
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder with a default guest memory of 64 Ki words.
+    #[must_use]
+    pub fn new() -> ProgramBuilder {
+        ProgramBuilder {
+            functions: Vec::new(),
+            blocks: Vec::new(),
+            memory_words: 1 << 16,
+        }
+    }
+
+    /// Sets the guest data-memory size in 64-bit words.
+    pub fn memory_words(&mut self, words: usize) -> &mut Self {
+        self.memory_words = words.max(1);
+        self
+    }
+
+    /// Starts a new function. The first function created is `main`.
+    pub fn begin_function(&mut self, name: &str) -> FuncId {
+        let id = FuncId(self.functions.len() as u32);
+        self.functions.push(PendingFunction {
+            name: name.to_owned(),
+            entry: None,
+            blocks: Vec::new(),
+        });
+        id
+    }
+
+    /// Creates a new empty block owned by `func`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `func` was not created by this builder.
+    pub fn block(&mut self, func: FuncId) -> BlockId {
+        let id = BlockId(self.blocks.len() as u32);
+        self.blocks.push(PendingBlock {
+            func,
+            instrs: Vec::new(),
+            terminator: None,
+        });
+        self.functions[func.0 as usize].blocks.push(id);
+        id
+    }
+
+    /// Appends an instruction to `block`'s body.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` is unknown.
+    pub fn push(&mut self, block: BlockId, instr: Instr) -> &mut Self {
+        self.blocks[block.0 as usize].instrs.push(instr);
+        self
+    }
+
+    /// Appends several instructions to `block`'s body.
+    pub fn push_all<I: IntoIterator<Item = Instr>>(&mut self, block: BlockId, instrs: I) {
+        self.blocks[block.0 as usize].instrs.extend(instrs);
+    }
+
+    /// Terminates `block` with an unconditional jump.
+    pub fn jump(&mut self, block: BlockId, target: BlockId) {
+        self.terminate(block, Terminator::Jump(target));
+    }
+
+    /// Terminates `block` with a conditional branch.
+    pub fn branch(
+        &mut self,
+        block: BlockId,
+        cond: Cond,
+        lhs: Reg,
+        rhs: Reg,
+        taken: BlockId,
+        fallthrough: BlockId,
+    ) {
+        self.terminate(
+            block,
+            Terminator::Branch {
+                cond,
+                lhs,
+                rhs,
+                taken,
+                fallthrough,
+            },
+        );
+    }
+
+    /// Terminates `block` with a call that resumes at `ret_to`.
+    pub fn call(&mut self, block: BlockId, callee: FuncId, ret_to: BlockId) {
+        self.terminate(block, Terminator::Call { callee, ret_to });
+    }
+
+    /// Terminates `block` with a return.
+    pub fn ret(&mut self, block: BlockId) {
+        self.terminate(block, Terminator::Return);
+    }
+
+    /// Terminates `block` with an indirect jump over `targets`.
+    pub fn indirect(&mut self, block: BlockId, selector: Reg, targets: Vec<BlockId>) {
+        self.terminate(block, Terminator::IndirectJump { selector, targets });
+    }
+
+    /// Terminates `block` with `Halt`.
+    pub fn halt(&mut self, block: BlockId) {
+        self.terminate(block, Terminator::Halt);
+    }
+
+    /// Sets an arbitrary terminator on `block`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block already has a terminator (a block terminates
+    /// exactly once).
+    pub fn terminate(&mut self, block: BlockId, t: Terminator) {
+        let b = &mut self.blocks[block.0 as usize];
+        assert!(
+            b.terminator.is_none(),
+            "block {} terminated twice",
+            block.0
+        );
+        b.terminator = Some(t);
+    }
+
+    /// Declares `entry` as the entry block of `func`.
+    pub fn set_entry(&mut self, func: FuncId, entry: BlockId) {
+        self.functions[func.0 as usize].entry = Some(entry);
+    }
+
+    /// Validates the CFG, lays out the image and produces the [`Program`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BuildError`] if the program is empty, any function lacks
+    /// an entry, any block lacks a terminator, a branch crosses function
+    /// boundaries, a call names an unknown function, or an indirect jump has
+    /// no targets.
+    pub fn finish(self) -> Result<Program, BuildError> {
+        if self.functions.is_empty() {
+            return Err(BuildError::Empty);
+        }
+        let n_funcs = self.functions.len() as u32;
+        // Validate.
+        for (bi, b) in self.blocks.iter().enumerate() {
+            let id = BlockId(bi as u32);
+            let term = b
+                .terminator
+                .as_ref()
+                .ok_or(BuildError::MissingTerminator(id))?;
+            for tgt in term.successors() {
+                let tf = self.blocks[tgt.0 as usize].func;
+                if tf != b.func {
+                    return Err(BuildError::CrossFunctionTarget { block: id, target: tgt });
+                }
+            }
+            if let Terminator::Call { callee, .. } = term {
+                if callee.0 >= n_funcs {
+                    return Err(BuildError::UnknownCallee {
+                        block: id,
+                        callee: *callee,
+                    });
+                }
+            }
+            if let Terminator::IndirectJump { targets, .. } = term {
+                if targets.is_empty() {
+                    return Err(BuildError::EmptyIndirect(id));
+                }
+            }
+        }
+        for (fi, f) in self.functions.iter().enumerate() {
+            let fid = FuncId(fi as u32);
+            let entry = f.entry.ok_or(BuildError::MissingEntry(fid))?;
+            if self.blocks[entry.0 as usize].func != fid {
+                return Err(BuildError::ForeignEntry(fid));
+            }
+        }
+
+        // Materialize blocks.
+        let blocks: Vec<BasicBlock> = self
+            .blocks
+            .into_iter()
+            .enumerate()
+            .map(|(bi, b)| BasicBlock {
+                id: BlockId(bi as u32),
+                func: b.func,
+                instrs: b.instrs,
+                terminator: b.terminator.expect("validated above"),
+            })
+            .collect();
+
+        // Layout: functions in order, blocks in creation order within each,
+        // starting at a non-zero base so addresses look like text segments.
+        const TEXT_BASE: u64 = 0x0040_0000;
+        let mut block_addr = vec![Pc(0); blocks.len()];
+        let mut addr_to_block = BTreeMap::new();
+        let mut cursor = TEXT_BASE;
+        let functions: Vec<Function> = self
+            .functions
+            .into_iter()
+            .enumerate()
+            .map(|(fi, f)| {
+                for &bid in &f.blocks {
+                    let len = u64::from(blocks[bid.0 as usize].byte_len());
+                    block_addr[bid.0 as usize] = Pc(cursor);
+                    addr_to_block.insert(Pc(cursor), bid);
+                    cursor += len;
+                }
+                // Align functions to 16 bytes, like a linker would.
+                cursor = (cursor + 15) & !15;
+                Function {
+                    id: FuncId(fi as u32),
+                    name: f.name,
+                    entry: f.entry.expect("validated above"),
+                    blocks: f.blocks,
+                }
+            })
+            .collect();
+        let image_len = blocks
+            .iter()
+            .map(|b| block_addr[b.id.0 as usize].addr() + u64::from(b.byte_len()))
+            .max()
+            .unwrap_or(TEXT_BASE);
+
+        Ok(Program {
+            functions,
+            blocks,
+            block_addr,
+            addr_to_block,
+            main: FuncId(0),
+            memory_words: self.memory_words,
+            image_len,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_program_is_rejected() {
+        assert_eq!(ProgramBuilder::new().finish().unwrap_err(), BuildError::Empty);
+    }
+
+    #[test]
+    fn missing_terminator_is_rejected() {
+        let mut b = ProgramBuilder::new();
+        let f = b.begin_function("main");
+        let e = b.block(f);
+        b.set_entry(f, e);
+        assert!(matches!(
+            b.finish().unwrap_err(),
+            BuildError::MissingTerminator(_)
+        ));
+    }
+
+    #[test]
+    fn missing_entry_is_rejected() {
+        let mut b = ProgramBuilder::new();
+        let f = b.begin_function("main");
+        let e = b.block(f);
+        b.halt(e);
+        assert!(matches!(b.finish().unwrap_err(), BuildError::MissingEntry(_)));
+    }
+
+    #[test]
+    fn cross_function_branch_is_rejected() {
+        let mut b = ProgramBuilder::new();
+        let f = b.begin_function("main");
+        let g = b.begin_function("aux");
+        let fe = b.block(f);
+        let ge = b.block(g);
+        b.jump(fe, ge);
+        b.halt(ge);
+        b.set_entry(f, fe);
+        b.set_entry(g, ge);
+        assert!(matches!(
+            b.finish().unwrap_err(),
+            BuildError::CrossFunctionTarget { .. }
+        ));
+    }
+
+    #[test]
+    fn empty_indirect_is_rejected() {
+        let mut b = ProgramBuilder::new();
+        let f = b.begin_function("main");
+        let e = b.block(f);
+        b.indirect(e, Reg::R1, vec![]);
+        b.set_entry(f, e);
+        assert!(matches!(b.finish().unwrap_err(), BuildError::EmptyIndirect(_)));
+    }
+
+    #[test]
+    #[should_panic(expected = "terminated twice")]
+    fn double_terminate_panics() {
+        let mut b = ProgramBuilder::new();
+        let f = b.begin_function("main");
+        let e = b.block(f);
+        b.halt(e);
+        b.halt(e);
+    }
+
+    #[test]
+    fn valid_multi_function_program_builds() {
+        let mut b = ProgramBuilder::new();
+        let main = b.begin_function("main");
+        let helper = b.begin_function("helper");
+        let m0 = b.block(main);
+        let m1 = b.block(main);
+        let h0 = b.block(helper);
+        b.call(m0, helper, m1);
+        b.halt(m1);
+        b.ret(h0);
+        b.set_entry(main, m0);
+        b.set_entry(helper, h0);
+        let p = b.finish().unwrap();
+        assert_eq!(p.functions().len(), 2);
+        assert_eq!(p.block_count(), 3);
+        assert_eq!(p.function(p.main()).name, "main");
+        // Function layout is 16-byte aligned.
+        let h_addr = p.block_addr(h0).addr();
+        assert_eq!(h_addr % 16, 0);
+    }
+}

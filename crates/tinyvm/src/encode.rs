@@ -1,0 +1,649 @@
+//! Binary encoding of TinyVM instructions and program images.
+//!
+//! [`crate::isa::Instr::encoded_len`] drives every size computation in the
+//! workspace, so the encoding had better exist: this module defines the
+//! actual byte format, an encoder, a decoder, and a whole-program
+//! assembler. A round-trip property test pins `encoded_len` to the real
+//! encoder output, making the size model honest rather than declared.
+//!
+//! Encoding summary (opcodes in the high nibble where a register shares
+//! the byte):
+//!
+//! | Form | Bytes |
+//! |---|---|
+//! | `MovImm` (32-bit imm) | `0x1d` + imm32 (5) |
+//! | `MovImm` (64-bit imm) | `0x2d` + imm64 (9) |
+//! | `Mov` | `0x30`, `dst<<4\|src` (2) |
+//! | `Add/Sub/Xor/And/Or` | op, `dst<<4\|a`, `b` (3) |
+//! | `Mul` | `0x38`, dst, a, b (4) |
+//! | `AddImm` | `0x39`, `dst<<4\|src`, imm16 (4) |
+//! | `Shl/ShrImm` | op, `dst<<4\|src`, amount (3) |
+//! | `Load/Store` | op, `reg<<4\|base`, off16 (4) |
+//! | `Nop` | `0x00` (1) |
+//!
+//! Terminators encode block ids as 16-bit indices (the *relocatable*
+//! form; the assembler keeps them symbolic, like a linker's relocation
+//! entries) and indirect-jump tables as 32-bit entries.
+
+use crate::isa::{Cond, Instr, Reg};
+use crate::program::{BlockId, Program, Terminator};
+use std::error::Error;
+use std::fmt;
+
+/// An error produced while encoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EncodeError {
+    /// An immediate does not fit the instruction's 16-bit field.
+    ImmediateTooWide(i64),
+    /// A memory offset does not fit the 16-bit field.
+    OffsetTooWide(i32),
+    /// A block id does not fit the 16-bit branch-target field.
+    BlockIdTooLarge(u32),
+}
+
+impl fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EncodeError::ImmediateTooWide(v) => write!(f, "immediate {v} exceeds 16 bits"),
+            EncodeError::OffsetTooWide(v) => write!(f, "memory offset {v} exceeds 16 bits"),
+            EncodeError::BlockIdTooLarge(v) => write!(f, "block id {v} exceeds 16 bits"),
+        }
+    }
+}
+
+impl Error for EncodeError {}
+
+/// An error produced while decoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The input ended inside an instruction.
+    Truncated,
+    /// An unknown opcode byte.
+    BadOpcode(u8),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "input ends inside an instruction"),
+            DecodeError::BadOpcode(op) => write!(f, "unknown opcode {op:#04x}"),
+        }
+    }
+}
+
+impl Error for DecodeError {}
+
+const OP_NOP: u8 = 0x00;
+const OP_MOVIMM32: u8 = 0x10; // low nibble = dst
+const OP_MOVIMM64: u8 = 0x20; // low nibble = dst
+const OP_MOV: u8 = 0x30;
+const OP_ADD: u8 = 0x31;
+const OP_SUB: u8 = 0x32;
+const OP_XOR: u8 = 0x33;
+const OP_AND: u8 = 0x34;
+const OP_OR: u8 = 0x35;
+const OP_SHL: u8 = 0x36;
+const OP_SHR: u8 = 0x37;
+const OP_MUL: u8 = 0x38;
+const OP_ADDIMM: u8 = 0x39;
+const OP_LOAD: u8 = 0x3A;
+const OP_STORE: u8 = 0x3B;
+
+const OP_JUMP: u8 = 0x40;
+const OP_BRANCH: u8 = 0x50; // low nibble = cond
+const OP_CALL: u8 = 0x41;
+const OP_RETURN: u8 = 0x42;
+const OP_INDIRECT: u8 = 0x43;
+const OP_HALT: u8 = 0x44;
+
+fn regs(hi: Reg, lo: Reg) -> u8 {
+    ((hi.index() as u8) << 4) | lo.index() as u8
+}
+
+fn split(byte: u8) -> (Reg, Reg) {
+    (Reg::new(byte >> 4), Reg::new(byte & 0x0F))
+}
+
+fn cond_code(c: Cond) -> u8 {
+    match c {
+        Cond::Eq => 0,
+        Cond::Ne => 1,
+        Cond::Lt => 2,
+        Cond::Le => 3,
+        Cond::Gt => 4,
+        Cond::Ge => 5,
+    }
+}
+
+fn cond_from(code: u8) -> Option<Cond> {
+    Some(match code {
+        0 => Cond::Eq,
+        1 => Cond::Ne,
+        2 => Cond::Lt,
+        3 => Cond::Le,
+        4 => Cond::Gt,
+        5 => Cond::Ge,
+        _ => return None,
+    })
+}
+
+/// Encodes one instruction, appending to `out`.
+///
+/// # Errors
+///
+/// Returns an [`EncodeError`] if an immediate or offset exceeds its field.
+pub fn encode_instr(instr: &Instr, out: &mut Vec<u8>) -> Result<(), EncodeError> {
+    match *instr {
+        Instr::Nop => out.push(OP_NOP),
+        Instr::MovImm { dst, imm } => {
+            if let Ok(v) = i32::try_from(imm) {
+                out.push(OP_MOVIMM32 | dst.index() as u8);
+                out.extend_from_slice(&v.to_le_bytes());
+            } else {
+                out.push(OP_MOVIMM64 | dst.index() as u8);
+                out.extend_from_slice(&imm.to_le_bytes());
+            }
+        }
+        Instr::Mov { dst, src } => {
+            out.push(OP_MOV);
+            out.push(regs(dst, src));
+        }
+        Instr::Add { dst, a, b }
+        | Instr::Sub { dst, a, b }
+        | Instr::Xor { dst, a, b }
+        | Instr::And { dst, a, b }
+        | Instr::Or { dst, a, b } => {
+            let op = match instr {
+                Instr::Add { .. } => OP_ADD,
+                Instr::Sub { .. } => OP_SUB,
+                Instr::Xor { .. } => OP_XOR,
+                Instr::And { .. } => OP_AND,
+                _ => OP_OR,
+            };
+            out.push(op);
+            out.push(regs(dst, a));
+            out.push(b.index() as u8);
+        }
+        Instr::Mul { dst, a, b } => {
+            out.push(OP_MUL);
+            out.push(dst.index() as u8);
+            out.push(a.index() as u8);
+            out.push(b.index() as u8);
+        }
+        Instr::AddImm { dst, src, imm } => {
+            let v = i16::try_from(imm).map_err(|_| EncodeError::ImmediateTooWide(imm))?;
+            out.push(OP_ADDIMM);
+            out.push(regs(dst, src));
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        Instr::ShlImm { dst, src, amount } | Instr::ShrImm { dst, src, amount } => {
+            out.push(if matches!(instr, Instr::ShlImm { .. }) {
+                OP_SHL
+            } else {
+                OP_SHR
+            });
+            out.push(regs(dst, src));
+            out.push(amount & 63);
+        }
+        Instr::Load { dst, base, offset } => {
+            let v = i16::try_from(offset).map_err(|_| EncodeError::OffsetTooWide(offset))?;
+            out.push(OP_LOAD);
+            out.push(regs(dst, base));
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        Instr::Store { src, base, offset } => {
+            let v = i16::try_from(offset).map_err(|_| EncodeError::OffsetTooWide(offset))?;
+            out.push(OP_STORE);
+            out.push(regs(src, base));
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    Ok(())
+}
+
+/// Decodes one instruction from the front of `bytes`, returning it and
+/// the bytes consumed.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] for truncated input or unknown opcodes.
+pub fn decode_instr(bytes: &[u8]) -> Result<(Instr, usize), DecodeError> {
+    let op = *bytes.first().ok_or(DecodeError::Truncated)?;
+    let need = |n: usize| {
+        if bytes.len() < n {
+            Err(DecodeError::Truncated)
+        } else {
+            Ok(())
+        }
+    };
+    match op {
+        OP_NOP => Ok((Instr::Nop, 1)),
+        _ if op & 0xF0 == OP_MOVIMM32 => {
+            need(5)?;
+            let imm = i32::from_le_bytes(bytes[1..5].try_into().expect("4 bytes"));
+            Ok((
+                Instr::MovImm {
+                    dst: Reg::new(op & 0x0F),
+                    imm: i64::from(imm),
+                },
+                5,
+            ))
+        }
+        _ if op & 0xF0 == OP_MOVIMM64 => {
+            need(9)?;
+            let imm = i64::from_le_bytes(bytes[1..9].try_into().expect("8 bytes"));
+            Ok((
+                Instr::MovImm {
+                    dst: Reg::new(op & 0x0F),
+                    imm,
+                },
+                9,
+            ))
+        }
+        OP_MOV => {
+            need(2)?;
+            let (dst, src) = split(bytes[1]);
+            Ok((Instr::Mov { dst, src }, 2))
+        }
+        OP_ADD | OP_SUB | OP_XOR | OP_AND | OP_OR => {
+            need(3)?;
+            let (dst, a) = split(bytes[1]);
+            let b = Reg::new(bytes[2] & 0x0F);
+            let instr = match op {
+                OP_ADD => Instr::Add { dst, a, b },
+                OP_SUB => Instr::Sub { dst, a, b },
+                OP_XOR => Instr::Xor { dst, a, b },
+                OP_AND => Instr::And { dst, a, b },
+                _ => Instr::Or { dst, a, b },
+            };
+            Ok((instr, 3))
+        }
+        OP_MUL => {
+            need(4)?;
+            Ok((
+                Instr::Mul {
+                    dst: Reg::new(bytes[1] & 0x0F),
+                    a: Reg::new(bytes[2] & 0x0F),
+                    b: Reg::new(bytes[3] & 0x0F),
+                },
+                4,
+            ))
+        }
+        OP_ADDIMM => {
+            need(4)?;
+            let (dst, src) = split(bytes[1]);
+            let imm = i16::from_le_bytes(bytes[2..4].try_into().expect("2 bytes"));
+            Ok((
+                Instr::AddImm {
+                    dst,
+                    src,
+                    imm: i64::from(imm),
+                },
+                4,
+            ))
+        }
+        OP_SHL | OP_SHR => {
+            need(3)?;
+            let (dst, src) = split(bytes[1]);
+            let amount = bytes[2] & 63;
+            let instr = if op == OP_SHL {
+                Instr::ShlImm { dst, src, amount }
+            } else {
+                Instr::ShrImm { dst, src, amount }
+            };
+            Ok((instr, 3))
+        }
+        OP_LOAD | OP_STORE => {
+            need(4)?;
+            let (r, base) = split(bytes[1]);
+            let offset = i32::from(i16::from_le_bytes(bytes[2..4].try_into().expect("2 bytes")));
+            let instr = if op == OP_LOAD {
+                Instr::Load { dst: r, base, offset }
+            } else {
+                Instr::Store { src: r, base, offset }
+            };
+            Ok((instr, 4))
+        }
+        other => Err(DecodeError::BadOpcode(other)),
+    }
+}
+
+/// Encodes a terminator (relocatable form: block ids, not addresses).
+///
+/// # Errors
+///
+/// Returns [`EncodeError::BlockIdTooLarge`] if a 16-bit target field
+/// overflows.
+pub fn encode_terminator(t: &Terminator, out: &mut Vec<u8>) -> Result<(), EncodeError> {
+    let id16 = |b: BlockId| -> Result<[u8; 2], EncodeError> {
+        u16::try_from(b.0)
+            .map(u16::to_le_bytes)
+            .map_err(|_| EncodeError::BlockIdTooLarge(b.0))
+    };
+    match t {
+        Terminator::Jump(target) => {
+            out.push(OP_JUMP);
+            out.extend_from_slice(&target.0.to_le_bytes());
+        }
+        Terminator::Branch {
+            cond,
+            lhs,
+            rhs,
+            taken,
+            fallthrough,
+        } => {
+            out.push(OP_BRANCH | cond_code(*cond));
+            out.push(regs(*lhs, *rhs));
+            out.extend_from_slice(&id16(*taken)?);
+            out.extend_from_slice(&id16(*fallthrough)?);
+        }
+        Terminator::Call { callee, ret_to } => {
+            out.push(OP_CALL);
+            out.extend_from_slice(&u16::try_from(callee.0).unwrap_or(u16::MAX).to_le_bytes());
+            out.extend_from_slice(&id16(*ret_to)?);
+        }
+        Terminator::Return => out.push(OP_RETURN),
+        Terminator::IndirectJump { selector, targets } => {
+            out.push(OP_INDIRECT);
+            out.push(selector.index() as u8);
+            out.push(u8::try_from(targets.len()).unwrap_or(u8::MAX));
+            for t in targets {
+                out.extend_from_slice(&t.0.to_le_bytes());
+            }
+        }
+        Terminator::Halt => {
+            out.push(OP_HALT);
+            out.push(0);
+        }
+    }
+    Ok(())
+}
+
+/// Assembles a whole program into its byte image (relative to the text
+/// base), padding inter-block gaps with NOP bytes.
+///
+/// # Errors
+///
+/// Propagates [`EncodeError`] from any instruction or terminator.
+pub fn assemble(program: &Program) -> Result<Vec<u8>, EncodeError> {
+    let base = program
+        .blocks()
+        .iter()
+        .map(|b| program.block_addr(b.id).addr())
+        .min()
+        .unwrap_or(0);
+    let len = usize::try_from(program.image_len() - base).expect("image fits in memory");
+    let mut image = vec![OP_NOP; len];
+    for block in program.blocks() {
+        let mut bytes = Vec::with_capacity(block.byte_len() as usize);
+        for instr in &block.instrs {
+            encode_instr(instr, &mut bytes)?;
+        }
+        encode_terminator(&block.terminator, &mut bytes)?;
+        debug_assert_eq!(bytes.len() as u32, block.byte_len(), "size model vs encoder");
+        let off = usize::try_from(program.block_addr(block.id).addr() - base).expect("in image");
+        image[off..off + bytes.len()].copy_from_slice(&bytes);
+    }
+    Ok(image)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_instr_samples() -> Vec<Instr> {
+        vec![
+            Instr::Nop,
+            Instr::MovImm { dst: Reg::R3, imm: 1234 },
+            Instr::MovImm { dst: Reg::R4, imm: -77 },
+            Instr::MovImm { dst: Reg::R5, imm: i64::MAX - 3 },
+            Instr::Mov { dst: Reg::R1, src: Reg::R15 },
+            Instr::Add { dst: Reg::R1, a: Reg::R2, b: Reg::R3 },
+            Instr::Sub { dst: Reg::R4, a: Reg::R5, b: Reg::R6 },
+            Instr::Xor { dst: Reg::R7, a: Reg::R8, b: Reg::R9 },
+            Instr::And { dst: Reg::R10, a: Reg::R11, b: Reg::R12 },
+            Instr::Or { dst: Reg::R13, a: Reg::R14, b: Reg::ZERO },
+            Instr::Mul { dst: Reg::R2, a: Reg::R3, b: Reg::R4 },
+            Instr::AddImm { dst: Reg::R1, src: Reg::R1, imm: -1 },
+            Instr::ShlImm { dst: Reg::R6, src: Reg::R5, amount: 13 },
+            Instr::ShrImm { dst: Reg::R7, src: Reg::R5, amount: 7 },
+            Instr::Load { dst: Reg::R8, base: Reg::R9, offset: -32 },
+            Instr::Store { src: Reg::R8, base: Reg::R9, offset: 31 },
+        ]
+    }
+
+    #[test]
+    fn every_instruction_roundtrips() {
+        for instr in all_instr_samples() {
+            let mut bytes = Vec::new();
+            encode_instr(&instr, &mut bytes).unwrap();
+            let (back, used) = decode_instr(&bytes).unwrap();
+            assert_eq!(back, instr);
+            assert_eq!(used, bytes.len());
+        }
+    }
+
+    #[test]
+    fn encoded_len_matches_the_encoder_exactly() {
+        // This is the contract every size computation in the workspace
+        // rests on.
+        for instr in all_instr_samples() {
+            let mut bytes = Vec::new();
+            encode_instr(&instr, &mut bytes).unwrap();
+            assert_eq!(
+                bytes.len() as u32,
+                instr.encoded_len(),
+                "{instr:?}: declared {} vs encoded {}",
+                instr.encoded_len(),
+                bytes.len()
+            );
+        }
+    }
+
+    #[test]
+    fn terminator_lengths_match_the_encoder() {
+        let terminators = [
+            Terminator::Jump(BlockId(7)),
+            Terminator::Branch {
+                cond: Cond::Le,
+                lhs: Reg::R1,
+                rhs: Reg::R2,
+                taken: BlockId(3),
+                fallthrough: BlockId(4),
+            },
+            Terminator::Call {
+                callee: crate::program::FuncId(2),
+                ret_to: BlockId(9),
+            },
+            Terminator::Return,
+            Terminator::IndirectJump {
+                selector: Reg::R5,
+                targets: vec![BlockId(1), BlockId(2), BlockId(3)],
+            },
+            Terminator::Halt,
+        ];
+        for t in &terminators {
+            let mut bytes = Vec::new();
+            encode_terminator(t, &mut bytes).unwrap();
+            assert_eq!(bytes.len() as u32, t.encoded_len(), "{t:?}");
+        }
+    }
+
+    #[test]
+    fn oversized_fields_are_rejected() {
+        let mut out = Vec::new();
+        assert_eq!(
+            encode_instr(
+                &Instr::AddImm { dst: Reg::R1, src: Reg::R1, imm: 40_000 },
+                &mut out
+            ),
+            Err(EncodeError::ImmediateTooWide(40_000))
+        );
+        assert_eq!(
+            encode_instr(
+                &Instr::Load { dst: Reg::R1, base: Reg::R2, offset: 1 << 20 },
+                &mut out
+            ),
+            Err(EncodeError::OffsetTooWide(1 << 20))
+        );
+        assert_eq!(
+            encode_terminator(
+                &Terminator::Branch {
+                    cond: Cond::Eq,
+                    lhs: Reg::R1,
+                    rhs: Reg::R2,
+                    taken: BlockId(70_000),
+                    fallthrough: BlockId(0),
+                },
+                &mut out
+            ),
+            Err(EncodeError::BlockIdTooLarge(70_000))
+        );
+    }
+
+    #[test]
+    fn decode_rejects_garbage_and_truncation() {
+        assert_eq!(decode_instr(&[]), Err(DecodeError::Truncated));
+        assert_eq!(decode_instr(&[0xFF]), Err(DecodeError::BadOpcode(0xFF)));
+        assert_eq!(decode_instr(&[OP_MUL, 1]), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn assembled_program_decodes_block_by_block() {
+        use crate::gen::{generate, GenConfig};
+        let p = generate(&GenConfig::small(17));
+        let image = assemble(&p).unwrap();
+        assert_eq!(image.len() as u64 + 0x0040_0000, p.image_len());
+        let base = 0x0040_0000u64;
+        for block in p.blocks() {
+            let mut off = usize::try_from(p.block_addr(block.id).addr() - base).unwrap();
+            for instr in &block.instrs {
+                let (decoded, used) = decode_instr(&image[off..]).unwrap();
+                assert_eq!(&decoded, instr);
+                off += used;
+            }
+        }
+    }
+}
+
+/// Decodes one terminator from the front of `bytes`, returning it and the
+/// bytes consumed.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] for truncated input or unknown opcodes.
+pub fn decode_terminator(bytes: &[u8]) -> Result<(Terminator, usize), DecodeError> {
+    use crate::program::FuncId;
+    let op = *bytes.first().ok_or(DecodeError::Truncated)?;
+    let need = |n: usize| {
+        if bytes.len() < n {
+            Err(DecodeError::Truncated)
+        } else {
+            Ok(())
+        }
+    };
+    match op {
+        OP_JUMP => {
+            need(5)?;
+            let t = u32::from_le_bytes(bytes[1..5].try_into().expect("4 bytes"));
+            Ok((Terminator::Jump(BlockId(t)), 5))
+        }
+        _ if op & 0xF0 == OP_BRANCH => {
+            need(6)?;
+            let cond = cond_from(op & 0x0F).ok_or(DecodeError::BadOpcode(op))?;
+            let (lhs, rhs) = split(bytes[1]);
+            let taken = u16::from_le_bytes(bytes[2..4].try_into().expect("2 bytes"));
+            let fallthrough = u16::from_le_bytes(bytes[4..6].try_into().expect("2 bytes"));
+            Ok((
+                Terminator::Branch {
+                    cond,
+                    lhs,
+                    rhs,
+                    taken: BlockId(u32::from(taken)),
+                    fallthrough: BlockId(u32::from(fallthrough)),
+                },
+                6,
+            ))
+        }
+        OP_CALL => {
+            need(5)?;
+            let callee = u16::from_le_bytes(bytes[1..3].try_into().expect("2 bytes"));
+            let ret_to = u16::from_le_bytes(bytes[3..5].try_into().expect("2 bytes"));
+            Ok((
+                Terminator::Call {
+                    callee: FuncId(u32::from(callee)),
+                    ret_to: BlockId(u32::from(ret_to)),
+                },
+                5,
+            ))
+        }
+        OP_RETURN => Ok((Terminator::Return, 1)),
+        OP_INDIRECT => {
+            need(3)?;
+            let selector = Reg::new(bytes[1] & 0x0F);
+            let count = bytes[2] as usize;
+            need(3 + 4 * count)?;
+            let mut targets = Vec::with_capacity(count);
+            for i in 0..count {
+                let off = 3 + 4 * i;
+                targets.push(BlockId(u32::from_le_bytes(
+                    bytes[off..off + 4].try_into().expect("4 bytes"),
+                )));
+            }
+            Ok((Terminator::IndirectJump { selector, targets }, 3 + 4 * count))
+        }
+        OP_HALT => {
+            need(2)?;
+            Ok((Terminator::Halt, 2))
+        }
+        other => Err(DecodeError::BadOpcode(other)),
+    }
+}
+
+#[cfg(test)]
+mod terminator_decode_tests {
+    use super::*;
+    use crate::program::FuncId;
+
+    #[test]
+    fn terminators_roundtrip() {
+        let cases = [
+            Terminator::Jump(BlockId(70_000)),
+            Terminator::Branch {
+                cond: Cond::Ge,
+                lhs: Reg::R9,
+                rhs: Reg::R2,
+                taken: BlockId(12),
+                fallthrough: BlockId(13),
+            },
+            Terminator::Call {
+                callee: FuncId(3),
+                ret_to: BlockId(44),
+            },
+            Terminator::Return,
+            Terminator::IndirectJump {
+                selector: Reg::R5,
+                targets: vec![BlockId(5), BlockId(6)],
+            },
+            Terminator::Halt,
+        ];
+        for t in &cases {
+            let mut bytes = Vec::new();
+            encode_terminator(t, &mut bytes).unwrap();
+            let (back, used) = decode_terminator(&bytes).unwrap();
+            assert_eq!(&back, t);
+            assert_eq!(used, bytes.len());
+        }
+    }
+
+    #[test]
+    fn truncated_terminators_error() {
+        assert_eq!(decode_terminator(&[]), Err(DecodeError::Truncated));
+        assert_eq!(decode_terminator(&[OP_JUMP, 1]), Err(DecodeError::Truncated));
+        assert_eq!(
+            decode_terminator(&[OP_INDIRECT, 1, 5]),
+            Err(DecodeError::Truncated)
+        );
+        assert_eq!(decode_terminator(&[0xEE]), Err(DecodeError::BadOpcode(0xEE)));
+    }
+}

@@ -1,0 +1,339 @@
+//! The TinyVM instruction set.
+//!
+//! TinyVM is a 16-register, 64-bit, load/store machine with variable-length
+//! instruction encodings. The variable encoding matters: the code-cache
+//! study depends on superblocks having realistic, *variable* byte sizes
+//! (paper §3.3), and the encoded length of each instruction is what gives a
+//! basic block — and therefore a superblock — its size in bytes.
+//!
+//! Control flow (jumps, branches, calls, returns) is *not* represented as
+//! ordinary instructions; it lives in [`crate::program::Terminator`] so that
+//! basic-block boundaries are explicit by construction.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A general-purpose register, `r0`–`r15`.
+///
+/// `r0` ([`Reg::ZERO`]) is conventionally used as an always-zero source by
+/// the program generators, though the ISA itself does not enforce that.
+///
+/// # Example
+///
+/// ```
+/// use cce_tinyvm::isa::Reg;
+/// assert_eq!(Reg::R3.index(), 3);
+/// assert_eq!(format!("{}", Reg::R3), "r3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// Conventional always-zero register (`r0`).
+    pub const ZERO: Reg = Reg(0);
+    pub const R1: Reg = Reg(1);
+    pub const R2: Reg = Reg(2);
+    pub const R3: Reg = Reg(3);
+    pub const R4: Reg = Reg(4);
+    pub const R5: Reg = Reg(5);
+    pub const R6: Reg = Reg(6);
+    pub const R7: Reg = Reg(7);
+    pub const R8: Reg = Reg(8);
+    pub const R9: Reg = Reg(9);
+    pub const R10: Reg = Reg(10);
+    pub const R11: Reg = Reg(11);
+    pub const R12: Reg = Reg(12);
+    pub const R13: Reg = Reg(13);
+    pub const R14: Reg = Reg(14);
+    pub const R15: Reg = Reg(15);
+
+    /// Number of architectural registers.
+    pub const COUNT: usize = 16;
+
+    /// Creates a register from an index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= Reg::COUNT`.
+    #[must_use]
+    pub fn new(index: u8) -> Reg {
+        assert!(
+            (index as usize) < Reg::COUNT,
+            "register index {index} out of range"
+        );
+        Reg(index)
+    }
+
+    /// The register's index in the register file.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// A branch condition comparing two registers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Cond {
+    /// `lhs == rhs`
+    Eq,
+    /// `lhs != rhs`
+    Ne,
+    /// `lhs < rhs` (signed)
+    Lt,
+    /// `lhs <= rhs` (signed)
+    Le,
+    /// `lhs > rhs` (signed)
+    Gt,
+    /// `lhs >= rhs` (signed)
+    Ge,
+}
+
+impl Cond {
+    /// Evaluates the condition on two signed values.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use cce_tinyvm::isa::Cond;
+    /// assert!(Cond::Lt.eval(-1, 0));
+    /// assert!(!Cond::Gt.eval(-1, 0));
+    /// ```
+    #[must_use]
+    pub fn eval(self, lhs: i64, rhs: i64) -> bool {
+        match self {
+            Cond::Eq => lhs == rhs,
+            Cond::Ne => lhs != rhs,
+            Cond::Lt => lhs < rhs,
+            Cond::Le => lhs <= rhs,
+            Cond::Gt => lhs > rhs,
+            Cond::Ge => lhs >= rhs,
+        }
+    }
+
+    /// The condition that is true exactly when `self` is false.
+    #[must_use]
+    pub fn negate(self) -> Cond {
+        match self {
+            Cond::Eq => Cond::Ne,
+            Cond::Ne => Cond::Eq,
+            Cond::Lt => Cond::Ge,
+            Cond::Le => Cond::Gt,
+            Cond::Gt => Cond::Le,
+            Cond::Ge => Cond::Lt,
+        }
+    }
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Cond::Eq => "eq",
+            Cond::Ne => "ne",
+            Cond::Lt => "lt",
+            Cond::Le => "le",
+            Cond::Gt => "gt",
+            Cond::Ge => "ge",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A non-control-flow TinyVM instruction.
+///
+/// All arithmetic is wrapping two's-complement. Memory operands address a
+/// flat word (64-bit) array; the interpreter wraps addresses into the
+/// allocated memory so generated programs can never fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Instr {
+    /// `dst = imm`
+    MovImm { dst: Reg, imm: i64 },
+    /// `dst = src`
+    Mov { dst: Reg, src: Reg },
+    /// `dst = a + b`
+    Add { dst: Reg, a: Reg, b: Reg },
+    /// `dst = src + imm`
+    AddImm { dst: Reg, src: Reg, imm: i64 },
+    /// `dst = a - b`
+    Sub { dst: Reg, a: Reg, b: Reg },
+    /// `dst = a * b`
+    Mul { dst: Reg, a: Reg, b: Reg },
+    /// `dst = a ^ b`
+    Xor { dst: Reg, a: Reg, b: Reg },
+    /// `dst = a & b`
+    And { dst: Reg, a: Reg, b: Reg },
+    /// `dst = a | b`
+    Or { dst: Reg, a: Reg, b: Reg },
+    /// `dst = src << amount` (amount masked to 0..63)
+    ShlImm { dst: Reg, src: Reg, amount: u8 },
+    /// `dst = src >> amount` logical (amount masked to 0..63)
+    ShrImm { dst: Reg, src: Reg, amount: u8 },
+    /// `dst = mem[base + offset]`
+    Load { dst: Reg, base: Reg, offset: i32 },
+    /// `mem[base + offset] = src`
+    Store { src: Reg, base: Reg, offset: i32 },
+    /// No operation.
+    Nop,
+}
+
+impl Instr {
+    /// The encoded length of this instruction in bytes.
+    ///
+    /// The encoding is x86-flavoured: immediates and memory operands cost
+    /// extra bytes. These lengths determine basic-block (and ultimately
+    /// superblock) byte sizes throughout the workspace.
+    #[must_use]
+    pub fn encoded_len(&self) -> u32 {
+        match self {
+            Instr::MovImm { imm, .. } => {
+                if i32::try_from(*imm).is_ok() {
+                    5
+                } else {
+                    9
+                }
+            }
+            Instr::Mov { .. } => 2,
+            Instr::Add { .. }
+            | Instr::Sub { .. }
+            | Instr::Xor { .. }
+            | Instr::And { .. }
+            | Instr::Or { .. } => 3,
+            Instr::Mul { .. } => 4,
+            Instr::AddImm { .. } => 4,
+            Instr::ShlImm { .. } | Instr::ShrImm { .. } => 3,
+            Instr::Load { .. } | Instr::Store { .. } => 4,
+            Instr::Nop => 1,
+        }
+    }
+
+    /// The register written by this instruction, if any.
+    #[must_use]
+    pub fn def(&self) -> Option<Reg> {
+        match *self {
+            Instr::MovImm { dst, .. }
+            | Instr::Mov { dst, .. }
+            | Instr::Add { dst, .. }
+            | Instr::AddImm { dst, .. }
+            | Instr::Sub { dst, .. }
+            | Instr::Mul { dst, .. }
+            | Instr::Xor { dst, .. }
+            | Instr::And { dst, .. }
+            | Instr::Or { dst, .. }
+            | Instr::ShlImm { dst, .. }
+            | Instr::ShrImm { dst, .. }
+            | Instr::Load { dst, .. } => Some(dst),
+            Instr::Store { .. } | Instr::Nop => None,
+        }
+    }
+
+    /// The registers read by this instruction.
+    #[must_use]
+    pub fn uses(&self) -> Vec<Reg> {
+        match *self {
+            Instr::MovImm { .. } | Instr::Nop => vec![],
+            Instr::Mov { src, .. } => vec![src],
+            Instr::Add { a, b, .. }
+            | Instr::Sub { a, b, .. }
+            | Instr::Mul { a, b, .. }
+            | Instr::Xor { a, b, .. }
+            | Instr::And { a, b, .. }
+            | Instr::Or { a, b, .. } => vec![a, b],
+            Instr::AddImm { src, .. } => vec![src],
+            Instr::ShlImm { src, .. } | Instr::ShrImm { src, .. } => vec![src],
+            Instr::Load { base, .. } => vec![base],
+            Instr::Store { src, base, .. } => vec![src, base],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reg_roundtrip_and_display() {
+        for i in 0..Reg::COUNT as u8 {
+            let r = Reg::new(i);
+            assert_eq!(r.index(), i as usize);
+            assert_eq!(format!("{r}"), format!("r{i}"));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn reg_out_of_range_panics() {
+        let _ = Reg::new(16);
+    }
+
+    #[test]
+    fn cond_eval_matrix() {
+        let cases: [(Cond, i64, i64, bool); 12] = [
+            (Cond::Eq, 3, 3, true),
+            (Cond::Eq, 3, 4, false),
+            (Cond::Ne, 3, 4, true),
+            (Cond::Ne, 4, 4, false),
+            (Cond::Lt, -5, 0, true),
+            (Cond::Lt, 0, 0, false),
+            (Cond::Le, 0, 0, true),
+            (Cond::Le, 1, 0, false),
+            (Cond::Gt, 1, 0, true),
+            (Cond::Gt, 0, 0, false),
+            (Cond::Ge, 0, 0, true),
+            (Cond::Ge, -1, 0, false),
+        ];
+        for (c, l, r, want) in cases {
+            assert_eq!(c.eval(l, r), want, "{c} {l} {r}");
+        }
+    }
+
+    #[test]
+    fn cond_negation_is_involutive_and_exclusive() {
+        let all = [Cond::Eq, Cond::Ne, Cond::Lt, Cond::Le, Cond::Gt, Cond::Ge];
+        for c in all {
+            assert_eq!(c.negate().negate(), c);
+            for (l, r) in [(0i64, 0i64), (1, 2), (-3, 7), (i64::MAX, i64::MIN)] {
+                assert_ne!(c.eval(l, r), c.negate().eval(l, r));
+            }
+        }
+    }
+
+    #[test]
+    fn encoded_lengths_are_positive_and_vary() {
+        let short = Instr::Nop.encoded_len();
+        let long = Instr::MovImm {
+            dst: Reg::R1,
+            imm: i64::MAX,
+        }
+        .encoded_len();
+        assert!(short >= 1);
+        assert!(long > short, "immediate width must affect encoding");
+        let small_imm = Instr::MovImm {
+            dst: Reg::R1,
+            imm: 42,
+        };
+        assert_eq!(small_imm.encoded_len(), 5);
+    }
+
+    #[test]
+    fn def_use_sets_are_consistent() {
+        let i = Instr::Add {
+            dst: Reg::R1,
+            a: Reg::R2,
+            b: Reg::R3,
+        };
+        assert_eq!(i.def(), Some(Reg::R1));
+        assert_eq!(i.uses(), vec![Reg::R2, Reg::R3]);
+        let s = Instr::Store {
+            src: Reg::R4,
+            base: Reg::R5,
+            offset: 8,
+        };
+        assert_eq!(s.def(), None);
+        assert_eq!(s.uses(), vec![Reg::R4, Reg::R5]);
+    }
+}

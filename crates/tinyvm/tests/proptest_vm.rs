@@ -1,0 +1,122 @@
+//! Property-based tests over the VM substrate: every generated program
+//! must terminate, replay deterministically, survive serialization, and
+//! keep its layout invariants.
+
+use cce_tinyvm::disasm::format_program;
+use cce_tinyvm::gen::{generate, GenConfig};
+use cce_tinyvm::interp::{Interp, StopReason};
+use cce_tinyvm::program::BlockId;
+use proptest::prelude::*;
+
+fn config_strategy() -> impl Strategy<Value = GenConfig> {
+    (
+        any::<u64>(),
+        1usize..4,
+        1usize..6,
+        1usize..3,
+        2i64..6,
+        1usize..8,
+        0usize..4,
+        0.0f64..0.5,
+        0.0f64..0.9,
+    )
+        .prop_map(
+            |(seed, phases, leaves, depth, trip_hi, instrs_hi, diamonds, indirect, overlap)| {
+                GenConfig {
+                    seed,
+                    phases,
+                    leaf_funcs_per_phase: leaves,
+                    loop_depth: depth,
+                    trip_counts: (2, trip_hi),
+                    instrs_per_block: (1, instrs_hi),
+                    diamonds_per_leaf: diamonds,
+                    indirect_prob: indirect,
+                    phase_overlap: overlap,
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn generated_programs_always_terminate(cfg in config_strategy()) {
+        let program = generate(&cfg);
+        let mut interp = Interp::new(&program);
+        prop_assert_eq!(interp.run(100_000_000), StopReason::Halted);
+        prop_assert!(interp.blocks_entered() > 0);
+    }
+
+    #[test]
+    fn execution_is_deterministic(cfg in config_strategy()) {
+        let program = generate(&cfg);
+        let run = || {
+            let mut i = Interp::new(&program);
+            i.run(100_000_000);
+            (i.instructions_retired(), i.blocks_entered())
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn layout_is_injective_and_within_image(cfg in config_strategy()) {
+        let program = generate(&cfg);
+        let mut addrs = Vec::new();
+        for block in program.blocks() {
+            let a = program.block_addr(block.id);
+            prop_assert_eq!(program.block_at(a), Some(block.id));
+            prop_assert!(a.addr() + u64::from(block.byte_len()) <= program.image_len());
+            addrs.push(a);
+        }
+        let n = addrs.len();
+        addrs.sort_unstable();
+        addrs.dedup();
+        prop_assert_eq!(addrs.len(), n);
+    }
+
+    #[test]
+    fn successors_stay_within_the_function(cfg in config_strategy()) {
+        let program = generate(&cfg);
+        for block in program.blocks() {
+            for succ in program.successors(block.id) {
+                prop_assert_eq!(
+                    program.block(succ).func,
+                    block.func,
+                    "branch crossed a function boundary"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_execution(cfg in config_strategy()) {
+        let program = generate(&cfg);
+        let json = serde_json::to_string(&program).expect("serialize");
+        let back: cce_tinyvm::Program = serde_json::from_str(&json).expect("deserialize");
+        prop_assert_eq!(&program, &back);
+        let mut a = Interp::new(&program);
+        let mut b = Interp::new(&back);
+        a.run(5_000_000);
+        b.run(5_000_000);
+        prop_assert_eq!(a.instructions_retired(), b.instructions_retired());
+    }
+
+    #[test]
+    fn disassembly_mentions_every_function(cfg in config_strategy()) {
+        let program = generate(&cfg);
+        let text = format_program(&program);
+        for f in program.functions() {
+            let needle = format!("fn {}", f.name);
+            prop_assert!(text.contains(&needle), "missing {needle}");
+        }
+    }
+
+    #[test]
+    fn block_ids_are_dense(cfg in config_strategy()) {
+        let program = generate(&cfg);
+        for (i, block) in program.blocks().iter().enumerate() {
+            prop_assert_eq!(block.id, BlockId(i as u32));
+        }
+    }
+}

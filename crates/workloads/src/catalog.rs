@@ -1,0 +1,216 @@
+//! The 20 benchmarks of Table 1, calibrated to the paper's data.
+//!
+//! Paper-sourced fields: superblock counts (Table 1), median sizes
+//! (Figure 4; Windows medians approximated from the figure's scale),
+//! Table 2 runtimes. Calibrated fields (`reuse_factor`, `phases`,
+//! `instrs_per_entry`, `cpi`, pattern texture) are documented in
+//! DESIGN.md §2: they control trace length, working-set churn and the
+//! dispatch-density of each workload, and were chosen to land the
+//! aggregate trace statistics in the paper's reported ranges.
+
+use crate::access::AccessParams;
+use crate::model::{BenchmarkModel, Suite};
+
+#[allow(clippy::too_many_arguments)]
+fn spec_model(
+    name: &str,
+    description: &str,
+    superblocks: usize,
+    median_size: u32,
+    reuse_factor: f64,
+    phases: usize,
+    base_seconds: f64,
+    paper_disabled_seconds: f64,
+    instrs_per_entry: f64,
+    cpi: f64,
+) -> BenchmarkModel {
+    BenchmarkModel {
+        name: name.to_owned(),
+        description: description.to_owned(),
+        suite: Suite::SpecInt2000,
+        superblocks,
+        median_size,
+        size_sigma: 0.55,
+        reuse_factor,
+        phases,
+        pattern: AccessParams::default(),
+        base_seconds,
+        paper_disabled_seconds,
+        instrs_per_entry,
+        cpi,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn windows_model(
+    name: &str,
+    description: &str,
+    superblocks: usize,
+    median_size: u32,
+    reuse_factor: f64,
+    phases: usize,
+    instrs_per_entry: f64,
+    cpi: f64,
+) -> BenchmarkModel {
+    BenchmarkModel {
+        name: name.to_owned(),
+        description: description.to_owned(),
+        suite: Suite::Windows,
+        superblocks,
+        median_size,
+        size_sigma: 0.65,
+        reuse_factor,
+        phases,
+        pattern: AccessParams {
+            loop_mean_iters: 6.0,
+            sweep_prob: 0.06,
+            direct_prob: 0.8,
+            phase_overlap: 0.15,
+            ..AccessParams::default()
+        },
+        base_seconds: 0.0,
+        paper_disabled_seconds: 0.0,
+        instrs_per_entry,
+        cpi,
+    }
+}
+
+/// The 12 SPECint2000 benchmarks (Table 1, top half).
+#[must_use]
+pub fn spec() -> Vec<BenchmarkModel> {
+    vec![
+        spec_model("gzip", "Compression", 301, 244, 400.0, 3, 230.0, 7951.0, 180.0, 0.8),
+        spec_model("vpr", "FPGA Place+Route", 449, 242, 400.0, 4, 333.0, 2474.0, 900.0, 1.1),
+        spec_model("gcc", "C Compiler", 8751, 190, 120.0, 6, 206.0, 3284.0, 400.0, 1.0),
+        spec_model("mcf", "Combinatorial Optimization", 158, 237, 600.0, 3, 368.0, 2014.0, 1300.0, 2.5),
+        spec_model("crafty", "Chess Game", 1488, 233, 250.0, 4, 215.0, 3547.0, 380.0, 0.9),
+        spec_model("parser", "Word Processing", 2418, 223, 200.0, 4, 350.0, 6795.0, 320.0, 1.1),
+        spec_model("eon", "Computer Visualization", 448, 230, 400.0, 3, 0.0, 0.0, 500.0, 1.0),
+        spec_model("perlbmk", "PERL Language", 2144, 225, 220.0, 5, 336.0, 6945.0, 300.0, 1.0),
+        spec_model("gap", "Group Theory Interpreter", 667, 224, 350.0, 4, 195.0, 4231.0, 290.0, 1.0),
+        spec_model("vortex", "Object-Oriented Database", 1985, 220, 220.0, 5, 382.0, 4655.0, 530.0, 1.2),
+        spec_model("bzip2", "Compression", 224, 213, 500.0, 3, 287.0, 4294.0, 430.0, 1.0),
+        spec_model("twolf", "Place+Route", 574, 218, 400.0, 4, 658.0, 6490.0, 680.0, 1.3),
+    ]
+}
+
+/// The 8 interactive Windows applications (Table 1, bottom half).
+#[must_use]
+pub fn windows() -> Vec<BenchmarkModel> {
+    vec![
+        windows_model("iexplore", "Web Browser", 14846, 262, 80.0, 10, 450.0, 1.4),
+        windows_model("outlook", "E-Mail App", 13233, 255, 80.0, 10, 420.0, 1.4),
+        windows_model("photoshop", "Photo Editor", 9434, 280, 100.0, 8, 520.0, 1.3),
+        windows_model("pinball", "3D Game Demo", 1086, 300, 200.0, 4, 350.0, 1.2),
+        windows_model("powerpoint", "Presentation", 14475, 270, 80.0, 10, 430.0, 1.4),
+        windows_model("visualstudio", "Development Env", 7063, 248, 100.0, 8, 400.0, 1.3),
+        windows_model("winzip", "Compression", 3198, 240, 150.0, 5, 380.0, 1.1),
+        windows_model("word", "Word Processor", 18043, 258, 80.0, 12, 440.0, 1.5),
+    ]
+}
+
+/// All 20 benchmarks in the paper's Table 1 order.
+#[must_use]
+pub fn all() -> Vec<BenchmarkModel> {
+    let mut v = spec();
+    v.extend(windows());
+    v
+}
+
+/// Looks up a benchmark by its Table 1 name.
+#[must_use]
+pub fn by_name(name: &str) -> Option<BenchmarkModel> {
+    all().into_iter().find(|m| m.name == name)
+}
+
+/// The 11 SPEC benchmarks of Table 2 (eon was excluded by the paper).
+#[must_use]
+pub fn table2() -> Vec<BenchmarkModel> {
+    spec().into_iter().filter(|m| m.base_seconds > 0.0).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twenty_benchmarks_in_paper_order() {
+        let a = all();
+        assert_eq!(a.len(), 20);
+        assert_eq!(a[0].name, "gzip");
+        assert_eq!(a[19].name, "word");
+        assert_eq!(spec().len(), 12);
+        assert_eq!(windows().len(), 8);
+    }
+
+    #[test]
+    fn superblock_counts_match_table1() {
+        let expect = [
+            ("gzip", 301),
+            ("vpr", 449),
+            ("gcc", 8751),
+            ("mcf", 158),
+            ("crafty", 1488),
+            ("parser", 2418),
+            ("eon", 448),
+            ("perlbmk", 2144),
+            ("gap", 667),
+            ("vortex", 1985),
+            ("bzip2", 224),
+            ("twolf", 574),
+            ("iexplore", 14846),
+            ("outlook", 13233),
+            ("photoshop", 9434),
+            ("pinball", 1086),
+            ("powerpoint", 14475),
+            ("visualstudio", 7063),
+            ("winzip", 3198),
+            ("word", 18043),
+        ];
+        for (name, count) in expect {
+            assert_eq!(by_name(name).unwrap().superblocks, count, "{name}");
+        }
+    }
+
+    #[test]
+    fn table2_excludes_eon() {
+        let t2 = table2();
+        assert_eq!(t2.len(), 11);
+        assert!(t2.iter().all(|m| m.name != "eon"));
+        assert!(t2.iter().all(|m| m.paper_disabled_seconds > m.base_seconds));
+    }
+
+    #[test]
+    fn smallest_and_largest_match_section_4_2() {
+        // §4.2: maxCache ranges from gzip (smallest, 301 superblocks) to
+        // word (largest, 18 043 superblocks).
+        let a = all();
+        let min = a.iter().min_by_key(|m| m.superblocks).unwrap();
+        let max = a.iter().max_by_key(|m| m.superblocks).unwrap();
+        assert_eq!(min.name, "mcf"); // by count mcf is smallest…
+        assert_eq!(max.name, "word");
+        // …but gzip has the smallest *byte* footprint claim in the paper
+        // (171 KB); sanity-check the byte ordering is at least plausible:
+        // word's footprint dwarfs gzip's.
+        let gzip = by_name("gzip").unwrap();
+        let word = by_name("word").unwrap();
+        let gz_bytes = gzip.superblocks as u64 * u64::from(gzip.median_size);
+        let wd_bytes = word.superblocks as u64 * u64::from(word.median_size);
+        assert!(wd_bytes > gz_bytes * 30);
+    }
+
+    #[test]
+    fn unknown_name_is_none() {
+        assert!(by_name("notabenchmark").is_none());
+    }
+
+    #[test]
+    fn full_scale_footprints_are_plausible() {
+        // §4.2: gzip ≈ 171 KB, word ≈ 34.2 MB. Median × count is a rough
+        // proxy; the generated traces land near these (log-normal mean is
+        // above the median).
+        let gzip = by_name("gzip").unwrap().trace(1.0, 1);
+        let kb = gzip.max_cache_bytes() as f64 / 1024.0;
+        assert!((60.0..400.0).contains(&kb), "gzip maxCache {kb} KB");
+    }
+}

@@ -1,0 +1,162 @@
+//! Deterministic samplers for workload generation.
+//!
+//! Implemented by hand on top of `rand`'s uniform primitives so the
+//! workspace needs no extra distribution crates: log-normal via
+//! Box–Muller (superblock sizes — code region sizes are classically
+//! log-normal, and this matches Figure 3's long right tail), and a
+//! geometric sampler (loop lengths and iteration counts).
+
+use rand::Rng;
+
+/// Samples a standard normal via the Box–Muller transform.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Avoid ln(0).
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Samples a log-normal with the given *median* and shape `sigma`.
+///
+/// For a log-normal, `median = exp(mu)`, so parameterizing by median makes
+/// it trivial to match Figure 4's per-benchmark medians.
+///
+/// # Panics
+///
+/// Panics if `median <= 0` or `sigma < 0`.
+pub fn log_normal<R: Rng + ?Sized>(rng: &mut R, median: f64, sigma: f64) -> f64 {
+    assert!(median > 0.0, "median must be positive");
+    assert!(sigma >= 0.0, "sigma must be nonnegative");
+    let mu = median.ln();
+    (mu + sigma * standard_normal(rng)).exp()
+}
+
+/// Samples a superblock size in bytes: log-normal around `median_size`,
+/// clamped to a plausible range (a superblock is at least one translated
+/// instruction plus a stub, and DynamoRIO caps trace length).
+pub fn superblock_size<R: Rng + ?Sized>(rng: &mut R, median_size: u32, sigma: f64) -> u32 {
+    let raw = log_normal(rng, f64::from(median_size), sigma);
+    raw.round().clamp(32.0, 2048.0) as u32
+}
+
+/// Samples a geometric value ≥ 1 with the given mean (mean must be ≥ 1).
+///
+/// # Panics
+///
+/// Panics if `mean < 1`.
+pub fn geometric<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> u64 {
+    assert!(mean >= 1.0, "geometric mean must be >= 1");
+    if mean == 1.0 {
+        return 1;
+    }
+    // P(X = k) = (1-p)^(k-1) p with mean 1/p.
+    let p = 1.0 / mean;
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let k = (u.ln() / (1.0 - p).ln()).ceil();
+    k.max(1.0) as u64
+}
+
+/// Histogram buckets used for Figure 3's size distribution.
+pub const SIZE_BUCKETS: [(u32, u32); 6] = [
+    (0, 63),
+    (64, 127),
+    (128, 255),
+    (256, 511),
+    (512, 1023),
+    (1024, u32::MAX),
+];
+
+/// Human-readable labels for [`SIZE_BUCKETS`].
+pub const SIZE_BUCKET_LABELS: [&str; 6] = ["0-63", "64-127", "128-255", "256-511", "512-1023", "1024+"];
+
+/// Buckets sizes per [`SIZE_BUCKETS`], returning counts.
+#[must_use]
+pub fn size_histogram(sizes: &[u32]) -> [u64; 6] {
+    let mut h = [0u64; 6];
+    for &s in sizes {
+        for (i, &(lo, hi)) in SIZE_BUCKETS.iter().enumerate() {
+            if s >= lo && s <= hi {
+                h[i] += 1;
+                break;
+            }
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_has_zero_mean_unit_variance() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn log_normal_median_matches_parameter() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut samples: Vec<f64> = (0..10_001).map(|_| log_normal(&mut rng, 230.0, 0.6)).collect();
+        samples.sort_by(f64::total_cmp);
+        let median = samples[samples.len() / 2];
+        assert!((median - 230.0).abs() < 25.0, "median {median}");
+    }
+
+    #[test]
+    fn superblock_sizes_are_clamped() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..5000 {
+            let s = superblock_size(&mut rng, 230, 1.5);
+            assert!((32..=2048).contains(&s));
+        }
+    }
+
+    #[test]
+    fn geometric_mean_is_close() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 20_000;
+        let mean_target = 7.0;
+        let sum: u64 = (0..n).map(|_| geometric(&mut rng, mean_target)).sum();
+        let mean = sum as f64 / n as f64;
+        assert!((mean - mean_target).abs() < 0.5, "mean {mean}");
+    }
+
+    #[test]
+    fn geometric_of_mean_one_is_constant() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..100 {
+            assert_eq!(geometric(&mut rng, 1.0), 1);
+        }
+    }
+
+    #[test]
+    fn histogram_covers_all_sizes() {
+        let sizes = [10, 64, 130, 256, 600, 5000, 63, 127];
+        let h = size_histogram(&sizes);
+        assert_eq!(h.iter().sum::<u64>(), sizes.len() as u64);
+        assert_eq!(h[0], 2); // 10, 63
+        assert_eq!(h[1], 2); // 64, 127
+        assert_eq!(h[5], 1); // 5000
+    }
+
+    #[test]
+    fn samplers_are_deterministic_per_seed() {
+        let a: Vec<u64> = {
+            let mut rng = StdRng::seed_from_u64(9);
+            (0..50).map(|_| geometric(&mut rng, 5.0)).collect()
+        };
+        let b: Vec<u64> = {
+            let mut rng = StdRng::seed_from_u64(9);
+            (0..50).map(|_| geometric(&mut rng, 5.0)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

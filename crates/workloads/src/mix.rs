@@ -1,0 +1,200 @@
+//! Multiprogrammed workload mixes.
+//!
+//! The paper motivates bounded caches by noting that "users tend to
+//! execute several programs at once" (§2.3): several translators share
+//! the machine, or one system-wide translator serves several processes
+//! with one code cache. [`interleave`] builds that workload: it
+//! time-slices multiple benchmark traces into a single access stream over
+//! a disjoint superblock id space. Chain transitions never survive a
+//! context switch (the switch itself goes through the kernel and the
+//! dispatcher), so the first access of every slice is non-direct.
+
+use cce_core::SuperblockId;
+use cce_dbt::{SuperblockInfo, TraceEvent, TraceLog};
+
+/// Interleaves `traces` round-robin with `slice` accesses per turn.
+///
+/// Superblock ids are re-based so the apps never collide; each input's
+/// registry is carried over in order. Traces that run out simply drop out
+/// of the rotation (shorter apps finish first, like real processes).
+///
+/// # Panics
+///
+/// Panics if `traces` is empty or `slice == 0`.
+#[must_use]
+pub fn interleave(traces: &[TraceLog], slice: usize) -> TraceLog {
+    assert!(!traces.is_empty(), "need at least one trace to interleave");
+    assert!(slice > 0, "slice must be nonzero");
+
+    let name = format!(
+        "mix({})",
+        traces
+            .iter()
+            .map(|t| t.name.as_str())
+            .collect::<Vec<_>>()
+            .join("+")
+    );
+    let mut mixed = TraceLog::new(&name);
+
+    // Re-base each app's id space.
+    let mut bases = Vec::with_capacity(traces.len());
+    let mut next_base = 0u64;
+    for t in traces {
+        bases.push(next_base);
+        for sb in &t.superblocks {
+            mixed.record_superblock(SuperblockInfo {
+                id: SuperblockId(sb.id.0 + next_base),
+                ..*sb
+            });
+        }
+        next_base += t.superblocks.len() as u64;
+    }
+
+    // Round-robin time slices.
+    let mut cursors = vec![0usize; traces.len()];
+    loop {
+        let mut progressed = false;
+        for (app, t) in traces.iter().enumerate() {
+            let base = bases[app];
+            let start = cursors[app];
+            if start >= t.events.len() {
+                continue;
+            }
+            progressed = true;
+            let end = (start + slice).min(t.events.len());
+            for (i, ev) in t.events[start..end].iter().enumerate() {
+                let TraceEvent::Access { id, direct_from } = *ev;
+                // The first access after a context switch is dispatched.
+                let direct_from = if i == 0 {
+                    None
+                } else {
+                    direct_from.map(|f| SuperblockId(f.0 + base))
+                };
+                mixed.record_access(SuperblockId(id.0 + base), direct_from);
+            }
+            cursors[app] = end;
+        }
+        if !progressed {
+            break;
+        }
+    }
+    mixed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+
+    fn small(name: &str) -> TraceLog {
+        catalog::by_name(name).unwrap().trace(0.05, 3)
+    }
+
+    #[test]
+    fn ids_are_rebased_disjointly() {
+        let a = small("gzip");
+        let b = small("mcf");
+        let m = interleave(&[a.clone(), b.clone()], 100);
+        assert_eq!(
+            m.superblocks.len(),
+            a.superblocks.len() + b.superblocks.len()
+        );
+        let n_a = a.superblocks.len() as u64;
+        // Second app's registry starts where the first ends.
+        assert_eq!(m.superblocks[a.superblocks.len()].id.0, n_a);
+        // Every event references the combined registry.
+        let total = m.superblocks.len() as u64;
+        for ev in &m.events {
+            let TraceEvent::Access { id, .. } = ev;
+            assert!(id.0 < total);
+        }
+    }
+
+    #[test]
+    fn every_input_event_appears_exactly_once() {
+        let a = small("gzip");
+        let b = small("bzip2");
+        let m = interleave(&[a.clone(), b.clone()], 64);
+        assert_eq!(m.events.len(), a.events.len() + b.events.len());
+    }
+
+    #[test]
+    fn context_switches_break_chains() {
+        let a = small("gzip");
+        let b = small("bzip2");
+        let slice = 50;
+        let m = interleave(&[a, b], slice);
+        // Every slice boundary must be a non-direct access.
+        let mut idx = 0;
+        let mut boundary_count = 0;
+        while idx < m.events.len() {
+            let TraceEvent::Access { direct_from, .. } = m.events[idx];
+            assert!(
+                direct_from.is_none(),
+                "slice boundary at {idx} carried a chain transition"
+            );
+            boundary_count += 1;
+            idx += slice; // boundaries align until one app drains
+            if boundary_count > 4 {
+                break; // only the aligned prefix is checked
+            }
+        }
+        assert!(boundary_count > 1);
+    }
+
+    #[test]
+    fn max_cache_is_the_sum_of_the_parts() {
+        let a = small("gzip");
+        let b = small("mcf");
+        let sum = a.max_cache_bytes() + b.max_cache_bytes();
+        let m = interleave(&[a, b], 100);
+        assert_eq!(m.max_cache_bytes(), sum);
+    }
+
+    #[test]
+    fn mix_name_lists_apps() {
+        let m = interleave(&[small("gzip"), small("mcf")], 10);
+        assert_eq!(m.name, "mix(gzip+mcf)");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trace")]
+    fn empty_mix_panics() {
+        let _ = interleave(&[], 10);
+    }
+
+    #[test]
+    fn faster_context_switching_raises_shared_cache_misses() {
+        // The multiprogramming pressure of §2.3 in its cleanest form:
+        // with a shared cache, the more often processes alternate, the
+        // more each return finds its code evicted by the other's bursts.
+        // (Sharing with *long* slices can actually beat partitioned
+        // caches — statistical multiplexing — so the slice length is the
+        // interesting axis, not sharing per se.)
+        use cce_core::Granularity;
+        use cce_sim::simulator::{simulate, SimConfig};
+
+        let a = catalog::by_name("gzip").unwrap().trace(0.2, 9);
+        let b = catalog::by_name("crafty").unwrap().trace(0.2, 9);
+        let rate = |slice: usize| {
+            let mixed = interleave(&[a.clone(), b.clone()], slice);
+            simulate(
+                &mixed,
+                &SimConfig {
+                    granularity: Granularity::Flush,
+                    capacity: mixed.max_cache_bytes() / 4,
+                    ..SimConfig::default()
+                },
+            )
+            .unwrap()
+            .stats
+            .miss_rate()
+        };
+        let fast = rate(25);
+        let slow = rate(800);
+        assert!(
+            fast > slow,
+            "fast switching {fast} should miss more than slow {slow}"
+        );
+    }
+}

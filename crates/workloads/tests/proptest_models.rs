@@ -1,0 +1,82 @@
+//! Property tests over all 20 benchmark models.
+
+use cce_dbt::TraceEvent;
+use cce_workloads::catalog;
+use proptest::prelude::*;
+
+fn model_names() -> Vec<&'static str> {
+    vec![
+        "gzip", "vpr", "gcc", "mcf", "crafty", "parser", "eon", "perlbmk", "gap", "vortex",
+        "bzip2", "twolf", "iexplore", "outlook", "photoshop", "pinball", "powerpoint",
+        "visualstudio", "winzip", "word",
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn traces_are_complete_and_well_formed(
+        name in prop::sample::select(model_names()),
+        seed in 0u64..100,
+    ) {
+        let model = catalog::by_name(name).expect("table 1 name");
+        // Tiny scale keeps the big Windows apps fast.
+        let scale = 0.03;
+        let trace = model.trace(scale, seed);
+        let n = trace.superblocks.len();
+        prop_assert_eq!(n, model.scaled_superblocks(scale));
+
+        let mut touched = vec![false; n];
+        let mut prev: Option<u64> = None;
+        for ev in &trace.events {
+            let TraceEvent::Access { id, direct_from } = ev;
+            prop_assert!((id.0 as usize) < n, "event references unknown block");
+            touched[id.0 as usize] = true;
+            if let Some(f) = direct_from {
+                // A direct transition always names the immediately
+                // preceding access — that is what "direct" means.
+                prop_assert_eq!(Some(f.0), prev, "direct_from must be the previous access");
+            }
+            prev = Some(id.0);
+        }
+        prop_assert!(touched.iter().all(|&t| t), "{name}: untouched superblocks");
+
+        for sb in &trace.superblocks {
+            prop_assert!((32..=2048).contains(&sb.size));
+            prop_assert!(sb.exits >= 1);
+        }
+    }
+
+    #[test]
+    fn first_touch_order_matches_formation_order(
+        name in prop::sample::select(vec!["gzip", "gcc", "pinball"]),
+        seed in 0u64..50,
+    ) {
+        let trace = catalog::by_name(name).unwrap().trace(0.05, seed);
+        // The id space is assigned in formation order, so the first touch
+        // of id k must come after the first touch of id k-1.
+        let mut seen_up_to: i64 = -1;
+        for ev in &trace.events {
+            let TraceEvent::Access { id, .. } = ev;
+            let id = id.0 as i64;
+            if id > seen_up_to {
+                prop_assert_eq!(id, seen_up_to + 1, "formation order violated");
+                seen_up_to = id;
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ_and_same_seed_agrees(
+        name in prop::sample::select(model_names()),
+        seed in 0u64..100,
+    ) {
+        let m = catalog::by_name(name).unwrap();
+        let a = m.trace(0.03, seed);
+        let b = m.trace(0.03, seed);
+        prop_assert_eq!(&a, &b);
+        let c = m.trace(0.03, seed.wrapping_add(1));
+        prop_assert_ne!(&a, &c);
+    }
+}

@@ -1,0 +1,63 @@
+//! Quickstart: drive a code cache by hand, then simulate a real workload.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use cce::core::{CodeCache, Granularity, SuperblockId};
+use cce::sim::simulator::{simulate, SimConfig};
+use cce::workloads::catalog;
+use std::error::Error;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    // --- Part 1: the cache API ------------------------------------------
+    // A 4 KiB code cache split into 4 FIFO units (a medium granularity).
+    let mut cache = CodeCache::with_granularity(Granularity::units(4), 4096)?;
+
+    // A dynamic optimizer would insert freshly translated superblocks and
+    // chain the exits it observes.
+    let (a, b, c) = (SuperblockId(1), SuperblockId(2), SuperblockId(3));
+    cache.insert(a, 900)?;
+    cache.insert(b, 700)?;
+    cache.insert(c, 400)?;
+    cache.link(a, b)?; // a's exit patched to jump straight to b
+    cache.link(b, a)?; // and back: a hot loop across two superblocks
+    cache.link(c, c)?; // a self-loop
+
+    println!("resident: {} blocks / {} of {} bytes", cache.resident_count(), cache.used(), cache.capacity());
+    println!("links live: {}", cache.link_graph().link_count());
+
+    // Keep inserting until the cache must evict a whole unit.
+    let mut next = 10u64;
+    let report = loop {
+        let r = cache.insert(SuperblockId(next), 500)?;
+        next += 1;
+        if r.evicted_anything() {
+            break r;
+        }
+    };
+    let ev = &report.evictions[0];
+    println!(
+        "first eviction: {} blocks, {} bytes freed, {} unlink operations",
+        ev.evicted.len(),
+        ev.bytes,
+        ev.unlinked.len()
+    );
+    println!("stats so far: {:#?}", cache.stats());
+
+    // --- Part 2: a paper workload through the simulator ------------------
+    // gzip at half its Table-1 size, cache pressure 2, 8-unit FIFO.
+    let trace = catalog::by_name("gzip").expect("table 1 benchmark").trace(0.5, 42);
+    let config = SimConfig {
+        granularity: Granularity::units(8),
+        capacity: trace.max_cache_bytes() / 2,
+        ..SimConfig::default()
+    };
+    let result = simulate(&trace, &config)?;
+    println!(
+        "\ngzip @ pressure 2, 8-unit FIFO: miss rate {:.2}%, {} eviction invocations, \
+         management overhead {:.2e} instructions",
+        result.stats.miss_rate() * 100.0,
+        result.stats.eviction_invocations,
+        result.total_overhead()
+    );
+    Ok(())
+}

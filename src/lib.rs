@@ -1,0 +1,37 @@
+//! # cce — code cache eviction granularities
+//!
+//! Umbrella crate for the reproduction of *Exploring Code Cache Eviction
+//! Granularities in Dynamic Optimization Systems* (Hazelwood & Smith,
+//! CGO 2004). It re-exports the workspace crates under stable paths:
+//!
+//! * [`core`] — the software code cache with the FLUSH /
+//!   N-unit FIFO / fine-FIFO eviction spectrum, chaining and back-pointer
+//!   bookkeeping (the paper's contribution);
+//! * [`tinyvm`] — the guest ISA, interpreter and program
+//!   generators;
+//! * [`dbt`] — the dynamic binary translator (profiling, NET
+//!   superblock formation, translation, chaining, trace logs);
+//! * [`workloads`] — the paper's 20 benchmarks as
+//!   calibrated statistical models;
+//! * [`sim`] — trace-driven simulation, the Eq. 2–4 overhead
+//!   models, regression, pressure sweeps and execution-time estimates.
+//!
+//! # Quick start
+//!
+//! ```
+//! use cce::core::{CodeCache, Granularity, SuperblockId};
+//!
+//! let mut cache = CodeCache::with_granularity(Granularity::units(8), 64 * 1024)?;
+//! cache.insert(SuperblockId(1), 230)?;
+//! assert!(cache.access(SuperblockId(1)).is_hit());
+//! # Ok::<(), cce::core::CacheError>(())
+//! ```
+//!
+//! See the `examples/` directory for end-to-end scenarios and
+//! `cce-experiments` for the per-figure regenerators.
+
+pub use cce_core as core;
+pub use cce_dbt as dbt;
+pub use cce_sim as sim;
+pub use cce_tinyvm as tinyvm;
+pub use cce_workloads as workloads;
