@@ -1,0 +1,10 @@
+#!/usr/bin/env sh
+# Offline CI gate: formatting, lints, and the tier-1 verify.
+# `crates/bench` is intentionally outside the workspace (it needs
+# criterion, which offline environments cannot fetch).
+set -eux
+
+cargo fmt --all --check
+cargo clippy --workspace --all-targets -- -D warnings
+cargo build --release
+cargo test -q

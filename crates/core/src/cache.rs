@@ -3,17 +3,30 @@
 //! This is the type a dynamic optimizer embeds. It exposes the three
 //! operations the paper's control-flow diagram (Figure 1) requires of a
 //! cache manager — **lookup** ([`CodeCache::access`]), **insert with
-//! eviction** ([`CodeCache::insert`]) and **chain** ([`CodeCache::link`]) —
-//! and transparently maintains the back-pointer table so no eviction can
-//! leave a dangling link.
+//! eviction** ([`CodeCache::insert_evented`]) and **chain**
+//! ([`CodeCache::link`]) — and transparently maintains the back-pointer
+//! table so no eviction can leave a dangling link.
+//!
+//! Insertion is event-driven: the organization streams its eviction
+//! decisions into a reusable scratch [`EventBuffer`], and the cache
+//! settles them (link unpatching, statistics) in a **single traversal**,
+//! producing a compact [`InsertSummary`] with no per-insert heap
+//! allocation in steady state. The settled stream — with `Unlinked`
+//! events and real `links_dropped_free` counts — is forwarded to an
+//! optional observer ([`CodeCache::set_observer`]) and to any sink the
+//! caller passes ([`CodeCache::insert_with_events`]). The pre-event API
+//! ([`CodeCache::insert`], [`CodeCache::insert_hinted`]) survives as a
+//! shim that materializes the settled stream into an [`InsertReport`].
 
 use crate::error::CacheError;
+use crate::events::{CacheEvent, CacheObserver, EventBuffer, EventSink, NullSink};
 use crate::ids::{Granularity, SuperblockId, UnitId};
 use crate::links::LinkGraph;
 use crate::org::unit_fifo::UnitFifo;
-use crate::org::{fine_fifo::FineFifo, CacheOrg, RawEviction};
+use crate::org::{fine_fifo::FineFifo, CacheOrg};
 use crate::stats::CacheStats;
 use std::collections::HashSet;
+use std::fmt;
 
 /// Outcome of a cache lookup.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -73,17 +86,114 @@ impl InsertReport {
     pub fn evicted_anything(&self) -> bool {
         !self.evictions.is_empty()
     }
+
+    /// Reassembles a report from a *settled* event stream (as produced
+    /// by [`CodeCache::insert_with_events`]).
+    #[must_use]
+    pub fn from_events(events: &[CacheEvent]) -> InsertReport {
+        let mut report = InsertReport::default();
+        let mut current: Option<EvictionReport> = None;
+        for &ev in events {
+            match ev {
+                CacheEvent::Padding { bytes } => report.padding += bytes,
+                CacheEvent::EvictionBegin => current = Some(EvictionReport::default()),
+                CacheEvent::Evicted { id, size } => {
+                    current
+                        .as_mut()
+                        .expect("Evicted outside an invocation")
+                        .evicted
+                        .push((id, size));
+                }
+                CacheEvent::Unlinked { id, links } => {
+                    current
+                        .as_mut()
+                        .expect("Unlinked outside an invocation")
+                        .unlinked
+                        .push((id, links));
+                }
+                CacheEvent::EvictionEnd {
+                    bytes,
+                    links_dropped_free,
+                } => {
+                    let mut done = current.take().expect("EvictionEnd without EvictionBegin");
+                    done.bytes = bytes;
+                    done.links_dropped_free = links_dropped_free;
+                    report.evictions.push(done);
+                }
+                _ => {}
+            }
+        }
+        report
+    }
+}
+
+/// Allocation-free digest of one insertion: everything the overhead
+/// models (Eqs. 2 and 4) need, without materializing per-eviction
+/// vectors. All cost models are linear, so sums are sufficient.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct InsertSummary {
+    /// Bytes lost to unit padding.
+    pub padding: u64,
+    /// Eviction-mechanism invocations performed (Eq. 2 fixed cost each).
+    pub evictions: u32,
+    /// Superblocks evicted across all invocations.
+    pub blocks_evicted: u32,
+    /// Bytes evicted across all invocations (Eq. 2 per-byte cost).
+    pub bytes_evicted: u64,
+    /// Evicted blocks whose incoming links needed unpatching (Eq. 4
+    /// fixed cost each).
+    pub unlink_operations: u32,
+    /// Total links unpatched (Eq. 4 per-link cost).
+    pub links_unlinked: u64,
+}
+
+impl InsertSummary {
+    /// True if the insertion evicted anything.
+    #[must_use]
+    pub fn evicted_anything(&self) -> bool {
+        self.evictions > 0
+    }
 }
 
 /// A software code cache with pluggable eviction organization.
 ///
 /// See the [crate-level documentation](crate) for an end-to-end example.
-#[derive(Debug)]
 pub struct CodeCache {
     org: Box<dyn CacheOrg>,
     links: LinkGraph,
     stats: CacheStats,
     seen: HashSet<SuperblockId>,
+    /// Scratch buffer the organization streams into; reused so the hot
+    /// path performs no allocation once warm.
+    buf: EventBuffer,
+    /// Scratch set of the current invocation's victims; reused likewise.
+    dying: HashSet<SuperblockId>,
+    /// Optional subscriber to the settled event stream.
+    observer: Option<Box<dyn CacheObserver>>,
+}
+
+impl fmt::Debug for CodeCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CodeCache")
+            .field("org", &self.org)
+            .field("links", &self.links)
+            .field("stats", &self.stats)
+            .field("observer", &self.observer.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Forwards a settled event to the observer (if any) and the sink.
+/// A macro rather than a method so the surrounding traversal can keep
+/// disjoint field borrows on `links`/`stats`/`buf`.
+macro_rules! settle_emit {
+    ($self:ident, $sink:ident, $ev:expr) => {{
+        let ev = $ev;
+        if let Some(obs) = $self.observer.as_mut() {
+            obs.on_event(ev);
+        }
+        $sink.event(ev);
+    }};
 }
 
 impl CodeCache {
@@ -95,6 +205,9 @@ impl CodeCache {
             links: LinkGraph::new(),
             stats: CacheStats::new(),
             seen: HashSet::new(),
+            buf: EventBuffer::new(),
+            dying: HashSet::new(),
+            observer: None,
         }
     }
 
@@ -114,6 +227,19 @@ impl CodeCache {
         Ok(CodeCache::new(org))
     }
 
+    /// Subscribes `observer` to the settled event stream: every `Hit`,
+    /// `Miss`, `Padding`, `EvictionBegin`, `Evicted`, `Unlinked`,
+    /// `EvictionEnd` and `Inserted` the cache produces from now on.
+    /// Replaces any previous observer.
+    pub fn set_observer(&mut self, observer: Box<dyn CacheObserver>) {
+        self.observer = Some(observer);
+    }
+
+    /// Removes and returns the current observer, if any.
+    pub fn take_observer(&mut self) -> Option<Box<dyn CacheObserver>> {
+        self.observer.take()
+    }
+
     /// Looks up `id`, recording hit/miss statistics. Does **not** insert.
     pub fn access(&mut self, id: SuperblockId) -> AccessResult {
         self.stats.accesses += 1;
@@ -130,18 +256,69 @@ impl CodeCache {
             self.stats.cold_misses += 1;
             AccessResult::ColdMiss
         };
+        if let Some(obs) = self.observer.as_mut() {
+            obs.on_event(match result {
+                AccessResult::Hit => CacheEvent::Hit { id },
+                AccessResult::ColdMiss => CacheEvent::Miss { id, cold: true },
+                AccessResult::CapacityMiss => CacheEvent::Miss { id, cold: false },
+            });
+        }
         self.org.note_access(result.is_hit());
         result
     }
 
     /// Inserts a freshly translated superblock, evicting as required and
-    /// unpatching every link into each evicted block.
+    /// unpatching every link into each evicted block. Allocation-free in
+    /// steady state; returns the compact [`InsertSummary`].
     ///
     /// # Errors
     ///
     /// Propagates the organization's validation errors
     /// ([`CacheError::AlreadyResident`], [`CacheError::ZeroSize`],
     /// [`CacheError::BlockTooLarge`]).
+    pub fn insert_evented(
+        &mut self,
+        id: SuperblockId,
+        size: u32,
+        partner: Option<SuperblockId>,
+    ) -> Result<InsertSummary, CacheError> {
+        self.insert_with_events(id, size, partner, &mut NullSink)
+    }
+
+    /// Like [`CodeCache::insert_evented`], additionally mirroring the
+    /// settled event stream into `sink`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CodeCache::insert_evented`].
+    pub fn insert_with_events(
+        &mut self,
+        id: SuperblockId,
+        size: u32,
+        partner: Option<SuperblockId>,
+        sink: &mut dyn EventSink,
+    ) -> Result<InsertSummary, CacheError> {
+        self.buf.clear();
+        self.org.insert_events(id, size, partner, &mut self.buf)?;
+        self.seen.insert(id);
+        self.stats.insertions += 1;
+        self.stats.bytes_inserted += u64::from(size);
+        let summary = self.settle(sink);
+        self.stats.high_water_bytes = self.stats.high_water_bytes.max(self.org.used());
+        self.stats.high_water_blocks = self
+            .stats
+            .high_water_blocks
+            .max(self.org.resident_count() as u64);
+        Ok(summary)
+    }
+
+    /// Legacy shim: inserts and materializes the settled stream into an
+    /// owned [`InsertReport`]. Allocates; prefer
+    /// [`CodeCache::insert_evented`] on hot paths.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CodeCache::insert_evented`].
     pub fn insert(&mut self, id: SuperblockId, size: u32) -> Result<InsertReport, CacheError> {
         self.insert_hinted(id, size, None)
     }
@@ -161,24 +338,9 @@ impl CodeCache {
         size: u32,
         partner: Option<SuperblockId>,
     ) -> Result<InsertReport, CacheError> {
-        let raw = self.org.insert_with_hint(id, size, partner)?;
-        self.seen.insert(id);
-        self.stats.insertions += 1;
-        self.stats.bytes_inserted += u64::from(size);
-        self.stats.padding_bytes += raw.padding;
-        let mut report = InsertReport {
-            evictions: Vec::with_capacity(raw.evictions.len()),
-            padding: raw.padding,
-        };
-        for ev in raw.evictions {
-            report.evictions.push(self.settle_eviction(ev));
-        }
-        self.stats.high_water_bytes = self.stats.high_water_bytes.max(self.org.used());
-        self.stats.high_water_blocks = self
-            .stats
-            .high_water_blocks
-            .max(self.org.resident_count() as u64);
-        Ok(report)
+        let mut settled = EventBuffer::new();
+        self.insert_with_events(id, size, partner, &mut settled)?;
+        Ok(InsertReport::from_events(settled.events()))
     }
 
     /// Convenience: access, and on a miss insert with `size`. Returns the
@@ -230,8 +392,22 @@ impl CodeCache {
     /// flush on a detected phase change). Returns the eviction report, or
     /// `None` if the cache was empty.
     pub fn flush(&mut self) -> Option<EvictionReport> {
-        let ev = self.org.flush_all()?;
-        Some(self.settle_eviction(ev))
+        let mut settled = EventBuffer::new();
+        self.flush_with_events(&mut settled)?;
+        InsertReport::from_events(settled.events())
+            .evictions
+            .into_iter()
+            .next()
+    }
+
+    /// Evented flush: streams the settled eviction into `sink` and
+    /// returns its summary, or `None` if the cache was empty.
+    pub fn flush_with_events(&mut self, sink: &mut dyn EventSink) -> Option<InsertSummary> {
+        self.buf.clear();
+        if !self.org.flush_events(&mut self.buf) {
+            return None;
+        }
+        Some(self.settle(sink))
     }
 
     /// True if `id` is resident.
@@ -306,45 +482,103 @@ impl CodeCache {
         self.org.as_ref()
     }
 
-    /// Processes one raw eviction: classifies and removes all links
-    /// touching the evicted set, updating statistics.
-    fn settle_eviction(&mut self, ev: RawEviction) -> EvictionReport {
-        let bytes = ev.bytes();
-        self.stats.eviction_invocations += 1;
-        self.stats.blocks_evicted += ev.evicted.len() as u64;
-        self.stats.bytes_evicted += bytes;
-
-        let dying: HashSet<SuperblockId> = ev.evicted.iter().map(|&(id, _)| id).collect();
-        let mut report = EvictionReport {
-            evicted: ev.evicted,
-            bytes,
-            unlinked: Vec::new(),
-            links_dropped_free: 0,
-        };
-        let links_before = self.links.link_count();
-        let mut unlinked_total = 0u64;
-        for &(id, _) in &report.evicted {
-            // Incoming links from blocks that survive this invocation are
-            // the ones that must be unpatched through the back-pointer
-            // table (Eq. 4). Links among co-victims — and outgoing links,
-            // which die with their source — cost nothing.
-            let survivors = self
-                .links
-                .incoming(id)
-                .iter()
-                .filter(|s| !dying.contains(s))
-                .count() as u32;
-            self.links.remove_block(id);
-            if survivors > 0 {
-                report.unlinked.push((id, survivors));
-                self.stats.unlink_operations += 1;
-                self.stats.links_unlinked += u64::from(survivors);
-                unlinked_total += u64::from(survivors);
+    /// Settles the raw event stream buffered in `self.buf` in a single
+    /// traversal: classifies and removes all links touching each
+    /// invocation's victims, updates statistics, and forwards the settled
+    /// stream (with `Unlinked` events and real `links_dropped_free`) to
+    /// the observer and `sink`.
+    fn settle(&mut self, sink: &mut dyn EventSink) -> InsertSummary {
+        let mut summary = InsertSummary::default();
+        let n = self.buf.len();
+        let mut i = 0;
+        while i < n {
+            let ev = self.buf.get(i);
+            match ev {
+                CacheEvent::Padding { bytes } => {
+                    self.stats.padding_bytes += bytes;
+                    summary.padding += bytes;
+                    settle_emit!(self, sink, ev);
+                }
+                CacheEvent::EvictionBegin => {
+                    // Pre-scan the invocation to learn the complete dying
+                    // set — survivor classification needs it.
+                    self.dying.clear();
+                    let mut inv_bytes = 0u64;
+                    let mut inv_blocks = 0u32;
+                    let mut j = i + 1;
+                    while j < n {
+                        if let CacheEvent::Evicted { id, size } = self.buf.get(j) {
+                            self.dying.insert(id);
+                            inv_bytes += u64::from(size);
+                            inv_blocks += 1;
+                            j += 1;
+                        } else {
+                            break;
+                        }
+                    }
+                    debug_assert!(
+                        matches!(self.buf.get(j), CacheEvent::EvictionEnd { .. }),
+                        "organization emitted a malformed invocation"
+                    );
+                    self.stats.eviction_invocations += 1;
+                    self.stats.blocks_evicted += u64::from(inv_blocks);
+                    self.stats.bytes_evicted += inv_bytes;
+                    summary.evictions += 1;
+                    summary.blocks_evicted += inv_blocks;
+                    summary.bytes_evicted += inv_bytes;
+                    settle_emit!(self, sink, CacheEvent::EvictionBegin);
+                    let links_before = self.links.link_count();
+                    let mut unlinked_total = 0u64;
+                    for k in (i + 1)..j {
+                        let CacheEvent::Evicted { id, size } = self.buf.get(k) else {
+                            unreachable!("pre-scan bounded the invocation")
+                        };
+                        // Incoming links from blocks that survive this
+                        // invocation are the ones that must be unpatched
+                        // through the back-pointer table (Eq. 4). Links
+                        // among co-victims — and outgoing links, which
+                        // die with their source — cost nothing.
+                        let survivors = self
+                            .links
+                            .incoming_iter(id)
+                            .filter(|s| !self.dying.contains(s))
+                            .count() as u32;
+                        self.links.remove_block_quiet(id);
+                        settle_emit!(self, sink, CacheEvent::Evicted { id, size });
+                        if survivors > 0 {
+                            self.stats.unlink_operations += 1;
+                            self.stats.links_unlinked += u64::from(survivors);
+                            summary.unlink_operations += 1;
+                            summary.links_unlinked += u64::from(survivors);
+                            unlinked_total += u64::from(survivors);
+                            settle_emit!(
+                                self,
+                                sink,
+                                CacheEvent::Unlinked {
+                                    id,
+                                    links: survivors
+                                }
+                            );
+                        }
+                    }
+                    let links_dropped_free =
+                        (links_before - self.links.link_count()) - unlinked_total;
+                    self.stats.links_dropped_free += links_dropped_free;
+                    settle_emit!(
+                        self,
+                        sink,
+                        CacheEvent::EvictionEnd {
+                            bytes: inv_bytes,
+                            links_dropped_free,
+                        }
+                    );
+                    i = j; // at the org's EvictionEnd; replaced by ours.
+                }
+                other => settle_emit!(self, sink, other),
             }
+            i += 1;
         }
-        report.links_dropped_free = (links_before - self.links.link_count()) - unlinked_total;
-        self.stats.links_dropped_free += report.links_dropped_free;
-        report
+        summary
     }
 }
 
@@ -381,7 +615,11 @@ mod tests {
         assert_eq!(c.link(sb(2), sb(1)), Err(CacheError::NotResident(sb(2))));
         c.insert(sb(2), 40).unwrap();
         assert_eq!(c.link(sb(1), sb(2)), Ok(true));
-        assert_eq!(c.link(sb(1), sb(2)), Ok(false), "duplicate patch is a no-op");
+        assert_eq!(
+            c.link(sb(1), sb(2)),
+            Ok(false),
+            "duplicate patch is a no-op"
+        );
         assert_eq!(c.stats().links_created, 1);
     }
 
@@ -424,8 +662,8 @@ mod tests {
         c.insert(sb(1), 40).unwrap();
         c.insert(sb(2), 40).unwrap();
         c.link(sb(2), sb(1)).unwrap(); // survivor → victim link
-        // Inserting 30 evicts sb1 (oldest); sb2 survives and must be
-        // unpatched.
+                                       // Inserting 30 evicts sb1 (oldest); sb2 survives and must be
+                                       // unpatched.
         let report = c.insert(sb(3), 30).unwrap();
         let ev = &report.evictions[0];
         assert_eq!(ev.evicted, vec![(sb(1), 40)]);
@@ -506,5 +744,120 @@ mod tests {
         }
         let s = c.stats();
         assert_eq!(s.bytes_inserted, s.bytes_evicted + c.used());
+    }
+
+    #[test]
+    fn insert_evented_summary_matches_legacy_report() {
+        let mut legacy = CodeCache::with_granularity(Granularity::units(4), 400).unwrap();
+        let mut evented = CodeCache::with_granularity(Granularity::units(4), 400).unwrap();
+        for i in 0..60u64 {
+            let id = sb(i % 23);
+            let size = 30 + (i % 5) as u32 * 11;
+            let (a, b) = (legacy.access(id), evented.access(id));
+            assert_eq!(a, b);
+            if a.is_miss() {
+                let report = legacy.insert(id, size).unwrap();
+                let summary = evented.insert_evented(id, size, None).unwrap();
+                assert_eq!(summary.evictions as usize, report.evictions.len());
+                assert_eq!(
+                    summary.bytes_evicted,
+                    report.evictions.iter().map(|e| e.bytes).sum::<u64>()
+                );
+                assert_eq!(summary.padding, report.padding);
+            }
+            if legacy.is_resident(id) && legacy.is_resident(sb((i + 3) % 23)) {
+                legacy.link(id, sb((i + 3) % 23)).unwrap();
+                evented.link(id, sb((i + 3) % 23)).unwrap();
+            }
+        }
+        assert_eq!(legacy.stats(), evented.stats());
+    }
+
+    #[test]
+    fn observer_sees_settled_stream() {
+        use std::sync::{Arc, Mutex};
+        let events: Arc<Mutex<Vec<CacheEvent>>> = Arc::default();
+        let mut c = CodeCache::with_granularity(Granularity::Superblock, 100).unwrap();
+        let sink = Arc::clone(&events);
+        c.set_observer(Box::new(move |ev: CacheEvent| {
+            sink.lock().unwrap().push(ev);
+        }));
+        c.access(sb(1));
+        c.insert(sb(1), 60).unwrap();
+        c.access(sb(1));
+        c.insert(sb(2), 60).unwrap(); // evicts sb1
+        let log = events.lock().unwrap();
+        assert_eq!(
+            log.as_slice(),
+            &[
+                CacheEvent::Miss {
+                    id: sb(1),
+                    cold: true
+                },
+                CacheEvent::Inserted {
+                    id: sb(1),
+                    size: 60
+                },
+                CacheEvent::Hit { id: sb(1) },
+                CacheEvent::EvictionBegin,
+                CacheEvent::Evicted {
+                    id: sb(1),
+                    size: 60
+                },
+                CacheEvent::EvictionEnd {
+                    bytes: 60,
+                    links_dropped_free: 0
+                },
+                CacheEvent::Inserted {
+                    id: sb(2),
+                    size: 60
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn observer_sees_unlink_events_with_real_drop_counts() {
+        use std::sync::{Arc, Mutex};
+        let events: Arc<Mutex<Vec<CacheEvent>>> = Arc::default();
+        let mut c = CodeCache::with_granularity(Granularity::Superblock, 100).unwrap();
+        c.insert(sb(1), 40).unwrap();
+        c.insert(sb(2), 40).unwrap();
+        c.link(sb(2), sb(1)).unwrap(); // survivor → victim
+        c.link(sb(1), sb(1)).unwrap(); // self link, dropped free
+        let sink = Arc::clone(&events);
+        c.set_observer(Box::new(move |ev: CacheEvent| {
+            sink.lock().unwrap().push(ev);
+        }));
+        c.insert(sb(3), 30).unwrap(); // evicts sb1
+        let log = events.lock().unwrap();
+        assert_eq!(
+            log.as_slice(),
+            &[
+                CacheEvent::EvictionBegin,
+                CacheEvent::Evicted {
+                    id: sb(1),
+                    size: 40
+                },
+                CacheEvent::Unlinked {
+                    id: sb(1),
+                    links: 1
+                },
+                CacheEvent::EvictionEnd {
+                    bytes: 40,
+                    links_dropped_free: 1
+                },
+                CacheEvent::Inserted {
+                    id: sb(3),
+                    size: 30
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn code_cache_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<CodeCache>();
     }
 }

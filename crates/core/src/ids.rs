@@ -1,6 +1,5 @@
 //! Identifiers and the eviction-granularity spectrum.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::num::NonZeroU32;
 
@@ -8,9 +7,7 @@ use std::num::NonZeroU32;
 ///
 /// In a real DBT this is the original-code PC of the superblock head; the
 /// cache only needs it to be unique and stable across re-insertions.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SuperblockId(pub u64);
 
 impl fmt::Display for SuperblockId {
@@ -24,9 +21,7 @@ impl fmt::Display for SuperblockId {
 /// For unit-partitioned organizations this is the unit index; for the
 /// fine-grained FIFO every superblock is its own unit, so the unit id is
 /// derived from the superblock id.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct UnitId(pub u64);
 
 impl fmt::Display for UnitId {
@@ -47,9 +42,7 @@ impl fmt::Display for UnitId {
 /// * [`Granularity::Superblock`] — every superblock is its own unit; a
 ///   circular buffer evicts just enough of the oldest blocks to make room
 ///   (DynamoRIO's bounded-cache policy, the paper's finest-grained FIFO).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Granularity {
     /// Coarsest: flush the entire cache when full.
     Flush,

@@ -44,14 +44,19 @@
 
 pub mod cache;
 pub mod error;
+pub mod events;
 pub mod ids;
 pub mod links;
 pub mod org;
 pub mod stats;
+pub mod testutil;
 pub mod visualize;
 
-pub use cache::{AccessResult, CodeCache, EvictionReport, InsertReport};
+pub use cache::{AccessResult, CodeCache, EvictionReport, InsertReport, InsertSummary};
 pub use error::CacheError;
+pub use events::{
+    CacheEvent, CacheObserver, CountingSink, EventBuffer, EventSink, EvictionScope, NullSink,
+};
 pub use ids::{Granularity, SuperblockId, UnitId};
 pub use links::LinkGraph;
 pub use org::adaptive::AdaptiveUnits;

@@ -97,6 +97,12 @@ impl LinkGraph {
             .unwrap_or_default()
     }
 
+    /// Allocation-free variant of [`LinkGraph::incoming`]: iterates the
+    /// blocks linking into `id` in deterministic order.
+    pub fn incoming_iter(&self, id: SuperblockId) -> impl Iterator<Item = SuperblockId> + '_ {
+        self.incoming.get(&id).into_iter().flatten().copied()
+    }
+
     /// The blocks `id` links out to, in deterministic order.
     #[must_use]
     pub fn outgoing(&self, id: SuperblockId) -> Vec<SuperblockId> {
@@ -143,6 +149,42 @@ impl LinkGraph {
             }
         }
         removed
+    }
+
+    /// Allocation-free variant of [`LinkGraph::remove_block`]: removes
+    /// `id` and every link touching it without materializing the removed
+    /// edge lists. Callers that need the edges must inspect them (e.g.
+    /// via [`LinkGraph::incoming_iter`]) *before* removal.
+    pub fn remove_block_quiet(&mut self, id: SuperblockId) {
+        if let Some(targets) = self.out.remove(&id) {
+            for t in targets {
+                self.link_count -= 1;
+                if t == id {
+                    continue;
+                }
+                if let Some(back) = self.incoming.get_mut(&t) {
+                    back.remove(&id);
+                    if back.is_empty() {
+                        self.incoming.remove(&t);
+                    }
+                }
+            }
+        }
+        if let Some(sources) = self.incoming.remove(&id) {
+            for s in sources {
+                if s == id {
+                    // Self link already accounted for above.
+                    continue;
+                }
+                if let Some(fwd) = self.out.get_mut(&s) {
+                    fwd.remove(&id);
+                    if fwd.is_empty() {
+                        self.out.remove(&s);
+                    }
+                }
+                self.link_count -= 1;
+            }
+        }
     }
 
     /// Drops every link at once (a full cache flush needs no back-pointer
@@ -237,6 +279,27 @@ mod tests {
         g.add_link(sb(1), sb(2));
         g.add_link(sb(2), sb(3));
         assert_eq!(g.back_pointer_bytes(), 32);
+    }
+
+    #[test]
+    fn quiet_removal_matches_reporting_removal() {
+        let mut loud = LinkGraph::new();
+        let mut quiet = LinkGraph::new();
+        for i in 0..20u64 {
+            loud.add_link(sb(i), sb((i + 1) % 20));
+            loud.add_link(sb(i), sb((i + 7) % 20));
+            quiet.add_link(sb(i), sb((i + 1) % 20));
+            quiet.add_link(sb(i), sb((i + 7) % 20));
+        }
+        loud.add_link(sb(5), sb(5));
+        quiet.add_link(sb(5), sb(5));
+        assert_eq!(
+            quiet.incoming_iter(sb(5)).collect::<Vec<_>>(),
+            loud.incoming(sb(5))
+        );
+        loud.remove_block(sb(5));
+        quiet.remove_block_quiet(sb(5));
+        assert_eq!(loud, quiet);
     }
 
     #[test]

@@ -21,9 +21,10 @@
 //! amortized.
 
 use crate::error::CacheError;
+use crate::events::{CountingSink, EventSink};
 use crate::ids::{Granularity, SuperblockId, UnitId};
 use crate::org::unit_fifo::UnitFifo;
-use crate::org::{CacheOrg, RawEviction, RawInsert};
+use crate::org::CacheOrg;
 
 /// Unit-FIFO organization that retunes its unit count from observed
 /// pressure. See the module docs.
@@ -111,11 +112,11 @@ impl AdaptiveUnits {
     }
 
     /// Decides a new unit count at an epoch boundary, retuning the inner
-    /// cache if the decision changes it. Returns the flush eviction, if a
-    /// retune happened on a nonempty cache.
-    fn maybe_adapt(&mut self) -> Option<RawEviction> {
+    /// cache if the decision changes it. The retune flush (if the cache
+    /// was nonempty) streams into `sink`.
+    fn maybe_adapt(&mut self, sink: &mut dyn EventSink) {
         if self.insertions_this_epoch < self.epoch {
-            return None;
+            return;
         }
         let misses = self.misses_this_epoch as f64 * self.miss_weight;
         let invocations = self.invocations_this_epoch as f64;
@@ -131,20 +132,22 @@ impl AdaptiveUnits {
             .max(1);
         // Hysteresis: require a 2× imbalance before moving.
         let target = if misses > invocations * 2.0 {
-            (current * 2).min(self.max_units).min(fit).max(self.min_units.min(fit))
+            (current * 2)
+                .min(self.max_units)
+                .min(fit)
+                .max(self.min_units.min(fit))
         } else if invocations > misses * 2.0 {
             (current / 2).max(self.min_units).min(fit).max(1)
         } else {
             current
         };
         if target == current {
-            return None;
+            return;
         }
-        let flushed = self.inner.flush_all();
-        self.inner = UnitFifo::new(self.capacity, target)
-            .expect("bounds were validated at construction");
+        self.inner.flush_events(sink);
+        self.inner =
+            UnitFifo::new(self.capacity, target).expect("bounds were validated at construction");
         self.adaptations += 1;
-        flushed
     }
 }
 
@@ -165,21 +168,27 @@ impl CacheOrg for AdaptiveUnits {
         self.inner.unit_of(id)
     }
 
-    fn insert(&mut self, id: SuperblockId, size: u32) -> Result<RawInsert, CacheError> {
+    fn insert_events(
+        &mut self,
+        id: SuperblockId,
+        size: u32,
+        partner: Option<SuperblockId>,
+        sink: &mut dyn EventSink,
+    ) -> Result<(), CacheError> {
         if self.inner.contains(id) {
             return Err(CacheError::AlreadyResident(id));
         }
-        let mut report = RawInsert::default();
-        if let Some(ev) = self.maybe_adapt() {
-            report.evictions.push(ev);
+        if size == 0 {
+            // Reject before adapting so a doomed insert emits no events.
+            return Err(CacheError::ZeroSize(id));
         }
-        let inner = self.inner.insert(id, size)?;
+        let mut counting = CountingSink::new(sink);
+        self.maybe_adapt(&mut counting);
+        self.inner.insert_events(id, size, partner, &mut counting)?;
         self.max_block_seen = self.max_block_seen.max(size);
-        report.evictions.extend(inner.evictions);
-        report.padding += inner.padding;
         self.insertions_this_epoch += 1;
-        self.invocations_this_epoch += report.evictions.len() as u64;
-        Ok(report)
+        self.invocations_this_epoch += counting.invocations();
+        Ok(())
     }
 
     fn resident_count(&self) -> usize {
@@ -194,8 +203,8 @@ impl CacheOrg for AdaptiveUnits {
         self.inner.granularity()
     }
 
-    fn flush_all(&mut self) -> Option<RawEviction> {
-        self.inner.flush_all()
+    fn flush_events(&mut self, sink: &mut dyn EventSink) -> bool {
+        self.inner.flush_events(sink)
     }
 
     fn note_access(&mut self, hit: bool) {
@@ -208,7 +217,7 @@ impl CacheOrg for AdaptiveUnits {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::org::org_tests::conformance;
+    use crate::testutil::conformance;
 
     fn sb(n: u64) -> SuperblockId {
         SuperblockId(n)

@@ -21,8 +21,9 @@
 //! experiment and the ablation bench).
 
 use crate::error::CacheError;
+use crate::events::{CacheEvent, EventSink, EvictionScope};
 use crate::ids::{Granularity, SuperblockId, UnitId};
-use crate::org::{CacheOrg, RawEviction, RawInsert};
+use crate::org::CacheOrg;
 use std::collections::HashMap;
 
 #[derive(Debug, Default, Clone)]
@@ -103,21 +104,21 @@ impl AffinityUnits {
         self.units[unit_idx].used + u64::from(size) <= self.unit_capacity
     }
 
-    fn flush_unit(&mut self, idx: usize) -> Option<RawEviction> {
+    /// Streams the eviction of unit `idx` into `scope`, clearing the unit
+    /// in place so its `Vec` allocation is reused. The flush sequence is
+    /// bumped even for an empty unit (matching the FIFO victim rotation).
+    fn flush_unit_into(&mut self, idx: usize, scope: &mut EvictionScope<'_>) {
         self.flush_seq += 1;
         let seq = self.flush_seq;
         let unit = &mut self.units[idx];
         unit.last_flush_seq = seq;
-        if unit.blocks.is_empty() {
-            return None;
+        for &(id, size) in &unit.blocks {
+            self.resident.remove(&id);
+            scope.evict(id, size);
         }
-        let evicted = std::mem::take(&mut unit.blocks);
+        unit.blocks.clear();
         self.used -= unit.used;
         unit.used = 0;
-        for &(id, _) in &evicted {
-            self.resident.remove(&id);
-        }
-        Some(RawEviction { evicted })
     }
 
     /// The FIFO victim: the unit whose last flush is oldest.
@@ -148,16 +149,13 @@ impl CacheOrg for AffinityUnits {
         self.resident.get(&id).map(|&u| UnitId(u as u64))
     }
 
-    fn insert(&mut self, id: SuperblockId, size: u32) -> Result<RawInsert, CacheError> {
-        self.insert_with_hint(id, size, None)
-    }
-
-    fn insert_with_hint(
+    fn insert_events(
         &mut self,
         id: SuperblockId,
         size: u32,
         partner: Option<SuperblockId>,
-    ) -> Result<RawInsert, CacheError> {
+        sink: &mut dyn EventSink,
+    ) -> Result<(), CacheError> {
         if self.resident.contains_key(&id) {
             return Err(CacheError::AlreadyResident(id));
         }
@@ -171,7 +169,6 @@ impl CacheOrg for AffinityUnits {
                 max: self.unit_capacity,
             });
         }
-        let mut report = RawInsert::default();
         // 1. Affinity placement: join the partner's unit if it has room.
         if let Some(p) = partner {
             self.hinted_placements += 1;
@@ -179,7 +176,8 @@ impl CacheOrg for AffinityUnits {
                 if self.fits(unit_idx, size) {
                     self.hint_hits += 1;
                     self.place(unit_idx, id, size);
-                    return Ok(report);
+                    sink.event(CacheEvent::Inserted { id, size });
+                    return Ok(());
                 }
             }
         }
@@ -187,7 +185,8 @@ impl CacheOrg for AffinityUnits {
         if self.fits(self.head, size) {
             let head = self.head;
             self.place(head, id, size);
-            return Ok(report);
+            sink.event(CacheEvent::Inserted { id, size });
+            return Ok(());
         }
         // 3. Any other unit with room (most free space first, index as
         //    the deterministic tiebreak).
@@ -197,16 +196,18 @@ impl CacheOrg for AffinityUnits {
         {
             self.head = best;
             self.place(best, id, size);
-            return Ok(report);
+            sink.event(CacheEvent::Inserted { id, size });
+            return Ok(());
         }
         // 4. Nothing fits: flush the FIFO victim unit and place there.
         let victim = self.victim_unit();
-        if let Some(ev) = self.flush_unit(victim) {
-            report.evictions.push(ev);
-        }
+        let mut scope = EvictionScope::new(sink);
+        self.flush_unit_into(victim, &mut scope);
+        scope.finish();
         self.head = victim;
         self.place(victim, id, size);
-        Ok(report)
+        sink.event(CacheEvent::Inserted { id, size });
+        Ok(())
     }
 
     fn resident_count(&self) -> usize {
@@ -228,26 +229,20 @@ impl CacheOrg for AffinityUnits {
         }
     }
 
-    fn flush_all(&mut self) -> Option<RawEviction> {
-        let mut all = Vec::new();
+    fn flush_events(&mut self, sink: &mut dyn EventSink) -> bool {
+        let mut scope = EvictionScope::new(sink);
         for i in 0..self.units.len() {
-            if let Some(ev) = self.flush_unit(i) {
-                all.extend(ev.evicted);
-            }
+            self.flush_unit_into(i, &mut scope);
         }
         self.head = 0;
-        if all.is_empty() {
-            None
-        } else {
-            Some(RawEviction { evicted: all })
-        }
+        scope.finish()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::org::org_tests::conformance;
+    use crate::testutil::conformance;
 
     fn sb(n: u64) -> SuperblockId {
         SuperblockId(n)
@@ -262,10 +257,10 @@ mod tests {
     fn hinted_insertions_join_their_partner() {
         let mut c = AffinityUnits::new(400, 4).unwrap(); // 100-byte units
         c.insert(sb(1), 40).unwrap(); // unit 0
-        // Fill unit 0 a bit more so a hintless insert would still land
-        // there, then place far away.
+                                      // Fill unit 0 a bit more so a hintless insert would still land
+                                      // there, then place far away.
         c.insert(sb(2), 40).unwrap(); // unit 0 (80/100)
-        // Hintless 60-byte block: unit 0 full → most-free unit.
+                                      // Hintless 60-byte block: unit 0 full → most-free unit.
         c.insert(sb(3), 60).unwrap();
         let u3 = c.unit_of(sb(3)).unwrap();
         assert_ne!(u3, c.unit_of(sb(1)).unwrap());

@@ -12,8 +12,9 @@
 //! [`crate::LruCache`], this organization never pads.
 
 use crate::error::CacheError;
+use crate::events::{CacheEvent, EventSink, EvictionScope};
 use crate::ids::{Granularity, SuperblockId, UnitId};
-use crate::org::{CacheOrg, RawEviction, RawInsert};
+use crate::org::CacheOrg;
 use std::collections::{HashMap, VecDeque};
 
 /// Fine-grained FIFO (circular buffer) organization. See the module docs.
@@ -69,7 +70,13 @@ impl CacheOrg for FineFifo {
         self.resident.get(&id).map(|_| UnitId(id.0))
     }
 
-    fn insert(&mut self, id: SuperblockId, size: u32) -> Result<RawInsert, CacheError> {
+    fn insert_events(
+        &mut self,
+        id: SuperblockId,
+        size: u32,
+        _partner: Option<SuperblockId>,
+        sink: &mut dyn EventSink,
+    ) -> Result<(), CacheError> {
         if self.resident.contains_key(&id) {
             return Err(CacheError::AlreadyResident(id));
         }
@@ -83,24 +90,22 @@ impl CacheOrg for FineFifo {
                 max: self.capacity,
             });
         }
-        let mut report = RawInsert::default();
-        if self.used + u64::from(size) > self.capacity {
-            let mut ev = RawEviction::default();
-            while self.used + u64::from(size) > self.capacity {
-                let (old, old_size) = self
-                    .queue
-                    .pop_front()
-                    .expect("used > 0 implies nonempty queue");
-                self.resident.remove(&old);
-                self.used -= u64::from(old_size);
-                ev.evicted.push((old, old_size));
-            }
-            report.evictions.push(ev);
+        let mut scope = EvictionScope::new(sink);
+        while self.used + u64::from(size) > self.capacity {
+            let (old, old_size) = self
+                .queue
+                .pop_front()
+                .expect("used > 0 implies nonempty queue");
+            self.resident.remove(&old);
+            self.used -= u64::from(old_size);
+            scope.evict(old, old_size);
         }
+        scope.finish();
         self.queue.push_back((id, size));
         self.resident.insert(id, size);
         self.used += u64::from(size);
-        Ok(report)
+        sink.event(CacheEvent::Inserted { id, size });
+        Ok(())
     }
 
     fn resident_count(&self) -> usize {
@@ -115,21 +120,22 @@ impl CacheOrg for FineFifo {
         Granularity::Superblock
     }
 
-    fn flush_all(&mut self) -> Option<RawEviction> {
-        if self.queue.is_empty() {
-            return None;
+    fn flush_events(&mut self, sink: &mut dyn EventSink) -> bool {
+        let mut scope = EvictionScope::new(sink);
+        for &(id, size) in &self.queue {
+            scope.evict(id, size);
         }
-        let evicted: Vec<_> = self.queue.drain(..).collect();
+        self.queue.clear();
         self.resident.clear();
         self.used = 0;
-        Some(RawEviction { evicted })
+        scope.finish()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::org::org_tests::conformance;
+    use crate::testutil::conformance;
 
     #[test]
     fn conformance_fine_fifo() {

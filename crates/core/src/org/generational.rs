@@ -13,8 +13,9 @@
 //! kernel stops cycling through evictions.
 
 use crate::error::CacheError;
+use crate::events::{CacheEvent, EventSink, EvictionScope};
 use crate::ids::{Granularity, SuperblockId, UnitId};
-use crate::org::{CacheOrg, RawEviction, RawInsert};
+use crate::org::CacheOrg;
 use std::collections::{HashMap, VecDeque};
 
 /// Which region a block lives in.
@@ -118,22 +119,24 @@ impl Generational {
         self.nursery_capacity
     }
 
-    /// Evicts from the tenured FIFO until `needed` bytes fit there.
-    fn make_tenured_room(&mut self, needed: u64, ev: &mut RawEviction) {
+    /// Evicts from the tenured FIFO until `needed` bytes fit there,
+    /// streaming victims into `scope`.
+    fn make_tenured_room(&mut self, needed: u64, scope: &mut EvictionScope<'_>) {
         while self.tenured_used + needed > self.tenured_capacity {
             let Some(old) = self.tenured_queue.pop_front() else {
                 break;
             };
             let entry = self.resident.remove(&old).expect("tenured queue in sync");
             self.tenured_used -= u64::from(entry.size);
-            ev.evicted.push((old, entry.size));
+            scope.evict(old, entry.size);
         }
     }
 
     /// Makes room in the nursery: oldest blocks either die or get
-    /// promoted, possibly cascading evictions in the tenured region.
-    fn make_nursery_room(&mut self, needed: u64) -> Option<RawEviction> {
-        let mut ev = RawEviction::default();
+    /// promoted, possibly cascading evictions in the tenured region. All
+    /// victims stream into `scope` (which may end up empty — the whole
+    /// overflow may promote).
+    fn make_nursery_room(&mut self, needed: u64, scope: &mut EvictionScope<'_>) {
         while self.nursery_used + needed > self.nursery_capacity {
             let Some(old) = self.nursery_queue.pop_front() else {
                 break;
@@ -143,7 +146,7 @@ impl Generational {
             let promote = entry.nursery_hits >= self.promote_threshold
                 && u64::from(entry.size) <= self.tenured_capacity;
             if promote {
-                self.make_tenured_room(u64::from(entry.size), &mut ev);
+                self.make_tenured_room(u64::from(entry.size), scope);
                 let e = self.resident.get_mut(&old).expect("still present");
                 e.region = Region::Tenured;
                 self.tenured_queue.push_back(old);
@@ -151,13 +154,8 @@ impl Generational {
                 self.promotions += 1;
             } else {
                 self.resident.remove(&old);
-                ev.evicted.push((old, entry.size));
+                scope.evict(old, entry.size);
             }
-        }
-        if ev.evicted.is_empty() {
-            None
-        } else {
-            Some(ev)
         }
     }
 }
@@ -181,7 +179,13 @@ impl CacheOrg for Generational {
         self.resident.get(&id).map(|_| UnitId(id.0))
     }
 
-    fn insert(&mut self, id: SuperblockId, size: u32) -> Result<RawInsert, CacheError> {
+    fn insert_events(
+        &mut self,
+        id: SuperblockId,
+        size: u32,
+        _partner: Option<SuperblockId>,
+        sink: &mut dyn EventSink,
+    ) -> Result<(), CacheError> {
         if self.resident.contains_key(&id) {
             return Err(CacheError::AlreadyResident(id));
         }
@@ -195,10 +199,9 @@ impl CacheOrg for Generational {
                 max: self.nursery_capacity,
             });
         }
-        let mut report = RawInsert::default();
-        if let Some(ev) = self.make_nursery_room(u64::from(size)) {
-            report.evictions.push(ev);
-        }
+        let mut scope = EvictionScope::new(sink);
+        self.make_nursery_room(u64::from(size), &mut scope);
+        scope.finish();
         self.nursery_queue.push_back(id);
         self.nursery_used += u64::from(size);
         self.resident.insert(
@@ -209,7 +212,8 @@ impl CacheOrg for Generational {
                 nursery_hits: 0,
             },
         );
-        Ok(report)
+        sink.event(CacheEvent::Inserted { id, size });
+        Ok(())
     }
 
     fn resident_count(&self) -> usize {
@@ -229,20 +233,18 @@ impl CacheOrg for Generational {
         Granularity::Superblock
     }
 
-    fn flush_all(&mut self) -> Option<RawEviction> {
-        if self.resident.is_empty() {
-            return None;
+    fn flush_events(&mut self, sink: &mut dyn EventSink) -> bool {
+        let mut scope = EvictionScope::new(sink);
+        // Tenured (oldest first), then nursery — the enumeration order.
+        for &id in self.tenured_queue.iter().chain(self.nursery_queue.iter()) {
+            scope.evict(id, self.resident[&id].size);
         }
-        let evicted = self
-            .resident_entries()
-            .into_iter()
-            .collect::<Vec<_>>();
         self.resident.clear();
         self.nursery_queue.clear();
         self.tenured_queue.clear();
         self.nursery_used = 0;
         self.tenured_used = 0;
-        Some(RawEviction { evicted })
+        scope.finish()
     }
 
     fn note_hit(&mut self, id: SuperblockId) {
@@ -257,7 +259,7 @@ impl CacheOrg for Generational {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::org::org_tests::conformance;
+    use crate::testutil::conformance;
 
     fn sb(n: u64) -> SuperblockId {
         SuperblockId(n)
@@ -275,7 +277,7 @@ mod tests {
         c.insert(sb(1), 50).unwrap();
         c.insert(sb(2), 50).unwrap();
         c.note_hit(sb(1)); // sb1 proves itself; sb2 stays cold
-        // Overflow the nursery: sb1 promotes, sb2 dies.
+                           // Overflow the nursery: sb1 promotes, sb2 dies.
         let r = c.insert(sb(3), 60).unwrap();
         assert!(c.contains(sb(1)), "hot block must be promoted");
         assert!(!c.contains(sb(2)), "cold block must die");

@@ -11,8 +11,9 @@
 //! bytes than requested purely because the free bytes were not contiguous.
 
 use crate::error::CacheError;
+use crate::events::{CacheEvent, EventSink, EvictionScope};
 use crate::ids::{Granularity, SuperblockId, UnitId};
-use crate::org::{CacheOrg, RawEviction, RawInsert};
+use crate::org::CacheOrg;
 use std::collections::{BTreeMap, HashMap};
 
 #[derive(Debug, Clone, Copy)]
@@ -85,7 +86,8 @@ impl LruCache {
         let len = self.holes.remove(&addr).expect("hole must exist");
         debug_assert!(len >= u64::from(size));
         if len > u64::from(size) {
-            self.holes.insert(addr + u64::from(size), len - u64::from(size));
+            self.holes
+                .insert(addr + u64::from(size), len - u64::from(size));
         }
     }
 
@@ -136,7 +138,13 @@ impl CacheOrg for LruCache {
         self.resident.get(&id).map(|_| UnitId(id.0))
     }
 
-    fn insert(&mut self, id: SuperblockId, size: u32) -> Result<RawInsert, CacheError> {
+    fn insert_events(
+        &mut self,
+        id: SuperblockId,
+        size: u32,
+        _partner: Option<SuperblockId>,
+        sink: &mut dyn EventSink,
+    ) -> Result<(), CacheError> {
         if self.resident.contains_key(&id) {
             return Err(CacheError::AlreadyResident(id));
         }
@@ -150,26 +158,25 @@ impl CacheOrg for LruCache {
                 max: self.capacity,
             });
         }
-        let mut report = RawInsert::default();
         let addr = if let Some(addr) = self.find_hole(size) {
             addr
         } else {
             // Evict LRU blocks until some hole fits the request.
             let had_enough_bytes = self.free_bytes() >= u64::from(size);
-            let mut ev = RawEviction::default();
+            let mut scope = EvictionScope::new(sink);
             let addr = loop {
                 let (vid, vsize) = self
                     .evict_lru()
                     .expect("a nonempty cache always has an LRU victim");
-                ev.evicted.push((vid, vsize));
+                scope.evict(vid, vsize);
                 if let Some(addr) = self.find_hole(size) {
                     break addr;
                 }
             };
+            scope.finish();
             if had_enough_bytes {
                 self.fragmentation_stalls += 1;
             }
-            report.evictions.push(ev);
             addr
         };
         self.take_from_hole(addr, size);
@@ -184,7 +191,8 @@ impl CacheOrg for LruCache {
         );
         self.by_recency.insert(self.clock, id);
         self.used += u64::from(size);
-        Ok(report)
+        sink.event(CacheEvent::Inserted { id, size });
+        Ok(())
     }
 
     fn resident_count(&self) -> usize {
@@ -203,21 +211,17 @@ impl CacheOrg for LruCache {
         Granularity::Superblock
     }
 
-    fn flush_all(&mut self) -> Option<RawEviction> {
-        if self.resident.is_empty() {
-            return None;
+    fn flush_events(&mut self, sink: &mut dyn EventSink) -> bool {
+        let mut scope = EvictionScope::new(sink);
+        for (&id, p) in self.by_recency.values().map(|id| (id, &self.resident[id])) {
+            scope.evict(id, p.size);
         }
-        let evicted: Vec<(SuperblockId, u32)> = self
-            .by_recency
-            .values()
-            .map(|id| (*id, self.resident[id].size))
-            .collect();
         self.resident.clear();
         self.by_recency.clear();
         self.used = 0;
         self.holes.clear();
         self.holes.insert(0, self.capacity);
-        Some(RawEviction { evicted })
+        scope.finish()
     }
 
     fn note_hit(&mut self, id: SuperblockId) {
@@ -233,7 +237,7 @@ impl CacheOrg for LruCache {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::org::org_tests::conformance;
+    use crate::testutil::conformance;
 
     fn sb(n: u64) -> SuperblockId {
         SuperblockId(n)
@@ -287,7 +291,11 @@ mod tests {
         // go even though total free bytes (20) were "close".
         let r = c.insert(sb(4), 30).unwrap();
         assert!(r.evictions[0].evicted.len() >= 2);
-        assert_eq!(c.fragmentation_stalls(), 0, "free bytes were insufficient anyway");
+        assert_eq!(
+            c.fragmentation_stalls(),
+            0,
+            "free bytes were insufficient anyway"
+        );
     }
 
     #[test]

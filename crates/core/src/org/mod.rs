@@ -5,6 +5,14 @@
 //! nothing about superblock links; [`crate::CodeCache`] layers the link
 //! graph and the derived statistics on top.
 //!
+//! Eviction decisions are *streamed*: the required
+//! [`CacheOrg::insert_events`] writes [`CacheEvent`]s into a
+//! caller-supplied [`EventSink`] (usually the cache's reusable scratch
+//! buffer), so the hot path performs no per-insert heap allocation. The
+//! legacy [`CacheOrg::insert`]/[`CacheOrg::insert_with_hint`] methods
+//! survive as provided shims that materialize the stream into
+//! [`RawInsert`] values for callers that still want owned reports.
+//!
 //! Provided organizations:
 //!
 //! | Type | Granularity | Paper reference |
@@ -26,6 +34,7 @@ pub mod preemptive;
 pub mod unit_fifo;
 
 use crate::error::CacheError;
+use crate::events::{CacheEvent, EventBuffer, EventSink};
 use crate::ids::{Granularity, SuperblockId, UnitId};
 use std::fmt;
 
@@ -60,16 +69,47 @@ pub struct RawInsert {
     pub padding: u64,
 }
 
+impl RawInsert {
+    /// Reassembles an owned report from an insertion's event stream.
+    #[must_use]
+    pub fn from_events(events: &[CacheEvent]) -> RawInsert {
+        let mut report = RawInsert::default();
+        let mut current: Option<RawEviction> = None;
+        for &ev in events {
+            match ev {
+                CacheEvent::Padding { bytes } => report.padding += bytes,
+                CacheEvent::EvictionBegin => current = Some(RawEviction::default()),
+                CacheEvent::Evicted { id, size } => {
+                    current
+                        .as_mut()
+                        .expect("Evicted outside EvictionBegin/End")
+                        .evicted
+                        .push((id, size));
+                }
+                CacheEvent::EvictionEnd { .. } => {
+                    report
+                        .evictions
+                        .push(current.take().expect("EvictionEnd without EvictionBegin"));
+                }
+                _ => {}
+            }
+        }
+        debug_assert!(current.is_none(), "unterminated eviction invocation");
+        report
+    }
+}
+
 /// A cache organization: placement plus eviction policy.
 ///
 /// Implementations must be deterministic — identical operation sequences
-/// must produce identical eviction sequences — because the workspace's
-/// experiments rely on reproducibility.
+/// must produce identical event streams — because the workspace's
+/// experiments rely on reproducibility. `Send` is a supertrait so caches
+/// can be built and driven inside the sweep runner's worker threads.
 ///
 /// This trait is object-safe; [`crate::CodeCache`] stores a
 /// `Box<dyn CacheOrg>` so user code can plug in custom policies (see the
 /// `custom_policy` example at the workspace root).
-pub trait CacheOrg: fmt::Debug {
+pub trait CacheOrg: fmt::Debug + Send {
     /// Total capacity in bytes.
     fn capacity(&self) -> u64;
 
@@ -86,32 +126,61 @@ pub trait CacheOrg: fmt::Debug {
     /// what makes their links *intra-unit* (removable for free).
     fn unit_of(&self, id: SuperblockId) -> Option<UnitId>;
 
-    /// Inserts `id` with the given byte size, evicting as required.
+    /// Inserts `id` with the given byte size, streaming the eviction
+    /// decisions into `sink`. This is the primary insertion entry point;
+    /// it must emit, in order: an optional [`CacheEvent::Padding`], zero
+    /// or more `EvictionBegin / Evicted+ / EvictionEnd` invocations, and
+    /// a final [`CacheEvent::Inserted`]. Implementations must not buffer
+    /// — events are written as decisions are made, so a reused sink sees
+    /// no per-insert allocation.
+    ///
+    /// `partner` is a *placement hint*: a resident superblock the
+    /// newcomer is about to be linked with (the chain source that
+    /// triggered the regeneration). Placement-aware organizations
+    /// (e.g. [`crate::AffinityUnits`]) co-locate the two to keep the link
+    /// intra-unit; others ignore it.
     ///
     /// # Errors
     ///
     /// * [`CacheError::AlreadyResident`] if `id` is resident.
     /// * [`CacheError::ZeroSize`] if `size == 0`.
     /// * [`CacheError::BlockTooLarge`] if `size` exceeds the granule.
-    fn insert(&mut self, id: SuperblockId, size: u32) -> Result<RawInsert, CacheError>;
+    fn insert_events(
+        &mut self,
+        id: SuperblockId,
+        size: u32,
+        partner: Option<SuperblockId>,
+        sink: &mut dyn EventSink,
+    ) -> Result<(), CacheError>;
 
-    /// Inserts with a *placement hint*: `partner` is a resident superblock
-    /// the newcomer is about to be linked with (the chain source that
-    /// triggered the regeneration). Placement-aware organizations
-    /// (e.g. [`crate::AffinityUnits`]) co-locate the two to keep the link
-    /// intra-unit; the default ignores the hint.
+    /// Legacy shim: inserts and materializes the event stream into an
+    /// owned [`RawInsert`]. Allocates; prefer [`CacheOrg::insert_events`]
+    /// on hot paths.
     ///
     /// # Errors
     ///
-    /// Same conditions as [`CacheOrg::insert`].
+    /// Same conditions as [`CacheOrg::insert_events`].
+    fn insert(&mut self, id: SuperblockId, size: u32) -> Result<RawInsert, CacheError> {
+        let mut buf = EventBuffer::new();
+        self.insert_events(id, size, None, &mut buf)?;
+        Ok(RawInsert::from_events(buf.events()))
+    }
+
+    /// Legacy shim: like [`CacheOrg::insert`], forwarding the placement
+    /// hint.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CacheOrg::insert_events`].
     fn insert_with_hint(
         &mut self,
         id: SuperblockId,
         size: u32,
         partner: Option<SuperblockId>,
     ) -> Result<RawInsert, CacheError> {
-        let _ = partner;
-        self.insert(id, size)
+        let mut buf = EventBuffer::new();
+        self.insert_events(id, size, partner, &mut buf)?;
+        Ok(RawInsert::from_events(buf.events()))
     }
 
     /// Number of resident superblocks.
@@ -120,7 +189,10 @@ pub trait CacheOrg: fmt::Debug {
     /// Resident superblocks in an implementation-defined deterministic
     /// order.
     fn resident_blocks(&self) -> Vec<SuperblockId> {
-        self.resident_entries().into_iter().map(|(id, _)| id).collect()
+        self.resident_entries()
+            .into_iter()
+            .map(|(id, _)| id)
+            .collect()
     }
 
     /// Resident superblocks with their byte sizes, in the same
@@ -130,9 +202,26 @@ pub trait CacheOrg: fmt::Debug {
     /// The granularity this organization implements.
     fn granularity(&self) -> Granularity;
 
-    /// Evicts everything as a single invocation. Returns the invocation,
-    /// or `None` if the cache was already empty.
-    fn flush_all(&mut self) -> Option<RawEviction>;
+    /// Evicts everything as a single invocation, streaming into `sink`.
+    /// Returns `true` if anything was evicted (an empty cache emits no
+    /// events).
+    fn flush_events(&mut self, sink: &mut dyn EventSink) -> bool;
+
+    /// Legacy shim: evicts everything as a single owned invocation, or
+    /// `None` if the cache was already empty.
+    fn flush_all(&mut self) -> Option<RawEviction> {
+        let mut buf = EventBuffer::new();
+        if !self.flush_events(&mut buf) {
+            return None;
+        }
+        let mut all = RawEviction::default();
+        for &ev in buf.events() {
+            if let CacheEvent::Evicted { id, size } = ev {
+                all.evicted.push((id, size));
+            }
+        }
+        Some(all)
+    }
 
     /// Feedback channel: called by [`crate::CodeCache`] after every access
     /// with the hit/miss outcome. Policies that react to runtime behaviour
@@ -146,77 +235,5 @@ pub trait CacheOrg: fmt::Debug {
     /// Only recency-aware policies (LRU) need to override this.
     fn note_hit(&mut self, id: SuperblockId) {
         let _ = id;
-    }
-}
-
-#[cfg(test)]
-pub(crate) mod org_tests {
-    //! A reusable conformance suite run against every organization.
-
-    use super::*;
-
-    /// Drives `org` through a generic workload and checks the invariants
-    /// every organization must uphold.
-    pub(crate) fn conformance(mut org: Box<dyn CacheOrg>) {
-        let cap = org.capacity();
-        assert!(cap > 0);
-        assert_eq!(org.used(), 0);
-        assert_eq!(org.resident_count(), 0);
-
-        // Insert blocks of varied sizes until well past capacity.
-        let mut next = 0u64;
-        let sizes = [64u32, 96, 48, 128, 80, 56, 112, 72];
-        let mut inserted = Vec::new();
-        while inserted.iter().map(|&(_, s)| u64::from(s)).sum::<u64>() < cap * 3 {
-            let id = SuperblockId(next);
-            let size = sizes[(next as usize) % sizes.len()];
-            next += 1;
-            let r = org.insert(id, size).expect("insert must succeed");
-            inserted.push((id, size));
-            // Evicted blocks must no longer be resident.
-            for ev in &r.evictions {
-                assert!(!ev.evicted.is_empty(), "empty eviction invocation");
-                for &(eid, _) in &ev.evicted {
-                    assert!(!org.contains(eid), "evicted {eid} still resident");
-                }
-            }
-            // The inserted block must be resident with a unit.
-            assert!(org.contains(id));
-            assert!(org.unit_of(id).is_some());
-            // Usage never exceeds capacity.
-            assert!(org.used() <= cap, "used {} > capacity {cap}", org.used());
-            assert_eq!(
-                org.resident_blocks().len(),
-                org.resident_count(),
-                "resident enumeration disagrees with count"
-            );
-        }
-
-        // Duplicate insertion is rejected.
-        let last = inserted.last().unwrap().0;
-        assert!(matches!(
-            org.insert(last, 64),
-            Err(CacheError::AlreadyResident(_))
-        ));
-
-        // Zero-size insertion is rejected.
-        assert!(matches!(
-            org.insert(SuperblockId(u64::MAX), 0),
-            Err(CacheError::ZeroSize(_))
-        ));
-
-        // Oversized insertion is rejected.
-        let too_big = u32::try_from(cap + 1).unwrap_or(u32::MAX);
-        assert!(matches!(
-            org.insert(SuperblockId(u64::MAX - 1), too_big),
-            Err(CacheError::BlockTooLarge { .. })
-        ));
-
-        // flush_all empties the cache.
-        let ev = org.flush_all().expect("cache was nonempty");
-        assert!(ev.bytes() > 0);
-        assert_eq!(org.used(), 0);
-        assert_eq!(org.resident_count(), 0);
-        assert!(org.flush_all().is_none());
     }
 }

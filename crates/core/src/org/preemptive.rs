@@ -12,9 +12,10 @@
 //! the cache is substantially full, the next insertion flushes everything.
 
 use crate::error::CacheError;
+use crate::events::EventSink;
 use crate::ids::{Granularity, SuperblockId, UnitId};
 use crate::org::unit_fifo::UnitFifo;
-use crate::org::{CacheOrg, RawEviction, RawInsert};
+use crate::org::CacheOrg;
 use std::collections::VecDeque;
 
 /// Full-flush organization with phase-change pre-emption. See module docs.
@@ -114,26 +115,41 @@ impl CacheOrg for PreemptiveFlush {
         self.inner.unit_of(id)
     }
 
-    fn insert(&mut self, id: SuperblockId, size: u32) -> Result<RawInsert, CacheError> {
+    fn insert_events(
+        &mut self,
+        id: SuperblockId,
+        size: u32,
+        partner: Option<SuperblockId>,
+        sink: &mut dyn EventSink,
+    ) -> Result<(), CacheError> {
         if self.inner.contains(id) {
             return Err(CacheError::AlreadyResident(id));
         }
+        // Validate before acting on a pending flush so a rejected insert
+        // emits no events (the inner cache is a single full-size unit, so
+        // its limits are known here).
+        if size == 0 {
+            return Err(CacheError::ZeroSize(id));
+        }
+        if u64::from(size) > self.inner.unit_capacity() {
+            return Err(CacheError::BlockTooLarge {
+                id,
+                size,
+                max: self.inner.unit_capacity(),
+            });
+        }
         if self.flush_pending {
             self.flush_pending = false;
-            let mut report = RawInsert::default();
-            if let Some(ev) = self.inner.flush_all() {
+            if self.inner.flush_events(sink) {
                 self.preemptive_flushes += 1;
-                report.evictions.push(ev);
             }
-            let inner = self.inner.insert(id, size)?;
-            report.evictions.extend(inner.evictions);
-            report.padding += inner.padding;
+            self.inner.insert_events(id, size, partner, sink)?;
             // The flushed window no longer describes the (empty) cache.
             self.window.clear();
             self.misses_in_window = 0;
-            return Ok(report);
+            return Ok(());
         }
-        self.inner.insert(id, size)
+        self.inner.insert_events(id, size, partner, sink)
     }
 
     fn resident_count(&self) -> usize {
@@ -148,8 +164,8 @@ impl CacheOrg for PreemptiveFlush {
         Granularity::Flush
     }
 
-    fn flush_all(&mut self) -> Option<RawEviction> {
-        self.inner.flush_all()
+    fn flush_events(&mut self, sink: &mut dyn EventSink) -> bool {
+        self.inner.flush_events(sink)
     }
 
     fn note_access(&mut self, hit: bool) {
@@ -173,7 +189,7 @@ impl CacheOrg for PreemptiveFlush {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::org::org_tests::conformance;
+    use crate::testutil::conformance;
 
     fn sb(n: u64) -> SuperblockId {
         SuperblockId(n)

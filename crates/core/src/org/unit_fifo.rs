@@ -9,11 +9,12 @@
 //! the medium-grained middle ground the paper explores.
 //!
 //! A superblock never spans units; the skipped tail of a unit is counted as
-//! padding (reported in [`RawInsert::padding`]).
+//! padding (emitted as a [`CacheEvent::Padding`] event).
 
 use crate::error::CacheError;
+use crate::events::{CacheEvent, EventSink, EvictionScope};
 use crate::ids::{Granularity, SuperblockId, UnitId};
-use crate::org::{CacheOrg, RawEviction, RawInsert};
+use crate::org::CacheOrg;
 use std::collections::HashMap;
 
 #[derive(Debug, Default, Clone)]
@@ -89,18 +90,17 @@ impl UnitFifo {
         self.units.len() as u32
     }
 
-    fn flush_unit(&mut self, idx: usize) -> Option<RawEviction> {
+    /// Streams the eviction of unit `idx` (if occupied) into `scope`,
+    /// clearing the unit in place so its `Vec` allocation is reused.
+    fn flush_unit_into(&mut self, idx: usize, scope: &mut EvictionScope<'_>) {
         let unit = &mut self.units[idx];
-        if unit.blocks.is_empty() {
-            return None;
+        for &(id, size) in &unit.blocks {
+            self.resident.remove(&id);
+            scope.evict(id, size);
         }
-        let evicted = std::mem::take(&mut unit.blocks);
+        unit.blocks.clear();
         self.used -= unit.used;
         unit.used = 0;
-        for &(id, _) in &evicted {
-            self.resident.remove(&id);
-        }
-        Some(RawEviction { evicted })
     }
 }
 
@@ -121,7 +121,13 @@ impl CacheOrg for UnitFifo {
         self.resident.get(&id).map(|&u| UnitId(u as u64))
     }
 
-    fn insert(&mut self, id: SuperblockId, size: u32) -> Result<RawInsert, CacheError> {
+    fn insert_events(
+        &mut self,
+        id: SuperblockId,
+        size: u32,
+        _partner: Option<SuperblockId>,
+        sink: &mut dyn EventSink,
+    ) -> Result<(), CacheError> {
         if self.resident.contains_key(&id) {
             return Err(CacheError::AlreadyResident(id));
         }
@@ -135,21 +141,24 @@ impl CacheOrg for UnitFifo {
                 max: self.unit_capacity,
             });
         }
-        let mut report = RawInsert::default();
         if self.units[self.head].used + u64::from(size) > self.unit_capacity {
             // Advance to the next unit, flushing it if occupied.
-            report.padding = self.unit_capacity - self.units[self.head].used;
-            self.head = (self.head + 1) % self.units.len();
-            if let Some(ev) = self.flush_unit(self.head) {
-                report.evictions.push(ev);
+            let padding = self.unit_capacity - self.units[self.head].used;
+            if padding > 0 {
+                sink.event(CacheEvent::Padding { bytes: padding });
             }
+            self.head = (self.head + 1) % self.units.len();
+            let mut scope = EvictionScope::new(sink);
+            self.flush_unit_into(self.head, &mut scope);
+            scope.finish();
         }
         let head = self.head;
         self.units[head].blocks.push((id, size));
         self.units[head].used += u64::from(size);
         self.used += u64::from(size);
         self.resident.insert(id, head);
-        Ok(report)
+        sink.event(CacheEvent::Inserted { id, size });
+        Ok(())
     }
 
     fn resident_count(&self) -> usize {
@@ -169,26 +178,20 @@ impl CacheOrg for UnitFifo {
         self.granularity
     }
 
-    fn flush_all(&mut self) -> Option<RawEviction> {
-        let mut all = Vec::new();
+    fn flush_events(&mut self, sink: &mut dyn EventSink) -> bool {
+        let mut scope = EvictionScope::new(sink);
         for i in 0..self.units.len() {
-            if let Some(ev) = self.flush_unit(i) {
-                all.extend(ev.evicted);
-            }
+            self.flush_unit_into(i, &mut scope);
         }
         self.head = 0;
-        if all.is_empty() {
-            None
-        } else {
-            Some(RawEviction { evicted: all })
-        }
+        scope.finish()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::org::org_tests::conformance;
+    use crate::testutil::conformance;
 
     #[test]
     fn conformance_flush() {
@@ -290,7 +293,7 @@ mod tests {
         let mut c = UnitFifo::new(100, 2).unwrap();
         c.insert(SuperblockId(0), 30).unwrap();
         c.insert(SuperblockId(1), 30).unwrap(); // still unit 0 (60 <= 50? no!)
-        // unit capacity is 50, so sb1 went to unit 1.
+                                                // unit capacity is 50, so sb1 went to unit 1.
         assert_eq!(c.unit_of(SuperblockId(0)), Some(UnitId(0)));
         assert_eq!(c.unit_of(SuperblockId(1)), Some(UnitId(1)));
         assert_eq!(c.unit_of(SuperblockId(99)), None);

@@ -6,13 +6,11 @@
 //! overhead models (Figures 10–11, 14–15 are computed by `cce-sim` from
 //! these counters plus the per-event byte/link quantities).
 
-use serde::{Deserialize, Serialize};
-
 /// Counters accumulated by a [`crate::CodeCache`] over its lifetime.
 ///
 /// This is a passive data structure (all fields public) so analysis code
 /// can consume it freely; it is only ever *written* by `cce-core`.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Superblock lookups.
     pub accesses: u64,
@@ -199,16 +197,5 @@ mod tests {
         assert_eq!(a.misses, 3);
         assert_eq!(a.high_water_bytes, 100);
         assert_eq!(a.high_water_blocks, 9);
-    }
-
-    #[test]
-    fn serde_roundtrip() {
-        let s = CacheStats {
-            accesses: 42,
-            ..CacheStats::default()
-        };
-        let j = serde_json::to_string(&s).unwrap();
-        let back: CacheStats = serde_json::from_str(&j).unwrap();
-        assert_eq!(s, back);
     }
 }

@@ -1,0 +1,140 @@
+//! Legacy-shim vs event-sink equivalence.
+//!
+//! For every organization, the same seeded random insert/access/link
+//! sequence is driven through two identically configured caches — one via
+//! the legacy [`CodeCache::insert_hinted`] shim (owned `InsertReport`s),
+//! one via [`CodeCache::insert_with_events`] (streamed into a reusable
+//! buffer) — and the eviction sequences, byte totals and final
+//! [`cce_core::CacheStats`] must match exactly.
+
+use cce_core::{
+    AdaptiveUnits, AffinityUnits, CacheEvent, CacheOrg, CodeCache, EventBuffer, FineFifo,
+    Generational, InsertReport, LruCache, PreemptiveFlush, SuperblockId, UnitFifo,
+};
+use cce_util::{Rng, StdRng};
+
+type OrgPair = (&'static str, Box<dyn CacheOrg>, Box<dyn CacheOrg>);
+
+fn all_orgs(capacity: u64) -> Vec<OrgPair> {
+    vec![
+        (
+            "unit_fifo(1)",
+            Box::new(UnitFifo::new(capacity, 1).unwrap()),
+            Box::new(UnitFifo::new(capacity, 1).unwrap()),
+        ),
+        (
+            "unit_fifo(8)",
+            Box::new(UnitFifo::new(capacity, 8).unwrap()),
+            Box::new(UnitFifo::new(capacity, 8).unwrap()),
+        ),
+        (
+            "fine_fifo",
+            Box::new(FineFifo::new(capacity).unwrap()),
+            Box::new(FineFifo::new(capacity).unwrap()),
+        ),
+        (
+            "lru",
+            Box::new(LruCache::new(capacity).unwrap()),
+            Box::new(LruCache::new(capacity).unwrap()),
+        ),
+        (
+            "preemptive",
+            Box::new(PreemptiveFlush::new(capacity).unwrap()),
+            Box::new(PreemptiveFlush::new(capacity).unwrap()),
+        ),
+        (
+            "adaptive",
+            Box::new(AdaptiveUnits::new(capacity, 4, 1, 64).unwrap()),
+            Box::new(AdaptiveUnits::new(capacity, 4, 1, 64).unwrap()),
+        ),
+        (
+            "affinity",
+            Box::new(AffinityUnits::new(capacity, 4).unwrap()),
+            Box::new(AffinityUnits::new(capacity, 4).unwrap()),
+        ),
+        (
+            "generational",
+            Box::new(Generational::new(capacity).unwrap()),
+            Box::new(Generational::new(capacity).unwrap()),
+        ),
+    ]
+}
+
+#[test]
+fn legacy_and_event_paths_are_equivalent_for_every_org() {
+    for (name, legacy_org, evented_org) in all_orgs(1024) {
+        let mut legacy = CodeCache::new(legacy_org);
+        let mut evented = CodeCache::new(evented_org);
+        let mut rng = StdRng::seed_from_u64(0xEC0);
+        let mut buf = EventBuffer::new();
+        for step in 0..600u32 {
+            let id = SuperblockId(rng.gen_range(0..48u64));
+            let size = rng.gen_range(16..128u32);
+            let partner = rng
+                .gen_bool(0.3)
+                .then(|| SuperblockId(rng.gen_range(0..48u64)))
+                .filter(|p| legacy.is_resident(*p));
+            let (a, b) = (legacy.access(id), evented.access(id));
+            assert_eq!(a, b, "{name}: access diverged at step {step}");
+            if a.is_miss() {
+                let report = legacy
+                    .insert_hinted(id, size, partner)
+                    .unwrap_or_else(|e| panic!("{name}: legacy insert failed: {e}"));
+                buf.clear();
+                let summary = evented
+                    .insert_with_events(id, size, partner, &mut buf)
+                    .unwrap_or_else(|e| panic!("{name}: evented insert failed: {e}"));
+                // The settled stream reassembles into the legacy report:
+                // identical eviction sequences, unlink counts, byte totals.
+                let rebuilt = InsertReport::from_events(buf.events());
+                assert_eq!(report, rebuilt, "{name}: reports diverged at step {step}");
+                // The compact summary agrees with both.
+                assert_eq!(summary.padding, report.padding);
+                assert_eq!(summary.evictions as usize, report.evictions.len());
+                assert_eq!(
+                    summary.bytes_evicted,
+                    report.evictions.iter().map(|e| e.bytes).sum::<u64>(),
+                    "{name}: byte totals diverged at step {step}"
+                );
+                assert_eq!(
+                    summary.links_unlinked,
+                    report
+                        .evictions
+                        .iter()
+                        .flat_map(|e| &e.unlinked)
+                        .map(|&(_, n)| u64::from(n))
+                        .sum::<u64>()
+                );
+                // Event-stream invariants on the settled stream.
+                let mut depth = 0i32;
+                for &ev in buf.events() {
+                    match ev {
+                        CacheEvent::EvictionBegin => depth += 1,
+                        CacheEvent::EvictionEnd { .. } => depth -= 1,
+                        _ => {}
+                    }
+                    assert!((0..=1).contains(&depth), "{name}: malformed nesting");
+                }
+                assert_eq!(depth, 0, "{name}: unbalanced EvictionBegin/End");
+            }
+            if rng.gen_bool(0.4) {
+                let to = SuperblockId(rng.gen_range(0..48u64));
+                if legacy.is_resident(id) && legacy.is_resident(to) {
+                    let (x, y) = (legacy.link(id, to).unwrap(), evented.link(id, to).unwrap());
+                    assert_eq!(x, y, "{name}: link outcome diverged");
+                }
+            }
+            assert_eq!(legacy.used(), evented.used(), "{name}: usage diverged");
+        }
+        assert_eq!(
+            legacy.stats(),
+            evented.stats(),
+            "{name}: final statistics diverged"
+        );
+        assert_eq!(
+            legacy.org().resident_entries(),
+            evented.org().resident_entries(),
+            "{name}: resident sets diverged"
+        );
+    }
+}

@@ -1,12 +1,13 @@
-//! Property-based tests over the code-cache invariants.
+//! Randomized tests over the code-cache invariants.
 //!
-//! These drive random access/insert/link workloads through every cache
-//! organization and assert the bookkeeping identities that the paper's
-//! overhead models depend on (if these break, every figure downstream is
-//! garbage).
+//! These drive seeded random access/insert/link workloads (deterministic
+//! xoshiro256++ streams from `cce-util`, so failures reproduce exactly)
+//! through every cache organization and assert the bookkeeping identities
+//! that the paper's overhead models depend on (if these break, every
+//! figure downstream is garbage).
 
 use cce_core::{CodeCache, Granularity, SuperblockId};
-use proptest::prelude::*;
+use cce_util::{Rng, StdRng};
 
 /// A randomly generated workload step.
 #[derive(Debug, Clone)]
@@ -17,26 +18,36 @@ enum Op {
     Link { from: u64, to: u64 },
 }
 
-fn op_strategy(max_id: u64, max_size: u32) -> impl Strategy<Value = Op> {
-    prop_oneof![
-        4 => (0..max_id, 1..=max_size).prop_map(|(id, size)| Op::Touch { id, size }),
-        1 => (0..max_id, 0..max_id).prop_map(|(from, to)| Op::Link { from, to }),
-    ]
+fn random_ops(rng: &mut StdRng, count: usize, max_id: u64, max_size: u32) -> Vec<Op> {
+    (0..count)
+        .map(|_| {
+            if rng.gen_range(0..5u32) < 4 {
+                Op::Touch {
+                    id: rng.gen_range(0..max_id),
+                    size: rng.gen_range(1..=max_size),
+                }
+            } else {
+                Op::Link {
+                    from: rng.gen_range(0..max_id),
+                    to: rng.gen_range(0..max_id),
+                }
+            }
+        })
+        .collect()
 }
 
-fn granularity_strategy() -> impl Strategy<Value = Granularity> {
-    prop_oneof![
-        Just(Granularity::Flush),
-        (1u32..=6).prop_map(|p| Granularity::units(1 << p)),
-        Just(Granularity::Superblock),
-    ]
+fn random_granularity(rng: &mut StdRng) -> Granularity {
+    match rng.gen_range(0..3u32) {
+        0 => Granularity::Flush,
+        1 => Granularity::units(1 << rng.gen_range(1..=6u32)),
+        _ => Granularity::Superblock,
+    }
 }
 
 /// Runs `ops` against a fresh cache, asserting step invariants, and
 /// returns the cache for end-state checks.
 fn run_workload(g: Granularity, capacity: u64, ops: &[Op]) -> CodeCache {
     let mut cache = CodeCache::with_granularity(g, capacity).expect("valid geometry");
-    // Mirror of truth: per-id sizes used, to keep sizes stable per id.
     for op in ops {
         match *op {
             Op::Touch { id, size } => {
@@ -66,87 +77,104 @@ fn run_workload(g: Granularity, capacity: u64, ops: &[Op]) -> CodeCache {
     cache
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn accounting_identities_hold(
-        g in granularity_strategy(),
-        ops in prop::collection::vec(op_strategy(64, 120), 1..400),
-    ) {
+#[test]
+fn accounting_identities_hold() {
+    for seed in 0..64u64 {
+        let mut rng = StdRng::seed_from_u64(0xACC0 + seed);
+        let g = random_granularity(&mut rng);
+        let count = rng.gen_range(1..400usize);
+        let ops = random_ops(&mut rng, count, 64, 120);
         let cache = run_workload(g, 512, &ops);
         let s = cache.stats();
         // Access identity.
-        prop_assert_eq!(s.accesses, s.hits + s.misses);
-        prop_assert_eq!(s.misses, s.cold_misses + s.capacity_misses);
+        assert_eq!(s.accesses, s.hits + s.misses);
+        assert_eq!(s.misses, s.cold_misses + s.capacity_misses);
         // Byte conservation: everything inserted is either resident or was
         // evicted.
-        prop_assert_eq!(s.bytes_inserted, s.bytes_evicted + cache.used());
+        assert_eq!(s.bytes_inserted, s.bytes_evicted + cache.used());
         // Block conservation.
-        prop_assert_eq!(s.insertions, s.blocks_evicted + cache.resident_count() as u64);
+        assert_eq!(
+            s.insertions,
+            s.blocks_evicted + cache.resident_count() as u64
+        );
         // Link conservation: created = unlinked + dropped free + live.
-        prop_assert_eq!(
+        assert_eq!(
             s.links_created,
             s.links_unlinked + s.links_dropped_free + cache.link_graph().link_count()
         );
         // High-water marks bound current state.
-        prop_assert!(s.high_water_bytes <= cache.capacity());
-        prop_assert!(cache.used() <= s.high_water_bytes || s.insertions == 0);
+        assert!(s.high_water_bytes <= cache.capacity());
+        assert!(cache.used() <= s.high_water_bytes || s.insertions == 0);
     }
+}
 
-    #[test]
-    fn flush_and_one_unit_are_equivalent(
-        ops in prop::collection::vec(op_strategy(48, 100), 1..300),
-    ) {
+#[test]
+fn flush_and_one_unit_are_equivalent() {
+    for seed in 0..32u64 {
+        let mut rng = StdRng::seed_from_u64(0xF1 + seed);
+        let count = rng.gen_range(1..300usize);
+        let ops = random_ops(&mut rng, count, 48, 100);
         let a = run_workload(Granularity::Flush, 400, &ops);
         let b = run_workload(Granularity::units(1), 400, &ops);
-        prop_assert_eq!(a.stats(), b.stats());
+        assert_eq!(a.stats(), b.stats());
     }
+}
 
-    #[test]
-    fn flush_policy_never_unlinks(
-        ops in prop::collection::vec(op_strategy(48, 100), 1..300),
-    ) {
+#[test]
+fn flush_policy_never_unlinks() {
+    for seed in 0..32u64 {
+        let mut rng = StdRng::seed_from_u64(0xF2 + seed);
+        let count = rng.gen_range(1..300usize);
+        let ops = random_ops(&mut rng, count, 48, 100);
         let cache = run_workload(Granularity::Flush, 400, &ops);
-        prop_assert_eq!(cache.stats().unlink_operations, 0);
-        prop_assert_eq!(cache.stats().inter_unit_links_created, 0);
+        assert_eq!(cache.stats().unlink_operations, 0);
+        assert_eq!(cache.stats().inter_unit_links_created, 0);
     }
+}
 
-    #[test]
-    fn finer_granularity_never_misses_more_on_scan_free_reuse(
-        seed_ops in prop::collection::vec((0u64..32, 40u32..80), 50..200),
-    ) {
+#[test]
+fn finer_granularity_never_misses_more_on_scan_free_reuse() {
+    for seed in 0..16u64 {
+        let mut rng = StdRng::seed_from_u64(0x5CA + seed);
+        let count = rng.gen_range(50..200usize);
         // A repeated-touch workload (every block touched twice in a row):
-        // fine FIFO must do at least as well as FLUSH on misses, because
-        // back-to-back touches always hit under any policy, and FIFO keeps
-        // a superset of recently inserted blocks compared to a flushed
-        // cache right after a flush.
+        // back-to-back touches always hit under any policy.
         let mut ops = Vec::new();
-        for &(id, size) in &seed_ops {
+        for _ in 0..count {
+            let id = rng.gen_range(0..32u64);
+            let size = rng.gen_range(40..80u32);
             ops.push(Op::Touch { id, size });
             ops.push(Op::Touch { id, size });
         }
         let coarse = run_workload(Granularity::Flush, 256, &ops);
         let fine = run_workload(Granularity::Superblock, 256, &ops);
         // Immediate-reuse hits exist under both.
-        prop_assert!(fine.stats().hits >= seed_ops.len() as u64);
-        prop_assert!(coarse.stats().hits >= seed_ops.len() as u64);
+        assert!(fine.stats().hits >= count as u64);
+        assert!(coarse.stats().hits >= count as u64);
     }
+}
 
-    #[test]
-    fn eviction_invocations_monotone_in_granularity(
-        seed_ops in prop::collection::vec((0u64..64, 30u32..60), 100..300),
-    ) {
+#[test]
+fn eviction_invocations_monotone_in_granularity() {
+    for seed in 0..16u64 {
+        let mut rng = StdRng::seed_from_u64(0xE111 + seed);
+        let count = rng.gen_range(100..300usize);
         // Coarser granularities must invoke eviction at most as often as
         // the finest FIFO on the same workload (the premise of Figure 8).
-        let ops: Vec<Op> = seed_ops
-            .iter()
-            .map(|&(id, size)| Op::Touch { id, size })
+        let ops: Vec<Op> = (0..count)
+            .map(|_| Op::Touch {
+                id: rng.gen_range(0..64u64),
+                size: rng.gen_range(30..60u32),
+            })
             .collect();
         let fine = run_workload(Granularity::Superblock, 512, &ops);
-        for g in [Granularity::Flush, Granularity::units(4), Granularity::units(16)] {
+        for g in [
+            Granularity::Flush,
+            Granularity::units(4),
+            Granularity::units(16),
+        ] {
             let c = run_workload(g, 512, &ops);
-            prop_assert!(
+            assert!(
                 c.stats().eviction_invocations <= fine.stats().eviction_invocations,
                 "{} invoked {} > fine {}",
                 g,
@@ -155,18 +183,21 @@ proptest! {
             );
         }
     }
+}
 
-    #[test]
-    fn resident_blocks_enumeration_matches_count(
-        g in granularity_strategy(),
-        ops in prop::collection::vec(op_strategy(64, 120), 1..200),
-    ) {
+#[test]
+fn resident_blocks_enumeration_matches_count() {
+    for seed in 0..32u64 {
+        let mut rng = StdRng::seed_from_u64(0xE003 + seed);
+        let g = random_granularity(&mut rng);
+        let count = rng.gen_range(1..200usize);
+        let ops = random_ops(&mut rng, count, 64, 120);
         let cache = run_workload(g, 512, &ops);
         let blocks = cache.org().resident_blocks();
-        prop_assert_eq!(blocks.len(), cache.resident_count());
+        assert_eq!(blocks.len(), cache.resident_count());
         for b in blocks {
-            prop_assert!(cache.is_resident(b));
-            prop_assert!(cache.unit_of(b).is_some());
+            assert!(cache.is_resident(b));
+            assert!(cache.unit_of(b).is_some());
         }
     }
 }
@@ -181,7 +212,7 @@ fn lru_org_upholds_identities_too() {
         if cache.access(id).is_miss() {
             cache.insert(id, size).unwrap();
         }
-        if i % 3 == 0 {
+        if i.is_multiple_of(3) {
             let to = SuperblockId((i + 5) % 37);
             if cache.is_resident(id) && cache.is_resident(to) {
                 cache.link(id, to).unwrap();
@@ -206,24 +237,34 @@ mod extension_orgs {
         AdaptiveUnits, AffinityUnits, CacheOrg, CodeCache, Generational, PreemptiveFlush,
         SuperblockId,
     };
-    use proptest::prelude::*;
+    use cce_util::{Rng, StdRng};
 
     #[derive(Debug, Clone)]
     enum Op {
-        Touch { id: u64, size: u32, partner: Option<u64> },
-        Link { from: u64, to: u64 },
+        Touch {
+            id: u64,
+            size: u32,
+            partner: Option<u64>,
+        },
+        Link {
+            from: u64,
+            to: u64,
+        },
     }
 
-    fn op_strategy() -> impl Strategy<Value = Op> {
-        prop_oneof![
-            4 => (0u64..48, 16u32..96, prop::option::of(0u64..48))
-                .prop_map(|(id, size, partner)| Op::Touch { id, size, partner }),
-            1 => (0u64..48, 0u64..48).prop_map(|(from, to)| Op::Link { from, to }),
-        ]
-    }
-
-    fn org_strategy() -> impl Strategy<Value = u8> {
-        0u8..4
+    fn random_op(rng: &mut StdRng) -> Op {
+        if rng.gen_range(0..5u32) < 4 {
+            Op::Touch {
+                id: rng.gen_range(0..48u64),
+                size: rng.gen_range(16..96u32),
+                partner: rng.gen_bool(0.5).then(|| rng.gen_range(0..48u64)),
+            }
+        } else {
+            Op::Link {
+                from: rng.gen_range(0..48u64),
+                to: rng.gen_range(0..48u64),
+            }
+        }
     }
 
     fn build(kind: u8, capacity: u64) -> CodeCache {
@@ -236,25 +277,23 @@ mod extension_orgs {
         CodeCache::new(org)
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(48))]
-
-        #[test]
-        fn extension_orgs_uphold_accounting(
-            kind in org_strategy(),
-            ops in prop::collection::vec(op_strategy(), 1..300),
-        ) {
+    #[test]
+    fn extension_orgs_uphold_accounting() {
+        for seed in 0..48u64 {
+            let mut rng = StdRng::seed_from_u64(0xE07 + seed);
+            let kind = rng.gen_range(0..4u32) as u8;
+            let count = rng.gen_range(1..300usize);
             let mut cache = build(kind, 640);
-            for op in &ops {
-                match *op {
+            for _ in 0..count {
+                match random_op(&mut rng) {
                     Op::Touch { id, size, partner } => {
                         let id = SuperblockId(id);
                         if cache.access(id).is_miss() {
                             let hint = partner.map(SuperblockId).filter(|p| cache.is_resident(*p));
                             match cache.insert_hinted(id, size, hint) {
-                                Ok(_) => prop_assert!(cache.is_resident(id)),
+                                Ok(_) => assert!(cache.is_resident(id)),
                                 Err(cce_core::CacheError::BlockTooLarge { .. }) => {}
-                                Err(e) => return Err(TestCaseError::fail(format!("{e}"))),
+                                Err(e) => panic!("unexpected insert failure: {e}"),
                             }
                         }
                     }
@@ -265,35 +304,40 @@ mod extension_orgs {
                         }
                     }
                 }
-                prop_assert!(cache.used() <= cache.capacity());
+                assert!(cache.used() <= cache.capacity());
             }
             let s = cache.stats();
-            prop_assert_eq!(s.accesses, s.hits + s.misses);
-            prop_assert_eq!(s.misses, s.cold_misses + s.capacity_misses);
-            prop_assert_eq!(s.bytes_inserted, s.bytes_evicted + cache.used());
-            prop_assert_eq!(s.insertions, s.blocks_evicted + cache.resident_count() as u64);
-            prop_assert_eq!(
+            assert_eq!(s.accesses, s.hits + s.misses);
+            assert_eq!(s.misses, s.cold_misses + s.capacity_misses);
+            assert_eq!(s.bytes_inserted, s.bytes_evicted + cache.used());
+            assert_eq!(
+                s.insertions,
+                s.blocks_evicted + cache.resident_count() as u64
+            );
+            assert_eq!(
                 s.links_created,
                 s.links_unlinked + s.links_dropped_free + cache.link_graph().link_count()
             );
             // Resident enumeration agrees with membership and units exist.
             let entries = cache.org().resident_entries();
-            prop_assert_eq!(entries.len(), cache.resident_count());
+            assert_eq!(entries.len(), cache.resident_count());
             for (id, size) in entries {
-                prop_assert!(cache.is_resident(id));
-                prop_assert!(size > 0);
-                prop_assert!(cache.unit_of(id).is_some());
+                assert!(cache.is_resident(id));
+                assert!(size > 0);
+                assert!(cache.unit_of(id).is_some());
             }
         }
+    }
 
-        #[test]
-        fn census_never_counts_self_links_as_inter(
-            kind in org_strategy(),
-            ids in prop::collection::vec(0u64..32, 10..60),
-        ) {
+    #[test]
+    fn census_never_counts_self_links_as_inter() {
+        for seed in 0..24u64 {
+            let mut rng = StdRng::seed_from_u64(0xCE45 + seed);
+            let kind = rng.gen_range(0..4u32) as u8;
+            let count = rng.gen_range(10..60usize);
             let mut cache = build(kind, 2048);
-            for &i in &ids {
-                let id = SuperblockId(i);
+            for _ in 0..count {
+                let id = SuperblockId(rng.gen_range(0..32u64));
                 if cache.access(id).is_miss() {
                     let _ = cache.insert(id, 64);
                 }
@@ -304,12 +348,9 @@ mod extension_orgs {
             let (_, inter) = cache.link_census();
             // Only self-links were created, so the census must see zero
             // inter-unit links under every organization.
-            let only_self = cache
-                .link_graph()
-                .iter_links()
-                .all(|(a, b)| a == b);
-            prop_assert!(only_self);
-            prop_assert_eq!(inter, 0);
+            let only_self = cache.link_graph().iter_links().all(|(a, b)| a == b);
+            assert!(only_self);
+            assert_eq!(inter, 0);
         }
     }
 }

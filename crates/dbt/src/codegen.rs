@@ -25,7 +25,6 @@ use crate::translate::TranslationConfig;
 use crate::DbtError;
 use cce_tinyvm::encode::encode_instr;
 use cce_tinyvm::program::{BlockId, Program};
-use serde::{Deserialize, Serialize};
 
 /// Byte the dispatcher sentinel fills stub slots with.
 pub const DISPATCH_SENTINEL: u8 = 0x00;
@@ -33,7 +32,7 @@ pub const DISPATCH_SENTINEL: u8 = 0x00;
 pub const STUB_JMP_OPCODE: u8 = 0xE9;
 
 /// One exit stub within a translated superblock.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ExitStub {
     /// Byte offset of the stub within the translated code.
     pub offset: usize,
@@ -42,7 +41,7 @@ pub struct ExitStub {
 }
 
 /// Translated superblock code. See the module docs.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TranslatedCode {
     /// The emitted bytes.
     pub bytes: Vec<u8>,
@@ -156,7 +155,10 @@ pub fn emit(
     for _ in 0..exits {
         let offset = bytes.len();
         bytes.resize(offset + config.exit_stub_bytes as usize, DISPATCH_SENTINEL);
-        stubs.push(ExitStub { offset, target: None });
+        stubs.push(ExitStub {
+            offset,
+            target: None,
+        });
     }
     debug_assert_eq!(bytes.len(), total, "emitted size vs size model");
     Ok(TranslatedCode { bytes, stubs })
@@ -175,9 +177,22 @@ mod tests {
         let mid = b.block(f);
         let out = b.block(f);
         let exit = b.block(f);
-        b.push(e, Instr::MovImm { dst: Reg::R1, imm: 5 });
+        b.push(
+            e,
+            Instr::MovImm {
+                dst: Reg::R1,
+                imm: 5,
+            },
+        );
         b.jump(e, mid);
-        b.push(mid, Instr::AddImm { dst: Reg::R1, src: Reg::R1, imm: -1 });
+        b.push(
+            mid,
+            Instr::AddImm {
+                dst: Reg::R1,
+                src: Reg::R1,
+                imm: -1,
+            },
+        );
         b.branch(mid, Cond::Gt, Reg::R1, Reg::ZERO, out, exit);
         b.push(out, Instr::Nop);
         b.halt(out);
@@ -213,7 +228,9 @@ mod tests {
         );
         code.unpatch_stub(0);
         assert!(!code.is_patched(0));
-        assert!(code.bytes[off..off + 9].iter().all(|&b| b == DISPATCH_SENTINEL));
+        assert!(code.bytes[off..off + 9]
+            .iter()
+            .all(|&b| b == DISPATCH_SENTINEL));
     }
 
     #[test]
@@ -235,8 +252,10 @@ mod tests {
         use crate::engine::{Engine, EngineConfig};
         use cce_tinyvm::gen::{generate, GenConfig};
         let program = generate(&GenConfig::small(61));
-        let mut cfg = EngineConfig::default();
-        cfg.hot_threshold = 2;
+        let cfg = EngineConfig {
+            hot_threshold: 2,
+            ..EngineConfig::default()
+        };
         let mut engine = Engine::new(&program, cfg.clone()).unwrap();
         let _ = engine.run(50_000_000);
         for sb in engine.superblocks() {

@@ -14,10 +14,8 @@
 //! [`DispatchStats`] counts those events; `cce-sim`'s execution-time model
 //! turns them into instruction and wall-clock estimates.
 
-use serde::{Deserialize, Serialize};
-
 /// Counters for the dispatch-path events of one run.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct DispatchStats {
     /// Superblock entries that rode a patched link (no dispatcher).
     pub linked_entries: u64,
@@ -31,6 +29,10 @@ pub struct DispatchStats {
     /// Superblock translations (initial formations plus regenerations
     /// after eviction).
     pub translations: u64,
+    /// Exit stubs restored to point back at the dispatcher because their
+    /// target was evicted while the source survived (Eq. 4's `numLinks`,
+    /// summed over the run). Fed by the cache's settled event stream.
+    pub stub_unpatches: u64,
     /// Guest instructions retired in total.
     pub guest_instructions: u64,
 }

@@ -234,8 +234,11 @@ impl<'p> Engine<'p> {
         // Initial insertion: the cold miss that creates the cache entry.
         let _ = self.cache.access(id);
         self.dispatch.translations += 1;
-        match self.cache.insert(id, translated) {
-            Ok(_) | Err(CacheError::BlockTooLarge { .. }) => {}
+        // The allocation-free event path: eviction consequences (stub
+        // unpatching work) arrive pre-settled in the summary.
+        match self.cache.insert_evented(id, translated, None) {
+            Ok(summary) => self.dispatch.stub_unpatches += summary.links_unlinked,
+            Err(CacheError::BlockTooLarge { .. }) => {}
             Err(e) => unreachable!("insertion of a fresh superblock failed: {e}"),
         }
         self.trace.record_access(id, None);
@@ -253,8 +256,9 @@ impl<'p> Engine<'p> {
             let size = self.registry[id.0 as usize].translated_bytes;
             self.regenerations += 1;
             self.dispatch.translations += 1;
-            match self.cache.insert(id, size) {
-                Ok(_) | Err(CacheError::BlockTooLarge { .. }) => {}
+            match self.cache.insert_evented(id, size, None) {
+                Ok(summary) => self.dispatch.stub_unpatches += summary.links_unlinked,
+                Err(CacheError::BlockTooLarge { .. }) => {}
                 Err(e) => unreachable!("regeneration insert failed: {e}"),
             }
         }
@@ -300,11 +304,11 @@ impl ExecObserver for Engine<'_> {
         // 2. Recording mode: try to extend the nascent superblock.
         if self.recorder.is_some() {
             let is_head = self.heads.contains_key(&pc);
-            let finished = self
-                .recorder
-                .as_mut()
-                .expect("checked above")
-                .observe(self.program, bid, is_head);
+            let finished =
+                self.recorder
+                    .as_mut()
+                    .expect("checked above")
+                    .observe(self.program, bid, is_head);
             match finished {
                 None => {
                     // Block absorbed into the recording; it executes via
@@ -337,11 +341,8 @@ impl ExecObserver for Engine<'_> {
                     self.dispatch.bb_cache_entries += 1;
                 } else {
                     self.dispatch.interpreted_blocks += 1;
-                    let size = self
-                        .config
-                        .translation
-                        .translated_size(block.byte_len(), 1);
-                    match bb.insert(bb_id, size) {
+                    let size = self.config.translation.translated_size(block.byte_len(), 1);
+                    match bb.insert_evented(bb_id, size, None) {
                         Ok(_) | Err(CacheError::BlockTooLarge { .. }) => {}
                         Err(e) => unreachable!("bb-cache insert failed: {e}"),
                     }
@@ -370,7 +371,13 @@ mod tests {
         let body = b.block(f);
         let body2 = b.block(f);
         let done = b.block(f);
-        b.push(entry, Instr::MovImm { dst: Reg::R1, imm: iters });
+        b.push(
+            entry,
+            Instr::MovImm {
+                dst: Reg::R1,
+                imm: iters,
+            },
+        );
         b.jump(entry, body);
         b.push(body, Instr::Nop);
         b.push(body, Instr::Nop);
@@ -392,8 +399,10 @@ mod tests {
     #[test]
     fn hot_loop_forms_a_superblock() {
         let p = hot_loop_program(200);
-        let mut cfg = EngineConfig::default();
-        cfg.hot_threshold = 50;
+        let cfg = EngineConfig {
+            hot_threshold: 50,
+            ..EngineConfig::default()
+        };
         let mut e = Engine::new(&p, cfg).unwrap();
         let s = e.run(u64::MAX);
         assert_eq!(s.stop, StopReason::Halted);
@@ -431,8 +440,10 @@ mod tests {
     #[test]
     fn chaining_disabled_dispatches_every_entry() {
         let p = hot_loop_program(500);
-        let mut cfg = EngineConfig::default();
-        cfg.chaining = false;
+        let cfg = EngineConfig {
+            chaining: false,
+            ..EngineConfig::default()
+        };
         let mut e = Engine::new(&p, cfg).unwrap();
         let s = e.run(u64::MAX);
         assert_eq!(s.dispatch.linked_entries, 0);
@@ -475,8 +486,10 @@ mod tests {
         let p = generate(&GenConfig::small(5));
         // First, measure maxCache unbounded (low threshold so the small
         // program's blocks actually go hot).
-        let mut base = EngineConfig::default();
-        base.hot_threshold = 2;
+        let base = EngineConfig {
+            hot_threshold: 2,
+            ..EngineConfig::default()
+        };
         let mut probe = Engine::new(&p, base.clone()).unwrap();
         let unbounded = probe.run(50_000_000);
         assert!(unbounded.max_cache_bytes > 0);
@@ -494,19 +507,27 @@ mod tests {
         }
         // Identical guest behaviour regardless of cache size.
         assert_eq!(s.guest_instructions, unbounded.guest_instructions);
+        // Every unpatched link the cache reported reached the dispatcher's
+        // stub accounting through the event summaries.
+        assert_eq!(s.dispatch.stub_unpatches, s.cache_stats.links_unlinked);
+        assert_eq!(unbounded.dispatch.stub_unpatches, 0);
     }
 
     #[test]
     fn invalid_config_rejected() {
         let p = hot_loop_program(10);
-        let mut cfg = EngineConfig::default();
-        cfg.hot_threshold = 0;
+        let cfg = EngineConfig {
+            hot_threshold: 0,
+            ..EngineConfig::default()
+        };
         assert!(matches!(
             Engine::new(&p, cfg),
             Err(DbtError::InvalidConfig(_))
         ));
-        let mut cfg = EngineConfig::default();
-        cfg.cache_capacity = Some(0);
+        let cfg = EngineConfig {
+            cache_capacity: Some(0),
+            ..EngineConfig::default()
+        };
         assert!(matches!(Engine::new(&p, cfg), Err(DbtError::Cache(_))));
     }
 
@@ -538,9 +559,11 @@ mod bb_cache_tests {
         let p = generate(&GenConfig::small(41));
         // High threshold: nothing forms superblocks, everything stays in
         // the basic-block tier.
-        let mut cfg = EngineConfig::default();
-        cfg.hot_threshold = 1_000_000;
-        cfg.bb_cache_capacity = Some(UNBOUNDED_CAPACITY);
+        let cfg = EngineConfig {
+            hot_threshold: 1_000_000,
+            bb_cache_capacity: Some(UNBOUNDED_CAPACITY),
+            ..EngineConfig::default()
+        };
         let mut e = Engine::new(&p, cfg).unwrap();
         let s = e.run(50_000_000);
         assert_eq!(s.superblocks_formed, 0);
@@ -559,9 +582,11 @@ mod bb_cache_tests {
     #[test]
     fn bounded_bb_cache_evicts_and_still_tracks() {
         let p = generate(&GenConfig::small(42));
-        let mut cfg = EngineConfig::default();
-        cfg.hot_threshold = 1_000_000;
-        cfg.bb_cache_capacity = Some(2048);
+        let cfg = EngineConfig {
+            hot_threshold: 1_000_000,
+            bb_cache_capacity: Some(2048),
+            ..EngineConfig::default()
+        };
         let mut e = Engine::new(&p, cfg).unwrap();
         let s = e.run(50_000_000);
         let bb = s.bb_cache_stats.unwrap();
@@ -582,9 +607,11 @@ mod bb_cache_tests {
     fn guest_behaviour_unchanged_by_bb_cache() {
         let p = generate(&GenConfig::small(44));
         let run = |bb: Option<u64>| {
-            let mut cfg = EngineConfig::default();
-            cfg.hot_threshold = 2;
-            cfg.bb_cache_capacity = bb;
+            let cfg = EngineConfig {
+                hot_threshold: 2,
+                bb_cache_capacity: bb,
+                ..EngineConfig::default()
+            };
             let mut e = Engine::new(&p, cfg).unwrap();
             let s = e.run(50_000_000);
             (s.guest_instructions, s.superblocks_formed, s.cache_stats)

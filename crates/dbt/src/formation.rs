@@ -141,7 +141,13 @@ mod tests {
         let body = b.block(f);
         let latch = b.block(f);
         let exit = b.block(f);
-        b.push(entry, Instr::MovImm { dst: Reg::R1, imm: 5 });
+        b.push(
+            entry,
+            Instr::MovImm {
+                dst: Reg::R1,
+                imm: 5,
+            },
+        );
         b.jump(entry, body);
         b.push(body, Instr::Nop);
         b.jump(body, latch);

@@ -197,8 +197,12 @@ mod tests {
             assert_eq!(t.remove(pc(i)), Some(sb(i)));
         }
         assert_eq!(t.len(), 250);
-        for i in 0..500 {
-            let want = if i % 2 == 0 { None } else { Some(sb(i)) };
+        for i in 0..500u64 {
+            let want = if i.is_multiple_of(2) {
+                None
+            } else {
+                Some(sb(i))
+            };
             assert_eq!(t.lookup(pc(i)), want, "i={i}");
         }
     }
@@ -248,14 +252,17 @@ mod tests {
             }
             for i in 0..64 {
                 if (i + round) % 3 != 0 {
-                    assert!(t.remove(pc(round * 64 + i)).is_some(), "round {round} i {i}");
+                    assert!(
+                        t.remove(pc(round * 64 + i)).is_some(),
+                        "round {round} i {i}"
+                    );
                 }
             }
         }
         // Everything that was not removed must still be reachable.
         for round in 0u64..50 {
             for i in 0..64 {
-                if (i + round) % 3 == 0 {
+                if (i + round).is_multiple_of(3) {
                     assert_eq!(
                         t.lookup(pc(round * 64 + i)),
                         Some(sb(i)),

@@ -10,10 +10,9 @@
 
 use cce_core::SuperblockId;
 use cce_tinyvm::program::{BlockId, Pc, Program, Terminator};
-use serde::{Deserialize, Serialize};
 
 /// A formed superblock: guest path plus translated-code geometry.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Superblock {
     /// Cache identity (stable across evictions and regenerations).
     pub id: SuperblockId,
@@ -106,7 +105,13 @@ mod tests {
         let b1 = b.block(f);
         let b2 = b.block(f);
         let b3 = b.block(f);
-        b.push(e, Instr::MovImm { dst: Reg::R1, imm: 1 });
+        b.push(
+            e,
+            Instr::MovImm {
+                dst: Reg::R1,
+                imm: 1,
+            },
+        );
         b.branch(e, Cond::Eq, Reg::R1, Reg::ZERO, b2, b1);
         b.push(b1, Instr::Nop);
         b.jump(b1, b3);

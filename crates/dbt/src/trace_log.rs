@@ -10,17 +10,18 @@
 //! forms when both endpoints are simultaneously resident, which differs
 //! across policies).
 //!
-//! Logs serialize to JSON for save/replay parity with the paper's
-//! methodology.
+//! Logs serialize to JSON (via [`cce_util::Json`]) for save/replay parity
+//! with the paper's methodology.
 
 use cce_core::SuperblockId;
 use cce_tinyvm::program::Pc;
-use serde::{Deserialize, Serialize};
+use cce_util::json::{Json, JsonError};
 use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
 use std::io::{Read, Write};
 
 /// Registry entry for one superblock.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SuperblockInfo {
     /// Stable identity.
     pub id: SuperblockId,
@@ -35,7 +36,7 @@ pub struct SuperblockInfo {
 }
 
 /// One event in the access trace.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TraceEvent {
     /// Control entered superblock `id`.
     Access {
@@ -49,7 +50,7 @@ pub enum TraceEvent {
 }
 
 /// A complete, replayable access trace.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct TraceLog {
     /// Human-readable workload name.
     pub name: String,
@@ -61,7 +62,7 @@ pub struct TraceLog {
 
 /// Aggregate statistics of a trace (inputs to Table 1 and Figures 3, 4
 /// and 12).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TraceSummary {
     /// Number of distinct superblocks (Table 1's middle column).
     pub superblock_count: usize,
@@ -77,6 +78,111 @@ pub struct TraceSummary {
     pub mean_out_degree: f64,
     /// Fraction of accesses that were direct (chainable) transitions.
     pub direct_fraction: f64,
+}
+
+/// Failure while saving or loading a [`TraceLog`].
+#[derive(Debug)]
+pub enum TraceLogError {
+    /// The underlying reader/writer failed.
+    Io(std::io::Error),
+    /// The input was not valid JSON.
+    Json(JsonError),
+    /// The JSON parsed but did not describe a trace log; names the first
+    /// missing or mistyped field.
+    Malformed(&'static str),
+}
+
+impl fmt::Display for TraceLogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceLogError::Io(e) => write!(f, "trace log i/o error: {e}"),
+            TraceLogError::Json(e) => write!(f, "trace log: {e}"),
+            TraceLogError::Malformed(what) => {
+                write!(f, "trace log structure error at field '{what}'")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceLogError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceLogError::Io(e) => Some(e),
+            TraceLogError::Json(e) => Some(e),
+            TraceLogError::Malformed(_) => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for TraceLogError {
+    fn from(e: std::io::Error) -> TraceLogError {
+        TraceLogError::Io(e)
+    }
+}
+
+impl From<JsonError> for TraceLogError {
+    fn from(e: JsonError) -> TraceLogError {
+        TraceLogError::Json(e)
+    }
+}
+
+fn field<'a>(v: &'a Json, key: &'static str) -> Result<&'a Json, TraceLogError> {
+    v.get(key).ok_or(TraceLogError::Malformed(key))
+}
+
+fn field_u64(v: &Json, key: &'static str) -> Result<u64, TraceLogError> {
+    field(v, key)?.as_u64().ok_or(TraceLogError::Malformed(key))
+}
+
+fn field_u32(v: &Json, key: &'static str) -> Result<u32, TraceLogError> {
+    u32::try_from(field_u64(v, key)?).map_err(|_| TraceLogError::Malformed(key))
+}
+
+impl SuperblockInfo {
+    fn to_json(self) -> Json {
+        Json::obj(vec![
+            ("id", Json::from(self.id.0)),
+            ("head_pc", Json::from(self.head_pc.0)),
+            ("size", Json::from(self.size)),
+            ("guest_blocks", Json::from(self.guest_blocks)),
+            ("exits", Json::from(self.exits)),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<SuperblockInfo, TraceLogError> {
+        Ok(SuperblockInfo {
+            id: SuperblockId(field_u64(v, "id")?),
+            head_pc: Pc(field_u64(v, "head_pc")?),
+            size: field_u32(v, "size")?,
+            guest_blocks: field_u32(v, "guest_blocks")?,
+            exits: field_u32(v, "exits")?,
+        })
+    }
+}
+
+impl TraceEvent {
+    fn to_json(self) -> Json {
+        let TraceEvent::Access { id, direct_from } = self;
+        Json::obj(vec![
+            ("id", Json::from(id.0)),
+            ("from", direct_from.map_or(Json::Null, |s| Json::from(s.0))),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<TraceEvent, TraceLogError> {
+        let from = field(v, "from")?;
+        let direct_from = if from.is_null() {
+            None
+        } else {
+            Some(SuperblockId(
+                from.as_u64().ok_or(TraceLogError::Malformed("from"))?,
+            ))
+        };
+        Ok(TraceEvent::Access {
+            id: SuperblockId(field_u64(v, "id")?),
+            direct_from,
+        })
+    }
 }
 
 impl TraceLog {
@@ -164,22 +270,72 @@ impl TraceLog {
         }
     }
 
+    /// The JSON representation written by [`TraceLog::save`].
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("name", Json::from(self.name.as_str())),
+            (
+                "superblocks",
+                Json::Arr(self.superblocks.iter().map(|s| s.to_json()).collect()),
+            ),
+            (
+                "events",
+                Json::Arr(self.events.iter().map(|e| e.to_json()).collect()),
+            ),
+        ])
+    }
+
+    /// Rebuilds a log from the representation produced by
+    /// [`TraceLog::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceLogError::Malformed`] naming the first missing or
+    /// mistyped field.
+    pub fn from_json(v: &Json) -> Result<TraceLog, TraceLogError> {
+        let name = field(v, "name")?
+            .as_str()
+            .ok_or(TraceLogError::Malformed("name"))?
+            .to_owned();
+        let superblocks = field(v, "superblocks")?
+            .as_arr()
+            .ok_or(TraceLogError::Malformed("superblocks"))?
+            .iter()
+            .map(SuperblockInfo::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        let events = field(v, "events")?
+            .as_arr()
+            .ok_or(TraceLogError::Malformed("events"))?
+            .iter()
+            .map(TraceEvent::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(TraceLog {
+            name,
+            superblocks,
+            events,
+        })
+    }
+
     /// Serializes the log as JSON to `writer`.
     ///
     /// # Errors
     ///
-    /// Returns any I/O or serialization error.
-    pub fn save<W: Write>(&self, writer: W) -> Result<(), serde_json::Error> {
-        serde_json::to_writer(writer, self)
+    /// Returns any I/O error from the writer.
+    pub fn save<W: Write>(&self, mut writer: W) -> Result<(), TraceLogError> {
+        writer.write_all(self.to_json().to_string_compact().as_bytes())?;
+        Ok(())
     }
 
     /// Deserializes a log previously written by [`TraceLog::save`].
     ///
     /// # Errors
     ///
-    /// Returns any I/O or parse error.
-    pub fn load<R: Read>(reader: R) -> Result<TraceLog, serde_json::Error> {
-        serde_json::from_reader(reader)
+    /// Returns any I/O, JSON or structural error.
+    pub fn load<R: Read>(mut reader: R) -> Result<TraceLog, TraceLogError> {
+        let mut text = String::new();
+        reader.read_to_string(&mut text)?;
+        TraceLog::from_json(&Json::parse(&text)?)
     }
 }
 
@@ -244,6 +400,32 @@ mod tests {
         log.save(&mut buf).unwrap();
         let back = TraceLog::load(buf.as_slice()).unwrap();
         assert_eq!(log, back);
+    }
+
+    #[test]
+    fn saved_form_is_deterministic() {
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        sample().save(&mut a).unwrap();
+        sample().save(&mut b).unwrap();
+        assert_eq!(a, b, "replay files must be byte-stable");
+    }
+
+    #[test]
+    fn load_rejects_malformed_documents() {
+        assert!(matches!(
+            TraceLog::load("not json".as_bytes()),
+            Err(TraceLogError::Json(_))
+        ));
+        assert!(matches!(
+            TraceLog::load("{\"name\":\"x\"}".as_bytes()),
+            Err(TraceLogError::Malformed("superblocks"))
+        ));
+        let missing_field = "{\"name\":\"x\",\"superblocks\":[{\"id\":1}],\"events\":[]}";
+        assert!(matches!(
+            TraceLog::load(missing_field.as_bytes()),
+            Err(TraceLogError::Malformed("head_pc"))
+        ));
     }
 
     #[test]

@@ -6,10 +6,8 @@
 //! fixed-size stub per exit. The code cache stores *translated* bytes, so
 //! this model determines the entry sizes that all cache experiments see.
 
-use serde::{Deserialize, Serialize};
-
 /// Size model for translated superblocks.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TranslationConfig {
     /// Code expansion as a rational `numerator / denominator` applied to
     /// the guest byte count (default 7/5 = 1.4×).
@@ -37,9 +35,10 @@ impl TranslationConfig {
     /// ```
     #[must_use]
     pub fn translated_size(&self, guest_bytes: u32, exits: u32) -> u32 {
-        let expanded =
-            (u64::from(guest_bytes) * u64::from(self.expansion_num)) / u64::from(self.expansion_den);
-        u32::try_from(expanded).unwrap_or(u32::MAX)
+        let expanded = (u64::from(guest_bytes) * u64::from(self.expansion_num))
+            / u64::from(self.expansion_den);
+        u32::try_from(expanded)
+            .unwrap_or(u32::MAX)
             .saturating_add(exits.saturating_mul(self.exit_stub_bytes))
             .saturating_add(self.prologue_bytes)
     }

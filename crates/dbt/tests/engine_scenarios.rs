@@ -10,9 +10,10 @@ use cce_tinyvm::isa::{Cond, Instr, Reg};
 use cce_tinyvm::program::Program;
 
 fn cfg(threshold: u32) -> EngineConfig {
-    let mut c = EngineConfig::default();
-    c.hot_threshold = threshold;
-    c
+    EngineConfig {
+        hot_threshold: threshold,
+        ..EngineConfig::default()
+    }
 }
 
 /// Two hot loops calling each other through a shared helper function.
@@ -22,7 +23,14 @@ fn two_loop_program(iters: i64) -> Program {
     let helper = b.begin_function("helper");
 
     let h0 = b.block(helper);
-    b.push(h0, Instr::AddImm { dst: Reg::R9, src: Reg::R9, imm: 1 });
+    b.push(
+        h0,
+        Instr::AddImm {
+            dst: Reg::R9,
+            src: Reg::R9,
+            imm: 1,
+        },
+    );
     b.ret(h0);
 
     let entry = b.block(main);
@@ -33,14 +41,40 @@ fn two_loop_program(iters: i64) -> Program {
     let cont2 = b.block(main);
     let done = b.block(main);
 
-    b.push(entry, Instr::MovImm { dst: Reg::R1, imm: iters });
+    b.push(
+        entry,
+        Instr::MovImm {
+            dst: Reg::R1,
+            imm: iters,
+        },
+    );
     b.jump(entry, loop1);
-    b.push(loop1, Instr::AddImm { dst: Reg::R1, src: Reg::R1, imm: -1 });
+    b.push(
+        loop1,
+        Instr::AddImm {
+            dst: Reg::R1,
+            src: Reg::R1,
+            imm: -1,
+        },
+    );
     b.call(loop1, helper, cont1);
     b.branch(cont1, Cond::Gt, Reg::R1, Reg::ZERO, loop1, mid);
-    b.push(mid, Instr::MovImm { dst: Reg::R2, imm: iters });
+    b.push(
+        mid,
+        Instr::MovImm {
+            dst: Reg::R2,
+            imm: iters,
+        },
+    );
     b.jump(mid, loop2);
-    b.push(loop2, Instr::AddImm { dst: Reg::R2, src: Reg::R2, imm: -1 });
+    b.push(
+        loop2,
+        Instr::AddImm {
+            dst: Reg::R2,
+            src: Reg::R2,
+            imm: -1,
+        },
+    );
     b.call(loop2, helper, cont2);
     b.branch(cont2, Cond::Gt, Reg::R2, Reg::ZERO, loop2, done);
     b.halt(done);

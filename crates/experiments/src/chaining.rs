@@ -28,8 +28,7 @@ pub fn table2(_opts: &Options) -> String {
             instrs_per_entry: m.instrs_per_entry,
         };
         let disabled = scenario.disabled_seconds(&dispatch);
-        let paper_slowdown =
-            (m.paper_disabled_seconds - m.base_seconds) / m.base_seconds * 100.0;
+        let paper_slowdown = (m.paper_disabled_seconds - m.base_seconds) / m.base_seconds * 100.0;
         t.row([
             m.name.clone(),
             format!("{:.0}", m.base_seconds),

@@ -16,11 +16,7 @@ use std::fmt::Write as _;
 /// Benchmarks used by the extension studies: small, medium, large.
 const ABLATION_BENCHMARKS: [&str; 3] = ["gzip", "crafty", "gcc"];
 
-fn run_policy(
-    trace: &cce_dbt::TraceLog,
-    label: &str,
-    cache: CodeCache,
-) -> SimResult {
+fn run_policy(trace: &cce_dbt::TraceLog, label: &str, cache: CodeCache) -> SimResult {
     simulate_cache(trace, cache, label.to_owned(), &SimConfig::default())
         .expect("generated traces are well-formed")
 }
@@ -29,11 +25,15 @@ fn policy_lineup(capacity: u64) -> Vec<(&'static str, CodeCache)> {
     vec![
         (
             "FLUSH",
-            CodeCache::new(Box::new(UnitFifo::flush_policy(capacity).expect("capacity > 0"))),
+            CodeCache::new(Box::new(
+                UnitFifo::flush_policy(capacity).expect("capacity > 0"),
+            )),
         ),
         (
             "preemptive",
-            CodeCache::new(Box::new(PreemptiveFlush::new(capacity).expect("capacity > 0"))),
+            CodeCache::new(Box::new(
+                PreemptiveFlush::new(capacity).expect("capacity > 0"),
+            )),
         ),
         (
             "8-unit",
@@ -156,9 +156,7 @@ pub fn future_work(opts: &Options) -> String {
                 let plain = run_policy(
                     &trace,
                     "plain",
-                    CodeCache::new(Box::new(
-                        UnitFifo::new(capacity, eff).expect("units fit"),
-                    )),
+                    CodeCache::new(Box::new(UnitFifo::new(capacity, eff).expect("units fit"))),
                 );
                 let affinity = run_policy(
                     &trace,
@@ -260,7 +258,11 @@ pub fn multiprog(opts: &Options) -> String {
     }
     let traces: Vec<cce_dbt::TraceLog> = apps
         .iter()
-        .map(|n| catalog::by_name(n).expect("table 1 benchmark").trace(opts.scale, opts.seed))
+        .map(|n| {
+            catalog::by_name(n)
+                .expect("table 1 benchmark")
+                .trace(opts.scale, opts.seed)
+        })
         .collect();
 
     let mut t = TextTable::new(
@@ -347,8 +349,7 @@ pub fn analysis(opts: &Options) -> String {
         let profile = reuse_profile(&trace);
         let max_cache = trace.max_cache_bytes();
         // Same capacity rule as the simulator (incl. the minimum floor).
-        let floor =
-            |p: u32| profile.miss_rate_bound(capacity_for_pressure(max_cache, p));
+        let floor = |p: u32| profile.miss_rate_bound(capacity_for_pressure(max_cache, p));
         let fifo = |p: u32| {
             simulate_at_pressure(
                 &trace,

@@ -3,13 +3,12 @@
 //! regenerators.
 
 use cce_core::Granularity;
-use cce_sim::pressure::simulate_at_pressure;
 use cce_sim::simulator::SimConfig;
+use cce_sim::sweep::run_sharded;
 use cce_workloads::BenchmarkModel;
-use serde::{Deserialize, Serialize};
 
 /// One simulated cell.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GridCell {
     /// Benchmark name.
     pub benchmark: String,
@@ -54,7 +53,7 @@ impl GridCell {
 }
 
 /// The full grid plus the axes it was computed over.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Grid {
     /// Scale factor the traces were generated at.
     pub scale: f64,
@@ -139,51 +138,66 @@ impl Grid {
 }
 
 /// Computes the grid for `models` at the given scale/seed over the
-/// granularity spectrum and pressure set.
+/// granularity spectrum and pressure set, sharding the cells across
+/// `jobs` worker threads.
 ///
 /// Traces are generated once per benchmark and replayed for every
-/// configuration — the paper's save-and-replay methodology.
+/// configuration — the paper's save-and-replay methodology. The cells
+/// run on [`run_sharded`], whose pre-indexed result slots make the grid
+/// (and therefore every figure rendered from it) byte-identical at any
+/// `jobs` count.
 pub fn compute_grid(
     models: &[BenchmarkModel],
     granularities: &[Granularity],
     pressures: &[u32],
     scale: f64,
     seed: u64,
+    jobs: usize,
     verbose: bool,
 ) -> Grid {
     let base = SimConfig::default();
-    let mut cells = Vec::with_capacity(models.len() * granularities.len() * pressures.len());
-    for model in models {
-        if verbose {
-            eprintln!(
-                "  [grid] {} ({} superblocks at scale {scale})",
-                model.name,
-                model.scaled_superblocks(scale)
-            );
-        }
-        let trace = model.trace(scale, seed);
-        for &pressure in pressures {
-            for &g in granularities {
-                let r = simulate_at_pressure(&trace, g, pressure, &base)
-                    .expect("generated traces are well-formed");
-                cells.push(GridCell {
-                    benchmark: model.name.clone(),
-                    granularity: g.label(),
-                    pressure,
-                    accesses: r.stats.accesses,
-                    misses: r.stats.misses,
-                    eviction_invocations: r.stats.eviction_invocations,
-                    miss_overhead: r.miss_overhead,
-                    eviction_overhead: r.eviction_overhead,
-                    unlink_overhead: r.unlink_overhead,
-                    links_created: r.stats.links_created,
-                    inter_unit_links: r.stats.inter_unit_links_created,
-                    census_intra_links: r.census_intra_links,
-                    census_inter_links: r.census_inter_links,
-                });
+    let traces: Vec<_> = models
+        .iter()
+        .map(|model| {
+            if verbose {
+                eprintln!(
+                    "  [grid] {} ({} superblocks at scale {scale})",
+                    model.name,
+                    model.scaled_superblocks(scale)
+                );
             }
-        }
+            model.trace(scale, seed)
+        })
+        .collect();
+    if verbose {
+        eprintln!(
+            "  [grid] {} cells across {jobs} worker thread(s)",
+            traces.len() * granularities.len() * pressures.len()
+        );
     }
+    let points = run_sharded(&traces, granularities, pressures, &base, jobs)
+        .expect("generated traces are well-formed");
+    let cells = points
+        .into_iter()
+        .map(|p| {
+            let r = p.result;
+            GridCell {
+                benchmark: models[p.cell.trace].name.clone(),
+                granularity: p.cell.granularity.label(),
+                pressure: p.cell.pressure,
+                accesses: r.stats.accesses,
+                misses: r.stats.misses,
+                eviction_invocations: r.stats.eviction_invocations,
+                miss_overhead: r.miss_overhead,
+                eviction_overhead: r.eviction_overhead,
+                unlink_overhead: r.unlink_overhead,
+                links_created: r.stats.links_created,
+                inter_unit_links: r.stats.inter_unit_links_created,
+                census_intra_links: r.census_intra_links,
+                census_inter_links: r.census_inter_links,
+            }
+        })
+        .collect();
     Grid {
         scale,
         seed,

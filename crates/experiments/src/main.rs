@@ -40,6 +40,9 @@ pub struct Options {
     pub log: Option<String>,
     /// Cache pressure for the `replay` tool.
     pub pressure: Option<u32>,
+    /// Simulation worker threads (`--jobs`); `None` defers to the
+    /// `CCE_JOBS` environment variable, then to available parallelism.
+    pub jobs: Option<usize>,
     /// Print progress to stderr.
     pub verbose: bool,
 }
@@ -53,13 +56,14 @@ impl Default for Options {
             bench: None,
             log: None,
             pressure: None,
+            jobs: None,
             verbose: true,
         }
     }
 }
 
 fn usage() -> &'static str {
-    "usage: cce-experiments <command> [--scale F] [--seed N] [--out PATH] [--quiet]\n\
+    "usage: cce-experiments <command> [--scale F] [--seed N] [--jobs N] [--out PATH] [--quiet]\n\
      commands: table1 fig3 fig4 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 \
      table2 sec5_3 ablation future_work stability multiprog analysis all\n     tools: trace --bench <name> --out <path> | replay --log <path> [--pressure N]"
 }
@@ -99,6 +103,15 @@ fn parse_args(args: &[String]) -> Result<(String, Options), String> {
                 i += 1;
                 let v = args.get(i).ok_or("--pressure needs a value")?;
                 opts.pressure = Some(v.parse().map_err(|_| format!("bad pressure: {v}"))?);
+            }
+            "--jobs" => {
+                i += 1;
+                let v = args.get(i).ok_or("--jobs needs a value")?;
+                let n: usize = v.parse().map_err(|_| format!("bad jobs: {v}"))?;
+                if n == 0 {
+                    return Err("jobs must be at least 1".to_owned());
+                }
+                opts.jobs = Some(n);
             }
             "--quiet" => opts.verbose = false,
             other if cmd.is_none() && !other.starts_with('-') => cmd = Some(other.to_owned()),
@@ -186,6 +199,14 @@ mod tests {
     }
 
     #[test]
+    fn parses_jobs() {
+        let (_, o) = parse_args(&s(&["fig6", "--jobs", "4"])).unwrap();
+        assert_eq!(o.jobs, Some(4));
+        assert!(parse_args(&s(&["fig6", "--jobs", "0"])).is_err());
+        assert!(parse_args(&s(&["fig6", "--jobs", "many"])).is_err());
+    }
+
+    #[test]
     fn rejects_bad_scale() {
         assert!(parse_args(&s(&["fig6", "--scale", "0"])).is_err());
         assert!(parse_args(&s(&["fig6", "--scale", "2"])).is_err());
@@ -210,8 +231,20 @@ mod tests {
             ..Options::default()
         };
         for cmd in [
-            "table1", "fig3", "fig4", "fig6", "fig8", "fig9", "fig12", "fig13", "table2",
-            "ablation", "future_work", "stability", "multiprog", "analysis",
+            "table1",
+            "fig3",
+            "fig4",
+            "fig6",
+            "fig8",
+            "fig9",
+            "fig12",
+            "fig13",
+            "table2",
+            "ablation",
+            "future_work",
+            "stability",
+            "multiprog",
+            "analysis",
         ] {
             let out = run(cmd, &opts).unwrap_or_else(|e| panic!("{cmd}: {e}"));
             assert!(!out.is_empty(), "{cmd} produced no output");

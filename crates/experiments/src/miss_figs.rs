@@ -19,6 +19,7 @@ pub(crate) fn grid_at(opts: &Options, pressures: &[u32]) -> Grid {
         pressures,
         opts.scale,
         opts.seed,
+        cce_sim::resolve_jobs(opts.jobs),
         opts.verbose,
     )
 }
@@ -76,7 +77,9 @@ pub(crate) fn render_fig7(grid: &Grid) -> String {
         t.row(row);
     }
     let mut out = t.to_string();
-    out.push_str("\nExpected shape: differences widen with pressure; every column declines top to bottom.\n");
+    out.push_str(
+        "\nExpected shape: differences widen with pressure; every column declines top to bottom.\n",
+    );
     out
 }
 

@@ -6,10 +6,18 @@ use crate::Options;
 use cce_sim::report::{pct, TextTable};
 use std::fmt::Write as _;
 
-fn render_overhead_vs_granularity(grid: &Grid, pressure: u32, with_links: bool, title: &str) -> String {
+fn render_overhead_vs_granularity(
+    grid: &Grid,
+    pressure: u32,
+    with_links: bool,
+    title: &str,
+) -> String {
     let flush_label = &grid.granularities[0];
     let baseline = grid.total_overhead(flush_label, pressure, with_links);
-    let mut t = TextTable::new(title, ["Granularity", "Overhead (instr)", "Relative to FLUSH"]);
+    let mut t = TextTable::new(
+        title,
+        ["Granularity", "Overhead (instr)", "Relative to FLUSH"],
+    );
     let mut best = (flush_label.clone(), 1.0f64);
     for g in &grid.granularities {
         let o = grid.total_overhead(g, pressure, with_links);
@@ -17,7 +25,11 @@ fn render_overhead_vs_granularity(grid: &Grid, pressure: u32, with_links: bool, 
         if rel < best.1 {
             best = (g.clone(), rel);
         }
-        t.row([g.clone(), format!("{o:.3e}"), format!("{:.1}%", rel * 100.0)]);
+        t.row([
+            g.clone(),
+            format!("{o:.3e}"),
+            format!("{:.1}%", rel * 100.0),
+        ]);
     }
     let mut out = t.to_string();
     let _ = writeln!(
@@ -26,7 +38,11 @@ fn render_overhead_vs_granularity(grid: &Grid, pressure: u32, with_links: bool, 
          pay misses, the finest pays eviction invocations{}; the medium grains win.",
         best.0,
         best.1 * 100.0,
-        if with_links { " and link maintenance" } else { "" }
+        if with_links {
+            " and link maintenance"
+        } else {
+            ""
+        }
     );
     out
 }

@@ -23,7 +23,14 @@ fn traces(opts: &Options) -> Vec<(BenchmarkModel, cce_dbt::TraceLog)> {
 pub fn table1(opts: &Options) -> String {
     let mut t = TextTable::new(
         "Table 1 — Benchmarks and hot superblocks to manage",
-        ["Name", "Suite", "Superblocks (paper)", "Superblocks (trace)", "maxCache (KB)", "Description"],
+        [
+            "Name",
+            "Suite",
+            "Superblocks (paper)",
+            "Superblocks (trace)",
+            "maxCache (KB)",
+            "Description",
+        ],
     );
     for (m, trace) in traces(opts) {
         t.row([
@@ -90,7 +97,13 @@ pub fn fig3(opts: &Options) -> String {
 pub fn fig4(opts: &Options) -> String {
     let mut t = TextTable::new(
         "Figure 4 — Median superblock size (bytes)",
-        ["Benchmark", "Suite", "Median (paper calib.)", "Median (trace)", "Mean (trace)"],
+        [
+            "Benchmark",
+            "Suite",
+            "Median (paper calib.)",
+            "Median (trace)",
+            "Mean (trace)",
+        ],
     );
     for (m, trace) in traces(opts) {
         let s = trace.summary();
@@ -119,11 +132,7 @@ pub fn fig12(opts: &Options) -> String {
         let s = trace.summary();
         weighted += s.mean_out_degree * trace.superblocks.len() as f64;
         n += trace.superblocks.len();
-        t.row([
-            m.name.clone(),
-            f2(s.mean_out_degree),
-            f2(s.direct_fraction),
-        ]);
+        t.row([m.name.clone(), f2(s.mean_out_degree), f2(s.direct_fraction)]);
     }
     let avg = weighted / n as f64;
     let mut out = t.to_string();

@@ -114,6 +114,7 @@ mod tests {
             bench: Some("mcf".to_owned()),
             log: None,
             pressure: None,
+            jobs: None,
             verbose: false,
         };
         let msg = trace(&opts).unwrap();

@@ -253,9 +253,12 @@ mod tests {
                 "LRU@{pressure}: {} beat the Mattson bound {bound}",
                 lru.stats.miss_rate()
             );
-            for g in [Granularity::Flush, Granularity::units(8), Granularity::Superblock] {
-                let r =
-                    simulate_at_pressure(&trace, g, pressure, &SimConfig::default()).unwrap();
+            for g in [
+                Granularity::Flush,
+                Granularity::units(8),
+                Granularity::Superblock,
+            ] {
+                let r = simulate_at_pressure(&trace, g, pressure, &SimConfig::default()).unwrap();
                 assert!(
                     r.stats.miss_rate() >= bound - 1e-9,
                     "{g}@{pressure}: policy {} beat the reuse floor {bound}",

@@ -16,8 +16,6 @@
 //!   trace accesses to the real run's entry count; the relative execution
 //!   time of two policies follows.
 
-use serde::{Deserialize, Serialize};
-
 /// Clock frequency of the paper's measurement machine (dual Xeon 2.4 GHz).
 pub const XEON_CLOCK_GHZ: f64 = 2.4;
 
@@ -37,7 +35,7 @@ pub fn instructions_to_seconds(instructions: f64, cpi: f64, clock_ghz: f64) -> f
 }
 
 /// Per-dispatched-entry cost decomposition, in instructions.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DispatchCost {
     /// Hash-table lookup (original PC → cache PC).
     pub hash_lookup: f64,
@@ -79,7 +77,7 @@ impl DispatchCost {
 }
 
 /// The per-benchmark inputs of the Table 2 model.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ChainingScenario {
     /// Measured runtime with chaining enabled, seconds.
     pub base_seconds: f64,
@@ -96,7 +94,10 @@ impl ChainingScenario {
     /// Panics if `instrs_per_entry <= 0`.
     #[must_use]
     pub fn disabled_seconds(&self, dispatch: &DispatchCost) -> f64 {
-        assert!(self.instrs_per_entry > 0.0, "instrs_per_entry must be positive");
+        assert!(
+            self.instrs_per_entry > 0.0,
+            "instrs_per_entry must be positive"
+        );
         self.base_seconds * (1.0 + dispatch.total() / self.instrs_per_entry)
     }
 

@@ -24,6 +24,9 @@
 //! * [`analysis`] — reuse-distance profiles and the analytic miss-rate
 //!   floor they impose on every FIFO-family policy;
 //! * [`seeds`] — multi-seed robustness analysis (confidence intervals);
+//! * [`sweep`] — the deterministic threaded sweep runner: shards grid
+//!   cells across scoped worker threads into pre-indexed result slots,
+//!   so output is byte-identical at any `--jobs` count;
 //! * [`report`] — plain-text/CSV tables for the experiment binaries.
 //!
 //! # Example: one simulator cell
@@ -54,10 +57,12 @@ pub mod regression;
 pub mod report;
 pub mod seeds;
 pub mod simulator;
+pub mod sweep;
 
 pub use overhead::{LinearModel, OverheadModel};
 pub use regression::fit_line;
 pub use simulator::{simulate, SimConfig, SimError, SimResult};
+pub use sweep::{resolve_jobs, run_sharded, SweepCell, SweepPoint};
 
 // `cce-workloads` is a dev-dependency (doc tests and integration tests
 // only), so the library proper stays decoupled from the benchmark models.

@@ -12,8 +12,7 @@
 //! validating that the recovered constants match the configured ones.
 
 use crate::overhead::{LinearModel, OverheadModel};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use cce_util::{Rng, StdRng};
 
 /// A routine under instruction-count instrumentation.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -79,7 +78,7 @@ impl Campaign {
                 // Log-normal around the 230-byte median superblock,
                 // times 1–32 blocks per invocation.
                 let size = log_normal(&mut rng, 230.0, 0.6);
-                let blocks = 1 << rng.gen_range(0..6);
+                let blocks = 1 << rng.gen_range(0..6u32);
                 let bytes = (size * f64::from(blocks)).clamp(32.0, 64.0 * 1024.0);
                 (bytes, self.eviction.sample(&mut rng, bytes))
             })
@@ -104,7 +103,7 @@ impl Campaign {
         let mut rng = StdRng::seed_from_u64(seed ^ 0xAAAA_AAAA);
         (0..n)
             .map(|_| {
-                let links = f64::from(rng.gen_range(1..=8));
+                let links = f64::from(rng.gen_range(1..=8u32));
                 (links, self.unlink.sample(&mut rng, links))
             })
             .collect()
@@ -150,7 +149,11 @@ mod tests {
     fn regression_recovers_miss_model() {
         let samples = Campaign::dynamorio_like().miss_samples(10_000, 7);
         let fit = fit_line(&samples).unwrap();
-        assert!((fit.model.slope - 75.4).abs() < 4.0, "slope {}", fit.model.slope);
+        assert!(
+            (fit.model.slope - 75.4).abs() < 4.0,
+            "slope {}",
+            fit.model.slope
+        );
         assert!(
             (fit.model.intercept - 1922.0).abs() < 900.0,
             "intercept {}",

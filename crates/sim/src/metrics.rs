@@ -64,18 +64,23 @@ pub fn relative_to_first(series: &[f64]) -> Vec<f64> {
 /// Normalizes a series to its last element.
 #[must_use]
 pub fn relative_to_last(series: &[f64]) -> Vec<f64> {
-    match series.last() {
-        None => Vec::new(),
-        Some(&base) if base == 0.0 => vec![0.0; series.len()],
-        Some(&base) => series.iter().map(|v| v / base).collect(),
+    let Some(&base) = series.last() else {
+        return Vec::new();
+    };
+    if base == 0.0 {
+        return vec![0.0; series.len()];
     }
+    series.iter().map(|v| v / base).collect()
 }
 
 /// Fraction of links crossing unit boundaries, weighted across results
 /// (Figure 13).
 #[must_use]
 pub fn unified_inter_unit_fraction(results: &[SimResult]) -> f64 {
-    let inter: u64 = results.iter().map(|r| r.stats.inter_unit_links_created).sum();
+    let inter: u64 = results
+        .iter()
+        .map(|r| r.stats.inter_unit_links_created)
+        .sum();
     let total: u64 = results.iter().map(|r| r.stats.links_created).sum();
     if total == 0 {
         0.0

@@ -11,10 +11,8 @@
 //! * **Unlinking** (Eq. 4): `296.5 · links + 95.7` per evicted superblock
 //!   with incoming inter-unit links.
 
-use serde::{Deserialize, Serialize};
-
 /// A fitted line `y = slope · x + intercept`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LinearModel {
     /// Cost per unit of the independent variable.
     pub slope: f64,
@@ -37,7 +35,7 @@ impl std::fmt::Display for LinearModel {
 }
 
 /// The three cost models used by the simulator.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OverheadModel {
     /// Eq. 2: instructions per eviction invocation vs bytes evicted.
     pub eviction: LinearModel,
@@ -77,7 +75,8 @@ impl OverheadModel {
     /// (Eq. 3).
     #[must_use]
     pub fn miss_cost(&self, bytes: u64) -> f64 {
-        self.miss.eval(f64::from(u32::try_from(bytes).unwrap_or(u32::MAX)))
+        self.miss
+            .eval(f64::from(u32::try_from(bytes).unwrap_or(u32::MAX)))
     }
 
     /// Instructions to unpatch `links` incoming links of one evicted
@@ -85,6 +84,23 @@ impl OverheadModel {
     #[must_use]
     pub fn unlink_cost(&self, links: u32) -> f64 {
         self.unlink.eval(f64::from(links))
+    }
+
+    /// Σ Eq. 2 over `invocations` eviction invocations that together
+    /// freed `bytes` — the linearity of the model means the aggregate
+    /// counts of an [`cce_core::InsertSummary`] are sufficient, which is
+    /// what lets the simulator charge overheads without materializing
+    /// per-eviction reports.
+    #[must_use]
+    pub fn eviction_cost_total(&self, invocations: u64, bytes: u64) -> f64 {
+        self.eviction.slope * bytes as f64 + self.eviction.intercept * invocations as f64
+    }
+
+    /// Σ Eq. 4 over `operations` unlink operations that together removed
+    /// `links` incoming links.
+    #[must_use]
+    pub fn unlink_cost_total(&self, operations: u64, links: u64) -> f64 {
+        self.unlink.slope * links as f64 + self.unlink.intercept * operations as f64
     }
 }
 
@@ -140,5 +156,14 @@ mod tests {
     #[test]
     fn default_is_paper_constants() {
         assert_eq!(OverheadModel::default(), OverheadModel::cgo2004());
+    }
+
+    #[test]
+    fn batch_costs_match_per_event_sums() {
+        let m = OverheadModel::cgo2004();
+        let per_event = m.eviction_cost(100) + m.eviction_cost(350) + m.eviction_cost(0);
+        assert!((m.eviction_cost_total(3, 450) - per_event).abs() < 1e-9);
+        let per_op = m.unlink_cost(2) + m.unlink_cost(5);
+        assert!((m.unlink_cost_total(2, 7) - per_op).abs() < 1e-9);
     }
 }

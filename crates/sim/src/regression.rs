@@ -47,7 +47,10 @@ pub fn fit_line(samples: &[(f64, f64)]) -> Option<FitResult> {
     let sum_y: f64 = samples.iter().map(|&(_, y)| y).sum();
     let mean_x = sum_x / nf;
     let mean_y = sum_y / nf;
-    let sxx: f64 = samples.iter().map(|&(x, _)| (x - mean_x) * (x - mean_x)).sum();
+    let sxx: f64 = samples
+        .iter()
+        .map(|&(x, _)| (x - mean_x) * (x - mean_x))
+        .sum();
     if sxx == 0.0 {
         return None;
     }
@@ -58,7 +61,10 @@ pub fn fit_line(samples: &[(f64, f64)]) -> Option<FitResult> {
     let slope = sxy / sxx;
     let intercept = mean_y - slope * mean_x;
 
-    let ss_tot: f64 = samples.iter().map(|&(_, y)| (y - mean_y) * (y - mean_y)).sum();
+    let ss_tot: f64 = samples
+        .iter()
+        .map(|&(_, y)| (y - mean_y) * (y - mean_y))
+        .sum();
     let ss_res: f64 = samples
         .iter()
         .map(|&(x, y)| {
@@ -66,7 +72,11 @@ pub fn fit_line(samples: &[(f64, f64)]) -> Option<FitResult> {
             (y - pred) * (y - pred)
         })
         .sum();
-    let r_squared = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
+    let r_squared = if ss_tot == 0.0 {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    };
 
     Some(FitResult {
         model: LinearModel { slope, intercept },
@@ -102,7 +112,10 @@ mod tests {
     fn degenerate_inputs_are_none() {
         assert!(fit_line(&[]).is_none());
         assert!(fit_line(&[(1.0, 2.0)]).is_none());
-        assert!(fit_line(&[(3.0, 1.0), (3.0, 9.0)]).is_none(), "vertical line");
+        assert!(
+            fit_line(&[(3.0, 1.0), (3.0, 9.0)]).is_none(),
+            "vertical line"
+        );
     }
 
     #[test]

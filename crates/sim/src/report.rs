@@ -17,7 +17,7 @@ impl TextTable {
         TextTable {
             title: title.to_owned(),
             headers: headers.into_iter().map(Into::into).collect(),
-        rows: Vec::new(),
+            rows: Vec::new(),
         }
     }
 
@@ -164,7 +164,7 @@ mod tests {
     #[test]
     fn formatters() {
         assert_eq!(pct(0.1234), "12.34%");
-        assert_eq!(f2(3.14159), "3.14");
+        assert_eq!(f2(4.5678), "4.57");
         assert_eq!(relative(1.5), "150.0%");
     }
 }

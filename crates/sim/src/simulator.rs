@@ -10,7 +10,6 @@
 use crate::overhead::OverheadModel;
 use cce_core::{CacheError, CodeCache, Granularity, SuperblockId};
 use cce_dbt::{TraceEvent, TraceLog};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
@@ -83,7 +82,7 @@ impl From<CacheError> for SimError {
 }
 
 /// The outcome of simulating one trace at one configuration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimResult {
     /// Workload name (from the trace).
     pub name: String,
@@ -169,11 +168,8 @@ pub fn simulate_cache(
     if trace.events.is_empty() {
         return Err(SimError::EmptyTrace);
     }
-    let sizes: HashMap<SuperblockId, u32> = trace
-        .superblocks
-        .iter()
-        .map(|s| (s.id, s.size))
-        .collect();
+    let sizes: HashMap<SuperblockId, u32> =
+        trace.superblocks.iter().map(|s| (s.id, s.size)).collect();
     let mut miss_overhead = 0.0;
     let mut eviction_overhead = 0.0;
     let mut unlink_overhead = 0.0;
@@ -192,15 +188,19 @@ pub fn simulate_cache(
             // Placement hint: the chain source of this direct transition,
             // if still resident (placement-aware organizations co-locate).
             let partner = direct_from.filter(|f| cache.is_resident(*f));
-            match cache.insert_hinted(id, size, partner) {
-                Ok(report) => {
-                    for ev in &report.evictions {
-                        eviction_overhead += config.overhead.eviction_cost(ev.bytes);
-                        if config.charge_unlinks {
-                            for &(_, links) in &ev.unlinked {
-                                unlink_overhead += config.overhead.unlink_cost(links);
-                            }
-                        }
+            // The allocation-free event path: Eqs. 2 and 4 are linear, so
+            // the settled aggregate counts charge exactly what walking the
+            // per-eviction reports used to.
+            match cache.insert_evented(id, size, partner) {
+                Ok(summary) => {
+                    eviction_overhead += config
+                        .overhead
+                        .eviction_cost_total(u64::from(summary.evictions), summary.bytes_evicted);
+                    if config.charge_unlinks {
+                        unlink_overhead += config.overhead.unlink_cost_total(
+                            u64::from(summary.unlink_operations),
+                            summary.links_unlinked,
+                        );
                     }
                 }
                 Err(CacheError::BlockTooLarge { .. }) => uncacheable += 1,
@@ -306,7 +306,11 @@ mod tests {
         // 100% — the interesting differences need real locality (covered
         // by the pressure-sweep tests).
         let trace = round_robin(10, 100, 20);
-        for g in [Granularity::Flush, Granularity::units(2), Granularity::Superblock] {
+        for g in [
+            Granularity::Flush,
+            Granularity::units(2),
+            Granularity::Superblock,
+        ] {
             let r = simulate(
                 &trace,
                 &SimConfig {
@@ -391,7 +395,10 @@ mod tests {
         )
         .unwrap();
         assert_eq!(without.unlink_overhead, 0.0);
-        assert_eq!(with.stats, without.stats, "charging must not change behaviour");
+        assert_eq!(
+            with.stats, without.stats,
+            "charging must not change behaviour"
+        );
         assert!(with.unlink_overhead >= 0.0);
     }
 

@@ -1,0 +1,246 @@
+//! Deterministic threaded sweep runner.
+//!
+//! A full study is a `(benchmark × granularity × pressure)` grid of
+//! independent simulator cells — embarrassingly parallel, but figure
+//! regeneration demands *byte-identical* output run to run. The runner
+//! therefore separates planning from execution: [`plan`] enumerates the
+//! cells in a fixed canonical order (trace-major, then pressure, then
+//! granularity — the same order the sequential grid loop has always
+//! used), and [`run_sharded`] lets a scoped thread pool claim cells from
+//! an atomic cursor while every worker writes its result into the cell's
+//! *pre-indexed slot*. Scheduling nondeterminism affects only which
+//! thread computes a cell, never where the result lands, so `--jobs N`
+//! output is byte-identical to `--jobs 1`.
+
+use crate::pressure::simulate_at_pressure;
+use crate::simulator::{SimConfig, SimError, SimResult};
+use cce_core::Granularity;
+use cce_dbt::TraceLog;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// One planned cell of a sweep, identified by axis indices so the cell
+/// list itself stays small and `Copy`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepCell {
+    /// Index into the caller's trace slice.
+    pub trace: usize,
+    /// Granularity to simulate.
+    pub granularity: Granularity,
+    /// Cache-pressure factor `n` (capacity = `maxCache / n`).
+    pub pressure: u32,
+}
+
+/// One finished cell: the plan entry plus its simulation outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint {
+    /// The cell that was simulated.
+    pub cell: SweepCell,
+    /// The simulation outcome.
+    pub result: SimResult,
+}
+
+/// Enumerates every `(trace, pressure, granularity)` cell in canonical
+/// order. This order is the contract: [`run_sharded`] returns results in
+/// exactly this sequence regardless of worker count.
+#[must_use]
+pub fn plan(
+    trace_count: usize,
+    granularities: &[Granularity],
+    pressures: &[u32],
+) -> Vec<SweepCell> {
+    let mut cells = Vec::with_capacity(trace_count * granularities.len() * pressures.len());
+    for trace in 0..trace_count {
+        for &pressure in pressures {
+            for &granularity in granularities {
+                cells.push(SweepCell {
+                    trace,
+                    granularity,
+                    pressure,
+                });
+            }
+        }
+    }
+    cells
+}
+
+/// Resolves the worker count: an explicit `--jobs` flag wins, then the
+/// `CCE_JOBS` environment variable, then the machine's available
+/// parallelism. Zero or unparsable values are treated as unset.
+#[must_use]
+pub fn resolve_jobs(flag: Option<usize>) -> usize {
+    jobs_from(flag, std::env::var("CCE_JOBS").ok().as_deref())
+}
+
+/// The pure core of [`resolve_jobs`], separated so the precedence chain
+/// is testable without mutating process environment.
+#[must_use]
+pub fn jobs_from(flag: Option<usize>, env: Option<&str>) -> usize {
+    flag.filter(|&n| n > 0)
+        .or_else(|| env.and_then(|s| s.trim().parse().ok()).filter(|&n| n > 0))
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+}
+
+/// Runs every cell of the `(traces × granularities × pressures)` grid
+/// across `jobs` scoped worker threads and returns the results in
+/// [`plan`] order.
+///
+/// Workers claim cells from a shared atomic cursor (dynamic load
+/// balancing — big benchmarks don't serialize behind small ones) and
+/// each returns `(slot index, result)` pairs that are written back into
+/// a pre-indexed result vector after the scope joins. The output is
+/// therefore a pure function of the inputs, independent of `jobs`.
+///
+/// # Errors
+///
+/// If any cell fails, returns the error of the *lowest-indexed* failing
+/// cell — again independent of scheduling.
+///
+/// # Panics
+///
+/// Panics if a worker thread panics (a simulator bug, not an I/O
+/// condition).
+pub fn run_sharded(
+    traces: &[TraceLog],
+    granularities: &[Granularity],
+    pressures: &[u32],
+    base: &SimConfig,
+    jobs: usize,
+) -> Result<Vec<SweepPoint>, SimError> {
+    let cells = plan(traces.len(), granularities, pressures);
+    let jobs = jobs.max(1).min(cells.len().max(1));
+    let cursor = AtomicUsize::new(0);
+
+    let mut slots: Vec<Option<Result<SimResult, SimError>>> = Vec::new();
+    slots.resize_with(cells.len(), || None);
+
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..jobs)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(cell) = cells.get(i) else { break };
+                        let r = simulate_at_pressure(
+                            &traces[cell.trace],
+                            cell.granularity,
+                            cell.pressure,
+                            base,
+                        );
+                        local.push((i, r));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, r) in h.join().expect("sweep worker panicked") {
+                slots[i] = Some(r);
+            }
+        }
+    });
+
+    let mut out = Vec::with_capacity(cells.len());
+    for (cell, slot) in cells.into_iter().zip(slots) {
+        let result = slot.expect("every claimed slot is filled")?;
+        out.push(SweepPoint { cell, result });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pressure::sweep_trace;
+    use cce_workloads::catalog;
+
+    fn small_traces() -> Vec<TraceLog> {
+        ["gzip", "mcf"]
+            .iter()
+            .map(|n| catalog::by_name(n).unwrap().trace(0.1, 7))
+            .collect()
+    }
+
+    fn axes() -> (Vec<Granularity>, Vec<u32>) {
+        (
+            vec![
+                Granularity::Flush,
+                Granularity::units(8),
+                Granularity::Superblock,
+            ],
+            vec![2, 6],
+        )
+    }
+
+    #[test]
+    fn plan_order_is_trace_major() {
+        let (gs, ps) = axes();
+        let cells = plan(2, &gs, &ps);
+        assert_eq!(cells.len(), 2 * 3 * 2);
+        assert_eq!(
+            cells[0],
+            SweepCell {
+                trace: 0,
+                granularity: Granularity::Flush,
+                pressure: 2
+            }
+        );
+        // Granularity varies fastest, then pressure, then trace.
+        assert_eq!(cells[1].granularity, Granularity::units(8));
+        assert_eq!(cells[3].pressure, 6);
+        assert_eq!(cells[6].trace, 1);
+    }
+
+    #[test]
+    fn jobs_precedence_flag_env_fallback() {
+        assert_eq!(jobs_from(Some(3), Some("8")), 3);
+        assert_eq!(jobs_from(None, Some("8")), 8);
+        assert_eq!(jobs_from(None, Some(" 2 ")), 2);
+        // Zero and garbage fall through to auto-detection.
+        assert!(jobs_from(Some(0), None) >= 1);
+        assert!(jobs_from(None, Some("0")) >= 1);
+        assert!(jobs_from(None, Some("lots")) >= 1);
+        assert!(jobs_from(None, None) >= 1);
+    }
+
+    #[test]
+    fn sharded_matches_sequential_sweep() {
+        let traces = small_traces();
+        let (gs, ps) = axes();
+        let base = SimConfig::default();
+        let points = run_sharded(&traces, &gs, &ps, &base, 3).unwrap();
+
+        // The sequential reference: per-trace pressure sweeps concatenated.
+        let mut reference = Vec::new();
+        for trace in &traces {
+            reference.extend(sweep_trace(trace, &gs, &ps, &base).unwrap());
+        }
+        assert_eq!(points.len(), reference.len());
+        for (p, r) in points.iter().zip(&reference) {
+            assert_eq!(p.cell.granularity, r.granularity);
+            assert_eq!(p.cell.pressure, r.pressure);
+            assert_eq!(p.result, r.result);
+        }
+    }
+
+    #[test]
+    fn worker_count_does_not_change_results() {
+        let traces = small_traces();
+        let (gs, ps) = axes();
+        let base = SimConfig::default();
+        let one = run_sharded(&traces, &gs, &ps, &base, 1).unwrap();
+        for jobs in [2, 4, 16] {
+            assert_eq!(one, run_sharded(&traces, &gs, &ps, &base, jobs).unwrap());
+        }
+    }
+
+    #[test]
+    fn empty_grid_is_fine() {
+        let base = SimConfig::default();
+        assert_eq!(run_sharded(&[], &[], &[], &base, 4).unwrap(), vec![]);
+    }
+}

@@ -203,11 +203,7 @@ impl ProgramBuilder {
     /// exactly once).
     pub fn terminate(&mut self, block: BlockId, t: Terminator) {
         let b = &mut self.blocks[block.0 as usize];
-        assert!(
-            b.terminator.is_none(),
-            "block {} terminated twice",
-            block.0
-        );
+        assert!(b.terminator.is_none(), "block {} terminated twice", block.0);
         b.terminator = Some(t);
     }
 
@@ -239,7 +235,10 @@ impl ProgramBuilder {
             for tgt in term.successors() {
                 let tf = self.blocks[tgt.0 as usize].func;
                 if tf != b.func {
-                    return Err(BuildError::CrossFunctionTarget { block: id, target: tgt });
+                    return Err(BuildError::CrossFunctionTarget {
+                        block: id,
+                        target: tgt,
+                    });
                 }
             }
             if let Terminator::Call { callee, .. } = term {
@@ -328,7 +327,10 @@ mod tests {
 
     #[test]
     fn empty_program_is_rejected() {
-        assert_eq!(ProgramBuilder::new().finish().unwrap_err(), BuildError::Empty);
+        assert_eq!(
+            ProgramBuilder::new().finish().unwrap_err(),
+            BuildError::Empty
+        );
     }
 
     #[test]
@@ -349,7 +351,10 @@ mod tests {
         let f = b.begin_function("main");
         let e = b.block(f);
         b.halt(e);
-        assert!(matches!(b.finish().unwrap_err(), BuildError::MissingEntry(_)));
+        assert!(matches!(
+            b.finish().unwrap_err(),
+            BuildError::MissingEntry(_)
+        ));
     }
 
     #[test]
@@ -376,7 +381,10 @@ mod tests {
         let e = b.block(f);
         b.indirect(e, Reg::R1, vec![]);
         b.set_entry(f, e);
-        assert!(matches!(b.finish().unwrap_err(), BuildError::EmptyIndirect(_)));
+        assert!(matches!(
+            b.finish().unwrap_err(),
+            BuildError::EmptyIndirect(_)
+        ));
     }
 
     #[test]

@@ -48,7 +48,10 @@ pub fn format_terminator(t: &Terminator) -> String {
             rhs,
             taken,
             fallthrough,
-        } => format!("b.{cond}  {lhs}, {rhs} -> B{} else B{}", taken.0, fallthrough.0),
+        } => format!(
+            "b.{cond}  {lhs}, {rhs} -> B{} else B{}",
+            taken.0, fallthrough.0
+        ),
         Terminator::Call { callee, ret_to } => format!("call  F{} ret B{}", callee.0, ret_to.0),
         Terminator::Return => "ret".to_owned(),
         Terminator::IndirectJump { selector, targets } => {
@@ -103,7 +106,13 @@ mod tests {
         let f = b.begin_function("main");
         let e = b.block(f);
         let x = b.block(f);
-        b.push(e, Instr::MovImm { dst: Reg::R1, imm: 3 });
+        b.push(
+            e,
+            Instr::MovImm {
+                dst: Reg::R1,
+                imm: 3,
+            },
+        );
         b.branch(e, Cond::Ne, Reg::R1, Reg::ZERO, x, x);
         b.halt(x);
         b.set_entry(f, e);
@@ -119,19 +128,69 @@ mod tests {
     #[test]
     fn every_instr_formats_nonempty() {
         let instrs = [
-            Instr::MovImm { dst: Reg::R1, imm: 0 },
-            Instr::Mov { dst: Reg::R1, src: Reg::R2 },
-            Instr::Add { dst: Reg::R1, a: Reg::R2, b: Reg::R3 },
-            Instr::AddImm { dst: Reg::R1, src: Reg::R2, imm: 1 },
-            Instr::Sub { dst: Reg::R1, a: Reg::R2, b: Reg::R3 },
-            Instr::Mul { dst: Reg::R1, a: Reg::R2, b: Reg::R3 },
-            Instr::Xor { dst: Reg::R1, a: Reg::R2, b: Reg::R3 },
-            Instr::And { dst: Reg::R1, a: Reg::R2, b: Reg::R3 },
-            Instr::Or { dst: Reg::R1, a: Reg::R2, b: Reg::R3 },
-            Instr::ShlImm { dst: Reg::R1, src: Reg::R2, amount: 3 },
-            Instr::ShrImm { dst: Reg::R1, src: Reg::R2, amount: 3 },
-            Instr::Load { dst: Reg::R1, base: Reg::R2, offset: 0 },
-            Instr::Store { src: Reg::R1, base: Reg::R2, offset: 0 },
+            Instr::MovImm {
+                dst: Reg::R1,
+                imm: 0,
+            },
+            Instr::Mov {
+                dst: Reg::R1,
+                src: Reg::R2,
+            },
+            Instr::Add {
+                dst: Reg::R1,
+                a: Reg::R2,
+                b: Reg::R3,
+            },
+            Instr::AddImm {
+                dst: Reg::R1,
+                src: Reg::R2,
+                imm: 1,
+            },
+            Instr::Sub {
+                dst: Reg::R1,
+                a: Reg::R2,
+                b: Reg::R3,
+            },
+            Instr::Mul {
+                dst: Reg::R1,
+                a: Reg::R2,
+                b: Reg::R3,
+            },
+            Instr::Xor {
+                dst: Reg::R1,
+                a: Reg::R2,
+                b: Reg::R3,
+            },
+            Instr::And {
+                dst: Reg::R1,
+                a: Reg::R2,
+                b: Reg::R3,
+            },
+            Instr::Or {
+                dst: Reg::R1,
+                a: Reg::R2,
+                b: Reg::R3,
+            },
+            Instr::ShlImm {
+                dst: Reg::R1,
+                src: Reg::R2,
+                amount: 3,
+            },
+            Instr::ShrImm {
+                dst: Reg::R1,
+                src: Reg::R2,
+                amount: 3,
+            },
+            Instr::Load {
+                dst: Reg::R1,
+                base: Reg::R2,
+                offset: 0,
+            },
+            Instr::Store {
+                src: Reg::R1,
+                base: Reg::R2,
+                offset: 0,
+            },
             Instr::Nop,
         ];
         for i in &instrs {

@@ -298,9 +298,17 @@ pub fn decode_instr(bytes: &[u8]) -> Result<(Instr, usize), DecodeError> {
             let (r, base) = split(bytes[1]);
             let offset = i32::from(i16::from_le_bytes(bytes[2..4].try_into().expect("2 bytes")));
             let instr = if op == OP_LOAD {
-                Instr::Load { dst: r, base, offset }
+                Instr::Load {
+                    dst: r,
+                    base,
+                    offset,
+                }
             } else {
-                Instr::Store { src: r, base, offset }
+                Instr::Store {
+                    src: r,
+                    base,
+                    offset,
+                }
             };
             Ok((instr, 4))
         }
@@ -380,7 +388,11 @@ pub fn assemble(program: &Program) -> Result<Vec<u8>, EncodeError> {
             encode_instr(instr, &mut bytes)?;
         }
         encode_terminator(&block.terminator, &mut bytes)?;
-        debug_assert_eq!(bytes.len() as u32, block.byte_len(), "size model vs encoder");
+        debug_assert_eq!(
+            bytes.len() as u32,
+            block.byte_len(),
+            "size model vs encoder"
+        );
         let off = usize::try_from(program.block_addr(block.id).addr() - base).expect("in image");
         image[off..off + bytes.len()].copy_from_slice(&bytes);
     }
@@ -394,21 +406,77 @@ mod tests {
     fn all_instr_samples() -> Vec<Instr> {
         vec![
             Instr::Nop,
-            Instr::MovImm { dst: Reg::R3, imm: 1234 },
-            Instr::MovImm { dst: Reg::R4, imm: -77 },
-            Instr::MovImm { dst: Reg::R5, imm: i64::MAX - 3 },
-            Instr::Mov { dst: Reg::R1, src: Reg::R15 },
-            Instr::Add { dst: Reg::R1, a: Reg::R2, b: Reg::R3 },
-            Instr::Sub { dst: Reg::R4, a: Reg::R5, b: Reg::R6 },
-            Instr::Xor { dst: Reg::R7, a: Reg::R8, b: Reg::R9 },
-            Instr::And { dst: Reg::R10, a: Reg::R11, b: Reg::R12 },
-            Instr::Or { dst: Reg::R13, a: Reg::R14, b: Reg::ZERO },
-            Instr::Mul { dst: Reg::R2, a: Reg::R3, b: Reg::R4 },
-            Instr::AddImm { dst: Reg::R1, src: Reg::R1, imm: -1 },
-            Instr::ShlImm { dst: Reg::R6, src: Reg::R5, amount: 13 },
-            Instr::ShrImm { dst: Reg::R7, src: Reg::R5, amount: 7 },
-            Instr::Load { dst: Reg::R8, base: Reg::R9, offset: -32 },
-            Instr::Store { src: Reg::R8, base: Reg::R9, offset: 31 },
+            Instr::MovImm {
+                dst: Reg::R3,
+                imm: 1234,
+            },
+            Instr::MovImm {
+                dst: Reg::R4,
+                imm: -77,
+            },
+            Instr::MovImm {
+                dst: Reg::R5,
+                imm: i64::MAX - 3,
+            },
+            Instr::Mov {
+                dst: Reg::R1,
+                src: Reg::R15,
+            },
+            Instr::Add {
+                dst: Reg::R1,
+                a: Reg::R2,
+                b: Reg::R3,
+            },
+            Instr::Sub {
+                dst: Reg::R4,
+                a: Reg::R5,
+                b: Reg::R6,
+            },
+            Instr::Xor {
+                dst: Reg::R7,
+                a: Reg::R8,
+                b: Reg::R9,
+            },
+            Instr::And {
+                dst: Reg::R10,
+                a: Reg::R11,
+                b: Reg::R12,
+            },
+            Instr::Or {
+                dst: Reg::R13,
+                a: Reg::R14,
+                b: Reg::ZERO,
+            },
+            Instr::Mul {
+                dst: Reg::R2,
+                a: Reg::R3,
+                b: Reg::R4,
+            },
+            Instr::AddImm {
+                dst: Reg::R1,
+                src: Reg::R1,
+                imm: -1,
+            },
+            Instr::ShlImm {
+                dst: Reg::R6,
+                src: Reg::R5,
+                amount: 13,
+            },
+            Instr::ShrImm {
+                dst: Reg::R7,
+                src: Reg::R5,
+                amount: 7,
+            },
+            Instr::Load {
+                dst: Reg::R8,
+                base: Reg::R9,
+                offset: -32,
+            },
+            Instr::Store {
+                src: Reg::R8,
+                base: Reg::R9,
+                offset: 31,
+            },
         ]
     }
 
@@ -474,14 +542,22 @@ mod tests {
         let mut out = Vec::new();
         assert_eq!(
             encode_instr(
-                &Instr::AddImm { dst: Reg::R1, src: Reg::R1, imm: 40_000 },
+                &Instr::AddImm {
+                    dst: Reg::R1,
+                    src: Reg::R1,
+                    imm: 40_000
+                },
                 &mut out
             ),
             Err(EncodeError::ImmediateTooWide(40_000))
         );
         assert_eq!(
             encode_instr(
-                &Instr::Load { dst: Reg::R1, base: Reg::R2, offset: 1 << 20 },
+                &Instr::Load {
+                    dst: Reg::R1,
+                    base: Reg::R2,
+                    offset: 1 << 20
+                },
                 &mut out
             ),
             Err(EncodeError::OffsetTooWide(1 << 20))
@@ -590,7 +666,10 @@ pub fn decode_terminator(bytes: &[u8]) -> Result<(Terminator, usize), DecodeErro
                     bytes[off..off + 4].try_into().expect("4 bytes"),
                 )));
             }
-            Ok((Terminator::IndirectJump { selector, targets }, 3 + 4 * count))
+            Ok((
+                Terminator::IndirectJump { selector, targets },
+                3 + 4 * count,
+            ))
         }
         OP_HALT => {
             need(2)?;
@@ -639,11 +718,17 @@ mod terminator_decode_tests {
     #[test]
     fn truncated_terminators_error() {
         assert_eq!(decode_terminator(&[]), Err(DecodeError::Truncated));
-        assert_eq!(decode_terminator(&[OP_JUMP, 1]), Err(DecodeError::Truncated));
+        assert_eq!(
+            decode_terminator(&[OP_JUMP, 1]),
+            Err(DecodeError::Truncated)
+        );
         assert_eq!(
             decode_terminator(&[OP_INDIRECT, 1, 5]),
             Err(DecodeError::Truncated)
         );
-        assert_eq!(decode_terminator(&[0xEE]), Err(DecodeError::BadOpcode(0xEE)));
+        assert_eq!(
+            decode_terminator(&[0xEE]),
+            Err(DecodeError::BadOpcode(0xEE))
+        );
     }
 }

@@ -17,8 +17,7 @@
 use crate::builder::ProgramBuilder;
 use crate::isa::{Cond, Instr, Reg};
 use crate::program::{BlockId, FuncId, Program};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use cce_util::{Rng, StdRng};
 
 /// Configuration for [`generate`].
 #[derive(Debug, Clone, PartialEq)]
@@ -149,7 +148,7 @@ impl<'c> Gen<'c> {
                 6 => Instr::AddImm {
                     dst: MEMPTR,
                     src: MEMPTR,
-                    imm: self.rng.gen_range(1..64),
+                    imm: self.rng.gen_range(1..64i64),
                 },
                 7 => Instr::Load {
                     dst: SCRATCH_A,
@@ -163,7 +162,7 @@ impl<'c> Gen<'c> {
                 },
                 _ => Instr::MovImm {
                     dst: SCRATCH_B,
-                    imm: self.rng.gen_range(-1000..1000),
+                    imm: self.rng.gen_range(-1000..1000i64),
                 },
             };
             self.b.push(block, instr);
@@ -196,7 +195,7 @@ impl<'c> Gen<'c> {
                 Instr::ShrImm {
                     dst: SCRATCH_A,
                     src: PRN,
-                    amount: self.rng.gen_range(0..8),
+                    amount: self.rng.gen_range(0..8u8),
                 },
             );
             self.b.push(
@@ -229,7 +228,7 @@ impl<'c> Gen<'c> {
 
         if self.rng.gen_bool(self.cfg.indirect_prob) {
             // Indirect dispatch over a few small handler blocks.
-            let cases = self.rng.gen_range(2..=4);
+            let cases = self.rng.gen_range(2..=4usize);
             let exit = self.b.block(f);
             let mut targets = Vec::with_capacity(cases);
             for _ in 0..cases {

@@ -174,8 +174,7 @@ impl<'p> Interp<'p> {
                 self.regs[dst.index()] = self.regs[src.index()] << (amount & 63);
             }
             Instr::ShrImm { dst, src, amount } => {
-                self.regs[dst.index()] =
-                    ((self.regs[src.index()] as u64) >> (amount & 63)) as i64;
+                self.regs[dst.index()] = ((self.regs[src.index()] as u64) >> (amount & 63)) as i64;
             }
             Instr::Load { dst, base, offset } => {
                 let idx = self.mem_index(base, offset);
@@ -201,7 +200,11 @@ impl<'p> Interp<'p> {
             } => {
                 let l = self.regs[lhs.index()];
                 let r = self.regs[rhs.index()];
-                Ok(Some(if cond.eval(l, r) { *taken } else { *fallthrough }))
+                Ok(Some(if cond.eval(l, r) {
+                    *taken
+                } else {
+                    *fallthrough
+                }))
             }
             Terminator::Call { callee, ret_to } => {
                 if self.call_stack.len() >= Self::MAX_CALL_DEPTH {
@@ -232,7 +235,13 @@ mod tests {
         let entry = b.block(f);
         let body = b.block(f);
         let done = b.block(f);
-        b.push(entry, Instr::MovImm { dst: Reg::R1, imm: n });
+        b.push(
+            entry,
+            Instr::MovImm {
+                dst: Reg::R1,
+                imm: n,
+            },
+        );
         b.jump(entry, body);
         b.push(
             body,
@@ -291,7 +300,13 @@ mod tests {
         let m0 = b.block(main);
         let m1 = b.block(main);
         let s0 = b.block(sq);
-        b.push(m0, Instr::MovImm { dst: Reg::R2, imm: 7 });
+        b.push(
+            m0,
+            Instr::MovImm {
+                dst: Reg::R2,
+                imm: 7,
+            },
+        );
         b.call(m0, sq, m1);
         b.halt(m1);
         b.push(
@@ -345,11 +360,29 @@ mod tests {
         let t0 = b.block(f);
         let t1 = b.block(f);
         let done = b.block(f);
-        b.push(e, Instr::MovImm { dst: Reg::R1, imm: 1 });
+        b.push(
+            e,
+            Instr::MovImm {
+                dst: Reg::R1,
+                imm: 1,
+            },
+        );
         b.indirect(e, Reg::R1, vec![t0, t1]);
-        b.push(t0, Instr::MovImm { dst: Reg::R5, imm: 100 });
+        b.push(
+            t0,
+            Instr::MovImm {
+                dst: Reg::R5,
+                imm: 100,
+            },
+        );
         b.jump(t0, done);
-        b.push(t1, Instr::MovImm { dst: Reg::R5, imm: 200 });
+        b.push(
+            t1,
+            Instr::MovImm {
+                dst: Reg::R5,
+                imm: 200,
+            },
+        );
         b.jump(t1, done);
         b.halt(done);
         b.set_entry(f, e);
@@ -364,8 +397,20 @@ mod tests {
         let mut b = ProgramBuilder::new();
         let f = b.begin_function("main");
         let e = b.block(f);
-        b.push(e, Instr::MovImm { dst: Reg::R1, imm: 16 });
-        b.push(e, Instr::MovImm { dst: Reg::R2, imm: 1234 });
+        b.push(
+            e,
+            Instr::MovImm {
+                dst: Reg::R1,
+                imm: 16,
+            },
+        );
+        b.push(
+            e,
+            Instr::MovImm {
+                dst: Reg::R2,
+                imm: 1234,
+            },
+        );
         b.push(
             e,
             Instr::Store {

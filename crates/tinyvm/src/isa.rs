@@ -10,7 +10,6 @@
 //! ordinary instructions; it lives in [`crate::program::Terminator`] so that
 //! basic-block boundaries are explicit by construction.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A general-purpose register, `r0`–`r15`.
@@ -25,7 +24,7 @@ use std::fmt;
 /// assert_eq!(Reg::R3.index(), 3);
 /// assert_eq!(format!("{}", Reg::R3), "r3");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Reg(u8);
 
 impl Reg {
@@ -78,7 +77,7 @@ impl fmt::Display for Reg {
 }
 
 /// A branch condition comparing two registers.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Cond {
     /// `lhs == rhs`
     Eq,
@@ -149,7 +148,7 @@ impl fmt::Display for Cond {
 /// All arithmetic is wrapping two's-complement. Memory operands address a
 /// flat word (64-bit) array; the interpreter wraps addresses into the
 /// allocated memory so generated programs can never fault.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Instr {
     /// `dst = imm`
     MovImm { dst: Reg, imm: i64 },

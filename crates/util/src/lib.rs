@@ -1,0 +1,20 @@
+//! # cce-util — dependency-free workspace utilities
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace carries its own minimal replacements for the two external
+//! services everything else leaned on:
+//!
+//! * [`rng`] — a deterministic, seedable PRNG (xoshiro256++) with a
+//!   `gen_range`/`gen_bool` surface mirroring the subset of `rand` the
+//!   workload generators use;
+//! * [`json`] — a small JSON value model with an emitter and a
+//!   recursive-descent parser, enough to persist trace logs and reports.
+//!
+//! Both modules use only `std` and are deterministic across platforms —
+//! a requirement for the reproducibility contract in DESIGN.md.
+
+pub mod json;
+pub mod rng;
+
+pub use json::Json;
+pub use rng::{Rng, StdRng};

@@ -23,12 +23,10 @@ use crate::model::BenchmarkModel;
 use cce_core::SuperblockId;
 use cce_dbt::{SuperblockInfo, TraceLog};
 use cce_tinyvm::program::Pc;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use cce_util::{Rng, StdRng};
 
 /// Texture parameters for the access generator.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AccessParams {
     /// Mean loop-window length in superblocks.
     pub loop_mean_len: f64,
@@ -292,7 +290,13 @@ pub fn generate_trace(model: &BenchmarkModel, scale: f64, seed: u64) -> TraceLog
                 if handoff_budget == 0 {
                     break;
                 }
-                run_region(&mut emitter, &mut rng, r, &helper_starts, &mut handoff_budget);
+                run_region(
+                    &mut emitter,
+                    &mut rng,
+                    r,
+                    &helper_starts,
+                    &mut handoff_budget,
+                );
             }
             budget -= start_budget - handoff_budget;
         }
@@ -388,7 +392,10 @@ mod tests {
             touched[id.0 as usize] = true;
         }
         let untouched = touched.iter().filter(|&&t| !t).count();
-        assert_eq!(untouched, 0, "{untouched} of {n} superblocks never accessed");
+        assert_eq!(
+            untouched, 0,
+            "{untouched} of {n} superblocks never accessed"
+        );
     }
 
     #[test]

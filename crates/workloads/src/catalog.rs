@@ -79,18 +79,150 @@ fn windows_model(
 #[must_use]
 pub fn spec() -> Vec<BenchmarkModel> {
     vec![
-        spec_model("gzip", "Compression", 301, 244, 400.0, 3, 230.0, 7951.0, 180.0, 0.8),
-        spec_model("vpr", "FPGA Place+Route", 449, 242, 400.0, 4, 333.0, 2474.0, 900.0, 1.1),
-        spec_model("gcc", "C Compiler", 8751, 190, 120.0, 6, 206.0, 3284.0, 400.0, 1.0),
-        spec_model("mcf", "Combinatorial Optimization", 158, 237, 600.0, 3, 368.0, 2014.0, 1300.0, 2.5),
-        spec_model("crafty", "Chess Game", 1488, 233, 250.0, 4, 215.0, 3547.0, 380.0, 0.9),
-        spec_model("parser", "Word Processing", 2418, 223, 200.0, 4, 350.0, 6795.0, 320.0, 1.1),
-        spec_model("eon", "Computer Visualization", 448, 230, 400.0, 3, 0.0, 0.0, 500.0, 1.0),
-        spec_model("perlbmk", "PERL Language", 2144, 225, 220.0, 5, 336.0, 6945.0, 300.0, 1.0),
-        spec_model("gap", "Group Theory Interpreter", 667, 224, 350.0, 4, 195.0, 4231.0, 290.0, 1.0),
-        spec_model("vortex", "Object-Oriented Database", 1985, 220, 220.0, 5, 382.0, 4655.0, 530.0, 1.2),
-        spec_model("bzip2", "Compression", 224, 213, 500.0, 3, 287.0, 4294.0, 430.0, 1.0),
-        spec_model("twolf", "Place+Route", 574, 218, 400.0, 4, 658.0, 6490.0, 680.0, 1.3),
+        spec_model(
+            "gzip",
+            "Compression",
+            301,
+            244,
+            400.0,
+            3,
+            230.0,
+            7951.0,
+            180.0,
+            0.8,
+        ),
+        spec_model(
+            "vpr",
+            "FPGA Place+Route",
+            449,
+            242,
+            400.0,
+            4,
+            333.0,
+            2474.0,
+            900.0,
+            1.1,
+        ),
+        spec_model(
+            "gcc",
+            "C Compiler",
+            8751,
+            190,
+            120.0,
+            6,
+            206.0,
+            3284.0,
+            400.0,
+            1.0,
+        ),
+        spec_model(
+            "mcf",
+            "Combinatorial Optimization",
+            158,
+            237,
+            600.0,
+            3,
+            368.0,
+            2014.0,
+            1300.0,
+            2.5,
+        ),
+        spec_model(
+            "crafty",
+            "Chess Game",
+            1488,
+            233,
+            250.0,
+            4,
+            215.0,
+            3547.0,
+            380.0,
+            0.9,
+        ),
+        spec_model(
+            "parser",
+            "Word Processing",
+            2418,
+            223,
+            200.0,
+            4,
+            350.0,
+            6795.0,
+            320.0,
+            1.1,
+        ),
+        spec_model(
+            "eon",
+            "Computer Visualization",
+            448,
+            230,
+            400.0,
+            3,
+            0.0,
+            0.0,
+            500.0,
+            1.0,
+        ),
+        spec_model(
+            "perlbmk",
+            "PERL Language",
+            2144,
+            225,
+            220.0,
+            5,
+            336.0,
+            6945.0,
+            300.0,
+            1.0,
+        ),
+        spec_model(
+            "gap",
+            "Group Theory Interpreter",
+            667,
+            224,
+            350.0,
+            4,
+            195.0,
+            4231.0,
+            290.0,
+            1.0,
+        ),
+        spec_model(
+            "vortex",
+            "Object-Oriented Database",
+            1985,
+            220,
+            220.0,
+            5,
+            382.0,
+            4655.0,
+            530.0,
+            1.2,
+        ),
+        spec_model(
+            "bzip2",
+            "Compression",
+            224,
+            213,
+            500.0,
+            3,
+            287.0,
+            4294.0,
+            430.0,
+            1.0,
+        ),
+        spec_model(
+            "twolf",
+            "Place+Route",
+            574,
+            218,
+            400.0,
+            4,
+            658.0,
+            6490.0,
+            680.0,
+            1.3,
+        ),
     ]
 }
 
@@ -102,8 +234,26 @@ pub fn windows() -> Vec<BenchmarkModel> {
         windows_model("outlook", "E-Mail App", 13233, 255, 80.0, 10, 420.0, 1.4),
         windows_model("photoshop", "Photo Editor", 9434, 280, 100.0, 8, 520.0, 1.3),
         windows_model("pinball", "3D Game Demo", 1086, 300, 200.0, 4, 350.0, 1.2),
-        windows_model("powerpoint", "Presentation", 14475, 270, 80.0, 10, 430.0, 1.4),
-        windows_model("visualstudio", "Development Env", 7063, 248, 100.0, 8, 400.0, 1.3),
+        windows_model(
+            "powerpoint",
+            "Presentation",
+            14475,
+            270,
+            80.0,
+            10,
+            430.0,
+            1.4,
+        ),
+        windows_model(
+            "visualstudio",
+            "Development Env",
+            7063,
+            248,
+            100.0,
+            8,
+            400.0,
+            1.3,
+        ),
         windows_model("winzip", "Compression", 3198, 240, 150.0, 5, 380.0, 1.1),
         windows_model("word", "Word Processor", 18043, 258, 80.0, 12, 440.0, 1.5),
     ]
@@ -126,7 +276,10 @@ pub fn by_name(name: &str) -> Option<BenchmarkModel> {
 /// The 11 SPEC benchmarks of Table 2 (eon was excluded by the paper).
 #[must_use]
 pub fn table2() -> Vec<BenchmarkModel> {
-    spec().into_iter().filter(|m| m.base_seconds > 0.0).collect()
+    spec()
+        .into_iter()
+        .filter(|m| m.base_seconds > 0.0)
+        .collect()
 }
 
 #[cfg(test)]

@@ -6,7 +6,7 @@
 //! log-normal, and this matches Figure 3's long right tail), and a
 //! geometric sampler (loop lengths and iteration counts).
 
-use rand::Rng;
+use cce_util::Rng;
 
 /// Samples a standard normal via the Box–Muller transform.
 pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
@@ -67,7 +67,8 @@ pub const SIZE_BUCKETS: [(u32, u32); 6] = [
 ];
 
 /// Human-readable labels for [`SIZE_BUCKETS`].
-pub const SIZE_BUCKET_LABELS: [&str; 6] = ["0-63", "64-127", "128-255", "256-511", "512-1023", "1024+"];
+pub const SIZE_BUCKET_LABELS: [&str; 6] =
+    ["0-63", "64-127", "128-255", "256-511", "512-1023", "1024+"];
 
 /// Buckets sizes per [`SIZE_BUCKETS`], returning counts.
 #[must_use]
@@ -87,8 +88,7 @@ pub fn size_histogram(sizes: &[u32]) -> [u64; 6] {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use cce_util::StdRng;
 
     #[test]
     fn normal_has_zero_mean_unit_variance() {
@@ -104,7 +104,9 @@ mod tests {
     #[test]
     fn log_normal_median_matches_parameter() {
         let mut rng = StdRng::seed_from_u64(2);
-        let mut samples: Vec<f64> = (0..10_001).map(|_| log_normal(&mut rng, 230.0, 0.6)).collect();
+        let mut samples: Vec<f64> = (0..10_001)
+            .map(|_| log_normal(&mut rng, 230.0, 0.6))
+            .collect();
         samples.sort_by(f64::total_cmp);
         let median = samples[samples.len() / 2];
         assert!((median - 230.0).abs() < 25.0, "median {median}");

@@ -2,10 +2,9 @@
 
 use crate::access::{self, AccessParams};
 use cce_dbt::TraceLog;
-use serde::{Deserialize, Serialize};
 
 /// Which benchmark suite a workload belongs to.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Suite {
     /// SPECint2000 under Linux.
     SpecInt2000,
@@ -28,7 +27,7 @@ impl std::fmt::Display for Suite {
 /// and figures; the remaining fields are calibration parameters chosen so
 /// the generated traces reproduce the paper's aggregate trace statistics
 /// (see DESIGN.md §2 for the substitution rationale).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BenchmarkModel {
     /// Benchmark name *(paper, Table 1)*.
     pub name: String,

@@ -1,58 +1,100 @@
-//! Property tests over all 20 benchmark models.
+//! Randomized tests over all 20 benchmark models.
+//!
+//! Seeded deterministic sampling with [`cce_util::StdRng`] replaces the
+//! old proptest harness — the build environment is offline.
 
 use cce_dbt::TraceEvent;
+use cce_util::{Rng, StdRng};
 use cce_workloads::catalog;
-use proptest::prelude::*;
 
 fn model_names() -> Vec<&'static str> {
     vec![
-        "gzip", "vpr", "gcc", "mcf", "crafty", "parser", "eon", "perlbmk", "gap", "vortex",
-        "bzip2", "twolf", "iexplore", "outlook", "photoshop", "pinball", "powerpoint",
-        "visualstudio", "winzip", "word",
+        "gzip",
+        "vpr",
+        "gcc",
+        "mcf",
+        "crafty",
+        "parser",
+        "eon",
+        "perlbmk",
+        "gap",
+        "vortex",
+        "bzip2",
+        "twolf",
+        "iexplore",
+        "outlook",
+        "photoshop",
+        "pinball",
+        "powerpoint",
+        "visualstudio",
+        "winzip",
+        "word",
     ]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(40))]
+/// Draws `cases` random (name, seed) pairs over the whole catalog.
+fn sample_cases(base_seed: u64, cases: u32) -> Vec<(&'static str, u64)> {
+    let names = model_names();
+    let mut rng = StdRng::seed_from_u64(base_seed);
+    (0..cases)
+        .map(|_| {
+            (
+                names[rng.gen_range(0..names.len())],
+                rng.gen_range(0..100u64),
+            )
+        })
+        .collect()
+}
 
-    #[test]
-    fn traces_are_complete_and_well_formed(
-        name in prop::sample::select(model_names()),
-        seed in 0u64..100,
-    ) {
+#[test]
+fn traces_are_complete_and_well_formed() {
+    for (name, seed) in sample_cases(0x3D0D_0001, 40) {
         let model = catalog::by_name(name).expect("table 1 name");
         // Tiny scale keeps the big Windows apps fast.
         let scale = 0.03;
         let trace = model.trace(scale, seed);
         let n = trace.superblocks.len();
-        prop_assert_eq!(n, model.scaled_superblocks(scale));
+        assert_eq!(n, model.scaled_superblocks(scale), "{name} seed {seed}");
 
         let mut touched = vec![false; n];
         let mut prev: Option<u64> = None;
         for ev in &trace.events {
             let TraceEvent::Access { id, direct_from } = ev;
-            prop_assert!((id.0 as usize) < n, "event references unknown block");
+            assert!(
+                (id.0 as usize) < n,
+                "{name} seed {seed}: event references unknown block"
+            );
             touched[id.0 as usize] = true;
             if let Some(f) = direct_from {
                 // A direct transition always names the immediately
                 // preceding access — that is what "direct" means.
-                prop_assert_eq!(Some(f.0), prev, "direct_from must be the previous access");
+                assert_eq!(
+                    Some(f.0),
+                    prev,
+                    "{name} seed {seed}: direct_from must be the previous access"
+                );
             }
             prev = Some(id.0);
         }
-        prop_assert!(touched.iter().all(|&t| t), "{name}: untouched superblocks");
+        assert!(
+            touched.iter().all(|&t| t),
+            "{name} seed {seed}: untouched superblocks"
+        );
 
         for sb in &trace.superblocks {
-            prop_assert!((32..=2048).contains(&sb.size));
-            prop_assert!(sb.exits >= 1);
+            assert!((32..=2048).contains(&sb.size), "{name} seed {seed}");
+            assert!(sb.exits >= 1, "{name} seed {seed}");
         }
     }
+}
 
-    #[test]
-    fn first_touch_order_matches_formation_order(
-        name in prop::sample::select(vec!["gzip", "gcc", "pinball"]),
-        seed in 0u64..50,
-    ) {
+#[test]
+fn first_touch_order_matches_formation_order() {
+    let names = ["gzip", "gcc", "pinball"];
+    let mut rng = StdRng::seed_from_u64(0x3D0D_0002);
+    for _ in 0..24 {
+        let name = names[rng.gen_range(0..names.len())];
+        let seed = rng.gen_range(0..50u64);
         let trace = catalog::by_name(name).unwrap().trace(0.05, seed);
         // The id space is assigned in formation order, so the first touch
         // of id k must come after the first touch of id k-1.
@@ -61,22 +103,25 @@ proptest! {
             let TraceEvent::Access { id, .. } = ev;
             let id = id.0 as i64;
             if id > seen_up_to {
-                prop_assert_eq!(id, seen_up_to + 1, "formation order violated");
+                assert_eq!(
+                    id,
+                    seen_up_to + 1,
+                    "{name} seed {seed}: formation order violated"
+                );
                 seen_up_to = id;
             }
         }
     }
+}
 
-    #[test]
-    fn different_seeds_differ_and_same_seed_agrees(
-        name in prop::sample::select(model_names()),
-        seed in 0u64..100,
-    ) {
+#[test]
+fn different_seeds_differ_and_same_seed_agrees() {
+    for (name, seed) in sample_cases(0x3D0D_0003, 40) {
         let m = catalog::by_name(name).unwrap();
         let a = m.trace(0.03, seed);
         let b = m.trace(0.03, seed);
-        prop_assert_eq!(&a, &b);
+        assert_eq!(a, b, "{name} seed {seed}");
         let c = m.trace(0.03, seed.wrapping_add(1));
-        prop_assert_ne!(&a, &c);
+        assert_ne!(a, c, "{name} seed {seed}");
     }
 }

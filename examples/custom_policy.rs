@@ -1,8 +1,9 @@
 //! Plugging a custom eviction policy into the code cache.
 //!
 //! `CacheOrg` is the extension point: anything that can place superblocks
-//! and decide what to evict can be boxed into a `CodeCache`, and the link
-//! bookkeeping, statistics and the whole simulator stack come for free.
+//! and stream its eviction decisions into an `EventSink` can be boxed
+//! into a `CodeCache`, and the link bookkeeping, statistics, the event
+//! pipeline and the whole simulator stack come for free.
 //!
 //! The custom policy here is **half-flush FIFO**: when the cache is full,
 //! evict the *older half* of the resident superblocks in one invocation.
@@ -10,10 +11,15 @@
 //! of whatever is resident) rather than fixed units — and lands, as one
 //! would now predict, between 2-unit FIFO and fine FIFO.
 //!
+//! The example also runs `cce::core::testutil::conformance` against the
+//! policy — the same contract suite the seven built-in organizations
+//! pass, including the event-grammar invariants.
+//!
 //! Run with: `cargo run --release --example custom_policy`
 
 use cce::core::{
-    CacheError, CacheOrg, CodeCache, Granularity, RawEviction, RawInsert, SuperblockId, UnitId,
+    testutil, CacheError, CacheEvent, CacheOrg, CodeCache, EventSink, EvictionScope, Granularity,
+    SuperblockId, UnitId,
 };
 use cce::sim::metrics::unified_miss_rate;
 use cce::workloads::catalog;
@@ -62,7 +68,13 @@ impl CacheOrg for HalfFlush {
         Some(UnitId(u64::from(pos >= self.queue.len() / 2)))
     }
 
-    fn insert(&mut self, id: SuperblockId, size: u32) -> Result<RawInsert, CacheError> {
+    fn insert_events(
+        &mut self,
+        id: SuperblockId,
+        size: u32,
+        _partner: Option<SuperblockId>,
+        sink: &mut dyn EventSink,
+    ) -> Result<(), CacheError> {
         if self.resident.contains_key(&id) {
             return Err(CacheError::AlreadyResident(id));
         }
@@ -76,10 +88,10 @@ impl CacheOrg for HalfFlush {
                 max: self.capacity,
             });
         }
-        let mut report = RawInsert::default();
         if self.used + u64::from(size) > self.capacity {
-            let mut ev = RawEviction::default();
-            // Evict the older half (at least enough for the newcomer).
+            // Evict the older half (at least enough for the newcomer) as
+            // one invocation — a single Eq. 2 charge.
+            let mut scope = EvictionScope::new(sink);
             let target = (self.used / 2).max(u64::from(size));
             let mut freed = 0u64;
             while freed < target {
@@ -89,14 +101,15 @@ impl CacheOrg for HalfFlush {
                 self.resident.remove(&old);
                 self.used -= u64::from(old_size);
                 freed += u64::from(old_size);
-                ev.evicted.push((old, old_size));
+                scope.evict(old, old_size);
             }
-            report.evictions.push(ev);
+            scope.finish();
         }
         self.queue.push_back((id, size));
         self.resident.insert(id, size);
         self.used += u64::from(size);
-        Ok(report)
+        sink.event(CacheEvent::Inserted { id, size });
+        Ok(())
     }
 
     fn resident_count(&self) -> usize {
@@ -112,18 +125,24 @@ impl CacheOrg for HalfFlush {
         Granularity::units(2)
     }
 
-    fn flush_all(&mut self) -> Option<RawEviction> {
-        if self.queue.is_empty() {
-            return None;
+    fn flush_events(&mut self, sink: &mut dyn EventSink) -> bool {
+        let mut scope = EvictionScope::new(sink);
+        for &(id, size) in &self.queue {
+            scope.evict(id, size);
         }
-        let evicted: Vec<_> = self.queue.drain(..).collect();
+        self.queue.clear();
         self.resident.clear();
         self.used = 0;
-        Some(RawEviction { evicted })
+        scope.finish()
     }
 }
 
 fn main() -> Result<(), Box<dyn Error>> {
+    // The same contract suite the built-in organizations pass — event
+    // grammar included. Panics on any violation.
+    testutil::conformance(Box::new(HalfFlush::new(1024)?));
+    println!("conformance: ok (event grammar, residency, rejection, flush)\n");
+
     let model = catalog::by_name("vortex").expect("table 1 benchmark");
     let trace = model.trace(0.4, 3);
     let capacity = trace.max_cache_bytes() / 4; // pressure 4
@@ -131,13 +150,14 @@ fn main() -> Result<(), Box<dyn Error>> {
         trace.superblocks.iter().map(|s| (s.id, s.size)).collect();
 
     // Replay the trace against the custom policy by hand (the simulator
-    // does the same thing for the built-ins).
+    // does the same thing for the built-ins), on the allocation-free
+    // event path.
     let run_custom = || -> Result<(u64, u64, u64), Box<dyn Error>> {
         let mut cache = CodeCache::new(Box::new(HalfFlush::new(capacity)?));
         for ev in &trace.events {
             let cce::dbt::TraceEvent::Access { id, direct_from } = *ev;
             if cache.access(id).is_miss() {
-                cache.insert(id, sizes[&id])?;
+                cache.insert_evented(id, sizes[&id], None)?;
             }
             if let Some(from) = direct_from {
                 if cache.is_resident(from) && cache.is_resident(id) {

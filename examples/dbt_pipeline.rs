@@ -18,11 +18,13 @@ use std::error::Error;
 
 fn main() -> Result<(), Box<dyn Error>> {
     // A guest program with phases, loops and data-dependent branches.
-    let mut gen_cfg = GenConfig::default();
-    gen_cfg.seed = 2026;
-    gen_cfg.phases = 5;
-    gen_cfg.leaf_funcs_per_phase = 10;
-    gen_cfg.trip_counts = (6, 14);
+    let gen_cfg = GenConfig {
+        seed: 2026,
+        phases: 5,
+        leaf_funcs_per_phase: 10,
+        trip_counts: (6, 14),
+        ..GenConfig::default()
+    };
     let program = generate(&gen_cfg);
     println!(
         "guest program: {} functions, {} basic blocks, {} byte image",
@@ -32,9 +34,11 @@ fn main() -> Result<(), Box<dyn Error>> {
     );
 
     // 1) Unbounded run: measure the code footprint.
-    let mut base = EngineConfig::default();
-    base.name = "dbt-pipeline".to_owned();
-    base.hot_threshold = 20; // the demo program is small; go hot sooner
+    let base = EngineConfig {
+        name: "dbt-pipeline".to_owned(),
+        hot_threshold: 20, // the demo program is small; go hot sooner
+        ..EngineConfig::default()
+    };
     let mut engine = Engine::new(&program, base.clone())?;
     let unbounded = engine.run(200_000_000);
     println!(

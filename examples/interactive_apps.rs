@@ -52,9 +52,8 @@ fn main() -> Result<(), Box<dyn Error>> {
             }
         }
         let summary = trace.summary();
-        let backptr_bytes = (summary.mean_out_degree
-            * summary.superblock_count as f64
-            * 16.0) as u64;
+        let backptr_bytes =
+            (summary.mean_out_degree * summary.superblock_count as f64 * 16.0) as u64;
         t.row([
             model.name.clone(),
             summary.superblock_count.to_string(),

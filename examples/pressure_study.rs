@@ -11,7 +11,9 @@ use cce::workloads::catalog;
 use std::error::Error;
 
 fn main() -> Result<(), Box<dyn Error>> {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "crafty".to_owned());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "crafty".to_owned());
     let model = catalog::by_name(&name)
         .ok_or_else(|| format!("unknown benchmark {name}; try one of Table 1"))?;
     eprintln!("generating {name} trace…");

@@ -22,7 +22,12 @@ fn main() -> Result<(), Box<dyn Error>> {
     cache.link(b, a)?; // and back: a hot loop across two superblocks
     cache.link(c, c)?; // a self-loop
 
-    println!("resident: {} blocks / {} of {} bytes", cache.resident_count(), cache.used(), cache.capacity());
+    println!(
+        "resident: {} blocks / {} of {} bytes",
+        cache.resident_count(),
+        cache.used(),
+        cache.capacity()
+    );
     println!("links live: {}", cache.link_graph().link_count());
 
     // Keep inserting until the cache must evict a whole unit.
@@ -45,7 +50,9 @@ fn main() -> Result<(), Box<dyn Error>> {
 
     // --- Part 2: a paper workload through the simulator ------------------
     // gzip at half its Table-1 size, cache pressure 2, 8-unit FIFO.
-    let trace = catalog::by_name("gzip").expect("table 1 benchmark").trace(0.5, 42);
+    let trace = catalog::by_name("gzip")
+        .expect("table 1 benchmark")
+        .trace(0.5, 42);
     let config = SimConfig {
         granularity: Granularity::units(8),
         capacity: trace.max_cache_bytes() / 2,

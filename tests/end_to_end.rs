@@ -9,11 +9,12 @@ use cce::tinyvm::gen::{generate, GenConfig};
 use cce::tinyvm::interp::{Interp, StopReason};
 
 fn engine_config(granularity: Granularity, capacity: Option<u64>) -> EngineConfig {
-    let mut cfg = EngineConfig::default();
-    cfg.hot_threshold = 2;
-    cfg.granularity = granularity;
-    cfg.cache_capacity = capacity;
-    cfg
+    EngineConfig {
+        hot_threshold: 2,
+        granularity,
+        cache_capacity: capacity,
+        ..EngineConfig::default()
+    }
 }
 
 /// Replaying the engine's own trace log through the simulator at the same
@@ -33,8 +34,7 @@ fn simulator_replay_matches_engine_statistics() {
         Granularity::Superblock,
     ] {
         let capacity = (unbounded.max_cache_bytes / 3).max(4096);
-        let mut engine =
-            Engine::new(&program, engine_config(granularity, Some(capacity))).unwrap();
+        let mut engine = Engine::new(&program, engine_config(granularity, Some(capacity))).unwrap();
         let run = engine.run(50_000_000);
         let trace = engine.into_trace();
 
@@ -119,7 +119,10 @@ fn model_traces_and_engine_traces_share_the_pipeline() {
         let r = simulate(trace, &cfg).unwrap();
         assert!(r.stats.accesses > 0);
         assert_eq!(r.stats.accesses, trace.events.len() as u64);
-        assert_eq!(r.stats.misses, r.stats.cold_misses + r.stats.capacity_misses);
+        assert_eq!(
+            r.stats.misses,
+            r.stats.cold_misses + r.stats.capacity_misses
+        );
     }
 }
 

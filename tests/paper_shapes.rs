@@ -47,7 +47,11 @@ fn figure6_flush_misses_most_fifo_least() {
 
 #[test]
 fn figure7_pressure_raises_miss_rates() {
-    for g in [Granularity::Flush, Granularity::units(8), Granularity::Superblock] {
+    for g in [
+        Granularity::Flush,
+        Granularity::units(8),
+        Granularity::Superblock,
+    ] {
         let (low, ..) = unified(g, 2);
         let (high, ..) = unified(g, 10);
         assert!(high > low, "{g}: miss rate must rise with pressure");
@@ -116,7 +120,10 @@ fn figure13_inter_unit_links_rise_with_granularity() {
     assert_eq!(flush, 0.0, "a single unit has no inter-unit links");
     assert!(two > 0.0);
     assert!(sixteen > two);
-    assert!(fine > 0.9, "per-superblock units: almost every link crosses");
+    assert!(
+        fine > 0.9,
+        "per-superblock units: almost every link crosses"
+    );
     assert!(fine < 1.0, "self-links keep it under 100%");
 }
 
@@ -138,9 +145,14 @@ fn table2_slowdown_ordering_matches_paper() {
     assert!(gzip > 2500.0);
     assert!(mcf < 600.0);
     assert!(vpr < 900.0);
-    for name in ["gcc", "crafty", "parser", "perlbmk", "gap", "vortex", "bzip2", "twolf"] {
+    for name in [
+        "gcc", "crafty", "parser", "perlbmk", "gap", "vortex", "bzip2", "twolf",
+    ] {
         let s = slowdown(name);
-        assert!(s > mcf && s < gzip, "{name} slowdown {s} out of Table 2's band");
+        assert!(
+            s > mcf && s < gzip,
+            "{name} slowdown {s} out of Table 2's band"
+        );
     }
 }
 

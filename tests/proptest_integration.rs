@@ -1,39 +1,45 @@
-//! Workspace-level property tests: the engine/simulator equivalence and
-//! the trace-replay invariants must hold for arbitrary programs, cache
-//! geometries and workload scales.
+//! Workspace-level randomized tests: the engine/simulator equivalence
+//! and the trace-replay invariants must hold for arbitrary programs,
+//! cache geometries and workload scales.
+//!
+//! Seeded deterministic sampling with [`cce_util::StdRng`] replaces the
+//! old proptest harness — the build environment is offline.
 
 use cce::core::Granularity;
 use cce::dbt::engine::{Engine, EngineConfig};
 use cce::sim::simulator::{simulate, SimConfig};
 use cce::tinyvm::gen::{generate, GenConfig};
-use proptest::prelude::*;
+use cce_util::{Rng, StdRng};
 
-fn granularity_strategy() -> impl Strategy<Value = Granularity> {
-    prop_oneof![
-        Just(Granularity::Flush),
-        (1u32..=7).prop_map(|p| Granularity::units(1 << p)),
-        Just(Granularity::Superblock),
-    ]
+fn random_granularity(rng: &mut StdRng) -> Granularity {
+    match rng.gen_range(0..9u32) {
+        0 => Granularity::Flush,
+        8 => Granularity::Superblock,
+        p => Granularity::units(1 << p),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+/// The live engine and the trace-driven simulator are the same
+/// semantics, for any program and any cache geometry.
+#[test]
+fn engine_equals_simulator() {
+    for case in 0..24u64 {
+        let mut rng = StdRng::seed_from_u64(0x1A7E_6001 ^ case);
+        let seed = rng.gen_range(0..1000u64);
+        let granularity = random_granularity(&mut rng);
+        let pressure = rng.gen_range(2..8u64);
+        let threshold = rng.gen_range(2..6u32);
 
-    /// The live engine and the trace-driven simulator are the same
-    /// semantics, for any program and any cache geometry.
-    #[test]
-    fn engine_equals_simulator(
-        seed in 0u64..1000,
-        granularity in granularity_strategy(),
-        pressure in 2u64..8,
-        threshold in 2u32..6,
-    ) {
         let program = generate(&GenConfig::small(seed));
-        let mut probe_cfg = EngineConfig::default();
-        probe_cfg.hot_threshold = threshold;
+        let probe_cfg = EngineConfig {
+            hot_threshold: threshold,
+            ..EngineConfig::default()
+        };
         let mut probe = Engine::new(&program, probe_cfg.clone()).unwrap();
         let unbounded = probe.run(20_000_000);
-        prop_assume!(unbounded.superblocks_formed > 0);
+        if unbounded.superblocks_formed == 0 {
+            continue;
+        }
 
         let capacity = (unbounded.max_cache_bytes / pressure).max(2048);
         let mut cfg = probe_cfg;
@@ -45,62 +51,96 @@ proptest! {
 
         let sim = simulate(
             &trace,
-            &SimConfig { granularity, capacity, ..SimConfig::default() },
+            &SimConfig {
+                granularity,
+                capacity,
+                ..SimConfig::default()
+            },
         )
         .unwrap();
-        prop_assert_eq!(sim.stats, run.cache_stats);
+        assert_eq!(sim.stats, run.cache_stats, "case {case} ({granularity})");
     }
+}
 
-    /// Replay is insensitive to overhead charging: cost models observe,
-    /// they never steer.
-    #[test]
-    fn overhead_charging_never_changes_behaviour(
-        name in prop::sample::select(vec!["gzip", "mcf", "bzip2", "pinball"]),
-        granularity in granularity_strategy(),
-        seed in 0u64..50,
-    ) {
+/// Replay is insensitive to overhead charging: cost models observe,
+/// they never steer.
+#[test]
+fn overhead_charging_never_changes_behaviour() {
+    let names = ["gzip", "mcf", "bzip2", "pinball"];
+    for case in 0..24u64 {
+        let mut rng = StdRng::seed_from_u64(0x1A7E_6002 ^ case);
+        let name = names[rng.gen_range(0..names.len())];
+        let granularity = random_granularity(&mut rng);
+        let seed = rng.gen_range(0..50u64);
+
         let trace = cce::workloads::by_name(name).unwrap().trace(0.1, seed);
         let capacity = (trace.max_cache_bytes() / 4).max(4096);
         let with = simulate(
             &trace,
-            &SimConfig { granularity, capacity, charge_unlinks: true, ..SimConfig::default() },
-        ).unwrap();
+            &SimConfig {
+                granularity,
+                capacity,
+                charge_unlinks: true,
+                ..SimConfig::default()
+            },
+        )
+        .unwrap();
         let without = simulate(
             &trace,
-            &SimConfig { granularity, capacity, charge_unlinks: false, ..SimConfig::default() },
-        ).unwrap();
-        prop_assert_eq!(&with.stats, &without.stats);
-        prop_assert_eq!(without.unlink_overhead, 0.0);
-        prop_assert!(with.unlink_overhead >= 0.0);
+            &SimConfig {
+                granularity,
+                capacity,
+                charge_unlinks: false,
+                ..SimConfig::default()
+            },
+        )
+        .unwrap();
+        let ctx = format!("{name} seed {seed} ({granularity})");
+        assert_eq!(with.stats, without.stats, "{ctx}");
+        assert_eq!(without.unlink_overhead, 0.0, "{ctx}");
+        assert!(with.unlink_overhead >= 0.0, "{ctx}");
         // Eq. 3 lower bound: every miss costs at least the intercept.
-        prop_assert!(with.miss_overhead >= with.stats.misses as f64 * 1922.0);
+        assert!(
+            with.miss_overhead >= with.stats.misses as f64 * 1922.0,
+            "{ctx}"
+        );
         // Eq. 2 lower bound: every invocation costs at least the intercept.
-        prop_assert!(
-            with.eviction_overhead >= with.stats.eviction_invocations as f64 * 3055.0
+        assert!(
+            with.eviction_overhead >= with.stats.eviction_invocations as f64 * 3055.0,
+            "{ctx}"
         );
     }
+}
 
-    /// Workload scaling preserves the trace's structural calibration.
-    #[test]
-    fn scaled_workloads_keep_their_shape(
-        name in prop::sample::select(vec!["gzip", "vpr", "gap", "winzip"]),
-        scale in 0.05f64..0.5,
-        seed in 0u64..50,
-    ) {
+/// Workload scaling preserves the trace's structural calibration.
+#[test]
+fn scaled_workloads_keep_their_shape() {
+    let names = ["gzip", "vpr", "gap", "winzip"];
+    for case in 0..24u64 {
+        let mut rng = StdRng::seed_from_u64(0x1A7E_6003 ^ case);
+        let name = names[rng.gen_range(0..names.len())];
+        let scale = rng.gen_range(0.05..0.5f64);
+        let seed = rng.gen_range(0..50u64);
+
         let model = cce::workloads::by_name(name).unwrap();
         let trace = model.trace(scale, seed);
         let s = trace.summary();
-        prop_assert_eq!(s.superblock_count, model.scaled_superblocks(scale));
-        prop_assert!(s.accesses >= model.scaled_accesses(scale));
+        let ctx = format!("{name} scale {scale:.3} seed {seed}");
+        assert_eq!(s.superblock_count, model.scaled_superblocks(scale), "{ctx}");
+        assert!(s.accesses >= model.scaled_accesses(scale), "{ctx}");
         // Median stays near the calibrated value at any scale; the
         // tolerance widens for tiny samples (the sample median of n
         // log-normal draws has standard error ~ σ·1.25/√n in log space).
         let n = s.superblock_count as f64;
         let tolerance = 0.15 + 2.0 / n.sqrt();
         let err = (f64::from(s.median_size) - f64::from(model.median_size)).abs();
-        prop_assert!(err <= f64::from(model.median_size) * tolerance,
-            "median {} vs {} (n={n}, tol {tolerance:.2})", s.median_size, model.median_size);
+        assert!(
+            err <= f64::from(model.median_size) * tolerance,
+            "median {} vs {} (n={n}, tol {tolerance:.2}) — {ctx}",
+            s.median_size,
+            model.median_size
+        );
         // Out-degree respects the structural exit cap.
-        prop_assert!(s.mean_out_degree <= 2.0 + 1e-9);
+        assert!(s.mean_out_degree <= 2.0 + 1e-9, "{ctx}");
     }
 }

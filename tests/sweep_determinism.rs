@@ -1,0 +1,56 @@
+//! The threaded sweep contract: rendered output is byte-identical at
+//! any worker count (`--jobs N` ≡ `--jobs 1`).
+
+use cce::core::Granularity;
+use cce::sim::report::TextTable;
+use cce::sim::simulator::SimConfig;
+use cce::sim::{run_sharded, SweepPoint};
+
+fn render(points: &[SweepPoint], names: &[&str]) -> String {
+    // The same shape the experiment binaries emit: one row per cell,
+    // floats printed at full precision so any divergence shows up.
+    let mut t = TextTable::new(
+        "sweep",
+        ["Benchmark", "Granularity", "Pressure", "Misses", "Overhead"],
+    );
+    for p in points {
+        t.row([
+            names[p.cell.trace].to_owned(),
+            p.cell.granularity.label(),
+            p.cell.pressure.to_string(),
+            p.result.stats.misses.to_string(),
+            format!(
+                "{:.17e}",
+                p.result.miss_overhead + p.result.eviction_overhead + p.result.unlink_overhead
+            ),
+        ]);
+    }
+    t.to_string()
+}
+
+#[test]
+fn jobs_1_and_jobs_4_render_byte_identical_reports() {
+    let names = ["gzip", "mcf", "word"];
+    let traces: Vec<_> = names
+        .iter()
+        .map(|n| cce::workloads::by_name(n).unwrap().trace(0.08, 11))
+        .collect();
+    let gs = [
+        Granularity::Flush,
+        Granularity::units(8),
+        Granularity::units(64),
+        Granularity::Superblock,
+    ];
+    let ps = [2, 5, 10];
+    let base = SimConfig {
+        charge_unlinks: true,
+        ..SimConfig::default()
+    };
+
+    let serial = run_sharded(&traces, &gs, &ps, &base, 1).unwrap();
+    let threaded = run_sharded(&traces, &gs, &ps, &base, 4).unwrap();
+
+    let a = render(&serial, &names);
+    let b = render(&threaded, &names);
+    assert_eq!(a.as_bytes(), b.as_bytes());
+}
