@@ -8,3 +8,4 @@ cargo fmt --all --check
 cargo clippy --workspace --all-targets -- -D warnings
 cargo build --release
 cargo test -q
+cargo run -p cce-analyze -- --baseline analyze-baseline.json

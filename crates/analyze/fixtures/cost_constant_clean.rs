@@ -1,0 +1,12 @@
+// Golden fixture: parameterized models and near-miss numbers are clean.
+pub fn eviction_cycles(slope: f64, intercept: f64, evicted_kb: f64) -> f64 {
+    slope * evicted_kb + intercept
+}
+
+pub fn near_misses() -> (f64, f64, f64) {
+    (2.76, 305.5, 95.8)
+}
+
+pub fn scale_label() -> &'static str {
+    "cache scale: 0.25"
+}

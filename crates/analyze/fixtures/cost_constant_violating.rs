@@ -1,0 +1,8 @@
+// Golden fixture: re-typed Eq. 2-4 constants must be flagged.
+pub fn eviction_cycles(evicted_kb: f64) -> f64 {
+    2.77 * evicted_kb + 3055.0
+}
+
+pub fn fit_label() -> &'static str {
+    "link fit: 296.5*x + 95.7"
+}

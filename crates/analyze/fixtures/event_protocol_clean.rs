@@ -1,0 +1,13 @@
+// Golden fixture: matching on eviction events is fine; only
+// construction is restricted.
+pub fn classify(ev: &CacheEvent) -> &'static str {
+    match ev {
+        CacheEvent::EvictionBegin => "begin",
+        CacheEvent::EvictionEnd { .. } => "end",
+        _ => "other",
+    }
+}
+
+pub fn is_begin(ev: &CacheEvent) -> bool {
+    matches!(ev, CacheEvent::EvictionBegin)
+}

@@ -1,0 +1,8 @@
+// Golden fixture: direct eviction-event construction must be flagged.
+pub fn emit_unscoped(sink: &mut Vec<CacheEvent>, bytes: u64) {
+    sink.push(CacheEvent::EvictionBegin);
+    sink.push(CacheEvent::EvictionEnd {
+        bytes,
+        links_dropped_free: 0,
+    });
+}

@@ -1,0 +1,16 @@
+// Golden fixture: ordered or lookup-only collection use is clean.
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+
+pub fn sum_sizes(sizes: &BTreeMap<u64, u64>) -> u64 {
+    sizes.values().sum()
+}
+
+pub fn lookup(index: &HashMap<u64, u64>, pc: u64) -> Option<u64> {
+    index.get(&pc).copied()
+}
+
+pub fn count(tally: &HashMap<u64, u64>) -> usize {
+    // cce-analyze: allow(nondet-iter): a count is independent of visit order
+    tally.keys().count()
+}

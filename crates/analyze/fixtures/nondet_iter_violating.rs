@@ -1,0 +1,22 @@
+// Golden fixture: iteration over a std HashMap must be flagged.
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+pub fn sum_sizes(sizes: &HashMap<u64, u64>) -> u64 {
+    let mut total = 0;
+    for (_pc, size) in sizes.iter() {
+        total += size;
+    }
+    total
+}
+
+pub fn drain_seen(seen: &mut HashSet<u64>) -> Vec<u64> {
+    seen.drain().collect()
+}
+
+pub fn first_resident(resident: &HashSet<u64>) -> Option<u64> {
+    for id in resident {
+        return Some(*id);
+    }
+    None
+}

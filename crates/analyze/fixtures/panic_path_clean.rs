@@ -1,0 +1,21 @@
+// Golden fixture: fallible returns in library code, panics only in tests.
+pub fn entry_size(sizes: &[u64], idx: usize) -> Option<u64> {
+    sizes.get(idx).copied()
+}
+
+pub fn first_or_zero(sizes: &[u64]) -> u64 {
+    sizes.first().copied().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn panics_in_tests_are_not_findings() {
+        assert_eq!(super::first_or_zero(&[]), 0);
+        let v: Option<u64> = Some(3);
+        assert_eq!(v.unwrap(), 3);
+        if v.is_none() {
+            panic!("unreachable");
+        }
+    }
+}

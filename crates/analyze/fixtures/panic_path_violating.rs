@@ -1,0 +1,9 @@
+// Golden fixture: panics in library code must be flagged.
+pub fn entry_size(sizes: &[u64], idx: usize) -> u64 {
+    let first = sizes.first().unwrap();
+    let at = sizes.get(idx).expect("caller checked the index");
+    if *first > *at {
+        panic!("sizes are unsorted");
+    }
+    *at
+}

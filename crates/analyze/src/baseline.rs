@@ -1,0 +1,186 @@
+//! The panic-path ratchet.
+//!
+//! A baseline records, per `(lint, file)`, how many findings are
+//! tolerated — the debt the repo carried when the lint was introduced.
+//! Findings inside the budget are suppressed; one above it fails the
+//! run, and paying debt down then updating the baseline is the only way
+//! the numbers move. `--update-baseline` rewrites the file from the
+//! current findings, so counts can ratchet toward zero but a regression
+//! can never be committed silently.
+
+use std::collections::BTreeMap;
+
+use cce_util::Json;
+
+use crate::lints::Finding;
+
+/// Tolerated finding counts, keyed `lint → file → count`.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Baseline {
+    counts: BTreeMap<String, BTreeMap<String, usize>>,
+}
+
+impl Baseline {
+    /// A baseline tolerating nothing.
+    #[must_use]
+    pub fn empty() -> Baseline {
+        Baseline::default()
+    }
+
+    /// Builds a baseline that exactly covers `findings`.
+    #[must_use]
+    pub fn from_findings(findings: &[Finding]) -> Baseline {
+        let mut counts: BTreeMap<String, BTreeMap<String, usize>> = BTreeMap::new();
+        for f in findings {
+            *counts
+                .entry(f.lint.to_owned())
+                .or_default()
+                .entry(f.file.clone())
+                .or_default() += 1;
+        }
+        Baseline { counts }
+    }
+
+    /// Parses the JSON baseline format emitted by [`Baseline::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed construct.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let doc = Json::parse(text).map_err(|e| e.to_string())?;
+        let Some(Json::Obj(lints)) = doc.get("counts").cloned() else {
+            return Err("baseline is missing the \"counts\" object".to_owned());
+        };
+        let mut counts: BTreeMap<String, BTreeMap<String, usize>> = BTreeMap::new();
+        for (lint, files) in lints {
+            let Json::Obj(pairs) = files else {
+                return Err(format!("baseline counts for {lint} are not an object"));
+            };
+            let per_file = counts.entry(lint.clone()).or_default();
+            for (file, n) in pairs {
+                let Some(n) = n.as_u64() else {
+                    return Err(format!("baseline count for {lint}/{file} is not a count"));
+                };
+                per_file.insert(file, usize::try_from(n).unwrap_or(usize::MAX));
+            }
+        }
+        Ok(Baseline { counts })
+    }
+
+    /// Serializes; keys are sorted so the file is diff-stable.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let lints: Vec<(String, Json)> = self
+            .counts
+            .iter()
+            .filter(|(_, files)| !files.is_empty())
+            .map(|(lint, files)| {
+                let pairs: Vec<(String, Json)> = files
+                    .iter()
+                    .filter(|&(_, &n)| n > 0)
+                    .map(|(file, &n)| (file.clone(), Json::from(n)))
+                    .collect();
+                (lint.clone(), Json::Obj(pairs))
+            })
+            .collect();
+        Json::obj(vec![
+            ("version", Json::Int(1)),
+            ("counts", Json::Obj(lints)),
+        ])
+    }
+
+    /// The tolerated count for one `(lint, file)` bucket.
+    #[must_use]
+    pub fn budget(&self, lint: &str, file: &str) -> usize {
+        self.counts
+            .get(lint)
+            .and_then(|files| files.get(file))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Splits findings into those above baseline (kept, to report) and
+    /// the number suppressed. A bucket at or under its budget is
+    /// suppressed entirely; a bucket above it is reported entirely, so
+    /// the offending file's full debt is visible while being paid down.
+    #[must_use]
+    pub fn apply(&self, findings: Vec<Finding>) -> (Vec<Finding>, usize) {
+        let mut current: BTreeMap<(&'static str, String), usize> = BTreeMap::new();
+        for f in &findings {
+            *current.entry((f.lint, f.file.clone())).or_default() += 1;
+        }
+        let mut suppressed = 0usize;
+        let kept: Vec<Finding> = findings
+            .into_iter()
+            .filter(|f| {
+                let n = current[&(f.lint, f.file.clone())];
+                if n <= self.budget(f.lint, &f.file) {
+                    suppressed += 1;
+                    false
+                } else {
+                    true
+                }
+            })
+            .collect();
+        (kept, suppressed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(lint: &'static str, file: &str, line: u32) -> Finding {
+        Finding {
+            file: file.to_owned(),
+            line,
+            lint,
+            message: String::new(),
+        }
+    }
+
+    #[test]
+    fn round_trips_through_json() {
+        let fs = vec![
+            finding("panic-path", "crates/core/src/cache.rs", 10),
+            finding("panic-path", "crates/core/src/cache.rs", 20),
+            finding("panic-path", "crates/sim/src/simulator.rs", 5),
+        ];
+        let b = Baseline::from_findings(&fs);
+        let text = b.to_json().to_string_compact();
+        assert_eq!(Baseline::parse(&text).unwrap(), b);
+        assert_eq!(b.budget("panic-path", "crates/core/src/cache.rs"), 2);
+        assert_eq!(b.budget("panic-path", "crates/dbt/src/lib.rs"), 0);
+    }
+
+    #[test]
+    fn within_budget_is_suppressed_above_is_reported() {
+        let baseline = Baseline::from_findings(&[finding("panic-path", "a.rs", 1)]);
+        let (kept, suppressed) = baseline.apply(vec![finding("panic-path", "a.rs", 7)]);
+        assert!(kept.is_empty());
+        assert_eq!(suppressed, 1);
+        let (kept, suppressed) = baseline.apply(vec![
+            finding("panic-path", "a.rs", 7),
+            finding("panic-path", "a.rs", 9),
+        ]);
+        assert_eq!(kept.len(), 2, "whole bucket is reported when over budget");
+        assert_eq!(suppressed, 0);
+    }
+
+    #[test]
+    fn budgets_do_not_transfer_between_files_or_lints() {
+        let baseline = Baseline::from_findings(&[finding("panic-path", "a.rs", 1)]);
+        let (kept, _) = baseline.apply(vec![finding("panic-path", "b.rs", 3)]);
+        assert_eq!(kept.len(), 1);
+        let (kept, _) = baseline.apply(vec![finding("nondet-iter", "a.rs", 3)]);
+        assert_eq!(kept.len(), 1);
+    }
+
+    #[test]
+    fn malformed_baselines_are_rejected() {
+        assert!(Baseline::parse("{}").is_err());
+        assert!(Baseline::parse("{\"counts\":{\"panic-path\":3}}").is_err());
+        assert!(Baseline::parse("{\"counts\":{\"panic-path\":{\"a.rs\":\"x\"}}}").is_err());
+        assert!(Baseline::parse("not json").is_err());
+    }
+}

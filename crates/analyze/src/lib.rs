@@ -1,0 +1,182 @@
+//! # cce-analyze — repo-specific static analysis
+//!
+//! Mechanizes the invariants the workspace otherwise keeps by
+//! convention (see DESIGN.md §9):
+//!
+//! * **nondet-iter** — no iteration over `std` `HashMap`/`HashSet` in
+//!   the deterministic-output crates (`cce-core`, `cce-sim`,
+//!   `cce-experiments`); this is the DESIGN.md §8 ordering audit as a
+//!   CI gate instead of a paragraph.
+//! * **cost-constant** — the Eq. 2–4 overhead constants are defined
+//!   once, in `cce_sim::overhead`; re-typed literals anywhere else are
+//!   drift waiting to happen.
+//! * **panic-path** — `unwrap`/`expect`/`panic!` in non-test library
+//!   code of `cce-core`/`cce-sim`/`cce-dbt`, ratcheted by
+//!   `analyze-baseline.json` so the count only goes down.
+//! * **event-protocol** — `CacheEvent::EvictionBegin`/`EvictionEnd`
+//!   are constructed only inside `cce-core`'s event machinery;
+//!   organizations must stream through `EvictionScope`.
+//!
+//! Built on a hand-rolled lexer ([`lexer`]) because the offline CI
+//! cannot fetch `syn`; the lints ([`lints`]) are token-pattern passes,
+//! and [`baseline`] implements the ratchet.
+
+#![deny(unsafe_code)]
+
+pub mod baseline;
+pub mod lexer;
+pub mod lints;
+
+pub use baseline::Baseline;
+pub use lints::{Finding, LintSet};
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Crates whose sweep/report output must be bit-reproducible; the
+/// nondet-iter lint runs on their sources.
+const DETERMINISTIC_CRATES: &[&str] = &["core", "sim", "experiments"];
+
+/// Library crates where panics are findings (ratcheted).
+const PANIC_CRATES: &[&str] = &["core", "sim", "dbt"];
+
+/// The one file allowed to spell out the Eq. 2–4 constants.
+const COST_DEFINITION_SITE: &str = "crates/sim/src/overhead.rs";
+
+/// Files allowed to construct `EvictionBegin`/`EvictionEnd` directly.
+const EVENT_ALLOWED: &[&str] = &[
+    "crates/core/src/events.rs",
+    "crates/core/src/cache.rs",
+    "crates/core/src/testutil.rs",
+];
+
+/// The analyzer's own sources are exempt: its lint tables spell out the
+/// constants and method names it searches for.
+const SELF_CRATE: &str = "analyze";
+
+/// The lints that apply to one repo file, from the scoping rules above.
+/// `rel` is the repo-relative path with forward slashes.
+#[must_use]
+pub fn lint_set_for(rel: &str) -> LintSet {
+    let krate = rel
+        .strip_prefix("crates/")
+        .and_then(|r| r.split('/').next())
+        .unwrap_or("");
+    LintSet {
+        nondet_iter: DETERMINISTIC_CRATES.contains(&krate),
+        cost_constant: rel != COST_DEFINITION_SITE,
+        panic_path: PANIC_CRATES.contains(&krate),
+        event_protocol: !EVENT_ALLOWED.contains(&rel),
+    }
+}
+
+/// Lints `crates/*/src/**/*.rs` under `root`, in path order.
+///
+/// # Errors
+///
+/// Propagates filesystem errors from the walk or from reading a source
+/// file.
+pub fn scan_repo(root: &Path) -> io::Result<Vec<Finding>> {
+    let mut findings = Vec::new();
+    for src_dir in crate_src_dirs(root)? {
+        for path in rust_files(&src_dir)? {
+            let rel = relative_slash(root, &path);
+            let set = lint_set_for(&rel);
+            let src = fs::read_to_string(&path)?;
+            findings.extend(lints::run_lints(&rel, &src, &set));
+        }
+    }
+    findings.sort_by(|a, b| (&a.file, a.line, a.lint).cmp(&(&b.file, b.line, b.lint)));
+    Ok(findings)
+}
+
+/// Lints one explicitly named file with every lint enabled and no
+/// path-based exemptions — fixture mode.
+///
+/// # Errors
+///
+/// Propagates the read error if the file cannot be loaded.
+pub fn scan_fixture(path: &Path) -> io::Result<Vec<Finding>> {
+    let src = fs::read_to_string(path)?;
+    let name = path.to_string_lossy().replace('\\', "/");
+    Ok(lints::run_lints(&name, &src, &LintSet::all()))
+}
+
+/// `crates/<name>/src` directories under `root`, sorted, minus the
+/// analyzer itself.
+fn crate_src_dirs(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let crates = root.join("crates");
+    let mut dirs = Vec::new();
+    for entry in fs::read_dir(&crates)? {
+        let entry = entry?;
+        if !entry.file_type()?.is_dir() || entry.file_name() == SELF_CRATE {
+            continue;
+        }
+        let src = entry.path().join("src");
+        if src.is_dir() {
+            dirs.push(src);
+        }
+    }
+    dirs.sort();
+    Ok(dirs)
+}
+
+/// All `.rs` files under `dir`, recursively, sorted.
+fn rust_files(dir: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        for entry in fs::read_dir(&d)? {
+            let entry = entry?;
+            let path = entry.path();
+            if entry.file_type()?.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn relative_slash(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scoping_follows_the_lint_catalog() {
+        let sim = lint_set_for("crates/sim/src/simulator.rs");
+        assert!(sim.nondet_iter && sim.cost_constant && sim.panic_path && sim.event_protocol);
+
+        let overhead = lint_set_for(COST_DEFINITION_SITE);
+        assert!(!overhead.cost_constant, "the definition site is exempt");
+        assert!(overhead.nondet_iter && overhead.panic_path);
+
+        let events = lint_set_for("crates/core/src/events.rs");
+        assert!(
+            !events.event_protocol,
+            "event machinery may construct events"
+        );
+        assert!(events.panic_path);
+
+        let workloads = lint_set_for("crates/workloads/src/access.rs");
+        assert!(
+            !workloads.nondet_iter,
+            "workloads is not a deterministic-output crate"
+        );
+        assert!(!workloads.panic_path);
+        assert!(workloads.cost_constant && workloads.event_protocol);
+
+        let dbt = lint_set_for("crates/dbt/src/lib.rs");
+        assert!(dbt.panic_path && !dbt.nondet_iter);
+    }
+}

@@ -1,0 +1,614 @@
+//! The four repo-specific lints.
+//!
+//! Each lint is a pass over the token stream of one file (see
+//! [`crate::lexer`]); which lints run on which file is decided by the
+//! walker in [`crate::scan_file`]. Findings suppressed by a
+//! `// cce-analyze: allow(<lint>): <reason>` annotation (same line or
+//! the line above, reason required) never leave this module.
+
+use crate::lexer::{lex, number_value, Lexed, TokKind, Token};
+
+/// Lint identifiers, as used in annotations, baselines and output.
+pub const NONDET_ITER: &str = "nondet-iter";
+/// See [`NONDET_ITER`].
+pub const COST_CONSTANT: &str = "cost-constant";
+/// See [`NONDET_ITER`].
+pub const PANIC_PATH: &str = "panic-path";
+/// See [`NONDET_ITER`].
+pub const EVENT_PROTOCOL: &str = "event-protocol";
+
+/// One diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Repo-relative path (or the path as given in fixture mode).
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Lint identifier ([`NONDET_ITER`] etc.).
+    pub lint: &'static str,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.lint, self.message
+        )
+    }
+}
+
+/// Which lints to run on one file; produced by the walker's scoping
+/// rules (crate lists, exempt files) or all-on in fixture mode.
+#[derive(Debug, Clone, Copy)]
+pub struct LintSet {
+    /// Run the determinism lint.
+    pub nondet_iter: bool,
+    /// Run the cost-constant-drift lint.
+    pub cost_constant: bool,
+    /// Run the panic-path lint.
+    pub panic_path: bool,
+    /// Run the event-protocol lint.
+    pub event_protocol: bool,
+}
+
+impl LintSet {
+    /// Every lint enabled (fixture mode).
+    #[must_use]
+    pub fn all() -> LintSet {
+        LintSet {
+            nondet_iter: true,
+            cost_constant: true,
+            panic_path: true,
+            event_protocol: true,
+        }
+    }
+}
+
+/// Runs the enabled lints over `src`, attributing findings to `file`.
+#[must_use]
+pub fn run_lints(file: &str, src: &str, set: &LintSet) -> Vec<Finding> {
+    let lexed = lex(src);
+    let tests = test_ranges(&lexed.tokens);
+    let mut findings = Vec::new();
+    if set.nondet_iter {
+        nondet_iter(file, &lexed, &tests, &mut findings);
+    }
+    if set.cost_constant {
+        cost_constant(file, &lexed, &mut findings);
+    }
+    if set.panic_path {
+        panic_path(file, &lexed, &tests, &mut findings);
+    }
+    if set.event_protocol {
+        event_protocol(file, &lexed, &mut findings);
+    }
+    findings.retain(|f| !suppressed(&lexed, f));
+    findings.sort_by(|a, b| (a.line, a.lint).cmp(&(b.line, b.lint)));
+    findings
+}
+
+/// True if an allow-annotation for the finding's lint sits on the same
+/// line or the line above, with a non-empty reason.
+fn suppressed(lexed: &Lexed, finding: &Finding) -> bool {
+    lexed.allows.iter().any(|a| {
+        a.lint == finding.lint
+            && !a.reason.is_empty()
+            && (a.line == finding.line || a.line + 1 == finding.line)
+    })
+}
+
+/// Token-index ranges of `#[cfg(test)] mod … { … }` bodies.
+fn test_ranges(tokens: &[Token]) -> Vec<(usize, usize)> {
+    let mut ranges = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].is_punct("#") && matches(tokens, i + 1, &["[", "cfg", "(", "test", ")", "]"]) {
+            let mut j = i + 7;
+            // Skip further attributes between #[cfg(test)] and the item.
+            while j < tokens.len() && tokens[j].is_punct("#") {
+                j = skip_attribute(tokens, j);
+            }
+            // Optional visibility.
+            if j < tokens.len() && tokens[j].is_ident("pub") {
+                j += 1;
+                if j < tokens.len() && tokens[j].is_punct("(") {
+                    j = skip_balanced(tokens, j, "(", ")");
+                }
+            }
+            if j < tokens.len() && tokens[j].is_ident("mod") {
+                // `mod name {` — find the body's closing brace.
+                let mut k = j + 1;
+                while k < tokens.len() && !tokens[k].is_punct("{") {
+                    k += 1;
+                }
+                let end = skip_balanced(tokens, k, "{", "}");
+                ranges.push((k, end));
+                i = end;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    ranges
+}
+
+fn in_test(tests: &[(usize, usize)], idx: usize) -> bool {
+    tests.iter().any(|&(s, e)| idx >= s && idx < e)
+}
+
+fn matches(tokens: &[Token], at: usize, pattern: &[&str]) -> bool {
+    pattern.iter().enumerate().all(|(k, want)| {
+        tokens.get(at + k).is_some_and(|t| match t.kind {
+            TokKind::Ident | TokKind::Punct => t.text == *want,
+            _ => false,
+        })
+    })
+}
+
+/// With `tokens[at]` an opening delimiter, returns the index just past
+/// its matching close.
+fn skip_balanced(tokens: &[Token], at: usize, open: &str, close: &str) -> usize {
+    let mut depth = 0usize;
+    let mut i = at;
+    while i < tokens.len() {
+        if tokens[i].is_punct(open) {
+            depth += 1;
+        } else if tokens[i].is_punct(close) {
+            depth -= 1;
+            if depth == 0 {
+                return i + 1;
+            }
+        }
+        i += 1;
+    }
+    tokens.len()
+}
+
+/// With `tokens[at] == "#"`, returns the index just past the attribute.
+fn skip_attribute(tokens: &[Token], at: usize) -> usize {
+    let mut i = at + 1;
+    if i < tokens.len() && tokens[i].is_punct("!") {
+        i += 1;
+    }
+    if i < tokens.len() && tokens[i].is_punct("[") {
+        return skip_balanced(tokens, i, "[", "]");
+    }
+    i
+}
+
+// ---------------------------------------------------------------------
+// Lint 1: nondet-iter
+// ---------------------------------------------------------------------
+
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "retain",
+];
+
+/// Names bound to `HashMap`/`HashSet` in this file: `name: HashMap<…>`
+/// declarations (lets, fields, params) and `name = HashMap::new()`-style
+/// initializers. Collection is file-granular — a name hash-bound in one
+/// function taints the same name everywhere in the file — which errs on
+/// the side of flagging; rename or annotate to disambiguate.
+fn hash_bound_names(tokens: &[Token]) -> Vec<String> {
+    let mut names = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if !(t.is_ident("HashMap") || t.is_ident("HashSet")) {
+            continue;
+        }
+        // Walk back over a `std::collections::` path prefix, then over
+        // `&`/`&mut`/lifetime qualifiers, to reach an ascription colon.
+        let mut head = i;
+        while head >= 2
+            && tokens[head - 1].is_punct("::")
+            && tokens[head - 2].kind == TokKind::Ident
+        {
+            head -= 2;
+        }
+        while head >= 1
+            && (tokens[head - 1].is_punct("&")
+                || tokens[head - 1].is_ident("mut")
+                || tokens[head - 1].kind == TokKind::Lifetime)
+        {
+            head -= 1;
+        }
+        if head < 2 || tokens[head - 2].kind != TokKind::Ident {
+            continue;
+        }
+        let ascription = tokens[head - 1].is_punct(":");
+        let initializer =
+            tokens[head - 1].is_punct("=") && tokens.get(i + 1).is_some_and(|t| t.is_punct("::"));
+        if ascription || initializer {
+            names.push(tokens[head - 2].text.clone());
+        }
+    }
+    names.sort_unstable();
+    names.dedup();
+    names
+}
+
+fn nondet_iter(file: &str, lexed: &Lexed, tests: &[(usize, usize)], out: &mut Vec<Finding>) {
+    let tokens = &lexed.tokens;
+    let names = hash_bound_names(tokens);
+    if names.is_empty() {
+        return;
+    }
+    let is_hash_name = |t: &Token| t.kind == TokKind::Ident && names.iter().any(|n| n == &t.text);
+    for (i, t) in tokens.iter().enumerate() {
+        if in_test(tests, i) || !is_hash_name(t) {
+            continue;
+        }
+        // `name.iter()` / `.keys()` / … method form.
+        if tokens.get(i + 1).is_some_and(|t| t.is_punct("."))
+            && tokens.get(i + 3).is_some_and(|t| t.is_punct("("))
+        {
+            if let Some(m) = tokens.get(i + 2) {
+                if m.kind == TokKind::Ident && ITER_METHODS.contains(&m.text.as_str()) {
+                    out.push(Finding {
+                        file: file.to_owned(),
+                        line: m.line,
+                        lint: NONDET_ITER,
+                        message: format!(
+                            "iteration over std HashMap/HashSet `{}.{}()` is \
+                             nondeterministically ordered; use BTreeMap/BTreeSet, sort first, \
+                             or annotate `// cce-analyze: allow(nondet-iter): <why order cannot \
+                             reach output>` (DESIGN.md \u{a7}8)",
+                            t.text, m.text
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    // `for … in [&mut] name { …` form (method-call forms in the iterator
+    // expression are caught above).
+    let mut i = 0;
+    while i < tokens.len() {
+        if !tokens[i].is_ident("for") || in_test(tests, i) {
+            i += 1;
+            continue;
+        }
+        // Find `in` at delimiter depth 0, then the body `{`.
+        let mut j = i + 1;
+        let mut depth = 0i32;
+        while j < tokens.len() {
+            let t = &tokens[j];
+            if t.is_punct("(") || t.is_punct("[") {
+                depth += 1;
+            } else if t.is_punct(")") || t.is_punct("]") {
+                depth -= 1;
+            } else if depth == 0 && t.is_ident("in") {
+                break;
+            }
+            j += 1;
+        }
+        let expr_start = j + 1;
+        let mut k = expr_start;
+        let mut has_call = false;
+        while k < tokens.len() && !tokens[k].is_punct("{") {
+            if tokens[k].is_punct("(") {
+                has_call = true;
+            }
+            k += 1;
+        }
+        if !has_call {
+            for t in &tokens[expr_start..k.min(tokens.len())] {
+                if is_hash_name(t) {
+                    out.push(Finding {
+                        file: file.to_owned(),
+                        line: t.line,
+                        lint: NONDET_ITER,
+                        message: format!(
+                            "`for` loop over std HashMap/HashSet `{}` is nondeterministically \
+                             ordered; use BTreeMap/BTreeSet, sort first, or annotate \
+                             `// cce-analyze: allow(nondet-iter): <why order cannot reach \
+                             output>` (DESIGN.md \u{a7}8)",
+                            t.text
+                        ),
+                    });
+                }
+            }
+        }
+        i = k;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Lint 2: cost-constant
+// ---------------------------------------------------------------------
+
+/// The Eq. 2–4 constants, with the substring forms searched inside
+/// string literals. The numeric values are compared exactly.
+const PAPER_CONSTANTS: &[(f64, &str)] = &[
+    (2.77, "2.77"),
+    (3055.0, "3055"),
+    (75.4, "75.4"),
+    (1922.0, "1922"),
+    (296.5, "296.5"),
+    (95.7, "95.7"),
+];
+
+fn cost_constant(file: &str, lexed: &Lexed, out: &mut Vec<Finding>) {
+    for t in &lexed.tokens {
+        match t.kind {
+            TokKind::Number => {
+                if let Some(v) = number_value(&t.text) {
+                    if let Some((_, name)) = PAPER_CONSTANTS.iter().find(|(c, _)| *c == v) {
+                        out.push(Finding {
+                            file: file.to_owned(),
+                            line: t.line,
+                            lint: COST_CONSTANT,
+                            message: format!(
+                                "Eq. 2\u{2013}4 constant {name} re-typed as a literal; the only \
+                                 definition site is cce_sim::overhead (EVICTION_EQ2 / MISS_EQ3 / \
+                                 UNLINK_EQ4) — import it, or annotate \
+                                 `// cce-analyze: allow(cost-constant): <reason>`"
+                            ),
+                        });
+                    }
+                }
+            }
+            TokKind::Str => {
+                if let Some((_, name)) = PAPER_CONSTANTS.iter().find(|(_, s)| t.text.contains(s)) {
+                    out.push(Finding {
+                        file: file.to_owned(),
+                        line: t.line,
+                        lint: COST_CONSTANT,
+                        message: format!(
+                            "Eq. 2\u{2013}4 constant {name} re-typed inside a string literal; \
+                             format the canonical cce_sim::overhead model (its Display impl) \
+                             instead, or annotate \
+                             `// cce-analyze: allow(cost-constant): <reason>`"
+                        ),
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Lint 3: panic-path
+// ---------------------------------------------------------------------
+
+fn panic_path(file: &str, lexed: &Lexed, tests: &[(usize, usize)], out: &mut Vec<Finding>) {
+    let tokens = &lexed.tokens;
+    for (i, t) in tokens.iter().enumerate() {
+        if in_test(tests, i) || t.kind != TokKind::Ident {
+            continue;
+        }
+        let after_dot = i > 0 && tokens[i - 1].is_punct(".");
+        let call = tokens.get(i + 1).is_some_and(|t| t.is_punct("("));
+        let what = match t.text.as_str() {
+            "unwrap" if after_dot && call => ".unwrap()",
+            "expect" if after_dot && call => ".expect()",
+            "panic" if tokens.get(i + 1).is_some_and(|t| t.is_punct("!")) => "panic!",
+            _ => continue,
+        };
+        out.push(Finding {
+            file: file.to_owned(),
+            line: t.line,
+            lint: PANIC_PATH,
+            message: format!(
+                "{what} in non-test library code; return an error or prove the invariant \
+                 (ratcheted by analyze-baseline.json — the count may only go down)"
+            ),
+        });
+    }
+}
+
+// ---------------------------------------------------------------------
+// Lint 4: event-protocol
+// ---------------------------------------------------------------------
+
+fn event_protocol(file: &str, lexed: &Lexed, out: &mut Vec<Finding>) {
+    let tokens = &lexed.tokens;
+    // Paren-context stack: true when the `(` belongs to a `matches!`-like
+    // macro, whose second operand is a pattern, not a construction.
+    let mut paren_is_pattern: Vec<bool> = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.is_punct("(") {
+            let is_matches = i >= 2
+                && tokens[i - 1].is_punct("!")
+                && tokens[i - 2].kind == TokKind::Ident
+                && tokens[i - 2].text.ends_with("matches");
+            paren_is_pattern.push(is_matches);
+        } else if t.is_punct(")") {
+            paren_is_pattern.pop();
+        } else if t.is_ident("CacheEvent")
+            && tokens.get(i + 1).is_some_and(|t| t.is_punct("::"))
+            && tokens
+                .get(i + 2)
+                .is_some_and(|t| t.is_ident("EvictionBegin") || t.is_ident("EvictionEnd"))
+        {
+            let variant = &tokens[i + 2];
+            // Where does the expression end? Unit variant: right after
+            // the path. Struct variant: after the brace group.
+            let mut end = i + 3;
+            let mut braces_have_dotdot = false;
+            if tokens.get(end).is_some_and(|t| t.is_punct("{")) {
+                let close = skip_balanced(tokens, end, "{", "}");
+                braces_have_dotdot = tokens[end..close].iter().any(|t| t.is_punct(".."));
+                end = close;
+            }
+            let next_is_arm = tokens
+                .get(end)
+                .is_some_and(|t| t.is_punct("=>") || t.is_punct("|"));
+            let in_matches_macro = paren_is_pattern.last().copied().unwrap_or(false);
+            let is_pattern = next_is_arm || braces_have_dotdot || in_matches_macro;
+            if !is_pattern {
+                out.push(Finding {
+                    file: file.to_owned(),
+                    line: variant.line,
+                    lint: EVENT_PROTOCOL,
+                    message: format!(
+                        "direct construction of CacheEvent::{} outside \
+                         crates/core/src/{{events,cache,testutil}}.rs; organizations must \
+                         stream evictions through cce_core::EvictionScope so the \
+                         begin/end grammar cannot be violated",
+                        variant.text
+                    ),
+                });
+            }
+            i = end;
+            continue;
+        }
+        i += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_all(src: &str) -> Vec<Finding> {
+        run_lints("test.rs", src, &LintSet::all())
+    }
+
+    fn lints_of(findings: &[Finding]) -> Vec<&'static str> {
+        findings.iter().map(|f| f.lint).collect()
+    }
+
+    #[test]
+    fn hash_iteration_is_flagged_lookup_is_not() {
+        let src = "
+use std::collections::HashMap;
+fn f(m: &HashMap<u64, u64>) -> u64 {
+    let mut s = 0;
+    for (_k, v) in m.iter() { s += v; }
+    s + m.get(&3).copied().unwrap_or(0)
+}";
+        let f = run_all(src);
+        assert_eq!(lints_of(&f), vec![NONDET_ITER]);
+        assert_eq!(f[0].line, 5);
+    }
+
+    #[test]
+    fn plain_for_over_hashset_is_flagged() {
+        let src = "
+use std::collections::HashSet;
+fn g() {
+    let mut seen = HashSet::new();
+    seen.insert(1u64);
+    for v in &seen { let _ = v; }
+}";
+        assert_eq!(lints_of(&run_all(src)), vec![NONDET_ITER]);
+    }
+
+    #[test]
+    fn btree_iteration_is_clean() {
+        let src = "
+use std::collections::BTreeMap;
+fn f(m: &BTreeMap<u64, u64>) -> u64 {
+    m.values().sum()
+}";
+        assert!(run_all(src).is_empty());
+    }
+
+    #[test]
+    fn annotation_with_reason_suppresses() {
+        let src = "
+use std::collections::HashMap;
+fn f(m: &HashMap<u64, u64>) -> u64 {
+    // cce-analyze: allow(nondet-iter): summation is order-independent
+    m.values().sum()
+}";
+        assert!(run_all(src).is_empty());
+    }
+
+    #[test]
+    fn annotation_without_reason_is_inert() {
+        let src = "
+use std::collections::HashMap;
+fn f(m: &HashMap<u64, u64>) -> u64 {
+    // cce-analyze: allow(nondet-iter)
+    m.values().sum()
+}";
+        assert_eq!(lints_of(&run_all(src)), vec![NONDET_ITER]);
+    }
+
+    #[test]
+    fn cost_constants_in_numbers_and_strings() {
+        let src = "fn f() { let a = 2.77; let b = 3055.0; let s = \"75.40*x + 1922.0\"; }";
+        let f = run_all(src);
+        assert_eq!(f.len(), 3, "{f:?}");
+        assert!(f.iter().all(|f| f.lint == COST_CONSTANT));
+    }
+
+    #[test]
+    fn near_miss_constants_are_clean() {
+        let src = "fn f() { let a = 2.78; let b = 305.5; let s = \"scale 0.25\"; }";
+        assert!(run_all(src).is_empty());
+    }
+
+    #[test]
+    fn panics_flagged_outside_tests_only() {
+        let src = "
+fn lib_code(v: Option<u32>) -> u32 {
+    let a = v.unwrap();
+    let b = v.expect(\"set\");
+    if a + b == 0 { panic!(\"zero\"); }
+    a
+}
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { let _ = None::<u32>.unwrap(); panic!(); }
+}";
+        let f = run_all(src);
+        assert_eq!(lints_of(&f), vec![PANIC_PATH, PANIC_PATH, PANIC_PATH]);
+        assert!(f.iter().all(|f| f.line <= 6), "{f:?}");
+    }
+
+    #[test]
+    fn unwrap_or_is_not_a_panic() {
+        let src = "fn f(v: Option<u32>) -> u32 { v.unwrap_or(0) }";
+        assert!(run_all(src).is_empty());
+    }
+
+    #[test]
+    fn event_construction_vs_pattern() {
+        let src = "
+fn bad(sink: &mut dyn EventSink) {
+    sink.event(CacheEvent::EvictionBegin);
+    sink.event(CacheEvent::EvictionEnd { bytes: 4, links_dropped_free: 0 });
+}
+fn good(ev: CacheEvent) -> bool {
+    match ev {
+        CacheEvent::EvictionBegin => true,
+        CacheEvent::EvictionEnd { .. } => false,
+        _ => matches!(ev, CacheEvent::EvictionBegin),
+    }
+}";
+        let f = run_all(src);
+        assert_eq!(lints_of(&f), vec![EVENT_PROTOCOL, EVENT_PROTOCOL]);
+        assert_eq!(f[0].line, 3);
+        assert_eq!(f[1].line, 4);
+    }
+
+    #[test]
+    fn doc_comment_code_never_fires() {
+        let src = "
+/// ```
+/// let x = map.iter().next().unwrap();
+/// let y = 2.77;
+/// sink.event(CacheEvent::EvictionBegin);
+/// ```
+fn documented() {}";
+        assert!(run_all(src).is_empty());
+    }
+}

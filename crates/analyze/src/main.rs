@@ -1,0 +1,168 @@
+//! CLI entry point; see `cce-analyze --help` or DESIGN.md §9.
+
+#![deny(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use cce_analyze::{scan_fixture, scan_repo, Baseline, Finding};
+use cce_util::Json;
+
+const USAGE: &str = "\
+cce-analyze — repo-specific static analysis (see DESIGN.md §9)
+
+USAGE:
+    cce-analyze [OPTIONS] [FILES...]
+
+With no FILES, lints every crates/*/src/**/*.rs under --root using the
+per-crate scoping rules. With FILES, lints exactly those files with
+every lint enabled and no path exemptions (fixture mode).
+
+OPTIONS:
+    --root DIR          Repository root to scan (default: .)
+    --format FMT        Output format: text | json (default: text)
+    --baseline FILE     Suppress findings covered by this ratchet file
+    --update-baseline   Rewrite --baseline FILE from current findings
+    -h, --help          Show this help
+
+EXIT CODES:
+    0  no findings above baseline
+    1  findings reported
+    2  usage or I/O error";
+
+struct Options {
+    root: PathBuf,
+    json: bool,
+    baseline: Option<PathBuf>,
+    update_baseline: bool,
+    files: Vec<PathBuf>,
+}
+
+fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
+    let mut opts = Options {
+        root: PathBuf::from("."),
+        json: false,
+        baseline: None,
+        update_baseline: false,
+        files: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "-h" | "--help" => return Ok(None),
+            "--root" => {
+                let dir = it.next().ok_or("--root needs a directory")?;
+                opts.root = PathBuf::from(dir);
+            }
+            "--format" => match it.next().map(String::as_str) {
+                Some("text") => opts.json = false,
+                Some("json") => opts.json = true,
+                other => return Err(format!("--format must be text or json, got {other:?}")),
+            },
+            "--baseline" => {
+                let file = it.next().ok_or("--baseline needs a file")?;
+                opts.baseline = Some(PathBuf::from(file));
+            }
+            "--update-baseline" => opts.update_baseline = true,
+            flag if flag.starts_with('-') => return Err(format!("unknown option {flag}")),
+            file => opts.files.push(PathBuf::from(file)),
+        }
+    }
+    if opts.update_baseline && opts.baseline.is_none() {
+        return Err("--update-baseline needs --baseline FILE".to_owned());
+    }
+    Ok(Some(opts))
+}
+
+fn findings_json(findings: &[Finding], suppressed: usize) -> Json {
+    Json::obj(vec![
+        (
+            "findings",
+            Json::Arr(
+                findings
+                    .iter()
+                    .map(|f| {
+                        Json::obj(vec![
+                            ("file", Json::from(f.file.as_str())),
+                            ("line", Json::from(f.line)),
+                            ("lint", Json::from(f.lint)),
+                            ("message", Json::from(f.message.as_str())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("total", Json::from(findings.len())),
+        ("suppressed_by_baseline", Json::from(suppressed)),
+    ])
+}
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    let Some(opts) = parse_args(args)? else {
+        println!("{USAGE}");
+        return Ok(ExitCode::SUCCESS);
+    };
+
+    let findings = if opts.files.is_empty() {
+        scan_repo(&opts.root).map_err(|e| format!("scanning {}: {e}", opts.root.display()))?
+    } else {
+        let mut all = Vec::new();
+        for file in &opts.files {
+            all.extend(scan_fixture(file).map_err(|e| format!("{}: {e}", file.display()))?);
+        }
+        all
+    };
+
+    if opts.update_baseline {
+        let path = opts.baseline.as_ref().expect("checked in parse_args");
+        let text = Baseline::from_findings(&findings)
+            .to_json()
+            .to_string_compact();
+        std::fs::write(path, text + "\n").map_err(|e| format!("{}: {e}", path.display()))?;
+        println!(
+            "cce-analyze: wrote baseline {} covering {} finding(s)",
+            path.display(),
+            findings.len()
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let baseline = match &opts.baseline {
+        Some(path) => {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+            Baseline::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?
+        }
+        None => Baseline::empty(),
+    };
+    let (kept, suppressed) = baseline.apply(findings);
+
+    if opts.json {
+        println!("{}", findings_json(&kept, suppressed).to_string_compact());
+    } else {
+        for f in &kept {
+            println!("{f}");
+        }
+        println!(
+            "cce-analyze: {} finding(s), {} suppressed by baseline",
+            kept.len(),
+            suppressed
+        );
+    }
+    Ok(if kept.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(message) => {
+            eprintln!("cce-analyze: {message}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! Golden-fixture tests: the binary must exit nonzero on each
+//! violating fixture, zero on each clean one, and the repo itself must
+//! report nothing above the committed baseline.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+use cce_util::Json;
+
+fn fixture(name: &str) -> String {
+    format!("{}/fixtures/{name}", env!("CARGO_MANIFEST_DIR"))
+}
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(std::path::Path::parent)
+        .expect("crates/analyze has a grandparent")
+        .to_path_buf()
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_cce-analyze"))
+        .args(args)
+        .output()
+        .expect("spawn cce-analyze")
+}
+
+/// Runs the binary on one fixture; returns (exit-zero?, stdout).
+fn run_fixture(name: &str) -> (bool, String) {
+    let out = run(&[&fixture(name)]);
+    (
+        out.status.success(),
+        String::from_utf8(out.stdout).expect("utf-8 stdout"),
+    )
+}
+
+fn assert_pair(lint: &str, violating: &str, clean: &str, expected_findings: usize) {
+    let (ok, stdout) = run_fixture(violating);
+    assert!(!ok, "{violating} must fail:\n{stdout}");
+    let flagged = stdout
+        .lines()
+        .filter(|l| l.contains(&format!("[{lint}]")))
+        .count();
+    assert_eq!(
+        flagged, expected_findings,
+        "{violating} findings:\n{stdout}"
+    );
+
+    let (ok, stdout) = run_fixture(clean);
+    assert!(ok, "{clean} must pass:\n{stdout}");
+    assert!(
+        stdout.starts_with("cce-analyze: 0 finding(s)"),
+        "{clean} output:\n{stdout}"
+    );
+}
+
+#[test]
+fn nondet_iter_pair() {
+    assert_pair(
+        "nondet-iter",
+        "nondet_iter_violating.rs",
+        "nondet_iter_clean.rs",
+        3,
+    );
+}
+
+#[test]
+fn cost_constant_pair() {
+    assert_pair(
+        "cost-constant",
+        "cost_constant_violating.rs",
+        "cost_constant_clean.rs",
+        3,
+    );
+}
+
+#[test]
+fn panic_path_pair() {
+    assert_pair(
+        "panic-path",
+        "panic_path_violating.rs",
+        "panic_path_clean.rs",
+        3,
+    );
+}
+
+#[test]
+fn event_protocol_pair() {
+    assert_pair(
+        "event-protocol",
+        "event_protocol_violating.rs",
+        "event_protocol_clean.rs",
+        2,
+    );
+}
+
+#[test]
+fn diagnostics_are_file_line_clickable() {
+    let (_, stdout) = run_fixture("panic_path_violating.rs");
+    let first = stdout.lines().next().expect("at least one line");
+    assert!(
+        first.contains("panic_path_violating.rs:3: [panic-path]"),
+        "{first}"
+    );
+}
+
+#[test]
+fn json_output_is_parseable_and_complete() {
+    let out = run(&["--format", "json", &fixture("cost_constant_violating.rs")]);
+    assert!(!out.status.success());
+    let doc =
+        Json::parse(std::str::from_utf8(&out.stdout).expect("utf-8")).expect("json output parses");
+    let findings = doc
+        .get("findings")
+        .and_then(Json::as_arr)
+        .expect("findings");
+    assert_eq!(doc.get("total").and_then(Json::as_u64), Some(3));
+    assert_eq!(findings.len(), 3);
+    let first = &findings[0];
+    assert_eq!(
+        first.get("lint").and_then(Json::as_str),
+        Some("cost-constant")
+    );
+    assert!(first.get("line").and_then(Json::as_u64).is_some());
+    assert!(first
+        .get("file")
+        .and_then(Json::as_str)
+        .expect("file")
+        .ends_with("cost_constant_violating.rs"));
+}
+
+#[test]
+fn baseline_ratchets_findings_to_zero_but_not_below() {
+    let baseline_path =
+        std::env::temp_dir().join(format!("cce-analyze-golden-{}.json", std::process::id()));
+    let baseline = baseline_path.to_string_lossy().into_owned();
+    let target = fixture("panic_path_violating.rs");
+
+    // Capture today's debt.
+    let out = run(&[&target, "--baseline", &baseline, "--update-baseline"]);
+    assert!(out.status.success(), "update-baseline failed");
+
+    // Inside the budget: suppressed.
+    let out = run(&[&target, "--baseline", &baseline]);
+    assert!(out.status.success(), "within-baseline run must pass");
+    let stdout = String::from_utf8(out.stdout).expect("utf-8");
+    assert!(stdout.contains("3 suppressed by baseline"), "{stdout}");
+
+    // A baseline for a different file transfers no budget.
+    let out = run(&[
+        &fixture("event_protocol_violating.rs"),
+        "--baseline",
+        &baseline,
+    ]);
+    assert!(!out.status.success(), "budget must not transfer");
+
+    std::fs::remove_file(&baseline_path).ok();
+}
+
+#[test]
+fn usage_errors_exit_two() {
+    let out = run(&["--format", "yaml"]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = run(&["--update-baseline"]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = run(&["--no-such-flag"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn repo_reports_nothing_above_committed_baseline() {
+    let root = repo_root();
+    let baseline = root.join("analyze-baseline.json");
+    assert!(
+        baseline.is_file(),
+        "analyze-baseline.json must be committed at the repo root"
+    );
+    let out = run(&[
+        "--root",
+        &root.to_string_lossy(),
+        "--baseline",
+        &baseline.to_string_lossy(),
+    ]);
+    let stdout = String::from_utf8(out.stdout).expect("utf-8");
+    assert!(
+        out.status.success(),
+        "repo has findings above baseline:\n{stdout}"
+    );
+}

@@ -11,6 +11,8 @@
 //!
 //! Shared helpers for the benches live here.
 
+#![deny(unsafe_code)]
+
 use cce_workloads::BenchmarkModel;
 
 /// Scale used by the benchmark harness (fractions of Table 1 sizes).

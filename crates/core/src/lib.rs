@@ -42,6 +42,8 @@
 //! # Ok::<(), cce_core::CacheError>(())
 //! ```
 
+#![deny(unsafe_code)]
+
 pub mod cache;
 pub mod error;
 pub mod events;

@@ -40,6 +40,8 @@
 //! # Ok::<(), cce_dbt::DbtError>(())
 //! ```
 
+#![deny(unsafe_code)]
+
 pub mod codegen;
 pub mod dispatch;
 pub mod engine;

@@ -3,6 +3,7 @@
 
 use crate::Options;
 use cce_sim::measurement::Campaign;
+use cce_sim::overhead::{EVICTION_EQ2, MISS_EQ3, UNLINK_EQ4};
 use cce_sim::regression::fit_line;
 use cce_sim::report::TextTable;
 use std::fmt::Write as _;
@@ -22,7 +23,7 @@ pub fn fig9(opts: &Options) -> String {
         "eviction (Eq. 2)".to_owned(),
         n.to_string(),
         ev.model.to_string(),
-        "2.77*x + 3055.0".to_owned(),
+        EVICTION_EQ2.to_string(),
         format!("{:.3}", ev.r_squared),
     ]);
     let miss = fit_line(&campaign.miss_samples(n, opts.seed)).expect("enough samples");
@@ -30,7 +31,7 @@ pub fn fig9(opts: &Options) -> String {
         "miss service (Eq. 3)".to_owned(),
         n.to_string(),
         miss.model.to_string(),
-        "75.40*x + 1922.0".to_owned(),
+        MISS_EQ3.to_string(),
         format!("{:.3}", miss.r_squared),
     ]);
     let unlink = fit_line(&campaign.unlink_samples(n, opts.seed)).expect("enough samples");
@@ -38,7 +39,7 @@ pub fn fig9(opts: &Options) -> String {
         "unlinking (Eq. 4)".to_owned(),
         n.to_string(),
         unlink.model.to_string(),
-        "296.50*x + 95.7".to_owned(),
+        UNLINK_EQ4.to_string(),
         format!("{:.3}", unlink.r_squared),
     ]);
     let mut out = t.to_string();

@@ -13,6 +13,8 @@
 //! `--scale` shrinks every workload proportionally (default 1.0 =
 //! Table 1 superblock counts); `--seed` controls trace generation.
 
+#![deny(unsafe_code)]
+
 mod all;
 mod chaining;
 mod extensions;

@@ -3,6 +3,7 @@
 use crate::grid::Grid;
 use crate::miss_figs::grid_at;
 use crate::Options;
+use cce_sim::overhead::UNLINK_EQ4;
 use cce_sim::report::{pct, TextTable};
 use std::fmt::Write as _;
 
@@ -150,7 +151,10 @@ pub(crate) fn render_fig14(grid: &Grid) -> String {
         grid,
         10,
         true,
-        "Figure 14 — Relative overhead incl. link maintenance (Eq. 4), cache = maxCache/10",
+        &format!(
+            "Figure 14 — Relative overhead incl. link maintenance ({}), cache = maxCache/10",
+            UNLINK_EQ4.eq_label(4)
+        ),
     )
 }
 
@@ -164,6 +168,9 @@ pub(crate) fn render_fig15(grid: &Grid) -> String {
     render_overhead_vs_pressure(
         grid,
         true,
-        "Figure 15 — Relative overhead incl. link maintenance vs cache pressure",
+        &format!(
+            "Figure 15 — Relative overhead incl. link maintenance ({}) vs cache pressure",
+            UNLINK_EQ4.eq_label(4)
+        ),
     )
 }

@@ -47,6 +47,8 @@
 //! # Ok::<(), cce_sim::SimError>(())
 //! ```
 
+#![deny(unsafe_code)]
+
 pub mod analysis;
 pub mod exectime;
 pub mod measurement;

@@ -20,11 +20,43 @@ pub struct LinearModel {
     pub intercept: f64,
 }
 
+/// Eq. 2 as measured in the paper: instructions per eviction-mechanism
+/// invocation vs bytes evicted. This is the **only** place in the
+/// workspace the constants may be spelled out (enforced by
+/// `cce-analyze`'s cost-constant lint); everything else imports the
+/// model or formats it via [`LinearModel`]'s `Display`.
+pub const EVICTION_EQ2: LinearModel = LinearModel {
+    slope: 2.77,
+    intercept: 3055.0,
+};
+
+/// Eq. 3: instructions per code-cache miss vs superblock bytes. See
+/// [`EVICTION_EQ2`] for the single-definition-site rule.
+pub const MISS_EQ3: LinearModel = LinearModel {
+    slope: 75.4,
+    intercept: 1922.0,
+};
+
+/// Eq. 4: instructions per unlink operation vs incoming links removed.
+/// See [`EVICTION_EQ2`] for the single-definition-site rule.
+pub const UNLINK_EQ4: LinearModel = LinearModel {
+    slope: 296.5,
+    intercept: 95.7,
+};
+
 impl LinearModel {
     /// Evaluates the model at `x`.
     #[must_use]
     pub fn eval(&self, x: f64) -> f64 {
         self.slope * x + self.intercept
+    }
+
+    /// The shared figure-caption label, e.g. `"Eq. 4: 296.50*x + 95.7"`
+    /// — one formatter so captions cannot drift from the model they
+    /// describe.
+    #[must_use]
+    pub fn eq_label(&self, eq: u8) -> String {
+        format!("Eq. {eq}: {self}")
     }
 }
 
@@ -50,18 +82,9 @@ impl OverheadModel {
     #[must_use]
     pub fn cgo2004() -> OverheadModel {
         OverheadModel {
-            eviction: LinearModel {
-                slope: 2.77,
-                intercept: 3055.0,
-            },
-            miss: LinearModel {
-                slope: 75.4,
-                intercept: 1922.0,
-            },
-            unlink: LinearModel {
-                slope: 296.5,
-                intercept: 95.7,
-            },
+            eviction: EVICTION_EQ2,
+            miss: MISS_EQ3,
+            unlink: UNLINK_EQ4,
         }
     }
 
@@ -146,11 +169,14 @@ mod tests {
 
     #[test]
     fn linear_model_display() {
-        let l = LinearModel {
-            slope: 2.77,
-            intercept: 3055.0,
-        };
-        assert_eq!(l.to_string(), "2.77*x + 3055.0");
+        assert_eq!(EVICTION_EQ2.to_string(), "2.77*x + 3055.0");
+        assert_eq!(MISS_EQ3.to_string(), "75.40*x + 1922.0");
+        assert_eq!(UNLINK_EQ4.to_string(), "296.50*x + 95.7");
+    }
+
+    #[test]
+    fn eq_label_is_the_shared_caption_format() {
+        assert_eq!(UNLINK_EQ4.eq_label(4), "Eq. 4: 296.50*x + 95.7");
     }
 
     #[test]

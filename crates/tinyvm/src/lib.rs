@@ -41,6 +41,8 @@
 //! assert_eq!(interp.reg(Reg::R1), 0);
 //! ```
 
+#![deny(unsafe_code)]
+
 pub mod builder;
 pub mod disasm;
 pub mod encode;

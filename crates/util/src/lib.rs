@@ -13,6 +13,8 @@
 //! Both modules use only `std` and are deterministic across platforms —
 //! a requirement for the reproducibility contract in DESIGN.md.
 
+#![deny(unsafe_code)]
+
 pub mod json;
 pub mod rng;
 

@@ -32,6 +32,8 @@
 //! assert!(summary.accesses > summary.superblock_count as u64);
 //! ```
 
+#![deny(unsafe_code)]
+
 pub mod access;
 pub mod catalog;
 pub mod distributions;

@@ -30,6 +30,8 @@
 //! See the `examples/` directory for end-to-end scenarios and
 //! `cce-experiments` for the per-figure regenerators.
 
+#![deny(unsafe_code)]
+
 pub use cce_core as core;
 pub use cce_dbt as dbt;
 pub use cce_sim as sim;
