@@ -10,3 +10,7 @@ pub fn near_misses() -> (f64, f64, f64) {
 pub fn scale_label() -> &'static str {
     "cache scale: 0.25"
 }
+
+pub fn digit_run_neighbors() -> &'static str {
+    "since 19225 bytes at offset 75.41"
+}

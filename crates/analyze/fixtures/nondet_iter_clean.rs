@@ -14,3 +14,24 @@ pub fn count(tally: &HashMap<u64, u64>) -> usize {
     // cce-analyze: allow(nondet-iter): a count is independent of visit order
     tally.keys().count()
 }
+
+pub struct Registry {
+    index: HashMap<u64, u64>,
+}
+
+// A trailing `for` that is not a loop (trait impl / HRTB) must not
+// confuse the for-loop scanner, even with hash-bound names in scope.
+impl Default for Registry {
+    fn default() -> Registry {
+        Registry {
+            index: HashMap::new(),
+        }
+    }
+}
+
+pub fn apply_all<F>(f: F)
+where
+    F: for<'a> Fn(&'a u64),
+{
+    f(&0);
+}

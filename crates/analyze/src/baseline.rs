@@ -6,7 +6,11 @@
 //! run, and paying debt down then updating the baseline is the only way
 //! the numbers move. `--update-baseline` rewrites the file from the
 //! current findings, so counts can ratchet toward zero but a regression
-//! can never be committed silently.
+//! can never be committed silently. The ratchet is enforced in both
+//! directions: a bucket whose current count falls *below* its budget is
+//! reported stale ([`Baseline::stale_buckets`]) and fails the run until
+//! the baseline is refreshed, so paid-down debt is locked in rather
+//! than left as headroom to regress into.
 
 use std::collections::BTreeMap;
 
@@ -99,6 +103,32 @@ impl Baseline {
             .unwrap_or(0)
     }
 
+    /// Buckets whose current finding count is strictly below budget:
+    /// debt was paid down but the baseline still tolerates the old
+    /// count, so the file could silently regress back up to it. Each
+    /// entry is `(lint, file, budget, current)`; refresh with
+    /// `--update-baseline` to lock the reduction in.
+    #[must_use]
+    pub fn stale_buckets(&self, findings: &[Finding]) -> Vec<(String, String, usize, usize)> {
+        let mut current: BTreeMap<(&str, &str), usize> = BTreeMap::new();
+        for f in findings {
+            *current.entry((f.lint, f.file.as_str())).or_default() += 1;
+        }
+        let mut stale = Vec::new();
+        for (lint, files) in &self.counts {
+            for (file, &budget) in files {
+                let now = current
+                    .get(&(lint.as_str(), file.as_str()))
+                    .copied()
+                    .unwrap_or(0);
+                if now < budget {
+                    stale.push((lint.clone(), file.clone(), budget, now));
+                }
+            }
+        }
+        stale
+    }
+
     /// Splits findings into those above baseline (kept, to report) and
     /// the number suppressed. A bucket at or under its budget is
     /// suppressed entirely; a bucket above it is reported entirely, so
@@ -165,6 +195,27 @@ mod tests {
         ]);
         assert_eq!(kept.len(), 2, "whole bucket is reported when over budget");
         assert_eq!(suppressed, 0);
+    }
+
+    #[test]
+    fn paid_down_buckets_are_reported_stale() {
+        let baseline = Baseline::from_findings(&[
+            finding("panic-path", "a.rs", 1),
+            finding("panic-path", "a.rs", 2),
+            finding("panic-path", "a.rs", 3),
+            finding("panic-path", "b.rs", 1),
+        ]);
+        // a.rs paid down from 3 to 1, b.rs unchanged, so only a.rs is
+        // stale — with the exact budget/current counts.
+        let now = [
+            finding("panic-path", "a.rs", 7),
+            finding("panic-path", "b.rs", 1),
+        ];
+        assert_eq!(
+            baseline.stale_buckets(&now),
+            vec![("panic-path".to_owned(), "a.rs".to_owned(), 3, 1)]
+        );
+        assert!(Baseline::from_findings(&now).stale_buckets(&now).is_empty());
     }
 
     #[test]

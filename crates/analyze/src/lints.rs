@@ -279,9 +279,13 @@ fn nondet_iter(file: &str, lexed: &Lexed, tests: &[(usize, usize)], out: &mut Ve
             i += 1;
             continue;
         }
-        // Find `in` at delimiter depth 0, then the body `{`.
+        // Find `in` at delimiter depth 0, then the body `{`. A brace at
+        // depth 0 before any `in` — `impl Trait for Type { … }`,
+        // `for<'a>` bounds reaching a body — means this `for` is not a
+        // loop at all.
         let mut j = i + 1;
         let mut depth = 0i32;
+        let mut found_in = false;
         while j < tokens.len() {
             let t = &tokens[j];
             if t.is_punct("(") || t.is_punct("[") {
@@ -289,9 +293,16 @@ fn nondet_iter(file: &str, lexed: &Lexed, tests: &[(usize, usize)], out: &mut Ve
             } else if t.is_punct(")") || t.is_punct("]") {
                 depth -= 1;
             } else if depth == 0 && t.is_ident("in") {
+                found_in = true;
+                break;
+            } else if depth == 0 && t.is_punct("{") {
                 break;
             }
             j += 1;
+        }
+        if !found_in {
+            i += 1;
+            continue;
         }
         let expr_start = j + 1;
         let mut k = expr_start;
@@ -303,7 +314,7 @@ fn nondet_iter(file: &str, lexed: &Lexed, tests: &[(usize, usize)], out: &mut Ve
             k += 1;
         }
         if !has_call {
-            for t in &tokens[expr_start..k.min(tokens.len())] {
+            for t in &tokens[expr_start..k] {
                 if is_hash_name(t) {
                     out.push(Finding {
                         file: file.to_owned(),
@@ -339,6 +350,37 @@ const PAPER_CONSTANTS: &[(f64, &str)] = &[
     (95.7, "95.7"),
 ];
 
+/// Names of Eq. 2–4 constants appearing in `s` as maximal decimal-number
+/// runs, compared by exact numeric value like the literal branch. This
+/// keeps "19225" and "75.41" clean (the substring would match) while
+/// still catching respellings like "75.40" or "1922.0"; each constant is
+/// reported at most once per string literal.
+fn constants_in_string(s: &str) -> Vec<&'static str> {
+    let mut found = Vec::new();
+    let bytes = s.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if !bytes[i].is_ascii_digit() {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == b'.') {
+            i += 1;
+        }
+        // Trailing dots are sentence punctuation or `..`, not fraction.
+        let run = s[start..i].trim_end_matches('.');
+        if let Ok(v) = run.parse::<f64>() {
+            if let Some((_, name)) = PAPER_CONSTANTS.iter().find(|(c, _)| *c == v) {
+                if !found.contains(name) {
+                    found.push(*name);
+                }
+            }
+        }
+    }
+    found
+}
+
 fn cost_constant(file: &str, lexed: &Lexed, out: &mut Vec<Finding>) {
     for t in &lexed.tokens {
         match t.kind {
@@ -360,7 +402,7 @@ fn cost_constant(file: &str, lexed: &Lexed, out: &mut Vec<Finding>) {
                 }
             }
             TokKind::Str => {
-                if let Some((_, name)) = PAPER_CONSTANTS.iter().find(|(_, s)| t.text.contains(s)) {
+                for name in constants_in_string(&t.text) {
                     out.push(Finding {
                         file: file.to_owned(),
                         line: t.line,
@@ -448,8 +490,14 @@ fn event_protocol(file: &str, lexed: &Lexed, out: &mut Vec<Finding>) {
             let next_is_arm = tokens
                 .get(end)
                 .is_some_and(|t| t.is_punct("=>") || t.is_punct("|"));
+            // `if let`/`while let`/`let` position: a unit variant cannot
+            // be assigned to, so a single `=` after it (the lexer splits
+            // `==` into two tokens) means the path is a pattern.
+            let next_is_let_eq = tokens.get(end).is_some_and(|t| t.is_punct("="))
+                && !tokens.get(end + 1).is_some_and(|t| t.is_punct("="));
             let in_matches_macro = paren_is_pattern.last().copied().unwrap_or(false);
-            let is_pattern = next_is_arm || braces_have_dotdot || in_matches_macro;
+            let is_pattern =
+                next_is_arm || next_is_let_eq || braces_have_dotdot || in_matches_macro;
             if !is_pattern {
                 out.push(Finding {
                     file: file.to_owned(),
@@ -510,6 +558,27 @@ fn g() {
     }
 
     #[test]
+    fn impl_for_and_hrtb_are_not_for_loops() {
+        // A trailing `for` with no `in` (trait impl, HRTB) after the
+        // last real loop used to slice past the end of the token stream.
+        let src = "
+use std::collections::HashMap;
+pub struct S { m: HashMap<u64, u64> }
+fn sum(m: &HashMap<u64, u64>) -> u64 {
+    let mut s = 0;
+    for (_k, v) in m { s += v; }
+    s
+}
+fn apply<F>(f: F) where F: for<'a> Fn(&'a u64) { f(&0); }
+impl Default for S {
+    fn default() -> S { S { m: HashMap::new() } }
+}";
+        let f = run_all(src);
+        assert_eq!(lints_of(&f), vec![NONDET_ITER]);
+        assert_eq!(f[0].line, 6);
+    }
+
+    #[test]
     fn btree_iteration_is_clean() {
         let src = "
 use std::collections::BTreeMap;
@@ -545,13 +614,20 @@ fn f(m: &HashMap<u64, u64>) -> u64 {
     fn cost_constants_in_numbers_and_strings() {
         let src = "fn f() { let a = 2.77; let b = 3055.0; let s = \"75.40*x + 1922.0\"; }";
         let f = run_all(src);
-        assert_eq!(f.len(), 3, "{f:?}");
+        assert_eq!(f.len(), 4, "every re-typed constant is reported: {f:?}");
         assert!(f.iter().all(|f| f.lint == COST_CONSTANT));
+        assert!(f[2].message.contains("75.4") && f[3].message.contains("1922"));
     }
 
     #[test]
     fn near_miss_constants_are_clean() {
         let src = "fn f() { let a = 2.78; let b = 305.5; let s = \"scale 0.25\"; }";
+        assert!(run_all(src).is_empty());
+    }
+
+    #[test]
+    fn constants_inside_longer_digit_runs_are_clean() {
+        let src = "fn f() { let s = \"since 19225 bytes at 75.41, v1922.5\"; }";
         assert!(run_all(src).is_empty());
     }
 
@@ -598,6 +674,24 @@ fn good(ev: CacheEvent) -> bool {
         assert_eq!(lints_of(&f), vec![EVENT_PROTOCOL, EVENT_PROTOCOL]);
         assert_eq!(f[0].line, 3);
         assert_eq!(f[1].line, 4);
+    }
+
+    #[test]
+    fn if_let_and_while_let_are_patterns_let_binding_is_not() {
+        let src = "
+fn scan(ev: CacheEvent, mut next: impl FnMut() -> CacheEvent) -> u64 {
+    let mut n = 0;
+    if let CacheEvent::EvictionBegin = ev { n += 1; }
+    while let CacheEvent::EvictionEnd { bytes } = next() { n += bytes; }
+    n
+}
+fn bad() -> CacheEvent {
+    let ev = CacheEvent::EvictionBegin;
+    ev
+}";
+        let f = run_all(src);
+        assert_eq!(lints_of(&f), vec![EVENT_PROTOCOL]);
+        assert_eq!(f[0].line, 9);
     }
 
     #[test]

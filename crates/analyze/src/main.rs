@@ -26,9 +26,13 @@ OPTIONS:
     -h, --help          Show this help
 
 EXIT CODES:
-    0  no findings above baseline
-    1  findings reported
+    0  no findings above baseline, baseline not stale
+    1  findings reported, or the baseline over-budgets a paid-down
+       file (rerun with --update-baseline to lock the reduction in)
     2  usage or I/O error";
+
+/// `(lint, file, budget, current)` from [`Baseline::stale_buckets`].
+type StaleBucket = (String, String, usize, usize);
 
 struct Options {
     root: PathBuf,
@@ -74,7 +78,7 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
     Ok(Some(opts))
 }
 
-fn findings_json(findings: &[Finding], suppressed: usize) -> Json {
+fn findings_json(findings: &[Finding], suppressed: usize, stale: &[StaleBucket]) -> Json {
     Json::obj(vec![
         (
             "findings",
@@ -94,6 +98,22 @@ fn findings_json(findings: &[Finding], suppressed: usize) -> Json {
         ),
         ("total", Json::from(findings.len())),
         ("suppressed_by_baseline", Json::from(suppressed)),
+        (
+            "stale_baseline",
+            Json::Arr(
+                stale
+                    .iter()
+                    .map(|(lint, file, budget, current)| {
+                        Json::obj(vec![
+                            ("lint", Json::from(lint.as_str())),
+                            ("file", Json::from(file.as_str())),
+                            ("budget", Json::from(*budget)),
+                            ("current", Json::from(*current)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
     ])
 }
 
@@ -135,21 +155,32 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         }
         None => Baseline::empty(),
     };
+    let stale = baseline.stale_buckets(&findings);
     let (kept, suppressed) = baseline.apply(findings);
 
     if opts.json {
-        println!("{}", findings_json(&kept, suppressed).to_string_compact());
+        println!(
+            "{}",
+            findings_json(&kept, suppressed, &stale).to_string_compact()
+        );
     } else {
         for f in &kept {
             println!("{f}");
         }
+        for (lint, file, budget, current) in &stale {
+            println!(
+                "cce-analyze: baseline is stale for {file}: [{lint}] budget {budget}, \
+                 current {current}; run --update-baseline to lock the reduction in"
+            );
+        }
         println!(
-            "cce-analyze: {} finding(s), {} suppressed by baseline",
+            "cce-analyze: {} finding(s), {} suppressed by baseline, {} stale baseline bucket(s)",
             kept.len(),
-            suppressed
+            suppressed,
+            stale.len()
         );
     }
-    Ok(if kept.is_empty() {
+    Ok(if kept.is_empty() && stale.is_empty() {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE

@@ -71,7 +71,7 @@ fn cost_constant_pair() {
         "cost-constant",
         "cost_constant_violating.rs",
         "cost_constant_clean.rs",
-        3,
+        4,
     );
 }
 
@@ -115,8 +115,8 @@ fn json_output_is_parseable_and_complete() {
         .get("findings")
         .and_then(Json::as_arr)
         .expect("findings");
-    assert_eq!(doc.get("total").and_then(Json::as_u64), Some(3));
-    assert_eq!(findings.len(), 3);
+    assert_eq!(doc.get("total").and_then(Json::as_u64), Some(4));
+    assert_eq!(findings.len(), 4);
     let first = &findings[0];
     assert_eq!(
         first.get("lint").and_then(Json::as_str),
@@ -146,6 +146,14 @@ fn baseline_ratchets_findings_to_zero_but_not_below() {
     assert!(out.status.success(), "within-baseline run must pass");
     let stdout = String::from_utf8(out.stdout).expect("utf-8");
     assert!(stdout.contains("3 suppressed by baseline"), "{stdout}");
+
+    // Paying the debt down without refreshing the baseline is itself a
+    // failure, so the reduction gets locked in rather than left as
+    // headroom to regress into.
+    let out = run(&[&fixture("panic_path_clean.rs"), "--baseline", &baseline]);
+    assert!(!out.status.success(), "stale baseline must fail");
+    let stdout = String::from_utf8(out.stdout).expect("utf-8");
+    assert!(stdout.contains("baseline is stale"), "{stdout}");
 
     // A baseline for a different file transfers no budget.
     let out = run(&[
