@@ -1,0 +1,16 @@
+// Golden fixture: the migrated path — InsertRequest through
+// insert_request/flush — and colliding std names are not shim calls.
+pub fn migrated(cache: &mut CodeCache, id: SuperblockId) -> Result<(), CacheError> {
+    let req = InsertRequest::new(id, 64).with_hint(None);
+    cache.insert_request(req, &mut NullSink)?;
+    cache.flush(&mut NullSink);
+    Ok(())
+}
+
+pub fn std_insert_is_not_a_shim(map: &mut BTreeMap<u64, u64>) {
+    map.insert(1, 2);
+}
+
+impl CodeCache {
+    pub fn insert_hinted_lookalike_definition(&mut self) {}
+}

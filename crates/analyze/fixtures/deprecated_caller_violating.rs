@@ -1,0 +1,16 @@
+// Golden fixture: non-test calls to the deprecated insert/flush shims
+// must be flagged (definitions and test-module calls are exempt).
+pub fn unmigrated(cache: &mut CodeCache, id: SuperblockId) {
+    cache.insert_hinted(id, 64, None).unwrap();
+    let _ = cache.insert_evented(id, 64, None);
+    cache.flush_with_events(&mut NullSink);
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn equivalence_suite_may_call_shims() {
+        let mut cache = CodeCache::with_granularity(Granularity::Flush, 128).unwrap();
+        cache.insert_with_events(SuperblockId(1), 64, None, &mut NullSink).unwrap();
+    }
+}

@@ -14,8 +14,14 @@
 //!   code of `cce-core`/`cce-sim`/`cce-dbt`, ratcheted by
 //!   `analyze-baseline.json` so the count only goes down.
 //! * **event-protocol** — `CacheEvent::EvictionBegin`/`EvictionEnd`
-//!   are constructed only inside `cce-core`'s event machinery;
-//!   organizations must stream through `EvictionScope`.
+//!   are constructed only inside `cce-core`'s event machinery
+//!   (including the shard layer's event-rewriting sink); organizations
+//!   must stream through `EvictionScope`.
+//! * **deprecated-caller** — no non-test in-repo calls to the
+//!   `#[deprecated]` insert/flush shims (`insert_hinted`,
+//!   `insert_evented`, `insert_with_events`, `flush_with_events`);
+//!   everything goes through `InsertRequest` + `insert_request`/`flush`
+//!   or the `CacheSession` trait.
 //!
 //! Built on a hand-rolled lexer ([`lexer`]) because the offline CI
 //! cannot fetch `syn`; the lints ([`lints`]) are token-pattern passes,
@@ -48,8 +54,13 @@ const COST_DEFINITION_SITE: &str = "crates/sim/src/overhead.rs";
 const EVENT_ALLOWED: &[&str] = &[
     "crates/core/src/events.rs",
     "crates/core/src/cache.rs",
+    "crates/core/src/shard.rs",
     "crates/core/src/testutil.rs",
 ];
+
+/// The file defining the deprecated insert/flush shims; its bodies may
+/// mention the shim names without being callers to migrate.
+const DEPRECATED_DEFINITION_SITE: &str = "crates/core/src/cache.rs";
 
 /// The analyzer's own sources are exempt: its lint tables spell out the
 /// constants and method names it searches for.
@@ -68,6 +79,7 @@ pub fn lint_set_for(rel: &str) -> LintSet {
         cost_constant: rel != COST_DEFINITION_SITE,
         panic_path: PANIC_CRATES.contains(&krate),
         event_protocol: !EVENT_ALLOWED.contains(&rel),
+        deprecated_caller: rel != DEPRECATED_DEFINITION_SITE,
     }
 }
 
@@ -166,7 +178,21 @@ mod tests {
             !events.event_protocol,
             "event machinery may construct events"
         );
-        assert!(events.panic_path);
+        assert!(events.panic_path && events.deprecated_caller);
+
+        let shard = lint_set_for("crates/core/src/shard.rs");
+        assert!(
+            !shard.event_protocol,
+            "the shard layer rewrites settled event streams"
+        );
+        assert!(shard.panic_path && shard.deprecated_caller);
+
+        let cache = lint_set_for(DEPRECATED_DEFINITION_SITE);
+        assert!(
+            !cache.deprecated_caller,
+            "the shim definition site is exempt"
+        );
+        assert!(cache.panic_path && !cache.event_protocol);
 
         let workloads = lint_set_for("crates/workloads/src/access.rs");
         assert!(

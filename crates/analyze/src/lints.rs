@@ -1,4 +1,4 @@
-//! The four repo-specific lints.
+//! The five repo-specific lints.
 //!
 //! Each lint is a pass over the token stream of one file (see
 //! [`crate::lexer`]); which lints run on which file is decided by the
@@ -16,6 +16,8 @@ pub const COST_CONSTANT: &str = "cost-constant";
 pub const PANIC_PATH: &str = "panic-path";
 /// See [`NONDET_ITER`].
 pub const EVENT_PROTOCOL: &str = "event-protocol";
+/// See [`NONDET_ITER`].
+pub const DEPRECATED_CALLER: &str = "deprecated-caller";
 
 /// One diagnostic.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -52,6 +54,8 @@ pub struct LintSet {
     pub panic_path: bool,
     /// Run the event-protocol lint.
     pub event_protocol: bool,
+    /// Run the deprecated-caller lint.
+    pub deprecated_caller: bool,
 }
 
 impl LintSet {
@@ -63,6 +67,7 @@ impl LintSet {
             cost_constant: true,
             panic_path: true,
             event_protocol: true,
+            deprecated_caller: true,
         }
     }
 }
@@ -84,6 +89,9 @@ pub fn run_lints(file: &str, src: &str, set: &LintSet) -> Vec<Finding> {
     }
     if set.event_protocol {
         event_protocol(file, &lexed, &mut findings);
+    }
+    if set.deprecated_caller {
+        deprecated_caller(file, &lexed, &tests, &mut findings);
     }
     findings.retain(|f| !suppressed(&lexed, f));
     findings.sort_by(|a, b| (a.line, a.lint).cmp(&(b.line, b.lint)));
@@ -519,6 +527,53 @@ fn event_protocol(file: &str, lexed: &Lexed, out: &mut Vec<Finding>) {
     }
 }
 
+// ---------------------------------------------------------------------
+// Lint 5: deprecated-caller
+// ---------------------------------------------------------------------
+
+/// The `#[deprecated]` shims over `CodeCache::insert_request`/`flush`
+/// whose in-repo callers were all migrated in the `CacheSession`
+/// redesign. The generic names of the quintet (`insert`,
+/// `access_or_insert`, `flush`) are deliberately absent — they collide
+/// with `HashMap::insert`, the `CacheSession` trait method, and the
+/// evented `flush(sink)` core respectively — so the lint tracks only
+/// the unambiguous shim names.
+const DEPRECATED_SHIMS: &[&str] = &[
+    "insert_hinted",
+    "insert_evented",
+    "insert_with_events",
+    "flush_with_events",
+];
+
+fn deprecated_caller(file: &str, lexed: &Lexed, tests: &[(usize, usize)], out: &mut Vec<Finding>) {
+    let tokens = &lexed.tokens;
+    for (i, t) in tokens.iter().enumerate() {
+        if in_test(tests, i)
+            || t.kind != TokKind::Ident
+            || !DEPRECATED_SHIMS.contains(&t.text.as_str())
+        {
+            continue;
+        }
+        // Call forms only: `recv.name(…)` or `Path::name(…)`. A bare
+        // `fn name(` definition has neither prefix.
+        let after_recv = i > 0 && (tokens[i - 1].is_punct(".") || tokens[i - 1].is_punct("::"));
+        let call = tokens.get(i + 1).is_some_and(|t| t.is_punct("("));
+        if after_recv && call {
+            out.push(Finding {
+                file: file.to_owned(),
+                line: t.line,
+                lint: DEPRECATED_CALLER,
+                message: format!(
+                    "call to deprecated shim `{}` in non-test code; build an \
+                     InsertRequest and use insert_request/flush (or the CacheSession \
+                     trait) — the shims exist only for downstream migration",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -692,6 +747,45 @@ fn bad() -> CacheEvent {
         let f = run_all(src);
         assert_eq!(lints_of(&f), vec![EVENT_PROTOCOL]);
         assert_eq!(f[0].line, 9);
+    }
+
+    #[test]
+    fn deprecated_shim_calls_are_flagged_outside_tests() {
+        let src = "
+fn migrate_me(cache: &mut CodeCache) {
+    cache.insert_hinted(id, 64, None).unwrap();
+    let _ = cache.insert_evented(id, 64, None);
+    CodeCache::insert_with_events(cache, id, 64, None, &mut NullSink).unwrap();
+    cache.flush_with_events(&mut NullSink);
+}
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn equivalence() { cache.insert_hinted(id, 64, None).unwrap(); }
+}";
+        let f = run_all(src);
+        let dep: Vec<_> = f.iter().filter(|f| f.lint == DEPRECATED_CALLER).collect();
+        assert_eq!(dep.len(), 4, "{f:?}");
+        assert!(dep.iter().all(|f| f.line <= 6), "{dep:?}");
+    }
+
+    #[test]
+    fn shim_definitions_and_new_api_calls_are_clean() {
+        let src = "
+impl CodeCache {
+    pub fn insert_hinted(&mut self, id: SuperblockId, size: u32) {}
+    pub fn flush_with_events(&mut self, sink: &mut dyn EventSink) {}
+}
+fn migrated(cache: &mut CodeCache) {
+    let _ = cache.insert_request(InsertRequest::new(id, 64), &mut NullSink);
+    let _ = cache.flush(&mut NullSink);
+    map.insert(1, 2);
+}";
+        assert!(
+            run_all(src).iter().all(|f| f.lint != DEPRECATED_CALLER),
+            "{:?}",
+            run_all(src)
+        );
     }
 
     #[test]

@@ -96,6 +96,16 @@ fn event_protocol_pair() {
 }
 
 #[test]
+fn deprecated_caller_pair() {
+    assert_pair(
+        "deprecated-caller",
+        "deprecated_caller_violating.rs",
+        "deprecated_caller_clean.rs",
+        3,
+    );
+}
+
+#[test]
 fn diagnostics_are_file_line_clickable() {
     let (_, stdout) = run_fixture("panic_path_violating.rs");
     let first = stdout.lines().next().expect("at least one line");

@@ -3,7 +3,7 @@
 //! This is the type a dynamic optimizer embeds. It exposes the three
 //! operations the paper's control-flow diagram (Figure 1) requires of a
 //! cache manager — **lookup** ([`CodeCache::access`]), **insert with
-//! eviction** ([`CodeCache::insert_evented`]) and **chain**
+//! eviction** ([`CodeCache::insert_request`]) and **chain**
 //! ([`CodeCache::link`]) — and transparently maintains the back-pointer
 //! table so no eviction can leave a dangling link.
 //!
@@ -13,10 +13,18 @@
 //! producing a compact [`InsertSummary`] with no per-insert heap
 //! allocation in steady state. The settled stream — with `Unlinked`
 //! events and real `links_dropped_free` counts — is forwarded to an
-//! optional observer ([`CodeCache::set_observer`]) and to any sink the
-//! caller passes ([`CodeCache::insert_with_events`]). The pre-event API
-//! ([`CodeCache::insert`], [`CodeCache::insert_hinted`]) survives as a
-//! shim that materializes the settled stream into an [`InsertReport`].
+//! optional observer ([`CodeCache::set_observer`]) and to the sink the
+//! caller passes.
+//!
+//! There is exactly **one** insert core ([`CodeCache::insert_request`],
+//! taking an [`crate::InsertRequest`]) and one flush core
+//! ([`CodeCache::flush`], taking a sink); callers usually drive either
+//! through the [`crate::CacheSession`] trait, which serves a bare
+//! `CodeCache` and a [`crate::shard::ShardedCache`] identically. The
+//! pre-redesign quintet (`insert`, `insert_hinted`, `insert_evented`,
+//! `insert_with_events`, `access_or_insert`) and `flush_with_events`
+//! survive as `#[deprecated]` one-line shims; owned reports are
+//! materialized from event streams only via [`EvictionReport::from`].
 
 use crate::error::CacheError;
 use crate::events::{CacheEvent, CacheObserver, EventBuffer, EventSink, NullSink};
@@ -24,6 +32,7 @@ use crate::ids::{Granularity, SuperblockId, UnitId};
 use crate::links::LinkGraph;
 use crate::org::unit_fifo::UnitFifo;
 use crate::org::{fine_fifo::FineFifo, CacheOrg};
+use crate::session::InsertRequest;
 use crate::stats::CacheStats;
 use std::collections::HashSet;
 use std::fmt;
@@ -71,6 +80,32 @@ pub struct EvictionReport {
     pub links_dropped_free: u64,
 }
 
+/// The one events→report materialization point: parses the settled
+/// stream of a **single** eviction invocation (from its `EvictionBegin`
+/// through its `EvictionEnd`, inclusive). Events outside that grammar
+/// are ignored, so malformed slices degrade to partial reports instead
+/// of panicking.
+impl From<&[CacheEvent]> for EvictionReport {
+    fn from(invocation: &[CacheEvent]) -> EvictionReport {
+        let mut report = EvictionReport::default();
+        for &ev in invocation {
+            match ev {
+                CacheEvent::Evicted { id, size } => report.evicted.push((id, size)),
+                CacheEvent::Unlinked { id, links } => report.unlinked.push((id, links)),
+                CacheEvent::EvictionEnd {
+                    bytes,
+                    links_dropped_free,
+                } => {
+                    report.bytes = bytes;
+                    report.links_dropped_free = links_dropped_free;
+                }
+                _ => {}
+            }
+        }
+        report
+    }
+}
+
 /// Result of a successful [`CodeCache::insert`].
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct InsertReport {
@@ -88,40 +123,34 @@ impl InsertReport {
     }
 
     /// Reassembles a report from a *settled* event stream (as produced
-    /// by [`CodeCache::insert_with_events`]).
+    /// by [`CodeCache::insert_request`]): accumulates padding and slices
+    /// each `EvictionBegin … EvictionEnd` invocation through
+    /// [`EvictionReport::from`], the single events→report
+    /// materialization point.
     #[must_use]
     pub fn from_events(events: &[CacheEvent]) -> InsertReport {
         let mut report = InsertReport::default();
-        let mut current: Option<EvictionReport> = None;
-        for &ev in events {
-            match ev {
+        let mut i = 0;
+        while i < events.len() {
+            match events[i] {
                 CacheEvent::Padding { bytes } => report.padding += bytes,
-                CacheEvent::EvictionBegin => current = Some(EvictionReport::default()),
-                CacheEvent::Evicted { id, size } => {
-                    current
-                        .as_mut()
-                        .expect("Evicted outside an invocation")
-                        .evicted
-                        .push((id, size));
-                }
-                CacheEvent::Unlinked { id, links } => {
-                    current
-                        .as_mut()
-                        .expect("Unlinked outside an invocation")
-                        .unlinked
-                        .push((id, links));
-                }
-                CacheEvent::EvictionEnd {
-                    bytes,
-                    links_dropped_free,
-                } => {
-                    let mut done = current.take().expect("EvictionEnd without EvictionBegin");
-                    done.bytes = bytes;
-                    done.links_dropped_free = links_dropped_free;
-                    report.evictions.push(done);
+                CacheEvent::EvictionBegin => {
+                    let mut end = i + 1;
+                    while end < events.len()
+                        && !matches!(events[end], CacheEvent::EvictionEnd { .. })
+                    {
+                        end += 1;
+                    }
+                    if end < events.len() {
+                        report
+                            .evictions
+                            .push(EvictionReport::from(&events[i..=end]));
+                        i = end;
+                    }
                 }
                 _ => {}
             }
+            i += 1;
         }
         report
     }
@@ -267,42 +296,28 @@ impl CodeCache {
         result
     }
 
-    /// Inserts a freshly translated superblock, evicting as required and
-    /// unpatching every link into each evicted block. Allocation-free in
-    /// steady state; returns the compact [`InsertSummary`].
+    /// Inserts the superblock described by `req`, evicting as required
+    /// and unpatching every link into each evicted block; the settled
+    /// event stream is mirrored into `sink`. Allocation-free in steady
+    /// state; returns the compact [`InsertSummary`]. This is the one
+    /// insert core — every other insert entry point is a shim over it.
     ///
     /// # Errors
     ///
     /// Propagates the organization's validation errors
     /// ([`CacheError::AlreadyResident`], [`CacheError::ZeroSize`],
     /// [`CacheError::BlockTooLarge`]).
-    pub fn insert_evented(
+    pub fn insert_request(
         &mut self,
-        id: SuperblockId,
-        size: u32,
-        partner: Option<SuperblockId>,
-    ) -> Result<InsertSummary, CacheError> {
-        self.insert_with_events(id, size, partner, &mut NullSink)
-    }
-
-    /// Like [`CodeCache::insert_evented`], additionally mirroring the
-    /// settled event stream into `sink`.
-    ///
-    /// # Errors
-    ///
-    /// Same conditions as [`CodeCache::insert_evented`].
-    pub fn insert_with_events(
-        &mut self,
-        id: SuperblockId,
-        size: u32,
-        partner: Option<SuperblockId>,
+        req: InsertRequest,
         sink: &mut dyn EventSink,
     ) -> Result<InsertSummary, CacheError> {
         self.buf.clear();
-        self.org.insert_events(id, size, partner, &mut self.buf)?;
-        self.seen.insert(id);
+        self.org
+            .insert_events(req.id, req.size, req.hint, &mut self.buf)?;
+        self.seen.insert(req.id);
         self.stats.insertions += 1;
-        self.stats.bytes_inserted += u64::from(size);
+        self.stats.bytes_inserted += u64::from(req.size);
         let summary = self.settle(sink);
         self.stats.high_water_bytes = self.stats.high_water_bytes.max(self.org.used());
         self.stats.high_water_blocks = self
@@ -312,26 +327,75 @@ impl CodeCache {
         Ok(summary)
     }
 
-    /// Legacy shim: inserts and materializes the settled stream into an
-    /// owned [`InsertReport`]. Allocates; prefer
-    /// [`CodeCache::insert_evented`] on hot paths.
+    /// Deprecated shim over [`CodeCache::insert_request`] with the events
+    /// discarded.
     ///
     /// # Errors
     ///
-    /// Same conditions as [`CodeCache::insert_evented`].
-    pub fn insert(&mut self, id: SuperblockId, size: u32) -> Result<InsertReport, CacheError> {
-        self.insert_hinted(id, size, None)
+    /// Same conditions as [`CodeCache::insert_request`].
+    #[deprecated(
+        note = "use insert_request(InsertRequest::new(id, size).with_hint(partner), \
+                         &mut NullSink) or the CacheSession trait"
+    )]
+    pub fn insert_evented(
+        &mut self,
+        id: SuperblockId,
+        size: u32,
+        partner: Option<SuperblockId>,
+    ) -> Result<InsertSummary, CacheError> {
+        self.insert_request(
+            InsertRequest::new(id, size).with_hint(partner),
+            &mut NullSink,
+        )
     }
 
-    /// Like [`CodeCache::insert`], with a placement hint: `partner` is the
-    /// resident superblock whose exit will immediately be chained to the
-    /// newcomer (the transition source that caused this regeneration).
-    /// Placement-aware organizations use it to keep the upcoming link
-    /// intra-unit; others ignore it.
+    /// Deprecated shim over [`CodeCache::insert_request`].
     ///
     /// # Errors
     ///
-    /// Same conditions as [`CodeCache::insert`].
+    /// Same conditions as [`CodeCache::insert_request`].
+    #[deprecated(
+        note = "use insert_request(InsertRequest::new(id, size).with_hint(partner), \
+                         sink) or the CacheSession trait"
+    )]
+    pub fn insert_with_events(
+        &mut self,
+        id: SuperblockId,
+        size: u32,
+        partner: Option<SuperblockId>,
+        sink: &mut dyn EventSink,
+    ) -> Result<InsertSummary, CacheError> {
+        self.insert_request(InsertRequest::new(id, size).with_hint(partner), sink)
+    }
+
+    /// Deprecated shim: inserts via [`CodeCache::insert_request`] and
+    /// materializes the settled stream into an owned [`InsertReport`].
+    /// Allocates.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CodeCache::insert_request`].
+    #[deprecated(
+        note = "use insert_request(InsertRequest::new(id, size), sink); materialize \
+                         with InsertReport::from_events if an owned report is needed"
+    )]
+    pub fn insert(&mut self, id: SuperblockId, size: u32) -> Result<InsertReport, CacheError> {
+        let mut settled = EventBuffer::new();
+        self.insert_request(InsertRequest::new(id, size), &mut settled)?;
+        Ok(InsertReport::from_events(settled.events()))
+    }
+
+    /// Deprecated shim: like the `insert` shim, forwarding the placement
+    /// hint (`partner` is the resident superblock whose exit will
+    /// immediately be chained to the newcomer).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CodeCache::insert_request`].
+    #[deprecated(
+        note = "use insert_request(InsertRequest::new(id, size).with_hint(partner), \
+                         sink); materialize with InsertReport::from_events if needed"
+    )]
     pub fn insert_hinted(
         &mut self,
         id: SuperblockId,
@@ -339,16 +403,23 @@ impl CodeCache {
         partner: Option<SuperblockId>,
     ) -> Result<InsertReport, CacheError> {
         let mut settled = EventBuffer::new();
-        self.insert_with_events(id, size, partner, &mut settled)?;
+        self.insert_request(
+            InsertRequest::new(id, size).with_hint(partner),
+            &mut settled,
+        )?;
         Ok(InsertReport::from_events(settled.events()))
     }
 
-    /// Convenience: access, and on a miss insert with `size`. Returns the
-    /// access outcome plus the insertion report when one happened.
+    /// Deprecated shim: access, and on a miss insert with `size`,
+    /// returning an owned report. The trait method
+    /// [`crate::CacheSession::access_or_insert`] is the evented
+    /// replacement.
     ///
     /// # Errors
     ///
-    /// Propagates [`CodeCache::insert`] errors.
+    /// Same conditions as [`CodeCache::insert_request`].
+    #[deprecated(note = "use CacheSession::access_or_insert(req, sink) \
+                         (or access_or_insert_quiet)")]
     pub fn access_or_insert(
         &mut self,
         id: SuperblockId,
@@ -356,11 +427,11 @@ impl CodeCache {
     ) -> Result<(AccessResult, Option<InsertReport>), CacheError> {
         let outcome = self.access(id);
         if outcome.is_hit() {
-            Ok((outcome, None))
-        } else {
-            let report = self.insert(id, size)?;
-            Ok((outcome, Some(report)))
+            return Ok((outcome, None));
         }
+        let mut settled = EventBuffer::new();
+        self.insert_request(InsertRequest::new(id, size), &mut settled)?;
+        Ok((outcome, Some(InsertReport::from_events(settled.events()))))
     }
 
     /// Chains `from → to` (the DBT patched `from`'s exit stub to jump
@@ -389,25 +460,22 @@ impl CodeCache {
     }
 
     /// Flushes the entire cache manually (e.g. a Dynamo-style preemptive
-    /// flush on a detected phase change). Returns the eviction report, or
-    /// `None` if the cache was empty.
-    pub fn flush(&mut self) -> Option<EvictionReport> {
-        let mut settled = EventBuffer::new();
-        self.flush_with_events(&mut settled)?;
-        InsertReport::from_events(settled.events())
-            .evictions
-            .into_iter()
-            .next()
-    }
-
-    /// Evented flush: streams the settled eviction into `sink` and
-    /// returns its summary, or `None` if the cache was empty.
-    pub fn flush_with_events(&mut self, sink: &mut dyn EventSink) -> Option<InsertSummary> {
+    /// flush on a detected phase change), streaming the settled eviction
+    /// into `sink`. Returns its summary, or `None` if the cache was
+    /// empty. This is the one flush core; for an owned report use
+    /// [`crate::CacheSession::flush_report`].
+    pub fn flush(&mut self, sink: &mut dyn EventSink) -> Option<InsertSummary> {
         self.buf.clear();
         if !self.org.flush_events(&mut self.buf) {
             return None;
         }
         Some(self.settle(sink))
+    }
+
+    /// Deprecated shim over [`CodeCache::flush`].
+    #[deprecated(note = "use flush(sink) — the evented core has taken this name")]
+    pub fn flush_with_events(&mut self, sink: &mut dyn EventSink) -> Option<InsertSummary> {
+        self.flush(sink)
     }
 
     /// True if `id` is resident.
@@ -585,20 +653,30 @@ impl CodeCache {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::session::CacheSession;
 
     fn sb(n: u64) -> SuperblockId {
         SuperblockId(n)
+    }
+
+    /// Inserts through the one core and materializes the owned report,
+    /// the way the deprecated `insert` shim does.
+    fn ins(c: &mut CodeCache, id: SuperblockId, size: u32) -> InsertReport {
+        let mut buf = EventBuffer::new();
+        c.insert_request(InsertRequest::new(id, size), &mut buf)
+            .unwrap();
+        InsertReport::from_events(buf.events())
     }
 
     #[test]
     fn access_classifies_cold_and_capacity_misses() {
         let mut c = CodeCache::with_granularity(Granularity::Flush, 100).unwrap();
         assert_eq!(c.access(sb(1)), AccessResult::ColdMiss);
-        c.insert(sb(1), 60).unwrap();
+        ins(&mut c, sb(1), 60);
         assert_eq!(c.access(sb(1)), AccessResult::Hit);
         // Force eviction of sb1.
         assert_eq!(c.access(sb(2)), AccessResult::ColdMiss);
-        c.insert(sb(2), 60).unwrap();
+        ins(&mut c, sb(2), 60);
         assert_eq!(c.access(sb(1)), AccessResult::CapacityMiss);
         let s = c.stats();
         assert_eq!(s.accesses, 4);
@@ -610,10 +688,10 @@ mod tests {
     #[test]
     fn link_requires_residency() {
         let mut c = CodeCache::with_granularity(Granularity::units(2), 200).unwrap();
-        c.insert(sb(1), 40).unwrap();
+        ins(&mut c, sb(1), 40);
         assert_eq!(c.link(sb(1), sb(2)), Err(CacheError::NotResident(sb(2))));
         assert_eq!(c.link(sb(2), sb(1)), Err(CacheError::NotResident(sb(2))));
-        c.insert(sb(2), 40).unwrap();
+        ins(&mut c, sb(2), 40);
         assert_eq!(c.link(sb(1), sb(2)), Ok(true));
         assert_eq!(
             c.link(sb(1), sb(2)),
@@ -627,9 +705,9 @@ mod tests {
     fn inter_unit_links_classified_at_creation() {
         // 2 units of 50 bytes each.
         let mut c = CodeCache::with_granularity(Granularity::units(2), 100).unwrap();
-        c.insert(sb(1), 30).unwrap(); // unit 0
-        c.insert(sb(2), 30).unwrap(); // unit 1 (doesn't fit unit 0)
-        c.insert(sb(3), 15).unwrap(); // unit 1
+        ins(&mut c, sb(1), 30); // unit 0
+        ins(&mut c, sb(2), 30); // unit 1 (doesn't fit unit 0)
+        ins(&mut c, sb(3), 15); // unit 1
         c.link(sb(2), sb(3)).unwrap(); // intra (both unit 1)
         c.link(sb(1), sb(2)).unwrap(); // inter
         c.link(sb(1), sb(1)).unwrap(); // self ⇒ intra
@@ -642,12 +720,12 @@ mod tests {
     #[test]
     fn flush_drops_all_links_for_free() {
         let mut c = CodeCache::with_granularity(Granularity::Flush, 100).unwrap();
-        c.insert(sb(1), 30).unwrap();
-        c.insert(sb(2), 30).unwrap();
+        ins(&mut c, sb(1), 30);
+        ins(&mut c, sb(2), 30);
         c.link(sb(1), sb(2)).unwrap();
         c.link(sb(2), sb(1)).unwrap();
         // Overflow triggers the flush.
-        let report = c.insert(sb(3), 60).unwrap();
+        let report = ins(&mut c, sb(3), 60);
         assert_eq!(report.evictions.len(), 1);
         let ev = &report.evictions[0];
         assert!(ev.unlinked.is_empty(), "full flush needs no unlinking");
@@ -659,12 +737,12 @@ mod tests {
     #[test]
     fn fine_fifo_eviction_unpatches_survivor_links() {
         let mut c = CodeCache::with_granularity(Granularity::Superblock, 100).unwrap();
-        c.insert(sb(1), 40).unwrap();
-        c.insert(sb(2), 40).unwrap();
+        ins(&mut c, sb(1), 40);
+        ins(&mut c, sb(2), 40);
         c.link(sb(2), sb(1)).unwrap(); // survivor → victim link
                                        // Inserting 30 evicts sb1 (oldest); sb2 survives and must be
                                        // unpatched.
-        let report = c.insert(sb(3), 30).unwrap();
+        let report = ins(&mut c, sb(3), 30);
         let ev = &report.evictions[0];
         assert_eq!(ev.evicted, vec![(sb(1), 40)]);
         assert_eq!(ev.unlinked, vec![(sb(1), 1)]);
@@ -677,12 +755,12 @@ mod tests {
     #[test]
     fn links_between_covictims_are_free() {
         let mut c = CodeCache::with_granularity(Granularity::Superblock, 100).unwrap();
-        c.insert(sb(1), 50).unwrap();
-        c.insert(sb(2), 50).unwrap();
+        ins(&mut c, sb(1), 50);
+        ins(&mut c, sb(2), 50);
         c.link(sb(1), sb(2)).unwrap();
         c.link(sb(2), sb(1)).unwrap();
         // 100-byte insert evicts both in one invocation.
-        let report = c.insert(sb(3), 100).unwrap();
+        let report = ins(&mut c, sb(3), 100);
         let ev = &report.evictions[0];
         assert_eq!(ev.evicted.len(), 2);
         assert!(ev.unlinked.is_empty());
@@ -692,33 +770,35 @@ mod tests {
     #[test]
     fn self_link_never_requires_unpatching() {
         let mut c = CodeCache::with_granularity(Granularity::Superblock, 50).unwrap();
-        c.insert(sb(1), 50).unwrap();
+        ins(&mut c, sb(1), 50);
         c.link(sb(1), sb(1)).unwrap();
-        let report = c.insert(sb(2), 50).unwrap();
+        let report = ins(&mut c, sb(2), 50);
         let ev = &report.evictions[0];
         assert!(ev.unlinked.is_empty());
         assert_eq!(ev.links_dropped_free, 1);
     }
 
     #[test]
-    fn access_or_insert_combines_the_two() {
+    #[allow(deprecated)]
+    fn deprecated_access_or_insert_shim_still_combines_the_two() {
         let mut c = CodeCache::with_granularity(Granularity::units(4), 400).unwrap();
-        let (r, ins) = c.access_or_insert(sb(9), 80).unwrap();
+        let (r, report) = c.access_or_insert(sb(9), 80).unwrap();
         assert_eq!(r, AccessResult::ColdMiss);
-        assert!(ins.is_some());
-        let (r, ins) = c.access_or_insert(sb(9), 80).unwrap();
+        assert!(report.is_some());
+        let (r, report) = c.access_or_insert(sb(9), 80).unwrap();
         assert_eq!(r, AccessResult::Hit);
-        assert!(ins.is_none());
+        assert!(report.is_none());
     }
 
     #[test]
     fn manual_flush_reports_and_empties() {
         let mut c = CodeCache::with_granularity(Granularity::units(2), 200).unwrap();
-        assert!(c.flush().is_none());
-        c.insert(sb(1), 50).unwrap();
-        c.insert(sb(2), 50).unwrap();
-        let ev = c.flush().unwrap();
-        assert_eq!(ev.evicted.len(), 2);
+        assert!(c.flush(&mut NullSink).is_none());
+        ins(&mut c, sb(1), 50);
+        ins(&mut c, sb(2), 50);
+        let reports = c.flush_report();
+        assert_eq!(reports.len(), 1, "bare cache flushes in one invocation");
+        assert_eq!(reports[0].evicted.len(), 2);
         assert_eq!(c.resident_count(), 0);
         assert_eq!(c.used(), 0);
         assert_eq!(c.stats().eviction_invocations, 1);
@@ -727,9 +807,9 @@ mod tests {
     #[test]
     fn high_water_marks_track_peaks() {
         let mut c = CodeCache::with_granularity(Granularity::Superblock, 100).unwrap();
-        c.insert(sb(1), 60).unwrap();
-        c.insert(sb(2), 40).unwrap();
-        c.insert(sb(3), 90).unwrap(); // evicts both
+        ins(&mut c, sb(1), 60);
+        ins(&mut c, sb(2), 40);
+        ins(&mut c, sb(3), 90); // evicts both
         let s = c.stats();
         assert_eq!(s.high_water_bytes, 100);
         assert_eq!(s.high_water_blocks, 2);
@@ -740,14 +820,16 @@ mod tests {
         let mut c = CodeCache::with_granularity(Granularity::units(4), 400).unwrap();
         for i in 0..50 {
             let size = 30 + (i % 5) as u32 * 10;
-            let _ = c.access_or_insert(sb(i), size).unwrap();
+            c.access_or_insert_quiet(InsertRequest::new(sb(i), size))
+                .unwrap();
         }
         let s = c.stats();
         assert_eq!(s.bytes_inserted, s.bytes_evicted + c.used());
     }
 
     #[test]
-    fn insert_evented_summary_matches_legacy_report() {
+    #[allow(deprecated)]
+    fn deprecated_insert_shims_match_the_core() {
         let mut legacy = CodeCache::with_granularity(Granularity::units(4), 400).unwrap();
         let mut evented = CodeCache::with_granularity(Granularity::units(4), 400).unwrap();
         for i in 0..60u64 {
@@ -783,9 +865,9 @@ mod tests {
             sink.lock().unwrap().push(ev);
         }));
         c.access(sb(1));
-        c.insert(sb(1), 60).unwrap();
+        ins(&mut c, sb(1), 60);
         c.access(sb(1));
-        c.insert(sb(2), 60).unwrap(); // evicts sb1
+        ins(&mut c, sb(2), 60); // evicts sb1
         let log = events.lock().unwrap();
         assert_eq!(
             log.as_slice(),
@@ -821,15 +903,15 @@ mod tests {
         use std::sync::{Arc, Mutex};
         let events: Arc<Mutex<Vec<CacheEvent>>> = Arc::default();
         let mut c = CodeCache::with_granularity(Granularity::Superblock, 100).unwrap();
-        c.insert(sb(1), 40).unwrap();
-        c.insert(sb(2), 40).unwrap();
+        ins(&mut c, sb(1), 40);
+        ins(&mut c, sb(2), 40);
         c.link(sb(2), sb(1)).unwrap(); // survivor → victim
         c.link(sb(1), sb(1)).unwrap(); // self link, dropped free
         let sink = Arc::clone(&events);
         c.set_observer(Box::new(move |ev: CacheEvent| {
             sink.lock().unwrap().push(ev);
         }));
-        c.insert(sb(3), 30).unwrap(); // evicts sb1
+        ins(&mut c, sb(3), 30); // evicts sb1
         let log = events.lock().unwrap();
         assert_eq!(
             log.as_slice(),

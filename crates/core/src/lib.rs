@@ -21,21 +21,25 @@
 //!
 //! The central type is [`CodeCache`], which combines a cache organization
 //! ([`org::CacheOrg`] implementation — the eviction policy) with the link
-//! graph and full statistics ([`stats::CacheStats`]).
+//! graph and full statistics ([`stats::CacheStats`]). Serving goes through
+//! the narrow [`CacheSession`] trait — one evented
+//! `access_or_insert(req, sink)` core plus thin wrappers — implemented by
+//! both `CodeCache` and the sharded multi-cache [`shard::ShardedCache`].
 //!
 //! # Quick start
 //!
 //! ```
-//! use cce_core::{CodeCache, Granularity, SuperblockId};
+//! use cce_core::{CacheSession, CodeCache, Granularity, InsertRequest, SuperblockId};
 //!
 //! // 1 KiB cache split into 4 FIFO units (a medium granularity).
 //! let mut cache = CodeCache::with_granularity(Granularity::units(4), 1024)?;
 //!
 //! let a = SuperblockId(1);
 //! let b = SuperblockId(2);
-//! assert!(cache.access(a).is_miss());
-//! cache.insert(a, 200)?;
-//! cache.insert(b, 120)?;
+//! assert!(cache
+//!     .access_or_insert_quiet(InsertRequest::new(a, 200))?
+//!     .is_miss());
+//! cache.access_or_insert_quiet(InsertRequest::new(b, 120))?;
 //! cache.link(a, b)?; // DBT patched a's exit to jump straight to b
 //! assert!(cache.access(a).is_hit());
 //! assert_eq!(cache.stats().links_created, 1);
@@ -50,6 +54,8 @@ pub mod events;
 pub mod ids;
 pub mod links;
 pub mod org;
+pub mod session;
+pub mod shard;
 pub mod stats;
 pub mod testutil;
 pub mod visualize;
@@ -69,4 +75,6 @@ pub use org::lru::LruCache;
 pub use org::preemptive::PreemptiveFlush;
 pub use org::unit_fifo::UnitFifo;
 pub use org::{CacheOrg, RawEviction, RawInsert};
+pub use session::{AccessOutcome, CacheSession, InsertRequest};
+pub use shard::ShardedCache;
 pub use stats::CacheStats;

@@ -1,0 +1,340 @@
+//! The narrow serving surface: [`CacheSession`].
+//!
+//! `CodeCache` historically grew five overlapping insert entry points
+//! (`insert`, `insert_hinted`, `insert_evented`, `insert_with_events`,
+//! `access_or_insert`) plus parallel `flush`/`flush_with_events`. A
+//! sharding layer cannot sanely wrap all of them, so the surface is
+//! collapsed to **one evented core per verb**:
+//!
+//! * [`CacheSession::access_or_insert`] — look up, and on a miss insert
+//!   the block described by an [`InsertRequest`], streaming the settled
+//!   events into the caller's sink;
+//! * [`CacheSession::flush`] — evict everything, streaming likewise.
+//!
+//! Thin convenience wrappers ([`CacheSession::access_or_insert_quiet`],
+//! [`CacheSession::flush_report`]) are provided methods, so both
+//! [`CodeCache`] and [`crate::shard::ShardedCache`] expose them for
+//! free. `cce_sim::simulator` and `cce_dbt::engine` drive either cache
+//! through this trait; the legacy `CodeCache` quintet survives as
+//! `#[deprecated]` shims over [`CodeCache::insert_request`].
+
+use crate::cache::{AccessResult, CodeCache, EvictionReport, InsertReport, InsertSummary};
+use crate::error::CacheError;
+use crate::events::{EventBuffer, EventSink, NullSink};
+use crate::ids::{Granularity, SuperblockId};
+use crate::stats::CacheStats;
+use std::fmt;
+
+/// One insertion, described declaratively: the block, its size, and an
+/// optional placement hint (the resident chain source that triggered the
+/// regeneration — placement-aware organizations co-locate the two).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InsertRequest {
+    /// The superblock to insert.
+    pub id: SuperblockId,
+    /// Its size in bytes.
+    pub size: u32,
+    /// Optional placement hint: a resident partner about to be linked.
+    pub hint: Option<SuperblockId>,
+}
+
+impl InsertRequest {
+    /// A request with no placement hint.
+    #[must_use]
+    pub fn new(id: SuperblockId, size: u32) -> InsertRequest {
+        InsertRequest {
+            id,
+            size,
+            hint: None,
+        }
+    }
+
+    /// Sets the placement hint.
+    #[must_use]
+    pub fn hinted(mut self, partner: SuperblockId) -> InsertRequest {
+        self.hint = Some(partner);
+        self
+    }
+
+    /// Sets (or clears) the placement hint from an `Option`.
+    #[must_use]
+    pub fn with_hint(mut self, hint: Option<SuperblockId>) -> InsertRequest {
+        self.hint = hint;
+        self
+    }
+}
+
+/// Result of [`CacheSession::access_or_insert`]: the lookup outcome plus
+/// the insertion digest when the miss was filled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessOutcome {
+    /// The lookup outcome (hit, cold miss, capacity miss).
+    pub access: AccessResult,
+    /// The insertion summary — `Some` exactly when the access missed.
+    pub inserted: Option<InsertSummary>,
+}
+
+impl AccessOutcome {
+    /// True if the lookup hit (no insertion happened).
+    #[must_use]
+    pub fn is_hit(&self) -> bool {
+        self.access.is_hit()
+    }
+
+    /// True if the lookup missed (and the block was inserted).
+    #[must_use]
+    pub fn is_miss(&self) -> bool {
+        self.access.is_miss()
+    }
+}
+
+/// A serving handle over one code cache — bare or sharded.
+///
+/// The trait is deliberately narrow: one evented insert core, one
+/// evented flush core, chaining, and read-only inspection. Everything
+/// else (owned reports, quiet variants) is a provided wrapper.
+///
+/// # Error contract
+///
+/// [`CacheSession::access_or_insert`] records the access *before*
+/// attempting any insertion, so on `Err` the miss has already been
+/// counted and the cache is unchanged otherwise. Callers that tolerate
+/// uncacheable blocks (e.g. oversized superblocks) match on
+/// [`CacheError::BlockTooLarge`] and carry on.
+pub trait CacheSession: fmt::Debug + Send {
+    /// Looks up `id`, recording hit/miss statistics. Does **not** insert.
+    fn access(&mut self, id: SuperblockId) -> AccessResult;
+
+    /// Looks up `req.id`; on a miss, inserts the block (evicting as
+    /// required), streaming the settled events into `sink`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the organization's validation errors
+    /// ([`CacheError::ZeroSize`], [`CacheError::BlockTooLarge`]). The
+    /// access is recorded either way; see the trait-level error contract.
+    fn access_or_insert(
+        &mut self,
+        req: InsertRequest,
+        sink: &mut dyn EventSink,
+    ) -> Result<AccessOutcome, CacheError>;
+
+    /// Chains `from → to`. Returns `true` if the link is new.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError::NotResident`] if either endpoint is not
+    /// currently cached.
+    fn link(&mut self, from: SuperblockId, to: SuperblockId) -> Result<bool, CacheError>;
+
+    /// Flushes everything, streaming the settled eviction(s) into `sink`.
+    /// Returns the combined summary, or `None` if the cache was empty.
+    fn flush(&mut self, sink: &mut dyn EventSink) -> Option<InsertSummary>;
+
+    /// True if `id` is resident.
+    fn is_resident(&self, id: SuperblockId) -> bool;
+
+    /// True if the link `from → to` is currently recorded.
+    fn contains_link(&self, from: SuperblockId, to: SuperblockId) -> bool;
+
+    /// Total capacity in bytes (summed across shards when sharded).
+    fn capacity(&self) -> u64;
+
+    /// Occupied bytes.
+    fn used(&self) -> u64;
+
+    /// Resident superblock count.
+    fn resident_count(&self) -> usize;
+
+    /// The eviction granularity in force.
+    fn granularity(&self) -> Granularity;
+
+    /// An owned snapshot of the accumulated statistics (aggregated
+    /// across shards when sharded).
+    fn stats_snapshot(&self) -> CacheStats;
+
+    /// Census of the live link population: `(intra_unit, inter_unit)`.
+    /// Cross-shard links count as inter-unit.
+    fn link_census(&self) -> (u64, u64);
+
+    /// [`CacheSession::access_or_insert`] with the events discarded.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CacheSession::access_or_insert`].
+    fn access_or_insert_quiet(&mut self, req: InsertRequest) -> Result<AccessOutcome, CacheError> {
+        self.access_or_insert(req, &mut NullSink)
+    }
+
+    /// Owned-report flush: materializes each eviction invocation (one per
+    /// nonempty shard) into an [`EvictionReport`]. Allocates; prefer
+    /// [`CacheSession::flush`] on hot paths.
+    fn flush_report(&mut self) -> Vec<EvictionReport> {
+        let mut buf = EventBuffer::new();
+        if self.flush(&mut buf).is_none() {
+            return Vec::new();
+        }
+        InsertReport::from_events(buf.events()).evictions
+    }
+}
+
+impl CacheSession for CodeCache {
+    fn access(&mut self, id: SuperblockId) -> AccessResult {
+        CodeCache::access(self, id)
+    }
+
+    fn access_or_insert(
+        &mut self,
+        req: InsertRequest,
+        sink: &mut dyn EventSink,
+    ) -> Result<AccessOutcome, CacheError> {
+        let access = CodeCache::access(self, req.id);
+        if access.is_hit() {
+            return Ok(AccessOutcome {
+                access,
+                inserted: None,
+            });
+        }
+        let summary = self.insert_request(req, sink)?;
+        Ok(AccessOutcome {
+            access,
+            inserted: Some(summary),
+        })
+    }
+
+    fn link(&mut self, from: SuperblockId, to: SuperblockId) -> Result<bool, CacheError> {
+        CodeCache::link(self, from, to)
+    }
+
+    fn flush(&mut self, sink: &mut dyn EventSink) -> Option<InsertSummary> {
+        CodeCache::flush(self, sink)
+    }
+
+    fn is_resident(&self, id: SuperblockId) -> bool {
+        CodeCache::is_resident(self, id)
+    }
+
+    fn contains_link(&self, from: SuperblockId, to: SuperblockId) -> bool {
+        self.link_graph().contains_link(from, to)
+    }
+
+    fn capacity(&self) -> u64 {
+        CodeCache::capacity(self)
+    }
+
+    fn used(&self) -> u64 {
+        CodeCache::used(self)
+    }
+
+    fn resident_count(&self) -> usize {
+        CodeCache::resident_count(self)
+    }
+
+    fn granularity(&self) -> Granularity {
+        CodeCache::granularity(self)
+    }
+
+    fn stats_snapshot(&self) -> CacheStats {
+        *self.stats()
+    }
+
+    fn link_census(&self) -> (u64, u64) {
+        CodeCache::link_census(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::CacheEvent;
+
+    fn sb(n: u64) -> SuperblockId {
+        SuperblockId(n)
+    }
+
+    /// Generic driver: exercises a session through the trait only, the
+    /// way `cce-sim` and `cce-dbt` do.
+    fn churn<S: CacheSession>(session: &mut S, steps: u64) {
+        for i in 0..steps {
+            let id = sb(i % 17);
+            let out = session
+                .access_or_insert_quiet(InsertRequest::new(id, 40 + (i % 5) as u32 * 16))
+                .expect("insert in-range blocks");
+            assert_eq!(out.is_hit(), out.inserted.is_none());
+            let to = sb((i + 3) % 17);
+            if session.is_resident(id) && session.is_resident(to) {
+                session.link(id, to).expect("both resident");
+            }
+        }
+    }
+
+    #[test]
+    fn code_cache_implements_the_session_trait() {
+        let mut c = CodeCache::with_granularity(Granularity::units(4), 512).unwrap();
+        churn(&mut c, 200);
+        let s = c.stats_snapshot();
+        assert_eq!(s.accesses, 200);
+        assert_eq!(s.accesses, s.hits + s.misses);
+        assert!(CacheSession::used(&c) <= CacheSession::capacity(&c));
+        let reports = c.flush_report();
+        assert_eq!(reports.len(), 1, "bare cache flushes in one invocation");
+        assert_eq!(CacheSession::resident_count(&c), 0);
+        assert!(c.flush_report().is_empty(), "empty cache flushes nothing");
+    }
+
+    #[test]
+    fn request_builder_sets_and_clears_hints() {
+        let req = InsertRequest::new(sb(1), 64);
+        assert_eq!(req.hint, None);
+        assert_eq!(req.hinted(sb(2)).hint, Some(sb(2)));
+        assert_eq!(req.with_hint(Some(sb(3))).hint, Some(sb(3)));
+        assert_eq!(req.hinted(sb(2)).with_hint(None).hint, None);
+    }
+
+    #[test]
+    fn access_outcome_mirrors_the_access_result() {
+        let mut c = CodeCache::with_granularity(Granularity::Superblock, 256).unwrap();
+        let out = c
+            .access_or_insert_quiet(InsertRequest::new(sb(1), 64))
+            .unwrap();
+        assert!(out.is_miss() && !out.is_hit());
+        assert_eq!(out.access, AccessResult::ColdMiss);
+        let out = c
+            .access_or_insert_quiet(InsertRequest::new(sb(1), 64))
+            .unwrap();
+        assert!(out.is_hit());
+        assert!(out.inserted.is_none());
+    }
+
+    #[test]
+    fn errors_still_record_the_miss() {
+        let mut c = CodeCache::with_granularity(Granularity::Superblock, 100).unwrap();
+        let err = c
+            .access_or_insert_quiet(InsertRequest::new(sb(1), 4000))
+            .unwrap_err();
+        assert!(matches!(err, CacheError::BlockTooLarge { .. }));
+        let s = c.stats_snapshot();
+        assert_eq!((s.accesses, s.misses, s.insertions), (1, 1, 0));
+    }
+
+    #[test]
+    fn evented_core_streams_the_settled_stream() {
+        let mut c = CodeCache::with_granularity(Granularity::Superblock, 100).unwrap();
+        let mut buf = EventBuffer::new();
+        // UFCS: the deprecated inherent `access_or_insert(id, size)` shim
+        // shadows the trait method on a concrete `CodeCache` receiver.
+        CacheSession::access_or_insert(&mut c, InsertRequest::new(sb(1), 60), &mut buf).unwrap();
+        CacheSession::access_or_insert(&mut c, InsertRequest::new(sb(2), 60), &mut buf).unwrap();
+        let evs = buf.events();
+        assert_eq!(
+            evs.first(),
+            Some(&CacheEvent::Inserted {
+                id: sb(1),
+                size: 60
+            })
+        );
+        assert!(evs
+            .iter()
+            .any(|e| matches!(e, CacheEvent::Evicted { id, .. } if *id == sb(1))));
+    }
+}

@@ -26,6 +26,7 @@ use crate::error::CacheError;
 use crate::events::{CacheEvent, EventBuffer};
 use crate::ids::SuperblockId;
 use crate::org::CacheOrg;
+use crate::session::{CacheSession, InsertRequest};
 
 /// Checks the event grammar of one insertion's stream and returns the
 /// total bytes reported evicted.
@@ -187,4 +188,91 @@ pub fn conformance(mut org: Box<dyn CacheOrg>) {
     assert_eq!(org.used(), 0);
     assert_eq!(org.resident_count(), 0);
     assert!(org.flush_all().is_none());
+}
+
+/// Drives two [`CacheSession`]s through the same deterministic churn
+/// workload (hinted inserts, chaining, re-accesses, a final flush) and
+/// asserts they are **event-stream byte-identical** at every step, with
+/// matching statistics and link censuses afterwards.
+///
+/// This is the redesign's safety net: a `ShardedCache` with one shard
+/// must be indistinguishable from the bare [`crate::CodeCache`] it wraps,
+/// for every organization.
+///
+/// # Panics
+///
+/// Panics (with the step number and both streams) on the first
+/// divergence.
+pub fn assert_sessions_equivalent<A: CacheSession, B: CacheSession>(
+    a: &mut A,
+    b: &mut B,
+    steps: u64,
+) {
+    assert_eq!(a.capacity(), b.capacity(), "capacities must match");
+    let mut buf_a = EventBuffer::new();
+    let mut buf_b = EventBuffer::new();
+    // xorshift64: deterministic, no external deps.
+    let mut rng = 0x9e37_79b9_7f4a_7c15u64;
+    let mut step = || {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        rng
+    };
+    let mut last: Option<SuperblockId> = None;
+    for i in 0..steps {
+        let r = step();
+        let id = SuperblockId(r % 37);
+        let size = 32 + (r >> 8) % 97;
+        let hint = last.filter(|_| r & 0x10 != 0);
+        let req = InsertRequest::new(id, size as u32).with_hint(hint);
+        buf_a.clear();
+        buf_b.clear();
+        let out_a = a.access_or_insert(req, &mut buf_a);
+        let out_b = b.access_or_insert(req, &mut buf_b);
+        assert_eq!(out_a, out_b, "step {i}: outcomes diverged for {id}");
+        assert_eq!(
+            buf_a.events(),
+            buf_b.events(),
+            "step {i}: event streams diverged for {id}"
+        );
+        if out_a.is_ok() {
+            if let Some(from) = last {
+                let can = a.is_resident(from) && a.is_resident(id) && from != id;
+                assert_eq!(
+                    can,
+                    b.is_resident(from) && b.is_resident(id) && from != id,
+                    "step {i}: residency diverged"
+                );
+                if can {
+                    assert_eq!(
+                        a.link(from, id),
+                        b.link(from, id),
+                        "step {i}: link diverged"
+                    );
+                }
+            }
+            last = Some(id);
+        }
+        assert_eq!(a.used(), b.used(), "step {i}: usage diverged");
+        assert_eq!(
+            a.resident_count(),
+            b.resident_count(),
+            "step {i}: population diverged"
+        );
+    }
+    buf_a.clear();
+    buf_b.clear();
+    assert_eq!(
+        a.flush(&mut buf_a),
+        b.flush(&mut buf_b),
+        "flush summaries diverged"
+    );
+    assert_eq!(buf_a.events(), buf_b.events(), "flush streams diverged");
+    assert_eq!(
+        a.stats_snapshot(),
+        b.stats_snapshot(),
+        "statistics diverged"
+    );
+    assert_eq!(a.link_census(), b.link_census(), "link censuses diverged");
 }

@@ -119,13 +119,20 @@ pub fn link_graph_dot(cache: &CodeCache) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::events::NullSink;
     use crate::ids::{Granularity, SuperblockId};
+    use crate::session::InsertRequest;
+
+    fn ins(c: &mut CodeCache, id: u64, size: u32) {
+        c.insert_request(InsertRequest::new(SuperblockId(id), size), &mut NullSink)
+            .unwrap();
+    }
 
     fn sample_cache() -> CodeCache {
         let mut c = CodeCache::with_granularity(Granularity::units(2), 200).unwrap();
-        c.insert(SuperblockId(1), 60).unwrap();
-        c.insert(SuperblockId(2), 30).unwrap();
-        c.insert(SuperblockId(3), 80).unwrap(); // lands in unit 1
+        ins(&mut c, 1, 60);
+        ins(&mut c, 2, 30);
+        ins(&mut c, 3, 80); // lands in unit 1
         c.link(SuperblockId(1), SuperblockId(2)).unwrap(); // intra
         c.link(SuperblockId(1), SuperblockId(3)).unwrap(); // inter
         c
@@ -144,7 +151,7 @@ mod tests {
     fn occupancy_chart_collapses_per_superblock_orgs() {
         let mut c = CodeCache::with_granularity(Granularity::Superblock, 10_000).unwrap();
         for i in 0..40 {
-            c.insert(SuperblockId(i), 100).unwrap();
+            ins(&mut c, i, 100);
         }
         let chart = occupancy_chart(&c);
         assert!(chart.contains("per-superblock units"));
@@ -174,7 +181,7 @@ mod tests {
     #[test]
     fn self_links_are_never_inter_unit_in_dot() {
         let mut c = CodeCache::with_granularity(Granularity::Superblock, 100).unwrap();
-        c.insert(SuperblockId(7), 50).unwrap();
+        ins(&mut c, 7, 50);
         c.link(SuperblockId(7), SuperblockId(7)).unwrap();
         let dot = link_graph_dot(&c);
         assert!(dot.contains("\"sb7\" -> \"sb7\";"));

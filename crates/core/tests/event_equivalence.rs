@@ -6,6 +6,11 @@
 //! one via [`CodeCache::insert_with_events`] (streamed into a reusable
 //! buffer) — and the eviction sequences, byte totals and final
 //! [`cce_core::CacheStats`] must match exactly.
+//!
+//! Both entry points are now `#[deprecated]` shims over
+//! [`CodeCache::insert_request`]; this suite is their byte-identical
+//! equivalence guarantee, so it calls them on purpose.
+#![allow(deprecated)]
 
 use cce_core::{
     AdaptiveUnits, AffinityUnits, CacheEvent, CacheOrg, CodeCache, EventBuffer, FineFifo,

@@ -6,7 +6,7 @@
 //! that the paper's overhead models depend on (if these break, every
 //! figure downstream is garbage).
 
-use cce_core::{CodeCache, Granularity, SuperblockId};
+use cce_core::{CodeCache, Granularity, InsertRequest, NullSink, SuperblockId};
 use cce_util::{Rng, StdRng};
 
 /// A randomly generated workload step.
@@ -54,7 +54,7 @@ fn run_workload(g: Granularity, capacity: u64, ops: &[Op]) -> CodeCache {
                 let id = SuperblockId(id);
                 let r = cache.access(id);
                 if r.is_miss() {
-                    match cache.insert(id, size) {
+                    match cache.insert_request(InsertRequest::new(id, size), &mut NullSink) {
                         Ok(_) => {}
                         Err(cce_core::CacheError::BlockTooLarge { .. }) => continue,
                         Err(e) => panic!("unexpected insert failure: {e}"),
@@ -210,7 +210,12 @@ fn lru_org_upholds_identities_too() {
         let id = SuperblockId(i % 37);
         let size = 20 + (i % 7) as u32 * 13;
         if cache.access(id).is_miss() {
-            cache.insert(id, size).unwrap();
+            cache
+                .insert_request(
+                    cce_core::InsertRequest::new(id, size),
+                    &mut cce_core::NullSink,
+                )
+                .unwrap();
         }
         if i.is_multiple_of(3) {
             let to = SuperblockId((i + 5) % 37);
@@ -234,8 +239,8 @@ mod extension_orgs {
     //! adaptive) with randomized workloads and hinted insertions.
 
     use cce_core::{
-        AdaptiveUnits, AffinityUnits, CacheOrg, CodeCache, Generational, PreemptiveFlush,
-        SuperblockId,
+        AdaptiveUnits, AffinityUnits, CacheOrg, CodeCache, Generational, InsertRequest, NullSink,
+        PreemptiveFlush, SuperblockId,
     };
     use cce_util::{Rng, StdRng};
 
@@ -290,7 +295,8 @@ mod extension_orgs {
                         let id = SuperblockId(id);
                         if cache.access(id).is_miss() {
                             let hint = partner.map(SuperblockId).filter(|p| cache.is_resident(*p));
-                            match cache.insert_hinted(id, size, hint) {
+                            let req = InsertRequest::new(id, size).with_hint(hint);
+                            match cache.insert_request(req, &mut NullSink) {
                                 Ok(_) => assert!(cache.is_resident(id)),
                                 Err(cce_core::CacheError::BlockTooLarge { .. }) => {}
                                 Err(e) => panic!("unexpected insert failure: {e}"),
@@ -339,7 +345,7 @@ mod extension_orgs {
             for _ in 0..count {
                 let id = SuperblockId(rng.gen_range(0..32u64));
                 if cache.access(id).is_miss() {
-                    let _ = cache.insert(id, 64);
+                    let _ = cache.insert_request(InsertRequest::new(id, 64), &mut NullSink);
                 }
                 if cache.is_resident(id) {
                     cache.link(id, id).expect("self link on resident block");

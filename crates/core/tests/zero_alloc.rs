@@ -2,11 +2,12 @@
 //!
 //! A counting global allocator (own test binary, so other tests are not
 //! affected) verifies that once the cache's scratch structures are warm,
-//! [`cce_core::CodeCache::insert_evented`] performs **zero** heap
+//! [`cce_core::CodeCache::insert_request`] performs **zero** heap
 //! allocations per insertion — the tentpole guarantee of the event
-//! pipeline.
+//! pipeline. [`cce_core::InsertRequest`] is `Copy`, so the redesigned
+//! entry point inherits the guarantee.
 
-use cce_core::{CodeCache, Granularity, SuperblockId};
+use cce_core::{CodeCache, Granularity, InsertRequest, NullSink, SuperblockId};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -49,7 +50,9 @@ fn measure(g: Granularity) -> u64 {
         let id = SuperblockId(i % 96);
         let size = 64 + (i % 7) as u32 * 32;
         if cache.access(id).is_miss() {
-            cache.insert_evented(id, size, None).unwrap();
+            cache
+                .insert_request(InsertRequest::new(id, size), &mut NullSink)
+                .unwrap();
         }
         if i.is_multiple_of(3) {
             let to = SuperblockId((i + 5) % 96);
@@ -94,19 +97,23 @@ fn insert_without_links_is_exactly_allocation_free() {
     for i in 0..2000u64 {
         let id = SuperblockId(i % 64);
         if cache.access(id).is_miss() {
-            cache.insert_evented(id, 128, None).unwrap();
+            cache
+                .insert_request(InsertRequest::new(id, 128), &mut NullSink)
+                .unwrap();
         }
     }
     let before = allocations();
     for i in 2000..4000u64 {
         let id = SuperblockId(i % 64);
         if cache.access(id).is_miss() {
-            cache.insert_evented(id, 128, None).unwrap();
+            cache
+                .insert_request(InsertRequest::new(id, 128), &mut NullSink)
+                .unwrap();
         }
     }
     assert_eq!(
         allocations() - before,
         0,
-        "steady-state insert_evented must not touch the heap"
+        "steady-state insert_request must not touch the heap"
     );
 }

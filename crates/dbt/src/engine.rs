@@ -20,7 +20,10 @@ use crate::superblock::{count_exits, guest_bytes, Superblock};
 use crate::trace_log::{SuperblockInfo, TraceLog};
 use crate::translate::TranslationConfig;
 use crate::DbtError;
-use cce_core::{CacheError, CacheStats, CodeCache, Granularity, SuperblockId};
+use cce_core::{
+    CacheError, CacheSession, CacheStats, CodeCache, Granularity, InsertRequest, NullSink,
+    ShardedCache, SuperblockId,
+};
 use cce_tinyvm::interp::{ExecObserver, Interp, StopReason};
 use cce_tinyvm::program::{BasicBlock, Pc, Program};
 use std::collections::HashMap;
@@ -100,12 +103,16 @@ struct ActivePath {
 
 /// The dynamic binary translator. See the module docs and
 /// [crate-level example](crate).
+///
+/// Generic over the serving surface: the default `S = CodeCache` is the
+/// single-cache engine; [`Engine::sharded`] runs the same control loop
+/// over a [`ShardedCache`] through the identical [`CacheSession`] trait.
 #[derive(Debug)]
-pub struct Engine<'p> {
+pub struct Engine<'p, S: CacheSession = CodeCache> {
     program: &'p Program,
     config: EngineConfig,
     profiler: Profiler,
-    cache: CodeCache,
+    cache: S,
     /// Head PC → superblock id, for every superblock ever formed.
     heads: HashMap<Pc, SuperblockId>,
     /// Superblock registry, indexed by `SuperblockId::0`.
@@ -121,18 +128,56 @@ pub struct Engine<'p> {
 }
 
 impl<'p> Engine<'p> {
-    /// Creates an engine for `program`.
+    /// Creates an engine for `program` over a single [`CodeCache`].
     ///
     /// # Errors
     ///
     /// Returns [`DbtError::Cache`] if the cache geometry is invalid, or
     /// [`DbtError::InvalidConfig`] for a zero hot threshold.
     pub fn new(program: &'p Program, config: EngineConfig) -> Result<Engine<'p>, DbtError> {
+        let capacity = config.cache_capacity.unwrap_or(UNBOUNDED_CAPACITY);
+        let cache = CodeCache::with_granularity(config.granularity, capacity)?;
+        Engine::with_session(program, config, cache)
+    }
+}
+
+impl<'p> Engine<'p, ShardedCache> {
+    /// Creates an engine serving its superblocks from a
+    /// [`ShardedCache`]: the configured capacity is split over
+    /// `shard_count` consistent-hashed shards of the configured
+    /// granularity.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Engine::new`].
+    pub fn sharded(
+        program: &'p Program,
+        config: EngineConfig,
+        shard_count: u32,
+    ) -> Result<Engine<'p, ShardedCache>, DbtError> {
+        let capacity = config.cache_capacity.unwrap_or(UNBOUNDED_CAPACITY);
+        let cache = ShardedCache::with_granularity(config.granularity, capacity, shard_count)?;
+        Engine::with_session(program, config, cache)
+    }
+}
+
+impl<'p, S: CacheSession> Engine<'p, S> {
+    /// Creates an engine over an arbitrary pre-built serving session
+    /// (`config.granularity` / `config.cache_capacity` are ignored — the
+    /// session brings its own geometry).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbtError::Cache`] if the basic-block cache geometry is
+    /// invalid, or [`DbtError::InvalidConfig`] for a zero hot threshold.
+    pub fn with_session(
+        program: &'p Program,
+        config: EngineConfig,
+        session: S,
+    ) -> Result<Engine<'p, S>, DbtError> {
         if config.hot_threshold == 0 {
             return Err(DbtError::InvalidConfig("hot_threshold must be nonzero"));
         }
-        let capacity = config.cache_capacity.unwrap_or(UNBOUNDED_CAPACITY);
-        let cache = CodeCache::with_granularity(config.granularity, capacity)?;
         // The basic-block cache evicts per block (a circular buffer), as
         // in DynamoRIO.
         let bb_cache = match config.bb_cache_capacity {
@@ -143,7 +188,7 @@ impl<'p> Engine<'p> {
         Ok(Engine {
             program,
             profiler: Profiler::new(config.hot_threshold),
-            cache,
+            cache: session,
             heads: HashMap::new(),
             registry: Vec::new(),
             trace,
@@ -174,16 +219,16 @@ impl<'p> Engine<'p> {
             guest_instructions: interp.instructions_retired(),
             superblocks_formed: self.registry.len() as u64,
             regenerations: self.regenerations,
-            cache_stats: *self.cache.stats(),
+            cache_stats: self.cache.stats_snapshot(),
             dispatch: self.dispatch,
             max_cache_bytes: self.trace.max_cache_bytes(),
             bb_cache_stats: self.bb_cache.as_ref().map(|c| *c.stats()),
         }
     }
 
-    /// The code cache (inspect stats, residency, links).
+    /// The serving session (inspect stats, residency, links).
     #[must_use]
-    pub fn cache(&self) -> &CodeCache {
+    pub fn cache(&self) -> &S {
         &self.cache
     }
 
@@ -232,12 +277,18 @@ impl<'p> Engine<'p> {
         });
         self.registry.push(sb);
         // Initial insertion: the cold miss that creates the cache entry.
-        let _ = self.cache.access(id);
+        // Eviction consequences (stub unpatching work) arrive pre-settled
+        // in the summary, through the allocation-free event path.
         self.dispatch.translations += 1;
-        // The allocation-free event path: eviction consequences (stub
-        // unpatching work) arrive pre-settled in the summary.
-        match self.cache.insert_evented(id, translated, None) {
-            Ok(summary) => self.dispatch.stub_unpatches += summary.links_unlinked,
+        match self
+            .cache
+            .access_or_insert_quiet(InsertRequest::new(id, translated))
+        {
+            Ok(outcome) => {
+                if let Some(summary) = outcome.inserted {
+                    self.dispatch.stub_unpatches += summary.links_unlinked;
+                }
+            }
             Err(CacheError::BlockTooLarge { .. }) => {}
             Err(e) => unreachable!("insertion of a fresh superblock failed: {e}"),
         }
@@ -248,22 +299,33 @@ impl<'p> Engine<'p> {
     /// Handles control entering the head of formed superblock `id`.
     fn enter_superblock(&mut self, id: SuperblockId, from: Option<SuperblockId>) {
         // Did this entry ride an existing patched link?
-        let rode_link = self.config.chaining
-            && from.is_some_and(|s| self.cache.link_graph().contains_link(s, id));
-        let result = self.cache.access(id);
-        if result.is_miss() {
-            // Regenerate the evicted superblock (steps 1–5 of §3.2).
-            let size = self.registry[id.0 as usize].translated_bytes;
-            self.regenerations += 1;
-            self.dispatch.translations += 1;
-            match self.cache.insert_evented(id, size, None) {
-                Ok(summary) => self.dispatch.stub_unpatches += summary.links_unlinked,
-                Err(CacheError::BlockTooLarge { .. }) => {}
-                Err(e) => unreachable!("regeneration insert failed: {e}"),
+        let rode_link =
+            self.config.chaining && from.is_some_and(|s| self.cache.contains_link(s, id));
+        let size = self.registry[id.0 as usize].translated_bytes;
+        let hit = match self
+            .cache
+            .access_or_insert_quiet(InsertRequest::new(id, size))
+        {
+            Ok(outcome) => {
+                if let Some(summary) = outcome.inserted {
+                    // Regenerated the evicted superblock (steps 1–5 of
+                    // §3.2).
+                    self.regenerations += 1;
+                    self.dispatch.translations += 1;
+                    self.dispatch.stub_unpatches += summary.links_unlinked;
+                }
+                outcome.is_hit()
             }
-        }
+            Err(CacheError::BlockTooLarge { .. }) => {
+                // The miss was recorded; the block stays uncached.
+                self.regenerations += 1;
+                self.dispatch.translations += 1;
+                false
+            }
+            Err(e) => unreachable!("regeneration insert failed: {e}"),
+        };
         self.trace.record_access(id, from);
-        if rode_link && result.is_hit() {
+        if rode_link && hit {
             self.dispatch.linked_entries += 1;
         } else {
             self.dispatch.dispatched_entries += 1;
@@ -281,7 +343,7 @@ impl<'p> Engine<'p> {
     }
 }
 
-impl ExecObserver for Engine<'_> {
+impl<S: CacheSession> ExecObserver for Engine<'_, S> {
     fn on_block_enter(&mut self, pc: Pc, block: &BasicBlock) {
         let bid = block.id;
 
@@ -342,7 +404,7 @@ impl ExecObserver for Engine<'_> {
                 } else {
                     self.dispatch.interpreted_blocks += 1;
                     let size = self.config.translation.translated_size(block.byte_len(), 1);
-                    match bb.insert_evented(bb_id, size, None) {
+                    match bb.insert_request(InsertRequest::new(bb_id, size), &mut NullSink) {
                         Ok(_) | Err(CacheError::BlockTooLarge { .. }) => {}
                         Err(e) => unreachable!("bb-cache insert failed: {e}"),
                     }
@@ -546,6 +608,65 @@ mod tests {
             })
             .count();
         assert!(direct > 0, "loop iterations are direct transitions");
+    }
+}
+
+#[cfg(test)]
+mod sharded_engine_tests {
+    use super::*;
+    use cce_tinyvm::gen::{generate, GenConfig};
+
+    #[test]
+    fn one_shard_engine_matches_the_bare_engine() {
+        let p = generate(&GenConfig::small(17));
+        let cfg = EngineConfig {
+            hot_threshold: 2,
+            cache_capacity: Some(8192),
+            granularity: Granularity::units(4),
+            ..EngineConfig::default()
+        };
+        let mut bare = Engine::new(&p, cfg.clone()).unwrap();
+        let b = bare.run(50_000_000);
+        let mut sharded = Engine::sharded(&p, cfg, 1).unwrap();
+        let s = sharded.run(50_000_000);
+        assert_eq!(b.guest_instructions, s.guest_instructions);
+        assert_eq!(b.superblocks_formed, s.superblocks_formed);
+        assert_eq!(b.regenerations, s.regenerations);
+        assert_eq!(b.cache_stats, s.cache_stats);
+        assert_eq!(b.dispatch, s.dispatch);
+        assert_eq!(bare.into_trace(), sharded.into_trace());
+    }
+
+    #[test]
+    fn multi_shard_engine_preserves_guest_behaviour() {
+        let p = generate(&GenConfig::small(18));
+        let cfg = EngineConfig {
+            hot_threshold: 2,
+            cache_capacity: Some(8192),
+            granularity: Granularity::units(4),
+            ..EngineConfig::default()
+        };
+        let mut bare = Engine::new(&p, cfg.clone()).unwrap();
+        let b = bare.run(50_000_000);
+        let mut sharded = Engine::sharded(&p, cfg, 4).unwrap();
+        let s = sharded.run(50_000_000);
+        // Sharding changes cache behaviour, never guest execution.
+        assert_eq!(b.guest_instructions, s.guest_instructions);
+        assert_eq!(b.superblocks_formed, s.superblocks_formed);
+        assert_eq!(b.cache_stats.accesses, s.cache_stats.accesses);
+        // The per-shard breakdown covers the whole population.
+        let shards = sharded.cache().shards();
+        assert_eq!(shards.len(), 4);
+        assert_eq!(
+            shards.iter().map(cce_core::CodeCache::used).sum::<u64>(),
+            CacheSession::used(sharded.cache())
+        );
+        // Stub unpatching still reaches the dispatcher through the
+        // summaries, cross-shard charges included.
+        assert_eq!(
+            s.dispatch.stub_unpatches, s.cache_stats.links_unlinked,
+            "sharded unlink accounting must reach the dispatcher"
+        );
     }
 }
 

@@ -175,7 +175,7 @@ pub fn compute_grid(
             traces.len() * granularities.len() * pressures.len()
         );
     }
-    let points = run_sharded(&traces, granularities, pressures, &base, jobs)
+    let points = run_sharded(&traces, granularities, pressures, &[1], &base, jobs)
         .expect("generated traces are well-formed");
     let cells = points
         .into_iter()

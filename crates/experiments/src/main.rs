@@ -6,7 +6,7 @@
 //! commands:
 //!   table1 fig3 fig4 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15
 //!   table2 sec5_3
-//!   ablation future_work stability     (beyond-the-paper studies)
+//!   ablation future_work stability shards   (beyond-the-paper studies)
 //!   all        run everything and (with --out) write an EXPERIMENTS.md
 //! ```
 //!
@@ -22,6 +22,7 @@ mod fig9;
 mod grid;
 mod miss_figs;
 mod overhead_figs;
+mod shards;
 mod stats_figs;
 mod tools;
 
@@ -67,7 +68,7 @@ impl Default for Options {
 fn usage() -> &'static str {
     "usage: cce-experiments <command> [--scale F] [--seed N] [--jobs N] [--out PATH] [--quiet]\n\
      commands: table1 fig3 fig4 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 \
-     table2 sec5_3 ablation future_work stability multiprog analysis all\n     tools: trace --bench <name> --out <path> | replay --log <path> [--pressure N]"
+     table2 sec5_3 ablation future_work stability multiprog analysis shards all\n     tools: trace --bench <name> --out <path> | replay --log <path> [--pressure N]"
 }
 
 fn parse_args(args: &[String]) -> Result<(String, Options), String> {
@@ -147,6 +148,7 @@ fn run(cmd: &str, opts: &Options) -> Result<String, String> {
         "stability" => extensions::stability(opts),
         "multiprog" => extensions::multiprog(opts),
         "analysis" => extensions::analysis(opts),
+        "shards" => shards::shards(opts),
         "trace" => return tools::trace(opts),
         "replay" => return tools::replay(opts),
         "all" => all::all(opts),
@@ -247,6 +249,7 @@ mod tests {
             "stability",
             "multiprog",
             "analysis",
+            "shards",
         ] {
             let out = run(cmd, &opts).unwrap_or_else(|e| panic!("{cmd}: {e}"));
             assert!(!out.is_empty(), "{cmd} produced no output");

@@ -5,7 +5,7 @@
 //! which guarantees the replacement policy is actually stressed. These
 //! helpers run a trace across a (granularity × pressure) grid.
 
-use crate::simulator::{simulate, SimConfig, SimError, SimResult};
+use crate::simulator::{simulate, simulate_sharded, SimConfig, SimError, SimResult};
 use cce_core::Granularity;
 use cce_dbt::TraceLog;
 
@@ -61,6 +61,34 @@ pub fn effective_granularity(
     }
 }
 
+/// Whole-trace sizing facts a sweep needs at every cell. Both are O(n)
+/// scans of the trace, so a sweep runner computes them **once per trace
+/// per plan** instead of once per cell (the `--shards` axis would
+/// otherwise multiply the redundant scans).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceSizing {
+    /// The trace's unbounded footprint (`maxCache`, §4.2).
+    pub max_cache_bytes: u64,
+    /// The largest single superblock, for unit-count clamping.
+    pub max_block_bytes: u64,
+}
+
+impl TraceSizing {
+    /// Scans `trace` once for both sizing facts.
+    #[must_use]
+    pub fn of(trace: &TraceLog) -> TraceSizing {
+        TraceSizing {
+            max_cache_bytes: trace.max_cache_bytes(),
+            max_block_bytes: trace
+                .superblocks
+                .iter()
+                .map(|s| u64::from(s.size))
+                .max()
+                .unwrap_or(1),
+        }
+    }
+}
+
 /// Simulates `trace` at one `(granularity, pressure)` point with `base`
 /// options (its granularity/capacity fields are overridden). The unit
 /// count is clamped via [`effective_granularity`] so units always fit the
@@ -76,19 +104,45 @@ pub fn simulate_at_pressure(
     pressure: u32,
     base: &SimConfig,
 ) -> Result<SimResult, SimError> {
-    let capacity = capacity_for_pressure(trace.max_cache_bytes(), pressure);
-    let max_block = trace
-        .superblocks
-        .iter()
-        .map(|s| u64::from(s.size))
-        .max()
-        .unwrap_or(1);
+    simulate_cell(
+        trace,
+        TraceSizing::of(trace),
+        granularity,
+        pressure,
+        1,
+        base,
+    )
+}
+
+/// [`simulate_at_pressure`] with the whole-trace scans hoisted out
+/// (pass a cached [`TraceSizing`]) and a shard-count axis: `shards > 1`
+/// splits the cell's capacity over a consistent-hashed
+/// [`cce_core::ShardedCache`] at **fixed total capacity**, and the unit
+/// clamp applies per shard (each shard is its own eviction domain).
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from the simulator.
+pub fn simulate_cell(
+    trace: &TraceLog,
+    sizing: TraceSizing,
+    granularity: Granularity,
+    pressure: u32,
+    shards: u32,
+    base: &SimConfig,
+) -> Result<SimResult, SimError> {
+    let capacity = capacity_for_pressure(sizing.max_cache_bytes, pressure);
+    let shard_capacity = capacity / u64::from(shards.max(1));
     let config = SimConfig {
-        granularity: effective_granularity(granularity, capacity, max_block),
+        granularity: effective_granularity(granularity, shard_capacity, sizing.max_block_bytes),
         capacity,
         ..*base
     };
-    let mut result = simulate(trace, &config)?;
+    let mut result = if shards <= 1 {
+        simulate(trace, &config)?
+    } else {
+        simulate_sharded(trace, &config, shards)?
+    };
     result.granularity_label = granularity.label();
     Ok(result)
 }

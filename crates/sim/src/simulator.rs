@@ -8,7 +8,9 @@
 //! built in.
 
 use crate::overhead::OverheadModel;
-use cce_core::{CacheError, CodeCache, Granularity, SuperblockId};
+use cce_core::{
+    CacheError, CacheSession, CodeCache, Granularity, InsertRequest, ShardedCache, SuperblockId,
+};
 use cce_dbt::{TraceEvent, TraceLog};
 use std::collections::HashMap;
 use std::error::Error;
@@ -147,7 +149,24 @@ impl SimResult {
 /// [`SimError::EmptyTrace`] if there is nothing to replay.
 pub fn simulate(trace: &TraceLog, config: &SimConfig) -> Result<SimResult, SimError> {
     let cache = CodeCache::with_granularity(config.granularity, config.capacity)?;
-    simulate_cache(trace, cache, config.granularity.label(), config)
+    simulate_session(trace, cache, config.granularity.label(), config)
+}
+
+/// [`simulate`] against a [`ShardedCache`]: the total capacity is split
+/// evenly over `shards` consistent-hashed shards of the configured
+/// granularity (shards = eviction domains; cross-shard links are
+/// always-indirect and charged on eviction by the shard layer).
+///
+/// # Errors
+///
+/// Same conditions as [`simulate`].
+pub fn simulate_sharded(
+    trace: &TraceLog,
+    config: &SimConfig,
+    shards: u32,
+) -> Result<SimResult, SimError> {
+    let cache = ShardedCache::with_granularity(config.granularity, config.capacity, shards)?;
+    simulate_session(trace, cache, config.granularity.label(), config)
 }
 
 /// Replays `trace` against an arbitrary pre-built cache (any
@@ -161,7 +180,23 @@ pub fn simulate(trace: &TraceLog, config: &SimConfig) -> Result<SimResult, SimEr
 /// Same conditions as [`simulate`].
 pub fn simulate_cache(
     trace: &TraceLog,
-    mut cache: CodeCache,
+    cache: CodeCache,
+    label: String,
+    config: &SimConfig,
+) -> Result<SimResult, SimError> {
+    simulate_session(trace, cache, label, config)
+}
+
+/// The generic core: replays `trace` against any [`CacheSession`] — a
+/// bare [`CodeCache`] or a [`ShardedCache`] — through the unified
+/// `access_or_insert` surface.
+///
+/// # Errors
+///
+/// Same conditions as [`simulate`].
+pub fn simulate_session<S: CacheSession>(
+    trace: &TraceLog,
+    mut session: S,
     label: String,
     config: &SimConfig,
 ) -> Result<SimResult, SimError> {
@@ -182,17 +217,16 @@ pub fn simulate_cache(
     for (event_idx, ev) in trace.events.iter().enumerate() {
         let TraceEvent::Access { id, direct_from } = *ev;
         let size = *sizes.get(&id).ok_or(SimError::UnknownSuperblock(id))?;
-        let result = cache.access(id);
-        if result.is_miss() {
-            miss_overhead += config.overhead.miss_cost(u64::from(size));
-            // Placement hint: the chain source of this direct transition,
-            // if still resident (placement-aware organizations co-locate).
-            let partner = direct_from.filter(|f| cache.is_resident(*f));
-            // The allocation-free event path: Eqs. 2 and 4 are linear, so
-            // the settled aggregate counts charge exactly what walking the
-            // per-eviction reports used to.
-            match cache.insert_evented(id, size, partner) {
-                Ok(summary) => {
+        // Placement hint: the chain source of this direct transition, if
+        // still resident (placement-aware organizations co-locate).
+        let partner = direct_from.filter(|f| session.is_resident(*f));
+        // One call looks up and, on a miss, inserts. Eqs. 2 and 4 are
+        // linear, so the settled aggregate counts charge exactly what
+        // walking per-eviction reports used to.
+        match session.access_or_insert_quiet(InsertRequest::new(id, size).with_hint(partner)) {
+            Ok(outcome) => {
+                if let Some(summary) = outcome.inserted {
+                    miss_overhead += config.overhead.miss_cost(u64::from(size));
                     eviction_overhead += config
                         .overhead
                         .eviction_cost_total(u64::from(summary.evictions), summary.bytes_evicted);
@@ -203,21 +237,26 @@ pub fn simulate_cache(
                         );
                     }
                 }
-                Err(CacheError::BlockTooLarge { .. }) => uncacheable += 1,
-                Err(e) => return Err(SimError::Cache(e)),
             }
+            // The miss was still recorded (and is still charged); the
+            // block is simulated as permanently uncached.
+            Err(CacheError::BlockTooLarge { .. }) => {
+                miss_overhead += config.overhead.miss_cost(u64::from(size));
+                uncacheable += 1;
+            }
+            Err(e) => return Err(SimError::Cache(e)),
         }
         if config.chaining {
             if let Some(from) = direct_from {
-                if cache.is_resident(from) && cache.is_resident(id) {
-                    cache
+                if session.is_resident(from) && session.is_resident(id) {
+                    session
                         .link(from, id)
                         .expect("both endpoints checked resident");
                 }
             }
         }
         if event_idx % census_every == census_every - 1 {
-            let (intra, inter) = cache.link_census();
+            let (intra, inter) = session.link_census();
             census_intra += intra;
             census_inter += inter;
         }
@@ -226,8 +265,8 @@ pub fn simulate_cache(
     Ok(SimResult {
         name: trace.name.clone(),
         granularity_label: label,
-        capacity: cache.capacity(),
-        stats: *cache.stats(),
+        capacity: session.capacity(),
+        stats: session.stats_snapshot(),
         miss_overhead,
         eviction_overhead,
         unlink_overhead,
@@ -457,6 +496,43 @@ mod tests {
             simulate(&log, &SimConfig::default()).unwrap_err(),
             SimError::UnknownSuperblock(sb(7))
         );
+    }
+
+    #[test]
+    fn sharded_one_shard_reproduces_the_bare_simulation() {
+        let trace = round_robin(12, 100, 8);
+        for g in [
+            Granularity::Flush,
+            Granularity::units(4),
+            Granularity::Superblock,
+        ] {
+            let cfg = SimConfig {
+                granularity: g,
+                capacity: 600,
+                ..SimConfig::default()
+            };
+            let bare = simulate(&trace, &cfg).unwrap();
+            let sharded = simulate_sharded(&trace, &cfg, 1).unwrap();
+            assert_eq!(bare, sharded, "{g}: one shard must be transparent");
+        }
+    }
+
+    #[test]
+    fn sharding_preserves_the_access_stream() {
+        let trace = round_robin(16, 100, 8);
+        let cfg = SimConfig {
+            capacity: 800,
+            ..SimConfig::default()
+        };
+        let bare = simulate(&trace, &cfg).unwrap();
+        for shards in [2u32, 4, 8] {
+            let r = simulate_sharded(&trace, &cfg, shards).unwrap();
+            assert_eq!(r.stats.accesses, bare.stats.accesses, "shards={shards}");
+            assert_eq!(r.capacity, bare.capacity, "total capacity is fixed");
+            assert_eq!(r.stats.accesses, r.stats.hits + r.stats.misses);
+            // Determinism: the sharded replay is a pure function.
+            assert_eq!(r, simulate_sharded(&trace, &cfg, shards).unwrap());
+        }
     }
 
     #[test]

@@ -1,18 +1,21 @@
 //! Deterministic threaded sweep runner.
 //!
-//! A full study is a `(benchmark × granularity × pressure)` grid of
-//! independent simulator cells — embarrassingly parallel, but figure
-//! regeneration demands *byte-identical* output run to run. The runner
-//! therefore separates planning from execution: [`plan`] enumerates the
-//! cells in a fixed canonical order (trace-major, then pressure, then
-//! granularity — the same order the sequential grid loop has always
-//! used), and [`run_sharded`] lets a scoped thread pool claim cells from
-//! an atomic cursor while every worker writes its result into the cell's
-//! *pre-indexed slot*. Scheduling nondeterminism affects only which
-//! thread computes a cell, never where the result lands, so `--jobs N`
-//! output is byte-identical to `--jobs 1`.
+//! A full study is a `(benchmark × shard-count × granularity ×
+//! pressure)` grid of independent simulator cells — embarrassingly
+//! parallel, but figure regeneration demands *byte-identical* output run
+//! to run. The runner therefore separates planning from execution:
+//! [`plan`] enumerates the cells in a fixed canonical order (trace-major,
+//! then shard count, then pressure, then granularity — with a single
+//! shard count this is exactly the order the sequential grid loop has
+//! always used), and [`run_sharded`] lets a scoped thread pool claim
+//! cells from an atomic cursor while every worker writes its result into
+//! the cell's *pre-indexed slot*. Scheduling nondeterminism affects only
+//! which thread computes a cell, never where the result lands, so
+//! `--jobs N` output is byte-identical to `--jobs 1`. Whole-trace sizing
+//! scans ([`TraceSizing`]) are hoisted out and computed once per trace
+//! per plan, not once per cell.
 
-use crate::pressure::simulate_at_pressure;
+use crate::pressure::{simulate_cell, TraceSizing};
 use crate::simulator::{SimConfig, SimError, SimResult};
 use cce_core::Granularity;
 use cce_dbt::TraceLog;
@@ -28,6 +31,9 @@ pub struct SweepCell {
     pub granularity: Granularity,
     /// Cache-pressure factor `n` (capacity = `maxCache / n`).
     pub pressure: u32,
+    /// Shard count (1 = a bare cache; >1 = a `ShardedCache` splitting
+    /// the same total capacity).
+    pub shards: u32,
 }
 
 /// One finished cell: the plan entry plus its simulation outcome.
@@ -39,24 +45,32 @@ pub struct SweepPoint {
     pub result: SimResult,
 }
 
-/// Enumerates every `(trace, pressure, granularity)` cell in canonical
-/// order. This order is the contract: [`run_sharded`] returns results in
-/// exactly this sequence regardless of worker count.
+/// Enumerates every `(trace, shards, pressure, granularity)` cell in
+/// canonical order. This order is the contract: [`run_sharded`] returns
+/// results in exactly this sequence regardless of worker count. With
+/// `shard_counts == [1]` the sequence is identical to the historical
+/// `(trace, pressure, granularity)` order.
 #[must_use]
 pub fn plan(
     trace_count: usize,
     granularities: &[Granularity],
     pressures: &[u32],
+    shard_counts: &[u32],
 ) -> Vec<SweepCell> {
-    let mut cells = Vec::with_capacity(trace_count * granularities.len() * pressures.len());
+    let mut cells = Vec::with_capacity(
+        trace_count * granularities.len() * pressures.len() * shard_counts.len(),
+    );
     for trace in 0..trace_count {
-        for &pressure in pressures {
-            for &granularity in granularities {
-                cells.push(SweepCell {
-                    trace,
-                    granularity,
-                    pressure,
-                });
+        for &shards in shard_counts {
+            for &pressure in pressures {
+                for &granularity in granularities {
+                    cells.push(SweepCell {
+                        trace,
+                        granularity,
+                        pressure,
+                        shards,
+                    });
+                }
             }
         }
     }
@@ -84,15 +98,17 @@ pub fn jobs_from(flag: Option<usize>, env: Option<&str>) -> usize {
         })
 }
 
-/// Runs every cell of the `(traces × granularities × pressures)` grid
-/// across `jobs` scoped worker threads and returns the results in
-/// [`plan`] order.
+/// Runs every cell of the `(traces × shard-counts × granularities ×
+/// pressures)` grid across `jobs` scoped worker threads and returns the
+/// results in [`plan`] order.
 ///
 /// Workers claim cells from a shared atomic cursor (dynamic load
 /// balancing — big benchmarks don't serialize behind small ones) and
 /// each returns `(slot index, result)` pairs that are written back into
 /// a pre-indexed result vector after the scope joins. The output is
 /// therefore a pure function of the inputs, independent of `jobs`.
+/// Per-trace [`TraceSizing`] summaries are computed once up front, so
+/// adding shard counts never multiplies whole-trace scans.
 ///
 /// # Errors
 ///
@@ -107,10 +123,12 @@ pub fn run_sharded(
     traces: &[TraceLog],
     granularities: &[Granularity],
     pressures: &[u32],
+    shard_counts: &[u32],
     base: &SimConfig,
     jobs: usize,
 ) -> Result<Vec<SweepPoint>, SimError> {
-    let cells = plan(traces.len(), granularities, pressures);
+    let cells = plan(traces.len(), granularities, pressures, shard_counts);
+    let sizings: Vec<TraceSizing> = traces.iter().map(TraceSizing::of).collect();
     let jobs = jobs.max(1).min(cells.len().max(1));
     let cursor = AtomicUsize::new(0);
 
@@ -125,10 +143,12 @@ pub fn run_sharded(
                     loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         let Some(cell) = cells.get(i) else { break };
-                        let r = simulate_at_pressure(
+                        let r = simulate_cell(
                             &traces[cell.trace],
+                            sizings[cell.trace],
                             cell.granularity,
                             cell.pressure,
+                            cell.shards,
                             base,
                         );
                         local.push((i, r));
@@ -179,20 +199,32 @@ mod tests {
     #[test]
     fn plan_order_is_trace_major() {
         let (gs, ps) = axes();
-        let cells = plan(2, &gs, &ps);
+        let cells = plan(2, &gs, &ps, &[1]);
         assert_eq!(cells.len(), 2 * 3 * 2);
         assert_eq!(
             cells[0],
             SweepCell {
                 trace: 0,
                 granularity: Granularity::Flush,
-                pressure: 2
+                pressure: 2,
+                shards: 1
             }
         );
         // Granularity varies fastest, then pressure, then trace.
         assert_eq!(cells[1].granularity, Granularity::units(8));
         assert_eq!(cells[3].pressure, 6);
         assert_eq!(cells[6].trace, 1);
+    }
+
+    #[test]
+    fn plan_nests_shard_counts_between_trace_and_pressure() {
+        let (gs, ps) = axes();
+        let cells = plan(2, &gs, &ps, &[1, 4]);
+        assert_eq!(cells.len(), 2 * 2 * 3 * 2);
+        // All shards=1 cells of trace 0 precede its shards=4 cells.
+        assert!(cells[..6].iter().all(|c| c.trace == 0 && c.shards == 1));
+        assert!(cells[6..12].iter().all(|c| c.trace == 0 && c.shards == 4));
+        assert!(cells[12..18].iter().all(|c| c.trace == 1 && c.shards == 1));
     }
 
     #[test]
@@ -212,7 +244,7 @@ mod tests {
         let traces = small_traces();
         let (gs, ps) = axes();
         let base = SimConfig::default();
-        let points = run_sharded(&traces, &gs, &ps, &base, 3).unwrap();
+        let points = run_sharded(&traces, &gs, &ps, &[1], &base, 3).unwrap();
 
         // The sequential reference: per-trace pressure sweeps concatenated.
         let mut reference = Vec::new();
@@ -232,15 +264,39 @@ mod tests {
         let traces = small_traces();
         let (gs, ps) = axes();
         let base = SimConfig::default();
-        let one = run_sharded(&traces, &gs, &ps, &base, 1).unwrap();
+        let one = run_sharded(&traces, &gs, &ps, &[1], &base, 1).unwrap();
         for jobs in [2, 4, 16] {
-            assert_eq!(one, run_sharded(&traces, &gs, &ps, &base, jobs).unwrap());
+            assert_eq!(
+                one,
+                run_sharded(&traces, &gs, &ps, &[1], &base, jobs).unwrap()
+            );
         }
+    }
+
+    #[test]
+    fn shard_axis_is_deterministic_across_worker_counts() {
+        // ISSUE 4 acceptance: `--shards 4 --jobs k` byte-identical for
+        // every k, preserving PR 1's determinism guarantee.
+        let traces = small_traces();
+        let (gs, ps) = axes();
+        let base = SimConfig::default();
+        let one = run_sharded(&traces, &gs, &ps, &[1, 4], &base, 1).unwrap();
+        assert_eq!(one.len(), 2 * 2 * 3 * 2);
+        for jobs in [2, 5, 16] {
+            assert_eq!(
+                one,
+                run_sharded(&traces, &gs, &ps, &[1, 4], &base, jobs).unwrap()
+            );
+        }
+        // And the shards=1 slice equals a shard-free sweep.
+        let bare = run_sharded(&traces, &gs, &ps, &[1], &base, 2).unwrap();
+        let n1: Vec<_> = one.iter().filter(|p| p.cell.shards == 1).cloned().collect();
+        assert_eq!(n1, bare);
     }
 
     #[test]
     fn empty_grid_is_fine() {
         let base = SimConfig::default();
-        assert_eq!(run_sharded(&[], &[], &[], &base, 4).unwrap(), vec![]);
+        assert_eq!(run_sharded(&[], &[], &[], &[1], &base, 4).unwrap(), vec![]);
     }
 }

@@ -19,7 +19,7 @@
 
 use cce::core::{
     testutil, CacheError, CacheEvent, CacheOrg, CodeCache, EventSink, EvictionScope, Granularity,
-    SuperblockId, UnitId,
+    InsertRequest, NullSink, SuperblockId, UnitId,
 };
 use cce::sim::metrics::unified_miss_rate;
 use cce::workloads::catalog;
@@ -157,7 +157,7 @@ fn main() -> Result<(), Box<dyn Error>> {
         for ev in &trace.events {
             let cce::dbt::TraceEvent::Access { id, direct_from } = *ev;
             if cache.access(id).is_miss() {
-                cache.insert_evented(id, sizes[&id], None)?;
+                cache.insert_request(InsertRequest::new(id, sizes[&id]), &mut NullSink)?;
             }
             if let Some(from) = direct_from {
                 if cache.is_resident(from) && cache.is_resident(id) {

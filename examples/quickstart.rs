@@ -2,7 +2,9 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use cce::core::{CodeCache, Granularity, SuperblockId};
+use cce::core::{
+    CodeCache, EventBuffer, Granularity, InsertReport, InsertRequest, NullSink, SuperblockId,
+};
 use cce::sim::simulator::{simulate, SimConfig};
 use cce::workloads::catalog;
 use std::error::Error;
@@ -13,11 +15,13 @@ fn main() -> Result<(), Box<dyn Error>> {
     let mut cache = CodeCache::with_granularity(Granularity::units(4), 4096)?;
 
     // A dynamic optimizer would insert freshly translated superblocks and
-    // chain the exits it observes.
+    // chain the exits it observes. `insert_request` streams eviction
+    // events into the sink you hand it; `NullSink` discards them when
+    // only the side effects matter.
     let (a, b, c) = (SuperblockId(1), SuperblockId(2), SuperblockId(3));
-    cache.insert(a, 900)?;
-    cache.insert(b, 700)?;
-    cache.insert(c, 400)?;
+    cache.insert_request(InsertRequest::new(a, 900), &mut NullSink)?;
+    cache.insert_request(InsertRequest::new(b, 700), &mut NullSink)?;
+    cache.insert_request(InsertRequest::new(c, 400), &mut NullSink)?;
     cache.link(a, b)?; // a's exit patched to jump straight to b
     cache.link(b, a)?; // and back: a hot loop across two superblocks
     cache.link(c, c)?; // a self-loop
@@ -30,13 +34,17 @@ fn main() -> Result<(), Box<dyn Error>> {
     );
     println!("links live: {}", cache.link_graph().link_count());
 
-    // Keep inserting until the cache must evict a whole unit.
+    // Keep inserting until the cache must evict a whole unit. To inspect
+    // the victims, capture the event stream and materialize it into an
+    // owned report.
     let mut next = 10u64;
+    let mut buf = EventBuffer::new();
     let report = loop {
-        let r = cache.insert(SuperblockId(next), 500)?;
+        buf.clear();
+        let s = cache.insert_request(InsertRequest::new(SuperblockId(next), 500), &mut buf)?;
         next += 1;
-        if r.evicted_anything() {
-            break r;
+        if s.evictions > 0 {
+            break InsertReport::from_events(buf.events());
         }
     };
     let ev = &report.evictions[0];

@@ -18,11 +18,16 @@
 //!
 //! # Quick start
 //!
+//! Inserts go through one evented entry point, [`core::CodeCache::insert_request`];
+//! the [`core::CacheSession`] trait drives a bare cache and a
+//! [`core::ShardedCache`] identically:
+//!
 //! ```
-//! use cce::core::{CodeCache, Granularity, SuperblockId};
+//! use cce::core::{CacheSession, CodeCache, Granularity, InsertRequest, SuperblockId};
 //!
 //! let mut cache = CodeCache::with_granularity(Granularity::units(8), 64 * 1024)?;
-//! cache.insert(SuperblockId(1), 230)?;
+//! let outcome = cache.access_or_insert_quiet(InsertRequest::new(SuperblockId(1), 230))?;
+//! assert!(outcome.is_miss());
 //! assert!(cache.access(SuperblockId(1)).is_hit());
 //! # Ok::<(), cce::core::CacheError>(())
 //! ```

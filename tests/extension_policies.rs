@@ -2,7 +2,8 @@
 //! preemptive flush, adaptive granularity and the LRU baseline.
 
 use cce::core::{
-    AdaptiveUnits, CacheOrg, CodeCache, LruCache, PreemptiveFlush, SuperblockId, UnitFifo,
+    AdaptiveUnits, CacheOrg, CodeCache, InsertRequest, LruCache, NullSink, PreemptiveFlush,
+    SuperblockId, UnitFifo,
 };
 use cce::workloads::catalog;
 use std::collections::HashMap;
@@ -14,7 +15,7 @@ fn replay(mut cache: CodeCache, trace: &cce::dbt::TraceLog) -> CodeCache {
     for ev in &trace.events {
         let cce::dbt::TraceEvent::Access { id, direct_from } = *ev;
         if cache.access(id).is_miss() {
-            match cache.insert(id, sizes[&id]) {
+            match cache.insert_request(InsertRequest::new(id, sizes[&id]), &mut NullSink) {
                 Ok(_) => {}
                 Err(cce::core::CacheError::BlockTooLarge { .. }) => continue,
                 Err(e) => panic!("insert failed: {e}"),
@@ -79,7 +80,7 @@ fn adaptive_units_move_toward_the_medium_grains() {
     for ev in &trace.events {
         let cce::dbt::TraceEvent::Access { id, .. } = *ev;
         if cache.access(id).is_miss() {
-            let _ = cache.insert(id, sizes[&id]);
+            let _ = cache.insert_request(InsertRequest::new(id, sizes[&id]), &mut NullSink);
         }
     }
     let label = cache.granularity().label();

@@ -11,11 +11,19 @@ fn render(points: &[SweepPoint], names: &[&str]) -> String {
     // floats printed at full precision so any divergence shows up.
     let mut t = TextTable::new(
         "sweep",
-        ["Benchmark", "Granularity", "Pressure", "Misses", "Overhead"],
+        [
+            "Benchmark",
+            "Shards",
+            "Granularity",
+            "Pressure",
+            "Misses",
+            "Overhead",
+        ],
     );
     for p in points {
         t.row([
             names[p.cell.trace].to_owned(),
+            p.cell.shards.to_string(),
             p.cell.granularity.label(),
             p.cell.pressure.to_string(),
             p.result.stats.misses.to_string(),
@@ -47,10 +55,32 @@ fn jobs_1_and_jobs_4_render_byte_identical_reports() {
         ..SimConfig::default()
     };
 
-    let serial = run_sharded(&traces, &gs, &ps, &base, 1).unwrap();
-    let threaded = run_sharded(&traces, &gs, &ps, &base, 4).unwrap();
+    let serial = run_sharded(&traces, &gs, &ps, &[1], &base, 1).unwrap();
+    let threaded = run_sharded(&traces, &gs, &ps, &[1], &base, 4).unwrap();
 
     let a = render(&serial, &names);
     let b = render(&threaded, &names);
     assert_eq!(a.as_bytes(), b.as_bytes());
+}
+
+#[test]
+fn shard_axis_renders_byte_identical_at_any_worker_count() {
+    // ISSUE 4 acceptance: `--shards 4 --jobs k` byte-identical across
+    // worker counts.
+    let names = ["gzip", "mcf"];
+    let traces: Vec<_> = names
+        .iter()
+        .map(|n| cce::workloads::by_name(n).unwrap().trace(0.08, 11))
+        .collect();
+    let gs = [Granularity::Flush, Granularity::units(8)];
+    let ps = [2, 6];
+    let shard_counts = [1, 2, 4, 8];
+    let base = SimConfig::default();
+
+    let serial = run_sharded(&traces, &gs, &ps, &shard_counts, &base, 1).unwrap();
+    let a = render(&serial, &names);
+    for jobs in [3, 8] {
+        let threaded = run_sharded(&traces, &gs, &ps, &shard_counts, &base, jobs).unwrap();
+        assert_eq!(a.as_bytes(), render(&threaded, &names).as_bytes());
+    }
 }
