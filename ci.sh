@@ -9,3 +9,6 @@ cargo clippy --workspace --all-targets -- -D warnings
 cargo build --release
 cargo test -q
 cargo run -p cce-analyze -- --baseline analyze-baseline.json
+# Trace-I/O micro-benchmark: regenerates BENCH_trace_io.json so the
+# binary decode path's advantage over JSON stays visible in review.
+cargo run --release -p cce-experiments -- bench_trace_io --scale 0.2 --quiet --out BENCH_trace_io.json

@@ -1,0 +1,86 @@
+//! Trace-I/O benchmarks: JSON vs binary encode/decode throughput and
+//! in-memory vs streaming replay (DESIGN.md §11).
+//!
+//! The offline CI equivalent — which also emits `BENCH_trace_io.json` —
+//! is `cce-experiments bench_trace_io`; this criterion group exists for
+//! machines with a crates.io mirror where statistical timing is wanted.
+
+use cce_dbt::{trace_bin, TraceLog, TraceReader};
+use cce_sim::pressure::capacity_for_pressure;
+use cce_sim::simulator::{simulate, simulate_reader, SimConfig};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn encoded(trace: &TraceLog) -> (Vec<u8>, Vec<u8>) {
+    let mut json = Vec::new();
+    trace.save(&mut json).unwrap();
+    let mut bin = Vec::new();
+    trace_bin::save_binary(trace, &mut bin).unwrap();
+    (json, bin)
+}
+
+fn decode_formats(c: &mut Criterion) {
+    let trace = cce_bench::bench_trace("gzip");
+    let (json, bin) = encoded(&trace);
+    let mut g = c.benchmark_group("trace_decode");
+    g.throughput(Throughput::Elements(trace.events.len() as u64));
+    g.bench_function("json", |b| {
+        b.iter(|| black_box(TraceLog::load(json.as_slice()).unwrap()));
+    });
+    g.bench_function("binary", |b| {
+        b.iter(|| black_box(trace_bin::load_binary(bin.as_slice()).unwrap()));
+    });
+    g.finish();
+}
+
+fn encode_formats(c: &mut Criterion) {
+    let trace = cce_bench::bench_trace("gzip");
+    let mut g = c.benchmark_group("trace_encode");
+    g.throughput(Throughput::Elements(trace.events.len() as u64));
+    g.bench_function("json", |b| {
+        b.iter(|| {
+            let mut out = Vec::new();
+            trace.save(&mut out).unwrap();
+            black_box(out.len())
+        });
+    });
+    g.bench_function("binary", |b| {
+        b.iter(|| {
+            let mut out = Vec::new();
+            trace_bin::save_binary(&trace, &mut out).unwrap();
+            black_box(out.len())
+        });
+    });
+    g.finish();
+}
+
+fn replay_end_to_end(c: &mut Criterion) {
+    let trace = cce_bench::bench_trace("gzip");
+    let (json, bin) = encoded(&trace);
+    let config = SimConfig {
+        capacity: capacity_for_pressure(trace.max_cache_bytes(), 4),
+        ..SimConfig::default()
+    };
+    let mut g = c.benchmark_group("trace_replay_end_to_end");
+    g.throughput(Throughput::Elements(trace.events.len() as u64));
+    g.bench_function("json_then_simulate", |b| {
+        b.iter(|| {
+            let log = TraceLog::load(json.as_slice()).unwrap();
+            black_box(simulate(&log, &config).unwrap())
+        });
+    });
+    g.bench_function("binary_streamed", |b| {
+        b.iter(|| {
+            let mut reader = TraceReader::new(std::io::Cursor::new(bin.clone())).unwrap();
+            black_box(simulate_reader(&mut reader, &config).unwrap())
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    name = trace_io;
+    config = Criterion::default().sample_size(10);
+    targets = decode_formats, encode_formats, replay_end_to_end
+);
+criterion_main!(trace_io);

@@ -49,11 +49,13 @@ pub mod formation;
 pub mod hashtable;
 pub mod profile;
 pub mod superblock;
+pub mod trace_bin;
 pub mod trace_log;
 pub mod translate;
 
 pub use engine::{Engine, EngineConfig, RunSummary};
 pub use superblock::Superblock;
+pub use trace_bin::{SharedTrace, TraceReader};
 pub use trace_log::{SuperblockInfo, TraceEvent, TraceLog};
 pub use translate::TranslationConfig;
 

@@ -16,7 +16,7 @@
 use cce_core::SuperblockId;
 use cce_tinyvm::program::Pc;
 use cce_util::json::{Json, JsonError};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeSet;
 use std::fmt;
 use std::io::{Read, Write};
 
@@ -80,7 +80,194 @@ pub struct TraceSummary {
     pub direct_fraction: f64,
 }
 
-/// Failure while saving or loading a [`TraceLog`].
+/// A prebuilt id → registry-position map, replacing per-lookup linear
+/// scans of the superblock registry.
+///
+/// Every in-repo trace producer (the DBT engine, the workload models,
+/// the mixer) assigns ids `0..n` in formation order, so the common case
+/// is a dense table indexed by `id - min_id`. Registries whose id space
+/// is sparse (hand-edited logs, merged id ranges) fall back to a sorted
+/// array with binary-search lookups. Both representations are
+/// deterministic; on duplicate ids the *first* registry entry wins,
+/// matching the historical `iter().find()` semantics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SuperblockIndex {
+    repr: IndexRepr,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum IndexRepr {
+    /// `slots[id - base]` is the registry position, `usize::MAX` = absent.
+    Dense { base: u64, slots: Vec<usize> },
+    /// `(id, position)` sorted by id, then position (first wins).
+    Sorted(Vec<(u64, usize)>),
+}
+
+/// A sparse id space wastes at most this many empty dense slots before
+/// the index falls back to binary search.
+const DENSE_SLACK: u64 = 1024;
+
+impl SuperblockIndex {
+    /// Builds the index with one scan of the registry.
+    #[must_use]
+    pub fn build(superblocks: &[SuperblockInfo]) -> SuperblockIndex {
+        if superblocks.is_empty() {
+            return SuperblockIndex {
+                repr: IndexRepr::Sorted(Vec::new()),
+            };
+        }
+        let mut min = u64::MAX;
+        let mut max = 0u64;
+        for s in superblocks {
+            min = min.min(s.id.0);
+            max = max.max(s.id.0);
+        }
+        let span = max - min + 1;
+        let budget = (superblocks.len() as u64).saturating_mul(2) + DENSE_SLACK;
+        let repr = if span <= budget {
+            let mut slots = vec![usize::MAX; span as usize];
+            for (pos, s) in superblocks.iter().enumerate() {
+                let slot = &mut slots[(s.id.0 - min) as usize];
+                if *slot == usize::MAX {
+                    *slot = pos;
+                }
+            }
+            IndexRepr::Dense { base: min, slots }
+        } else {
+            let mut pairs: Vec<(u64, usize)> = superblocks
+                .iter()
+                .enumerate()
+                .map(|(pos, s)| (s.id.0, pos))
+                .collect();
+            pairs.sort_unstable();
+            IndexRepr::Sorted(pairs)
+        };
+        SuperblockIndex { repr }
+    }
+
+    /// The registry position of `id`, if registered.
+    #[must_use]
+    pub fn position(&self, id: SuperblockId) -> Option<usize> {
+        match &self.repr {
+            IndexRepr::Dense { base, slots } => {
+                let slot = *slots.get(usize::try_from(id.0.checked_sub(*base)?).ok()?)?;
+                (slot != usize::MAX).then_some(slot)
+            }
+            IndexRepr::Sorted(pairs) => {
+                let at = pairs.partition_point(|&(pid, _)| pid < id.0);
+                match pairs.get(at) {
+                    Some(&(pid, pos)) if pid == id.0 => Some(pos),
+                    _ => None,
+                }
+            }
+        }
+    }
+}
+
+/// Streaming accumulator for [`TraceSummary`]: feed events in trace
+/// order (one pass, any chunking) and [`finish`](TraceSummaryBuilder::finish).
+///
+/// Out-degree state is one small sorted target list per *registered*
+/// superblock — O(distinct edges), which the exit-stub bound keeps tiny —
+/// instead of the per-event `BTreeMap`/`BTreeSet` churn the old
+/// whole-trace pass paid. Events naming unregistered ids (malformed but
+/// historically tolerated by `summary`) spill into a `BTreeSet` so the
+/// statistics stay identical to the old implementation.
+#[derive(Debug)]
+pub struct TraceSummaryBuilder {
+    index: SuperblockIndex,
+    superblock_count: usize,
+    /// Distinct chain targets per registered source, each list sorted.
+    out_targets: Vec<Vec<u64>>,
+    /// Distinct `(from, to)` pairs with an unregistered source.
+    spill: BTreeSet<(u64, u64)>,
+    events: u64,
+    direct: u64,
+}
+
+impl TraceSummaryBuilder {
+    /// Starts a summary over `superblocks` (the trace's registry).
+    #[must_use]
+    pub fn new(superblocks: &[SuperblockInfo]) -> TraceSummaryBuilder {
+        TraceSummaryBuilder {
+            index: SuperblockIndex::build(superblocks),
+            superblock_count: superblocks.len(),
+            out_targets: vec![Vec::new(); superblocks.len()],
+            spill: BTreeSet::new(),
+            events: 0,
+            direct: 0,
+        }
+    }
+
+    /// Folds one access event into the statistics.
+    pub fn record(&mut self, ev: TraceEvent) {
+        let TraceEvent::Access { id, direct_from } = ev;
+        self.events += 1;
+        if let Some(from) = direct_from {
+            self.direct += 1;
+            match self.index.position(from) {
+                Some(pos) => {
+                    let targets = &mut self.out_targets[pos];
+                    if let Err(at) = targets.binary_search(&id.0) {
+                        targets.insert(at, id.0);
+                    }
+                }
+                None => {
+                    self.spill.insert((from.0, id.0));
+                }
+            }
+        }
+    }
+
+    /// Folds a whole chunk of events.
+    pub fn record_chunk(&mut self, events: &[TraceEvent]) {
+        for &ev in events {
+            self.record(ev);
+        }
+    }
+
+    /// Completes the summary; `superblocks` must be the registry the
+    /// builder was created with.
+    #[must_use]
+    pub fn finish(self, superblocks: &[SuperblockInfo]) -> TraceSummary {
+        let mut sizes: Vec<u32> = superblocks.iter().map(|s| s.size).collect();
+        sizes.sort_unstable();
+        let median_size = if sizes.is_empty() {
+            0
+        } else {
+            sizes[sizes.len() / 2]
+        };
+        let total: u64 = sizes.iter().map(|&s| u64::from(s)).sum();
+        let mean_size = if sizes.is_empty() {
+            0.0
+        } else {
+            total as f64 / sizes.len() as f64
+        };
+        let total_out: usize =
+            self.out_targets.iter().map(Vec::len).sum::<usize>() + self.spill.len();
+        let mean_out_degree = if self.superblock_count == 0 {
+            0.0
+        } else {
+            total_out as f64 / self.superblock_count as f64
+        };
+        let direct_fraction = if self.events == 0 {
+            0.0
+        } else {
+            self.direct as f64 / self.events as f64
+        };
+        TraceSummary {
+            superblock_count: self.superblock_count,
+            accesses: self.events,
+            total_code_bytes: total,
+            median_size,
+            mean_size,
+            mean_out_degree,
+            direct_fraction,
+        }
+    }
+}
+
+/// Failure while saving or loading a [`TraceLog`] — JSON or binary.
 #[derive(Debug)]
 pub enum TraceLogError {
     /// The underlying reader/writer failed.
@@ -90,6 +277,13 @@ pub enum TraceLogError {
     /// The JSON parsed but did not describe a trace log; names the first
     /// missing or mistyped field.
     Malformed(&'static str),
+    /// A binary input did not start with the trace magic.
+    BadMagic,
+    /// A binary input declared a format version this build cannot read.
+    UnsupportedVersion(u16),
+    /// A binary input was structurally damaged (truncated frame, CRC
+    /// mismatch, malformed varint); names what failed to decode.
+    Corrupt(&'static str),
 }
 
 impl fmt::Display for TraceLogError {
@@ -100,6 +294,15 @@ impl fmt::Display for TraceLogError {
             TraceLogError::Malformed(what) => {
                 write!(f, "trace log structure error at field '{what}'")
             }
+            TraceLogError::BadMagic => {
+                write!(f, "not a binary trace log (bad magic)")
+            }
+            TraceLogError::UnsupportedVersion(v) => {
+                write!(f, "binary trace log version {v} is not supported")
+            }
+            TraceLogError::Corrupt(what) => {
+                write!(f, "binary trace log corrupt: {what}")
+            }
         }
     }
 }
@@ -109,7 +312,7 @@ impl std::error::Error for TraceLogError {
         match self {
             TraceLogError::Io(e) => Some(e),
             TraceLogError::Json(e) => Some(e),
-            TraceLogError::Malformed(_) => None,
+            _ => None,
         }
     }
 }
@@ -207,11 +410,30 @@ impl TraceLog {
     }
 
     /// Looks up a superblock's registry entry.
+    ///
+    /// Every in-repo producer assigns ids `0..n` in formation order, so
+    /// the registry is usually its own dense index and this is O(1); a
+    /// registry that breaks that convention degrades to a scan. Loops
+    /// that look up many ids should build a [`SuperblockIndex`] once
+    /// (see [`TraceLog::index`]) instead.
     #[must_use]
     pub fn superblock(&self, id: SuperblockId) -> Option<&SuperblockInfo> {
-        // The registry is small relative to the event stream; linear scan
-        // is fine for lookups, and replay builds its own map anyway.
+        if let Some(s) = usize::try_from(id.0)
+            .ok()
+            .and_then(|at| self.superblocks.get(at))
+        {
+            if s.id == id {
+                return Some(s);
+            }
+        }
         self.superblocks.iter().find(|s| s.id == id)
+    }
+
+    /// Builds the id → registry-position index for repeated lookups
+    /// (replay, summaries, the DBT engine's size queries).
+    #[must_use]
+    pub fn index(&self) -> SuperblockIndex {
+        SuperblockIndex::build(&self.superblocks)
     }
 
     /// The unbounded cache size: total translated bytes of all
@@ -221,53 +443,13 @@ impl TraceLog {
         self.superblocks.iter().map(|s| u64::from(s.size)).sum()
     }
 
-    /// Computes the aggregate statistics.
+    /// Computes the aggregate statistics in one pass over the events
+    /// (see [`TraceSummaryBuilder`] for the streaming form).
     #[must_use]
     pub fn summary(&self) -> TraceSummary {
-        let mut sizes: Vec<u32> = self.superblocks.iter().map(|s| s.size).collect();
-        sizes.sort_unstable();
-        let median_size = if sizes.is_empty() {
-            0
-        } else {
-            sizes[sizes.len() / 2]
-        };
-        let total: u64 = sizes.iter().map(|&s| u64::from(s)).sum();
-        let mean_size = if sizes.is_empty() {
-            0.0
-        } else {
-            total as f64 / sizes.len() as f64
-        };
-
-        let mut out_edges: BTreeMap<SuperblockId, BTreeSet<SuperblockId>> = BTreeMap::new();
-        let mut direct = 0u64;
-        for ev in &self.events {
-            let TraceEvent::Access { id, direct_from } = ev;
-            if let Some(from) = direct_from {
-                direct += 1;
-                out_edges.entry(*from).or_default().insert(*id);
-            }
-        }
-        let total_out: usize = out_edges.values().map(BTreeSet::len).sum();
-        let mean_out_degree = if self.superblocks.is_empty() {
-            0.0
-        } else {
-            total_out as f64 / self.superblocks.len() as f64
-        };
-        let direct_fraction = if self.events.is_empty() {
-            0.0
-        } else {
-            direct as f64 / self.events.len() as f64
-        };
-
-        TraceSummary {
-            superblock_count: self.superblocks.len(),
-            accesses: self.events.len() as u64,
-            total_code_bytes: total,
-            median_size,
-            mean_size,
-            mean_out_degree,
-            direct_fraction,
-        }
+        let mut b = TraceSummaryBuilder::new(&self.superblocks);
+        b.record_chunk(&self.events);
+        b.finish(&self.superblocks)
     }
 
     /// The JSON representation written by [`TraceLog::save`].
@@ -443,5 +625,90 @@ mod tests {
         let log = sample();
         assert_eq!(log.superblock(sb(1)).unwrap().size, 200);
         assert!(log.superblock(sb(9)).is_none());
+    }
+
+    fn info(id: u64, size: u32) -> SuperblockInfo {
+        SuperblockInfo {
+            id: sb(id),
+            head_pc: Pc(id * 16),
+            size,
+            guest_blocks: 1,
+            exits: 1,
+        }
+    }
+
+    #[test]
+    fn superblock_lookup_survives_unordered_registries() {
+        // Out of formation order and offset from zero: the dense fast
+        // path misses and the scan fallback must still answer.
+        let mut log = TraceLog::new("odd");
+        for id in [5u64, 3, 9] {
+            log.record_superblock(info(id, id as u32 * 10));
+        }
+        assert_eq!(log.superblock(sb(3)).unwrap().size, 30);
+        assert_eq!(log.superblock(sb(9)).unwrap().size, 90);
+        assert!(log.superblock(sb(0)).is_none());
+    }
+
+    #[test]
+    fn index_dense_and_sparse_agree() {
+        // Dense ids.
+        let dense: Vec<_> = (0..50).map(|i| info(i, 10)).collect();
+        let idx = SuperblockIndex::build(&dense);
+        for (pos, s) in dense.iter().enumerate() {
+            assert_eq!(idx.position(s.id), Some(pos));
+        }
+        assert_eq!(idx.position(sb(50)), None);
+
+        // Sparse ids force the sorted fallback.
+        let sparse: Vec<_> = (0..50).map(|i| info(i * 1_000_000, 10)).collect();
+        let idx = SuperblockIndex::build(&sparse);
+        for (pos, s) in sparse.iter().enumerate() {
+            assert_eq!(idx.position(s.id), Some(pos));
+        }
+        assert_eq!(idx.position(sb(17)), None);
+        assert_eq!(idx.position(sb(u64::MAX)), None);
+    }
+
+    #[test]
+    fn index_first_entry_wins_on_duplicates() {
+        let dup = vec![info(4, 1), info(4, 2), info(7, 3)];
+        let idx = SuperblockIndex::build(&dup);
+        assert_eq!(idx.position(sb(4)), Some(0), "first registration wins");
+
+        let mut sparse = dup.clone();
+        sparse.push(info(1 << 40, 4)); // force the sorted fallback
+        let idx = SuperblockIndex::build(&sparse);
+        assert_eq!(idx.position(sb(4)), Some(0), "first registration wins");
+    }
+
+    #[test]
+    fn empty_index_answers_nothing() {
+        let idx = SuperblockIndex::build(&[]);
+        assert_eq!(idx.position(sb(0)), None);
+    }
+
+    #[test]
+    fn builder_matches_whole_trace_summary_in_chunks() {
+        let log = sample();
+        for chunk in [1usize, 2, 5] {
+            let mut b = TraceSummaryBuilder::new(&log.superblocks);
+            for piece in log.events.chunks(chunk) {
+                b.record_chunk(piece);
+            }
+            assert_eq!(b.finish(&log.superblocks), log.summary(), "chunk={chunk}");
+        }
+    }
+
+    #[test]
+    fn summary_tolerates_unregistered_chain_sources() {
+        // Historical behaviour: edges from ids missing from the registry
+        // still count toward the distinct-edge total.
+        let mut log = sample();
+        log.record_access(sb(2), Some(sb(77)));
+        log.record_access(sb(2), Some(sb(77))); // duplicate edge
+        let s = log.summary();
+        // Edges: 0→1, 1→2, 77→2 ⇒ 3 over 3 superblocks.
+        assert!((s.mean_out_degree - 1.0).abs() < 1e-9);
     }
 }

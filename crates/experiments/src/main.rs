@@ -16,6 +16,7 @@
 #![deny(unsafe_code)]
 
 mod all;
+mod bench_io;
 mod chaining;
 mod extensions;
 mod fig9;
@@ -39,10 +40,12 @@ pub struct Options {
     pub out: Option<String>,
     /// Benchmark name for the `trace` tool.
     pub bench: Option<String>,
-    /// Saved-log path for the `replay` tool.
+    /// Saved-log path for the `replay`/`convert` tools.
     pub log: Option<String>,
     /// Cache pressure for the `replay` tool.
     pub pressure: Option<u32>,
+    /// Trace encoding for the `trace`/`convert` tools (`json`/`binary`).
+    pub format: Option<String>,
     /// Simulation worker threads (`--jobs`); `None` defers to the
     /// `CCE_JOBS` environment variable, then to available parallelism.
     pub jobs: Option<usize>,
@@ -59,6 +62,7 @@ impl Default for Options {
             bench: None,
             log: None,
             pressure: None,
+            format: None,
             jobs: None,
             verbose: true,
         }
@@ -68,7 +72,11 @@ impl Default for Options {
 fn usage() -> &'static str {
     "usage: cce-experiments <command> [--scale F] [--seed N] [--jobs N] [--out PATH] [--quiet]\n\
      commands: table1 fig3 fig4 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 \
-     table2 sec5_3 ablation future_work stability multiprog analysis shards all\n     tools: trace --bench <name> --out <path> | replay --log <path> [--pressure N]"
+     table2 sec5_3 ablation future_work stability multiprog analysis shards all\n     \
+     tools: trace --bench <name> --out <path> [--format json|binary] | \
+     replay --log <path> [--pressure N] | \
+     convert --log <in> --out <out> [--format json|binary] | \
+     bench_trace_io [--scale F] [--out PATH]"
 }
 
 fn parse_args(args: &[String]) -> Result<(String, Options), String> {
@@ -106,6 +114,10 @@ fn parse_args(args: &[String]) -> Result<(String, Options), String> {
                 i += 1;
                 let v = args.get(i).ok_or("--pressure needs a value")?;
                 opts.pressure = Some(v.parse().map_err(|_| format!("bad pressure: {v}"))?);
+            }
+            "--format" => {
+                i += 1;
+                opts.format = Some(args.get(i).ok_or("--format needs a value")?.clone());
             }
             "--jobs" => {
                 i += 1;
@@ -151,6 +163,8 @@ fn run(cmd: &str, opts: &Options) -> Result<String, String> {
         "shards" => shards::shards(opts),
         "trace" => return tools::trace(opts),
         "replay" => return tools::replay(opts),
+        "convert" => return tools::convert(opts),
+        "bench_trace_io" => return bench_io::bench_trace_io(opts),
         "all" => all::all(opts),
         other => return Err(format!("unknown command: {other}\n{}", usage())),
     };
@@ -169,7 +183,8 @@ fn main() -> ExitCode {
     match run(&cmd, &opts) {
         Ok(output) => {
             println!("{output}");
-            let skip_generic_write = cmd == "trace"; // trace wrote its own file
+            // These tools write their own --out file in a non-text format.
+            let skip_generic_write = matches!(cmd.as_str(), "trace" | "convert" | "bench_trace_io");
             if let Some(path) = opts.out.as_ref().filter(|_| !skip_generic_write) {
                 if let Err(e) = std::fs::write(path, &output) {
                     eprintln!("failed to write {path}: {e}");

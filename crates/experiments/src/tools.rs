@@ -1,17 +1,52 @@
-//! Utility commands: dump benchmark traces to disk and replay saved logs
-//! — the paper's save-and-reuse workflow as a command-line tool.
+//! Utility commands: dump benchmark traces to disk (JSON or binary),
+//! convert saved logs between the two formats, and replay saved logs —
+//! the paper's save-and-reuse workflow as a command-line tool.
 
 use crate::Options;
 use cce_core::Granularity;
-use cce_sim::pressure::{capacity_for_pressure, effective_granularity};
+use cce_dbt::trace_bin;
+use cce_dbt::{SharedTrace, TraceLog};
+use cce_sim::pressure::{capacity_for_pressure, effective_granularity, TraceSizing};
 use cce_sim::report::{pct, TextTable};
-use cce_sim::simulator::{simulate, SimConfig};
+use cce_sim::simulator::{simulate_source, SimConfig};
 use cce_workloads::catalog;
 use std::fmt::Write as _;
+use std::path::Path;
 
-/// `trace`: generate a benchmark's access trace and write it as JSON.
+/// The `--format` flag resolved: how a tool should write a trace log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceFormat {
+    /// Human-readable JSON ([`TraceLog::save`]).
+    Json,
+    /// Chunked binary (`trace_bin`, DESIGN.md §11).
+    Binary,
+}
+
+impl TraceFormat {
+    /// Parses `--format` (defaulting to JSON when absent).
+    pub fn from_flag(flag: Option<&str>) -> Result<TraceFormat, String> {
+        match flag {
+            None | Some("json") => Ok(TraceFormat::Json),
+            Some("binary") | Some("bin") => Ok(TraceFormat::Binary),
+            Some(other) => Err(format!("unknown --format {other} (json|binary)")),
+        }
+    }
+}
+
+fn write_log(log: &TraceLog, out: &str, format: TraceFormat) -> Result<(), String> {
+    let file = std::fs::File::create(out).map_err(|e| format!("create {out}: {e}"))?;
+    let w = std::io::BufWriter::new(file);
+    match format {
+        TraceFormat::Json => log.save(w),
+        TraceFormat::Binary => log.save_binary(w),
+    }
+    .map_err(|e| format!("write {out}: {e}"))
+}
+
+/// `trace`: generate a benchmark's access trace and write it to disk.
 ///
-/// Requires `--bench <name>` and `--out <path>`.
+/// Requires `--bench <name>` and `--out <path>`; `--format json|binary`
+/// picks the encoding (default JSON).
 pub fn trace(opts: &Options) -> Result<String, String> {
     let bench = opts
         .bench
@@ -20,12 +55,11 @@ pub fn trace(opts: &Options) -> Result<String, String> {
     let out = opts
         .out
         .as_deref()
-        .ok_or("trace requires --out <path> for the JSON log")?;
+        .ok_or("trace requires --out <path> for the log")?;
+    let format = TraceFormat::from_flag(opts.format.as_deref())?;
     let model = catalog::by_name(bench).ok_or_else(|| format!("unknown benchmark {bench}"))?;
     let log = model.trace(opts.scale, opts.seed);
-    let file = std::fs::File::create(out).map_err(|e| format!("create {out}: {e}"))?;
-    log.save(std::io::BufWriter::new(file))
-        .map_err(|e| format!("write {out}: {e}"))?;
+    write_log(&log, out, format)?;
     let s = log.summary();
     let mut msg = String::new();
     let _ = writeln!(
@@ -41,8 +75,44 @@ pub fn trace(opts: &Options) -> Result<String, String> {
     Ok(msg)
 }
 
-/// `replay`: load a saved JSON trace and simulate it at one or all
-/// granularities.
+/// `convert`: re-encode a saved trace log. The input format is
+/// auto-detected by magic; the output format is `--format` if given,
+/// otherwise the opposite of the input (JSON ↔ binary).
+///
+/// Requires `--log <in>` and `--out <out>`.
+pub fn convert(opts: &Options) -> Result<String, String> {
+    let path = opts
+        .log
+        .as_deref()
+        .ok_or("convert requires --log <path to a saved trace>")?;
+    let out = opts.out.as_deref().ok_or("convert requires --out <path>")?;
+    let bytes = std::fs::read(path).map_err(|e| format!("read {path}: {e}"))?;
+    let (log, from) = if trace_bin::is_binary(&bytes) {
+        let log =
+            trace_bin::load_binary(bytes.as_slice()).map_err(|e| format!("parse {path}: {e}"))?;
+        (log, TraceFormat::Binary)
+    } else {
+        let log = TraceLog::load(bytes.as_slice()).map_err(|e| format!("parse {path}: {e}"))?;
+        (log, TraceFormat::Json)
+    };
+    let to = match opts.format.as_deref() {
+        Some(f) => TraceFormat::from_flag(Some(f))?,
+        None => match from {
+            TraceFormat::Json => TraceFormat::Binary,
+            TraceFormat::Binary => TraceFormat::Json,
+        },
+    };
+    write_log(&log, out, to)?;
+    Ok(format!(
+        "converted {path} ({from:?}) -> {out} ({to:?}): {} superblocks, {} events\n",
+        log.superblocks.len(),
+        log.events.len()
+    ))
+}
+
+/// `replay`: load a saved trace (JSON or binary, auto-detected — binary
+/// logs are streamed in through the decode thread) and simulate it at
+/// one or all granularities.
 ///
 /// Requires `--log <path>`; `--pressure <n>` defaults to 2.
 pub fn replay(opts: &Options) -> Result<String, String> {
@@ -50,23 +120,17 @@ pub fn replay(opts: &Options) -> Result<String, String> {
         .log
         .as_deref()
         .ok_or("replay requires --log <path to a saved trace>")?;
-    let file = std::fs::File::open(path).map_err(|e| format!("open {path}: {e}"))?;
-    let log = cce_dbt::TraceLog::load(std::io::BufReader::new(file))
-        .map_err(|e| format!("parse {path}: {e}"))?;
+    // Decode once (streamed for binary), replay the shared chunks at
+    // every granularity — the sweep pattern in miniature.
+    let trace = SharedTrace::open(Path::new(path)).map_err(|e| format!("load {path}: {e}"))?;
     let pressure = opts.pressure.unwrap_or(2);
-    let capacity = capacity_for_pressure(log.max_cache_bytes(), pressure);
-    let max_block = log
-        .superblocks
-        .iter()
-        .map(|s| u64::from(s.size))
-        .max()
-        .unwrap_or(1);
+    let sizing = TraceSizing::of_source(&trace);
+    let capacity = capacity_for_pressure(sizing.max_cache_bytes, pressure);
 
     let mut t = TextTable::new(
         &format!(
             "Replay of {} ({} accesses) at pressure {pressure} ({capacity} B)",
-            log.name,
-            log.events.len()
+            trace.name, trace.event_count
         ),
         [
             "granularity",
@@ -77,9 +141,9 @@ pub fn replay(opts: &Options) -> Result<String, String> {
         ],
     );
     for g in Granularity::spectrum(8) {
-        let eff = effective_granularity(g, capacity, max_block);
-        let r = simulate(
-            &log,
+        let eff = effective_granularity(g, capacity, sizing.max_block_bytes);
+        let r = simulate_source(
+            &trace,
             &SimConfig {
                 granularity: eff,
                 capacity,
@@ -112,10 +176,8 @@ mod tests {
             seed: 5,
             out: Some(path.clone()),
             bench: Some("mcf".to_owned()),
-            log: None,
-            pressure: None,
-            jobs: None,
             verbose: false,
+            ..Options::default()
         };
         let msg = trace(&opts).unwrap();
         assert!(msg.contains("superblocks"));
@@ -131,6 +193,74 @@ mod tests {
         assert!(table.contains("FLUSH"));
         assert!(table.contains("FIFO"));
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn binary_trace_convert_and_replay_agree_with_json() {
+        let dir = std::env::temp_dir().join("cce_tools_bin_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let jpath = dir.join("gzip.json").to_string_lossy().into_owned();
+        let bpath = dir.join("gzip.cbt").to_string_lossy().into_owned();
+        let back = dir.join("gzip_back.json").to_string_lossy().into_owned();
+
+        // Write the same workload in both encodings.
+        let base = Options {
+            scale: 0.05,
+            seed: 3,
+            bench: Some("gzip".to_owned()),
+            verbose: false,
+            ..Options::default()
+        };
+        trace(&Options {
+            out: Some(jpath.clone()),
+            ..base.clone()
+        })
+        .unwrap();
+        trace(&Options {
+            out: Some(bpath.clone()),
+            format: Some("binary".to_owned()),
+            ..base.clone()
+        })
+        .unwrap();
+
+        // convert binary -> JSON roundtrips to the original JSON log.
+        let msg = convert(&Options {
+            log: Some(bpath.clone()),
+            out: Some(back.clone()),
+            ..Options::default()
+        })
+        .unwrap();
+        assert!(msg.contains("Binary) -> "));
+        let a = TraceLog::load(std::fs::File::open(&jpath).unwrap()).unwrap();
+        let b = TraceLog::load(std::fs::File::open(&back).unwrap()).unwrap();
+        assert_eq!(a, b);
+
+        // Replaying the streamed binary matches replaying the JSON.
+        let replay_of = |p: &str| {
+            replay(&Options {
+                log: Some(p.to_owned()),
+                pressure: Some(3),
+                ..Options::default()
+            })
+            .unwrap()
+        };
+        assert_eq!(replay_of(&jpath), replay_of(&bpath));
+
+        for p in [&jpath, &bpath, &back] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn bad_format_flag_is_an_error() {
+        let opts = Options {
+            bench: Some("mcf".to_owned()),
+            out: Some("/tmp/x.json".to_owned()),
+            format: Some("xml".to_owned()),
+            ..Options::default()
+        };
+        assert!(trace(&opts).unwrap_err().contains("unknown --format"));
+        assert!(convert(&Options::default()).unwrap_err().contains("--log"));
     }
 
     #[test]

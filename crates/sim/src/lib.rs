@@ -9,6 +9,9 @@
 //! * [`simulator`] — replays a [`cce_dbt::TraceLog`] against a
 //!   [`cce_core::CodeCache`] of any granularity and charges the overhead
 //!   models for every miss, eviction invocation and unlink operation;
+//!   the chunk-oriented core also ingests streaming binary traces
+//!   ([`cce_dbt::TraceReader`]) with I/O overlapped against simulation
+//!   and O(chunk) peak memory;
 //! * [`metrics`] — the weighted unified miss rate (Eq. 1) and
 //!   normalization helpers for the relative-overhead figures;
 //! * [`regression`] — ordinary least squares, used both to re-derive the
@@ -63,8 +66,10 @@ pub mod sweep;
 
 pub use overhead::{LinearModel, OverheadModel};
 pub use regression::fit_line;
-pub use simulator::{simulate, SimConfig, SimError, SimResult};
-pub use sweep::{resolve_jobs, run_sharded, SweepCell, SweepPoint};
+pub use simulator::{
+    simulate, simulate_reader, simulate_source, EventSource, SimConfig, SimError, SimResult,
+};
+pub use sweep::{resolve_jobs, run_matrix, run_sharded, run_shared, SweepCell, SweepPoint};
 
 // `cce-workloads` is a dev-dependency (doc tests and integration tests
 // only), so the library proper stays decoupled from the benchmark models.

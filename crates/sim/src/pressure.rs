@@ -5,7 +5,9 @@
 //! which guarantees the replacement policy is actually stressed. These
 //! helpers run a trace across a (granularity × pressure) grid.
 
-use crate::simulator::{simulate, simulate_sharded, SimConfig, SimError, SimResult};
+use crate::simulator::{
+    simulate_source, simulate_source_sharded, EventSource, SimConfig, SimError, SimResult,
+};
 use cce_core::Granularity;
 use cce_dbt::TraceLog;
 
@@ -77,10 +79,17 @@ impl TraceSizing {
     /// Scans `trace` once for both sizing facts.
     #[must_use]
     pub fn of(trace: &TraceLog) -> TraceSizing {
+        TraceSizing::of_source(trace)
+    }
+
+    /// [`TraceSizing::of`] for any [`EventSource`] — both facts come
+    /// from the registry alone, so a streaming header is enough.
+    #[must_use]
+    pub fn of_source<T: EventSource + ?Sized>(source: &T) -> TraceSizing {
+        let registry = source.registry();
         TraceSizing {
-            max_cache_bytes: trace.max_cache_bytes(),
-            max_block_bytes: trace
-                .superblocks
+            max_cache_bytes: registry.iter().map(|s| u64::from(s.size)).sum(),
+            max_block_bytes: registry
                 .iter()
                 .map(|s| u64::from(s.size))
                 .max()
@@ -131,6 +140,23 @@ pub fn simulate_cell(
     shards: u32,
     base: &SimConfig,
 ) -> Result<SimResult, SimError> {
+    simulate_cell_source(trace, sizing, granularity, pressure, shards, base)
+}
+
+/// [`simulate_cell`] over any [`EventSource`] — a sweep feeds every cell
+/// the same decoded [`cce_dbt::SharedTrace`] chunks without re-parsing.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from the simulator.
+pub fn simulate_cell_source<T: EventSource + ?Sized>(
+    source: &T,
+    sizing: TraceSizing,
+    granularity: Granularity,
+    pressure: u32,
+    shards: u32,
+    base: &SimConfig,
+) -> Result<SimResult, SimError> {
     let capacity = capacity_for_pressure(sizing.max_cache_bytes, pressure);
     let shard_capacity = capacity / u64::from(shards.max(1));
     let config = SimConfig {
@@ -139,9 +165,9 @@ pub fn simulate_cell(
         ..*base
     };
     let mut result = if shards <= 1 {
-        simulate(trace, &config)?
+        simulate_source(source, &config)?
     } else {
-        simulate_sharded(trace, &config, shards)?
+        simulate_source_sharded(source, &config, shards)?
     };
     result.granularity_label = granularity.label();
     Ok(result)

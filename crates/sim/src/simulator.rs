@@ -6,12 +6,21 @@
 //! miss, eviction invocation and unlink operation. This is the paper's
 //! code-cache simulator (§4.1) with the overhead penalties of §4.4/§5.3
 //! built in.
+//!
+//! Replay is **chunk-oriented**: the core loop ([`simulate_event_chunks`])
+//! consumes any fallible iterator of event slices, so the same code path
+//! serves an in-memory [`TraceLog`] (one big chunk), a decoded-once
+//! [`SharedTrace`] shared across sweep cells, and a streaming
+//! [`TraceReader`] whose decoder thread overlaps file I/O with the
+//! simulation (DESIGN.md §11). The periodic link-graph census is placed
+//! by *total* event count — carried in the binary header — so every
+//! ingest path produces bit-identical [`SimResult`]s at any chunk size.
 
 use crate::overhead::OverheadModel;
 use cce_core::{
     CacheError, CacheSession, CodeCache, Granularity, InsertRequest, ShardedCache, SuperblockId,
 };
-use cce_dbt::{TraceEvent, TraceLog};
+use cce_dbt::{SharedTrace, SuperblockInfo, TraceEvent, TraceLog, TraceReader};
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
@@ -54,6 +63,9 @@ pub enum SimError {
     UnknownSuperblock(SuperblockId),
     /// The trace has no events.
     EmptyTrace,
+    /// A streaming event source failed mid-replay (I/O, corruption, or
+    /// an event count that contradicts its header).
+    Ingest(String),
 }
 
 impl fmt::Display for SimError {
@@ -64,6 +76,7 @@ impl fmt::Display for SimError {
                 write!(f, "trace references unregistered superblock {id}")
             }
             SimError::EmptyTrace => write!(f, "trace has no access events"),
+            SimError::Ingest(what) => write!(f, "trace ingest failed: {what}"),
         }
     }
 }
@@ -140,6 +153,53 @@ impl SimResult {
     }
 }
 
+/// A replayable supply of trace events: a registry plus the event stream
+/// in slice-sized chunks. Implemented by the in-memory [`TraceLog`] (one
+/// chunk) and by [`SharedTrace`] (the decode-once, `Arc`-shared chunks a
+/// sweep replays across many cells). Streaming [`TraceReader`]s are not
+/// `EventSource`s — their chunks are fallible and consumed once — and go
+/// through [`simulate_reader_session`] instead.
+pub trait EventSource {
+    /// Workload name for the result.
+    fn source_name(&self) -> &str;
+    /// The superblock registry (sizes for every id the events mention).
+    fn registry(&self) -> &[SuperblockInfo];
+    /// Total events across all chunks (drives census placement).
+    fn event_count(&self) -> u64;
+    /// The event stream, in order, in chunks.
+    fn event_chunks(&self) -> Box<dyn Iterator<Item = &[TraceEvent]> + '_>;
+}
+
+impl EventSource for TraceLog {
+    fn source_name(&self) -> &str {
+        &self.name
+    }
+    fn registry(&self) -> &[SuperblockInfo] {
+        &self.superblocks
+    }
+    fn event_count(&self) -> u64 {
+        self.events.len() as u64
+    }
+    fn event_chunks(&self) -> Box<dyn Iterator<Item = &[TraceEvent]> + '_> {
+        Box::new(std::iter::once(self.events.as_slice()))
+    }
+}
+
+impl EventSource for SharedTrace {
+    fn source_name(&self) -> &str {
+        &self.name
+    }
+    fn registry(&self) -> &[SuperblockInfo] {
+        &self.superblocks
+    }
+    fn event_count(&self) -> u64 {
+        self.event_count
+    }
+    fn event_chunks(&self) -> Box<dyn Iterator<Item = &[TraceEvent]> + '_> {
+        Box::new(self.chunks.iter().map(|c| &**c))
+    }
+}
+
 /// Replays `trace` against a cache configured by `config`.
 ///
 /// # Errors
@@ -148,8 +208,35 @@ impl SimResult {
 /// [`SimError::UnknownSuperblock`] for a malformed trace, and
 /// [`SimError::EmptyTrace`] if there is nothing to replay.
 pub fn simulate(trace: &TraceLog, config: &SimConfig) -> Result<SimResult, SimError> {
+    simulate_source(trace, config)
+}
+
+/// [`simulate`] over any [`EventSource`] — the entry point sweeps use to
+/// replay one decoded [`SharedTrace`] across many cells without copying.
+///
+/// # Errors
+///
+/// Same conditions as [`simulate`].
+pub fn simulate_source<T: EventSource + ?Sized>(
+    source: &T,
+    config: &SimConfig,
+) -> Result<SimResult, SimError> {
     let cache = CodeCache::with_granularity(config.granularity, config.capacity)?;
-    simulate_session(trace, cache, config.granularity.label(), config)
+    simulate_source_session(source, cache, config.granularity.label(), config)
+}
+
+/// [`simulate_sharded`] over any [`EventSource`].
+///
+/// # Errors
+///
+/// Same conditions as [`simulate`].
+pub fn simulate_source_sharded<T: EventSource + ?Sized>(
+    source: &T,
+    config: &SimConfig,
+    shards: u32,
+) -> Result<SimResult, SimError> {
+    let cache = ShardedCache::with_granularity(config.granularity, config.capacity, shards)?;
+    simulate_source_session(source, cache, config.granularity.label(), config)
 }
 
 /// [`simulate`] against a [`ShardedCache`]: the total capacity is split
@@ -165,8 +252,7 @@ pub fn simulate_sharded(
     config: &SimConfig,
     shards: u32,
 ) -> Result<SimResult, SimError> {
-    let cache = ShardedCache::with_granularity(config.granularity, config.capacity, shards)?;
-    simulate_session(trace, cache, config.granularity.label(), config)
+    simulate_source_sharded(trace, config, shards)
 }
 
 /// Replays `trace` against an arbitrary pre-built cache (any
@@ -196,74 +282,196 @@ pub fn simulate_cache(
 /// Same conditions as [`simulate`].
 pub fn simulate_session<S: CacheSession>(
     trace: &TraceLog,
-    mut session: S,
+    session: S,
     label: String,
     config: &SimConfig,
 ) -> Result<SimResult, SimError> {
-    if trace.events.is_empty() {
+    simulate_source_session(trace, session, label, config)
+}
+
+/// [`simulate_session`] over any [`EventSource`].
+///
+/// # Errors
+///
+/// Same conditions as [`simulate`].
+pub fn simulate_source_session<T: EventSource + ?Sized, S: CacheSession>(
+    source: &T,
+    session: S,
+    label: String,
+    config: &SimConfig,
+) -> Result<SimResult, SimError> {
+    simulate_event_chunks(
+        source.source_name(),
+        source.registry(),
+        source.event_count(),
+        source.event_chunks().map(Ok::<_, std::convert::Infallible>),
+        session,
+        label,
+        config,
+    )
+}
+
+/// Streams a binary trace straight from its reader against a cache
+/// configured by `config`: the reader's decoder thread stays one or two
+/// chunks ahead, so file I/O and varint decode overlap with the cache
+/// simulation and peak event memory is O(chunk), never O(trace).
+///
+/// # Errors
+///
+/// Same conditions as [`simulate`], plus [`SimError::Ingest`] if the
+/// stream fails mid-replay or delivers a different number of events than
+/// its header promised.
+pub fn simulate_reader(
+    reader: &mut TraceReader,
+    config: &SimConfig,
+) -> Result<SimResult, SimError> {
+    let cache = CodeCache::with_granularity(config.granularity, config.capacity)?;
+    simulate_reader_session(reader, cache, config.granularity.label(), config)
+}
+
+/// [`simulate_reader`] against a [`ShardedCache`].
+///
+/// # Errors
+///
+/// Same conditions as [`simulate_reader`].
+pub fn simulate_reader_sharded(
+    reader: &mut TraceReader,
+    config: &SimConfig,
+    shards: u32,
+) -> Result<SimResult, SimError> {
+    let cache = ShardedCache::with_granularity(config.granularity, config.capacity, shards)?;
+    simulate_reader_session(reader, cache, config.granularity.label(), config)
+}
+
+/// [`simulate_reader`] against an arbitrary pre-built [`CacheSession`].
+///
+/// The reader is consumed to its end (or first error); the census
+/// schedule comes from the header's event count, so the result is
+/// bit-identical to replaying the same trace in memory.
+///
+/// # Errors
+///
+/// Same conditions as [`simulate_reader`].
+pub fn simulate_reader_session<S: CacheSession>(
+    reader: &mut TraceReader,
+    session: S,
+    label: String,
+    config: &SimConfig,
+) -> Result<SimResult, SimError> {
+    let name = reader.name().to_owned();
+    let registry = reader.superblocks_shared();
+    let event_count = reader.event_count();
+    let chunks = std::iter::from_fn(|| reader.next_chunk());
+    simulate_event_chunks(
+        &name,
+        &registry,
+        event_count,
+        chunks,
+        session,
+        label,
+        config,
+    )
+}
+
+/// The chunked replay engine every other entry point funnels into: an
+/// event stream arrives as a fallible iterator of chunks, with the total
+/// `event_count` known up front (it fixes the link-census period, so the
+/// result does not depend on how the stream happens to be chunked).
+///
+/// # Errors
+///
+/// Same conditions as [`simulate`]; a failed chunk or an event count
+/// that contradicts `event_count` becomes [`SimError::Ingest`].
+pub fn simulate_event_chunks<S, I, C, E>(
+    name: &str,
+    registry: &[SuperblockInfo],
+    event_count: u64,
+    chunks: I,
+    mut session: S,
+    label: String,
+    config: &SimConfig,
+) -> Result<SimResult, SimError>
+where
+    S: CacheSession,
+    I: IntoIterator<Item = Result<C, E>>,
+    C: AsRef<[TraceEvent]>,
+    E: fmt::Display,
+{
+    if event_count == 0 {
         return Err(SimError::EmptyTrace);
     }
-    let sizes: HashMap<SuperblockId, u32> =
-        trace.superblocks.iter().map(|s| (s.id, s.size)).collect();
+    let sizes: HashMap<SuperblockId, u32> = registry.iter().map(|s| (s.id, s.size)).collect();
     let mut miss_overhead = 0.0;
     let mut eviction_overhead = 0.0;
     let mut unlink_overhead = 0.0;
     let mut uncacheable = 0u64;
     let mut census_intra = 0u64;
     let mut census_inter = 0u64;
-    // Sample the live link graph ~64 times over the run.
-    let census_every = (trace.events.len() / 64).max(1);
+    // Sample the live link graph ~64 times over the run. The period is a
+    // function of the *total* count, never of chunk boundaries.
+    let census_every = (usize::try_from(event_count).unwrap_or(usize::MAX) / 64).max(1);
+    let mut event_idx = 0usize;
 
-    for (event_idx, ev) in trace.events.iter().enumerate() {
-        let TraceEvent::Access { id, direct_from } = *ev;
-        let size = *sizes.get(&id).ok_or(SimError::UnknownSuperblock(id))?;
-        // Placement hint: the chain source of this direct transition, if
-        // still resident (placement-aware organizations co-locate).
-        let partner = direct_from.filter(|f| session.is_resident(*f));
-        // One call looks up and, on a miss, inserts. Eqs. 2 and 4 are
-        // linear, so the settled aggregate counts charge exactly what
-        // walking per-eviction reports used to.
-        match session.access_or_insert_quiet(InsertRequest::new(id, size).with_hint(partner)) {
-            Ok(outcome) => {
-                if let Some(summary) = outcome.inserted {
-                    miss_overhead += config.overhead.miss_cost(u64::from(size));
-                    eviction_overhead += config
-                        .overhead
-                        .eviction_cost_total(u64::from(summary.evictions), summary.bytes_evicted);
-                    if config.charge_unlinks {
-                        unlink_overhead += config.overhead.unlink_cost_total(
-                            u64::from(summary.unlink_operations),
-                            summary.links_unlinked,
+    for chunk in chunks {
+        let chunk = chunk.map_err(|e| SimError::Ingest(e.to_string()))?;
+        for ev in chunk.as_ref() {
+            let TraceEvent::Access { id, direct_from } = *ev;
+            let size = *sizes.get(&id).ok_or(SimError::UnknownSuperblock(id))?;
+            // Placement hint: the chain source of this direct transition,
+            // if still resident (placement-aware organizations co-locate).
+            let partner = direct_from.filter(|f| session.is_resident(*f));
+            // One call looks up and, on a miss, inserts. Eqs. 2 and 4 are
+            // linear, so the settled aggregate counts charge exactly what
+            // walking per-eviction reports used to.
+            match session.access_or_insert_quiet(InsertRequest::new(id, size).with_hint(partner)) {
+                Ok(outcome) => {
+                    if let Some(summary) = outcome.inserted {
+                        miss_overhead += config.overhead.miss_cost(u64::from(size));
+                        eviction_overhead += config.overhead.eviction_cost_total(
+                            u64::from(summary.evictions),
+                            summary.bytes_evicted,
                         );
+                        if config.charge_unlinks {
+                            unlink_overhead += config.overhead.unlink_cost_total(
+                                u64::from(summary.unlink_operations),
+                                summary.links_unlinked,
+                            );
+                        }
+                    }
+                }
+                // The miss was still recorded (and is still charged); the
+                // block is simulated as permanently uncached.
+                Err(CacheError::BlockTooLarge { .. }) => {
+                    miss_overhead += config.overhead.miss_cost(u64::from(size));
+                    uncacheable += 1;
+                }
+                Err(e) => return Err(SimError::Cache(e)),
+            }
+            if config.chaining {
+                if let Some(from) = direct_from {
+                    if session.is_resident(from) && session.is_resident(id) {
+                        session
+                            .link(from, id)
+                            .expect("both endpoints checked resident");
                     }
                 }
             }
-            // The miss was still recorded (and is still charged); the
-            // block is simulated as permanently uncached.
-            Err(CacheError::BlockTooLarge { .. }) => {
-                miss_overhead += config.overhead.miss_cost(u64::from(size));
-                uncacheable += 1;
+            if event_idx % census_every == census_every - 1 {
+                let (intra, inter) = session.link_census();
+                census_intra += intra;
+                census_inter += inter;
             }
-            Err(e) => return Err(SimError::Cache(e)),
+            event_idx += 1;
         }
-        if config.chaining {
-            if let Some(from) = direct_from {
-                if session.is_resident(from) && session.is_resident(id) {
-                    session
-                        .link(from, id)
-                        .expect("both endpoints checked resident");
-                }
-            }
-        }
-        if event_idx % census_every == census_every - 1 {
-            let (intra, inter) = session.link_census();
-            census_intra += intra;
-            census_inter += inter;
-        }
+    }
+    if event_idx as u64 != event_count {
+        return Err(SimError::Ingest(format!(
+            "event stream delivered {event_idx} events but promised {event_count}"
+        )));
     }
 
     Ok(SimResult {
-        name: trace.name.clone(),
+        name: name.to_owned(),
         granularity_label: label,
         capacity: session.capacity(),
         stats: session.stats_snapshot(),

@@ -15,10 +15,10 @@
 //! scans ([`TraceSizing`]) are hoisted out and computed once per trace
 //! per plan, not once per cell.
 
-use crate::pressure::{simulate_cell, TraceSizing};
-use crate::simulator::{SimConfig, SimError, SimResult};
+use crate::pressure::{simulate_cell_source, TraceSizing};
+use crate::simulator::{EventSource, SimConfig, SimError, SimResult};
 use cce_core::Granularity;
-use cce_dbt::TraceLog;
+use cce_dbt::{SharedTrace, TraceLog};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// One planned cell of a sweep, identified by axis indices so the cell
@@ -127,8 +127,50 @@ pub fn run_sharded(
     base: &SimConfig,
     jobs: usize,
 ) -> Result<Vec<SweepPoint>, SimError> {
+    run_matrix(traces, granularities, pressures, shard_counts, base, jobs)
+}
+
+/// [`run_sharded`] over decode-once [`SharedTrace`]s: a multi-gigabyte
+/// binary log is decoded exactly once (ideally streamed in through a
+/// [`cce_dbt::TraceReader`]) and every cell replays the same `Arc`'d
+/// chunks — the sweep's memory is one decoded trace, not one per worker.
+///
+/// # Errors
+///
+/// Same conditions as [`run_sharded`].
+pub fn run_shared(
+    traces: &[SharedTrace],
+    granularities: &[Granularity],
+    pressures: &[u32],
+    shard_counts: &[u32],
+    base: &SimConfig,
+    jobs: usize,
+) -> Result<Vec<SweepPoint>, SimError> {
+    run_matrix(traces, granularities, pressures, shard_counts, base, jobs)
+}
+
+/// The generic sweep core behind [`run_sharded`] and [`run_shared`]:
+/// any `Sync` [`EventSource`] works, and the determinism contract (plan
+/// order, pre-indexed slots, lowest-indexed error) is identical.
+///
+/// # Errors
+///
+/// Same conditions as [`run_sharded`].
+///
+/// # Panics
+///
+/// Panics if a worker thread panics (a simulator bug, not an I/O
+/// condition).
+pub fn run_matrix<T: EventSource + Sync>(
+    traces: &[T],
+    granularities: &[Granularity],
+    pressures: &[u32],
+    shard_counts: &[u32],
+    base: &SimConfig,
+    jobs: usize,
+) -> Result<Vec<SweepPoint>, SimError> {
     let cells = plan(traces.len(), granularities, pressures, shard_counts);
-    let sizings: Vec<TraceSizing> = traces.iter().map(TraceSizing::of).collect();
+    let sizings: Vec<TraceSizing> = traces.iter().map(TraceSizing::of_source).collect();
     let jobs = jobs.max(1).min(cells.len().max(1));
     let cursor = AtomicUsize::new(0);
 
@@ -143,7 +185,7 @@ pub fn run_sharded(
                     loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         let Some(cell) = cells.get(i) else { break };
-                        let r = simulate_cell(
+                        let r = simulate_cell_source(
                             &traces[cell.trace],
                             sizings[cell.trace],
                             cell.granularity,

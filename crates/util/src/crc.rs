@@ -1,0 +1,107 @@
+//! CRC-32 (ISO-HDLC), the per-chunk integrity check of the binary trace
+//! format (DESIGN.md §11).
+//!
+//! The reflected polynomial `0xEDB88320` with init/xorout `0xFFFFFFFF` —
+//! the same parameters as zlib's `crc32`, so saved traces can be checked
+//! with standard tooling. Table-driven, one 256-entry LUT computed at
+//! compile time; no external crates.
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+const TABLE: [u32; 256] = build_table();
+
+/// Incremental CRC-32 state, for hashing a stream in pieces.
+#[derive(Debug, Clone, Copy)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Crc32 {
+        Crc32::new()
+    }
+}
+
+impl Crc32 {
+    /// A fresh checksum (init value `0xFFFFFFFF`).
+    #[must_use]
+    pub fn new() -> Crc32 {
+        Crc32 { state: !0 }
+    }
+
+    /// Folds `bytes` into the running checksum.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut crc = self.state;
+        for &b in bytes {
+            crc = (crc >> 8) ^ TABLE[((crc ^ u32::from(b)) & 0xff) as usize];
+        }
+        self.state = crc;
+    }
+
+    /// The final checksum (xorout applied); the state remains usable.
+    #[must_use]
+    pub fn finish(&self) -> u32 {
+        !self.state
+    }
+}
+
+/// One-shot CRC-32 of `bytes`.
+#[must_use]
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = Crc32::new();
+    c.update(bytes);
+    c.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // The standard check value for CRC-32/ISO-HDLC.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn incremental_matches_one_shot() {
+        let data = b"chunked trace payload bytes";
+        let mut c = Crc32::new();
+        for piece in data.chunks(5) {
+            c.update(piece);
+        }
+        assert_eq!(c.finish(), crc32(data));
+    }
+
+    #[test]
+    fn single_bit_corruption_changes_the_checksum() {
+        let mut data = b"eviction granularity".to_vec();
+        let clean = crc32(&data);
+        data[7] ^= 0x10;
+        assert_ne!(crc32(&data), clean);
+    }
+}

@@ -8,15 +8,22 @@
 //!   `gen_range`/`gen_bool` surface mirroring the subset of `rand` the
 //!   workload generators use;
 //! * [`json`] — a small JSON value model with an emitter and a
-//!   recursive-descent parser, enough to persist trace logs and reports.
+//!   recursive-descent parser, enough to persist trace logs and reports;
+//! * [`varint`] — LEB128 variable-length integers, the wire encoding of
+//!   the binary trace format (DESIGN.md §11);
+//! * [`crc`] — CRC-32 (ISO-HDLC, zlib-compatible), the per-chunk
+//!   integrity check of the binary trace format.
 //!
-//! Both modules use only `std` and are deterministic across platforms —
+//! All modules use only `std` and are deterministic across platforms —
 //! a requirement for the reproducibility contract in DESIGN.md.
 
 #![deny(unsafe_code)]
 
+pub mod crc;
 pub mod json;
 pub mod rng;
+pub mod varint;
 
+pub use crc::{crc32, Crc32};
 pub use json::Json;
 pub use rng::{Rng, StdRng};

@@ -5,14 +5,16 @@
 //! 3. re-run with a pressured cache at two granularities;
 //! 4. re-run with chaining disabled (the Table 2 scenario);
 //! 5. save the trace log, reload it, and replay it in the simulator —
-//!    the paper's save-and-reuse methodology.
+//!    the paper's save-and-reuse methodology;
+//! 6. save the same log in the chunked binary format and replay it
+//!    *streaming* — decode overlapped with simulation, identical result.
 //!
 //! Run with: `cargo run --release --example dbt_pipeline`
 
 use cce::core::Granularity;
 use cce::dbt::engine::{Engine, EngineConfig};
-use cce::dbt::TraceLog;
-use cce::sim::simulator::{simulate, SimConfig};
+use cce::dbt::{TraceLog, TraceReader};
+use cce::sim::simulator::{simulate, simulate_reader, SimConfig};
 use cce::tinyvm::gen::{generate, GenConfig};
 use std::error::Error;
 
@@ -82,20 +84,38 @@ fn main() -> Result<(), Box<dyn Error>> {
     trace.save(std::fs::File::create(&path)?)?;
     let reloaded = TraceLog::load(std::fs::File::open(&path)?)?;
     assert_eq!(trace, reloaded);
-    let result = simulate(
-        &reloaded,
-        &SimConfig {
-            granularity: Granularity::units(4),
-            capacity: (reloaded.max_cache_bytes() / 2).max(4096),
-            ..SimConfig::default()
-        },
-    )?;
+    let sim_cfg = SimConfig {
+        granularity: Granularity::units(4),
+        capacity: (reloaded.max_cache_bytes() / 2).max(4096),
+        ..SimConfig::default()
+    };
+    let result = simulate(&reloaded, &sim_cfg)?;
     println!(
         "\nreplayed saved log at pressure 2, 4-unit FIFO: miss rate {:.2}%, \
          overhead {:.2e} instructions",
         result.stats.miss_rate() * 100.0,
         result.total_overhead()
     );
+    let json_len = std::fs::metadata(&path)?.len();
     std::fs::remove_file(&path).ok();
+
+    // 5) The same log as a chunked binary file, replayed streaming: the
+    //    decode thread stays a couple of chunks ahead of the simulator,
+    //    so peak memory is O(chunk) — and the result is bit-identical.
+    let bin_path = std::env::temp_dir().join("cce_dbt_pipeline_trace.cbt");
+    // Small chunks so the bounded buffering is visible on a demo-sized
+    // trace (production files use the 64K-event default).
+    cce::dbt::trace_bin::save_binary_chunked(&trace, std::fs::File::create(&bin_path)?, 2048)?;
+    let mut reader = TraceReader::open(&bin_path)?;
+    let streamed = simulate_reader(&mut reader, &sim_cfg)?;
+    assert_eq!(result, streamed, "streaming replay must match in-memory");
+    println!(
+        "streamed binary log ({} bytes vs {json_len} JSON): identical result, \
+         peak buffered events {} of {}",
+        std::fs::metadata(&bin_path)?.len(),
+        reader.high_water_events(),
+        trace.events.len()
+    );
+    std::fs::remove_file(&bin_path).ok();
     Ok(())
 }
