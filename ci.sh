@@ -9,6 +9,16 @@ cargo clippy --workspace --all-targets -- -D warnings
 cargo build --release
 cargo test -q
 cargo run -p cce-analyze -- --baseline analyze-baseline.json
+# Concurrent conformance at a pinned thread axis: per-tenant event
+# streams must be byte-identical to solo runs both single-threaded and
+# under real contention.
+CCE_TEST_THREADS=1 cargo test -q -p cce-core --test concurrent_conformance
+CCE_TEST_THREADS=4 cargo test -q -p cce-core --test concurrent_conformance
 # Trace-I/O micro-benchmark: regenerates BENCH_trace_io.json so the
 # binary decode path's advantage over JSON stays visible in review.
 cargo run --release -p cce-experiments -- bench_trace_io --scale 0.2 --quiet --out BENCH_trace_io.json
+# Concurrent-serving micro-benchmark: regenerates BENCH_concurrent.json.
+# Reports throughput per thread count; no scaling ratio is asserted
+# because CI hosts may expose a single hardware thread (the JSON records
+# available_parallelism alongside the timings).
+cargo run --release -p cce-experiments -- bench_concurrent --scale 0.2 --quiet --out BENCH_concurrent.json

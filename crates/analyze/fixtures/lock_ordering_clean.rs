@@ -1,0 +1,32 @@
+//! Fixture: every shard-lock acquisition goes through the canonical
+//! ascending-order helpers; tenant/arbiter locks are out of scope.
+//! Expected: no findings.
+
+use std::sync::{MutexGuard, PoisonError};
+
+impl ConcurrentCache {
+    fn lock_shard(&self, s: usize) -> MutexGuard<'_, ShardSlot> {
+        self.shards[s].lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn lock_shard_pair(
+        &self,
+        a: usize,
+        b: usize,
+    ) -> (MutexGuard<'_, ShardSlot>, MutexGuard<'_, ShardSlot>) {
+        let first = self.shards[a.min(b)].lock().unwrap_or_else(PoisonError::into_inner);
+        let second = self.shards[a.max(b)].lock().unwrap_or_else(PoisonError::into_inner);
+        if a < b {
+            (first, second)
+        } else {
+            (second, first)
+        }
+    }
+
+    fn well_behaved(&self, s: usize, t: usize) -> u64 {
+        let tenant = self.tenants[t].lock().unwrap_or_else(PoisonError::into_inner);
+        let shard = self.lock_shard(s);
+        drop(tenant);
+        shard.used()
+    }
+}

@@ -1,0 +1,22 @@
+//! Fixture: shard locks acquired outside the canonical helpers.
+//! Expected: three lock-ordering findings (lines 13, 18 and 19); the
+//! acquisition inside `lock_shard` itself is exempt.
+
+use std::sync::PoisonError;
+
+impl ConcurrentCache {
+    fn lock_shard(&self, s: usize) -> std::sync::MutexGuard<'_, ShardSlot> {
+        self.shards[s].lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn rogue_single(&self, s: usize) -> u64 {
+        let guard = self.shards[s].lock().unwrap_or_else(PoisonError::into_inner);
+        guard.used()
+    }
+
+    fn rogue_pair(&self, a: usize, b: usize) {
+        let first = self.shards[a].lock().unwrap_or_else(PoisonError::into_inner);
+        let second = self.shards[b].lock().unwrap_or_else(PoisonError::into_inner);
+        drop((first, second));
+    }
+}

@@ -15,13 +15,12 @@
 //!   `analyze-baseline.json` so the count only goes down.
 //! * **event-protocol** — `CacheEvent::EvictionBegin`/`EvictionEnd`
 //!   are constructed only inside `cce-core`'s event machinery
-//!   (including the shard layer's event-rewriting sink); organizations
-//!   must stream through `EvictionScope`.
-//! * **deprecated-caller** — no non-test in-repo calls to the
-//!   `#[deprecated]` insert/flush shims (`insert_hinted`,
-//!   `insert_evented`, `insert_with_events`, `flush_with_events`);
-//!   everything goes through `InsertRequest` + `insert_request`/`flush`
-//!   or the `CacheSession` trait.
+//!   (including the shard and concurrent layers' event-rewriting
+//!   sinks); organizations must stream through `EvictionScope`.
+//! * **lock-ordering** — in `cce-core`, a shard lock is acquired only
+//!   inside the two canonical helpers (`lock_shard`,
+//!   `lock_shard_pair`), which take locks in ascending shard index;
+//!   any other `shards[…].lock()` is a deadlock hazard.
 //!
 //! Built on a hand-rolled lexer ([`lexer`]) because the offline CI
 //! cannot fetch `syn`; the lints ([`lints`]) are token-pattern passes,
@@ -55,12 +54,13 @@ const EVENT_ALLOWED: &[&str] = &[
     "crates/core/src/events.rs",
     "crates/core/src/cache.rs",
     "crates/core/src/shard.rs",
+    "crates/core/src/concurrent.rs",
     "crates/core/src/testutil.rs",
 ];
 
-/// The file defining the deprecated insert/flush shims; its bodies may
-/// mention the shim names without being callers to migrate.
-const DEPRECATED_DEFINITION_SITE: &str = "crates/core/src/cache.rs";
+/// The crate holding the concurrent serving layer; the lock-ordering
+/// lint runs on its sources.
+const LOCK_CRATE: &str = "core";
 
 /// The analyzer's own sources are exempt: its lint tables spell out the
 /// constants and method names it searches for.
@@ -79,7 +79,7 @@ pub fn lint_set_for(rel: &str) -> LintSet {
         cost_constant: rel != COST_DEFINITION_SITE,
         panic_path: PANIC_CRATES.contains(&krate),
         event_protocol: !EVENT_ALLOWED.contains(&rel),
-        deprecated_caller: rel != DEPRECATED_DEFINITION_SITE,
+        lock_ordering: krate == LOCK_CRATE,
     }
 }
 
@@ -168,6 +168,7 @@ mod tests {
     fn scoping_follows_the_lint_catalog() {
         let sim = lint_set_for("crates/sim/src/simulator.rs");
         assert!(sim.nondet_iter && sim.cost_constant && sim.panic_path && sim.event_protocol);
+        assert!(!sim.lock_ordering, "lock-ordering is scoped to cce-core");
 
         let overhead = lint_set_for(COST_DEFINITION_SITE);
         assert!(!overhead.cost_constant, "the definition site is exempt");
@@ -178,21 +179,21 @@ mod tests {
             !events.event_protocol,
             "event machinery may construct events"
         );
-        assert!(events.panic_path && events.deprecated_caller);
+        assert!(events.panic_path && events.lock_ordering);
 
         let shard = lint_set_for("crates/core/src/shard.rs");
         assert!(
             !shard.event_protocol,
             "the shard layer rewrites settled event streams"
         );
-        assert!(shard.panic_path && shard.deprecated_caller);
+        assert!(shard.panic_path && shard.lock_ordering);
 
-        let cache = lint_set_for(DEPRECATED_DEFINITION_SITE);
+        let concurrent = lint_set_for("crates/core/src/concurrent.rs");
         assert!(
-            !cache.deprecated_caller,
-            "the shim definition site is exempt"
+            !concurrent.event_protocol,
+            "the concurrent layer rewrites settled event streams"
         );
-        assert!(cache.panic_path && !cache.event_protocol);
+        assert!(concurrent.lock_ordering, "the lock lint owns its home");
 
         let workloads = lint_set_for("crates/workloads/src/access.rs");
         assert!(

@@ -17,7 +17,7 @@ pub const PANIC_PATH: &str = "panic-path";
 /// See [`NONDET_ITER`].
 pub const EVENT_PROTOCOL: &str = "event-protocol";
 /// See [`NONDET_ITER`].
-pub const DEPRECATED_CALLER: &str = "deprecated-caller";
+pub const LOCK_ORDERING: &str = "lock-ordering";
 
 /// One diagnostic.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -54,8 +54,8 @@ pub struct LintSet {
     pub panic_path: bool,
     /// Run the event-protocol lint.
     pub event_protocol: bool,
-    /// Run the deprecated-caller lint.
-    pub deprecated_caller: bool,
+    /// Run the lock-ordering lint.
+    pub lock_ordering: bool,
 }
 
 impl LintSet {
@@ -67,7 +67,7 @@ impl LintSet {
             cost_constant: true,
             panic_path: true,
             event_protocol: true,
-            deprecated_caller: true,
+            lock_ordering: true,
         }
     }
 }
@@ -90,8 +90,8 @@ pub fn run_lints(file: &str, src: &str, set: &LintSet) -> Vec<Finding> {
     if set.event_protocol {
         event_protocol(file, &lexed, &mut findings);
     }
-    if set.deprecated_caller {
-        deprecated_caller(file, &lexed, &tests, &mut findings);
+    if set.lock_ordering {
+        lock_ordering(file, &lexed, &mut findings);
     }
     findings.retain(|f| !suppressed(&lexed, f));
     findings.sort_by(|a, b| (a.line, a.lint).cmp(&(b.line, b.lint)));
@@ -528,49 +528,77 @@ fn event_protocol(file: &str, lexed: &Lexed, out: &mut Vec<Finding>) {
 }
 
 // ---------------------------------------------------------------------
-// Lint 5: deprecated-caller
+// Lint 5: lock-ordering
 // ---------------------------------------------------------------------
 
-/// The `#[deprecated]` shims over `CodeCache::insert_request`/`flush`
-/// whose in-repo callers were all migrated in the `CacheSession`
-/// redesign. The generic names of the quintet (`insert`,
-/// `access_or_insert`, `flush`) are deliberately absent — they collide
-/// with `HashMap::insert`, the `CacheSession` trait method, and the
-/// evented `flush(sink)` core respectively — so the lint tracks only
-/// the unambiguous shim names.
-const DEPRECATED_SHIMS: &[&str] = &[
-    "insert_hinted",
-    "insert_evented",
-    "insert_with_events",
-    "flush_with_events",
-];
+/// The only two functions allowed to acquire a shard lock. Both live in
+/// `crates/core/src/concurrent.rs` and take locks in ascending shard
+/// index, which is what makes the concurrent layer deadlock-free.
+const LOCK_HELPERS: &[&str] = &["lock_shard", "lock_shard_pair"];
 
-fn deprecated_caller(file: &str, lexed: &Lexed, tests: &[(usize, usize)], out: &mut Vec<Finding>) {
+/// Token-index ranges of the canonical lock helpers' bodies.
+fn lock_helper_bodies(tokens: &[Token]) -> Vec<(usize, usize)> {
+    let mut ranges = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].is_ident("fn")
+            && tokens.get(i + 1).is_some_and(|t| {
+                t.kind == TokKind::Ident && LOCK_HELPERS.contains(&t.text.as_str())
+            })
+        {
+            // Find the body `{` past the signature (params, return type).
+            let mut j = i + 2;
+            let mut depth = 0i32;
+            while j < tokens.len() {
+                let t = &tokens[j];
+                if t.is_punct("(") || t.is_punct("[") {
+                    depth += 1;
+                } else if t.is_punct(")") || t.is_punct("]") {
+                    depth -= 1;
+                } else if depth == 0 && t.is_punct("{") {
+                    break;
+                }
+                j += 1;
+            }
+            let end = skip_balanced(tokens, j, "{", "}");
+            ranges.push((j, end));
+            i = end;
+            continue;
+        }
+        i += 1;
+    }
+    ranges
+}
+
+fn lock_ordering(file: &str, lexed: &Lexed, out: &mut Vec<Finding>) {
     let tokens = &lexed.tokens;
+    let allowed = lock_helper_bodies(tokens);
     for (i, t) in tokens.iter().enumerate() {
-        if in_test(tests, i)
-            || t.kind != TokKind::Ident
-            || !DEPRECATED_SHIMS.contains(&t.text.as_str())
+        // `….lock(` with `shards` naming the receiver a few tokens back
+        // (`self.shards[s].lock(…)` and relatives).
+        if !(t.is_ident("lock")
+            && i > 0
+            && tokens[i - 1].is_punct(".")
+            && tokens.get(i + 1).is_some_and(|t| t.is_punct("(")))
         {
             continue;
         }
-        // Call forms only: `recv.name(…)` or `Path::name(…)`. A bare
-        // `fn name(` definition has neither prefix.
-        let after_recv = i > 0 && (tokens[i - 1].is_punct(".") || tokens[i - 1].is_punct("::"));
-        let call = tokens.get(i + 1).is_some_and(|t| t.is_punct("("));
-        if after_recv && call {
-            out.push(Finding {
-                file: file.to_owned(),
-                line: t.line,
-                lint: DEPRECATED_CALLER,
-                message: format!(
-                    "call to deprecated shim `{}` in non-test code; build an \
-                     InsertRequest and use insert_request/flush (or the CacheSession \
-                     trait) — the shims exist only for downstream migration",
-                    t.text
-                ),
-            });
+        let lookback = i.saturating_sub(8);
+        if !tokens[lookback..i].iter().any(|t| t.is_ident("shards")) {
+            continue;
         }
+        if allowed.iter().any(|&(s, e)| i >= s && i < e) {
+            continue;
+        }
+        out.push(Finding {
+            file: file.to_owned(),
+            line: t.line,
+            lint: LOCK_ORDERING,
+            message: "shard lock acquired outside the canonical helpers; all shard-lock \
+                      acquisition must go through lock_shard/lock_shard_pair so locks are \
+                      always taken in ascending shard index (deadlock freedom, DESIGN.md \u{a7}12)"
+                .to_owned(),
+        });
     }
 }
 
@@ -750,39 +778,41 @@ fn bad() -> CacheEvent {
     }
 
     #[test]
-    fn deprecated_shim_calls_are_flagged_outside_tests() {
+    fn direct_shard_lock_is_flagged_helpers_are_not() {
         let src = "
-fn migrate_me(cache: &mut CodeCache) {
-    cache.insert_hinted(id, 64, None).unwrap();
-    let _ = cache.insert_evented(id, 64, None);
-    CodeCache::insert_with_events(cache, id, 64, None, &mut NullSink).unwrap();
-    cache.flush_with_events(&mut NullSink);
-}
-#[cfg(test)]
-mod tests {
-    #[test]
-    fn equivalence() { cache.insert_hinted(id, 64, None).unwrap(); }
+impl ConcurrentCache {
+    fn lock_shard(&self, s: usize) -> MutexGuard<'_, ShardSlot> {
+        self.shards[s].lock().unwrap_or_else(PoisonError::into_inner)
+    }
+    fn lock_shard_pair(&self, a: usize, b: usize) -> (MutexGuard<'_, ShardSlot>, MutexGuard<'_, ShardSlot>) {
+        let first = self.shards[a.min(b)].lock().unwrap_or_else(PoisonError::into_inner);
+        let second = self.shards[a.max(b)].lock().unwrap_or_else(PoisonError::into_inner);
+        if a < b { (first, second) } else { (second, first) }
+    }
+    fn rogue(&self, s: usize) -> u64 {
+        let guard = self.shards[s].lock().unwrap_or_else(PoisonError::into_inner);
+        guard.used()
+    }
 }";
         let f = run_all(src);
-        let dep: Vec<_> = f.iter().filter(|f| f.lint == DEPRECATED_CALLER).collect();
-        assert_eq!(dep.len(), 4, "{f:?}");
-        assert!(dep.iter().all(|f| f.line <= 6), "{dep:?}");
+        let lo: Vec<_> = f.iter().filter(|f| f.lint == LOCK_ORDERING).collect();
+        assert_eq!(lo.len(), 1, "{f:?}");
+        assert_eq!(lo[0].line, 12);
     }
 
     #[test]
-    fn shim_definitions_and_new_api_calls_are_clean() {
+    fn non_shard_locks_are_clean() {
         let src = "
-impl CodeCache {
-    pub fn insert_hinted(&mut self, id: SuperblockId, size: u32) {}
-    pub fn flush_with_events(&mut self, sink: &mut dyn EventSink) {}
-}
-fn migrated(cache: &mut CodeCache) {
-    let _ = cache.insert_request(InsertRequest::new(id, 64), &mut NullSink);
-    let _ = cache.flush(&mut NullSink);
-    map.insert(1, 2);
+impl ConcurrentCache {
+    fn review(&self) {
+        let mut ast = self.arbiter.lock().unwrap_or_else(PoisonError::into_inner);
+        let tstate = self.tenants[0].lock().unwrap_or_else(PoisonError::into_inner);
+        drop((ast, tstate));
+    }
+    fn shard_count(&self) -> usize { self.shards.len() }
 }";
         assert!(
-            run_all(src).iter().all(|f| f.lint != DEPRECATED_CALLER),
+            run_all(src).iter().all(|f| f.lint != LOCK_ORDERING),
             "{:?}",
             run_all(src)
         );

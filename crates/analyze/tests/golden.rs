@@ -96,11 +96,11 @@ fn event_protocol_pair() {
 }
 
 #[test]
-fn deprecated_caller_pair() {
+fn lock_ordering_pair() {
     assert_pair(
-        "deprecated-caller",
-        "deprecated_caller_violating.rs",
-        "deprecated_caller_clean.rs",
+        "lock-ordering",
+        "lock_ordering_violating.rs",
+        "lock_ordering_clean.rs",
         3,
     );
 }

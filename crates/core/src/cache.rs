@@ -20,14 +20,14 @@
 //! taking an [`crate::InsertRequest`]) and one flush core
 //! ([`CodeCache::flush`], taking a sink); callers usually drive either
 //! through the [`crate::CacheSession`] trait, which serves a bare
-//! `CodeCache` and a [`crate::shard::ShardedCache`] identically. The
-//! pre-redesign quintet (`insert`, `insert_hinted`, `insert_evented`,
-//! `insert_with_events`, `access_or_insert`) and `flush_with_events`
-//! survive as `#[deprecated]` one-line shims; owned reports are
-//! materialized from event streams only via [`EvictionReport::from`].
+//! `CodeCache`, a [`crate::shard::ShardedCache`] and a per-tenant
+//! [`crate::concurrent::TenantSession`] identically. The pre-redesign
+//! `#[deprecated]` shims were removed once every in-repo caller had
+//! migrated; owned reports are materialized from event streams only via
+//! [`EvictionReport::from`] / [`InsertReport::from_events`].
 
 use crate::error::CacheError;
-use crate::events::{CacheEvent, CacheObserver, EventBuffer, EventSink, NullSink};
+use crate::events::{CacheEvent, CacheObserver, EventBuffer, EventSink};
 use crate::ids::{Granularity, SuperblockId, UnitId};
 use crate::links::LinkGraph;
 use crate::org::unit_fifo::UnitFifo;
@@ -327,113 +327,6 @@ impl CodeCache {
         Ok(summary)
     }
 
-    /// Deprecated shim over [`CodeCache::insert_request`] with the events
-    /// discarded.
-    ///
-    /// # Errors
-    ///
-    /// Same conditions as [`CodeCache::insert_request`].
-    #[deprecated(
-        note = "use insert_request(InsertRequest::new(id, size).with_hint(partner), \
-                         &mut NullSink) or the CacheSession trait"
-    )]
-    pub fn insert_evented(
-        &mut self,
-        id: SuperblockId,
-        size: u32,
-        partner: Option<SuperblockId>,
-    ) -> Result<InsertSummary, CacheError> {
-        self.insert_request(
-            InsertRequest::new(id, size).with_hint(partner),
-            &mut NullSink,
-        )
-    }
-
-    /// Deprecated shim over [`CodeCache::insert_request`].
-    ///
-    /// # Errors
-    ///
-    /// Same conditions as [`CodeCache::insert_request`].
-    #[deprecated(
-        note = "use insert_request(InsertRequest::new(id, size).with_hint(partner), \
-                         sink) or the CacheSession trait"
-    )]
-    pub fn insert_with_events(
-        &mut self,
-        id: SuperblockId,
-        size: u32,
-        partner: Option<SuperblockId>,
-        sink: &mut dyn EventSink,
-    ) -> Result<InsertSummary, CacheError> {
-        self.insert_request(InsertRequest::new(id, size).with_hint(partner), sink)
-    }
-
-    /// Deprecated shim: inserts via [`CodeCache::insert_request`] and
-    /// materializes the settled stream into an owned [`InsertReport`].
-    /// Allocates.
-    ///
-    /// # Errors
-    ///
-    /// Same conditions as [`CodeCache::insert_request`].
-    #[deprecated(
-        note = "use insert_request(InsertRequest::new(id, size), sink); materialize \
-                         with InsertReport::from_events if an owned report is needed"
-    )]
-    pub fn insert(&mut self, id: SuperblockId, size: u32) -> Result<InsertReport, CacheError> {
-        let mut settled = EventBuffer::new();
-        self.insert_request(InsertRequest::new(id, size), &mut settled)?;
-        Ok(InsertReport::from_events(settled.events()))
-    }
-
-    /// Deprecated shim: like the `insert` shim, forwarding the placement
-    /// hint (`partner` is the resident superblock whose exit will
-    /// immediately be chained to the newcomer).
-    ///
-    /// # Errors
-    ///
-    /// Same conditions as [`CodeCache::insert_request`].
-    #[deprecated(
-        note = "use insert_request(InsertRequest::new(id, size).with_hint(partner), \
-                         sink); materialize with InsertReport::from_events if needed"
-    )]
-    pub fn insert_hinted(
-        &mut self,
-        id: SuperblockId,
-        size: u32,
-        partner: Option<SuperblockId>,
-    ) -> Result<InsertReport, CacheError> {
-        let mut settled = EventBuffer::new();
-        self.insert_request(
-            InsertRequest::new(id, size).with_hint(partner),
-            &mut settled,
-        )?;
-        Ok(InsertReport::from_events(settled.events()))
-    }
-
-    /// Deprecated shim: access, and on a miss insert with `size`,
-    /// returning an owned report. The trait method
-    /// [`crate::CacheSession::access_or_insert`] is the evented
-    /// replacement.
-    ///
-    /// # Errors
-    ///
-    /// Same conditions as [`CodeCache::insert_request`].
-    #[deprecated(note = "use CacheSession::access_or_insert(req, sink) \
-                         (or access_or_insert_quiet)")]
-    pub fn access_or_insert(
-        &mut self,
-        id: SuperblockId,
-        size: u32,
-    ) -> Result<(AccessResult, Option<InsertReport>), CacheError> {
-        let outcome = self.access(id);
-        if outcome.is_hit() {
-            return Ok((outcome, None));
-        }
-        let mut settled = EventBuffer::new();
-        self.insert_request(InsertRequest::new(id, size), &mut settled)?;
-        Ok((outcome, Some(InsertReport::from_events(settled.events()))))
-    }
-
     /// Chains `from → to` (the DBT patched `from`'s exit stub to jump
     /// directly to `to`). Returns `true` if the link is new.
     ///
@@ -472,10 +365,24 @@ impl CodeCache {
         Some(self.settle(sink))
     }
 
-    /// Deprecated shim over [`CodeCache::flush`].
-    #[deprecated(note = "use flush(sink) — the evented core has taken this name")]
-    pub fn flush_with_events(&mut self, sink: &mut dyn EventSink) -> Option<InsertSummary> {
-        self.flush(sink)
+    /// Swaps the organization of an **empty** cache, preserving its
+    /// statistics, its `seen` set (so miss classification survives), its
+    /// link graph and any observer. This is the capacity-re-partitioning
+    /// primitive: the Memshare-style arbiter flushes a lane, replaces its
+    /// organization at the new capacity, and re-inserts the survivors —
+    /// without forgetting which superblocks the tenant has ever seen.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache still holds resident bytes; callers must
+    /// [`CodeCache::flush`] first.
+    pub fn replace_org(&mut self, org: Box<dyn CacheOrg>) {
+        assert_eq!(
+            self.org.used(),
+            0,
+            "replace_org requires an empty cache; flush first"
+        );
+        self.org = org;
     }
 
     /// True if `id` is resident.
@@ -653,6 +560,7 @@ impl CodeCache {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::events::NullSink;
     use crate::session::CacheSession;
 
     fn sb(n: u64) -> SuperblockId {
@@ -779,18 +687,6 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_access_or_insert_shim_still_combines_the_two() {
-        let mut c = CodeCache::with_granularity(Granularity::units(4), 400).unwrap();
-        let (r, report) = c.access_or_insert(sb(9), 80).unwrap();
-        assert_eq!(r, AccessResult::ColdMiss);
-        assert!(report.is_some());
-        let (r, report) = c.access_or_insert(sb(9), 80).unwrap();
-        assert_eq!(r, AccessResult::Hit);
-        assert!(report.is_none());
-    }
-
-    #[test]
     fn manual_flush_reports_and_empties() {
         let mut c = CodeCache::with_granularity(Granularity::units(2), 200).unwrap();
         assert!(c.flush(&mut NullSink).is_none());
@@ -828,31 +724,26 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_insert_shims_match_the_core() {
-        let mut legacy = CodeCache::with_granularity(Granularity::units(4), 400).unwrap();
-        let mut evented = CodeCache::with_granularity(Granularity::units(4), 400).unwrap();
-        for i in 0..60u64 {
-            let id = sb(i % 23);
-            let size = 30 + (i % 5) as u32 * 11;
-            let (a, b) = (legacy.access(id), evented.access(id));
-            assert_eq!(a, b);
-            if a.is_miss() {
-                let report = legacy.insert(id, size).unwrap();
-                let summary = evented.insert_evented(id, size, None).unwrap();
-                assert_eq!(summary.evictions as usize, report.evictions.len());
-                assert_eq!(
-                    summary.bytes_evicted,
-                    report.evictions.iter().map(|e| e.bytes).sum::<u64>()
-                );
-                assert_eq!(summary.padding, report.padding);
-            }
-            if legacy.is_resident(id) && legacy.is_resident(sb((i + 3) % 23)) {
-                legacy.link(id, sb((i + 3) % 23)).unwrap();
-                evented.link(id, sb((i + 3) % 23)).unwrap();
-            }
-        }
-        assert_eq!(legacy.stats(), evented.stats());
+    fn replace_org_keeps_stats_and_the_seen_set() {
+        let mut c = CodeCache::with_granularity(Granularity::Superblock, 100).unwrap();
+        ins(&mut c, sb(1), 60);
+        c.access(sb(1));
+        c.flush(&mut NullSink).unwrap();
+        let stats_before = *c.stats();
+        c.replace_org(Box::new(FineFifo::new(200).unwrap()));
+        assert_eq!(c.stats(), &stats_before, "statistics must survive");
+        assert_eq!(c.capacity(), 200);
+        // The seen set survives: re-requesting sb1 is a capacity miss,
+        // not a cold one.
+        assert_eq!(c.access(sb(1)), AccessResult::CapacityMiss);
+    }
+
+    #[test]
+    #[should_panic(expected = "replace_org requires an empty cache")]
+    fn replace_org_rejects_a_nonempty_cache() {
+        let mut c = CodeCache::with_granularity(Granularity::Superblock, 100).unwrap();
+        ins(&mut c, sb(1), 60);
+        c.replace_org(Box::new(FineFifo::new(200).unwrap()));
     }
 
     #[test]

@@ -24,7 +24,9 @@
 //! graph and full statistics ([`stats::CacheStats`]). Serving goes through
 //! the narrow [`CacheSession`] trait — one evented
 //! `access_or_insert(req, sink)` core plus thin wrappers — implemented by
-//! both `CodeCache` and the sharded multi-cache [`shard::ShardedCache`].
+//! `CodeCache`, the sharded multi-cache [`shard::ShardedCache`] and the
+//! per-tenant handles of the concurrent multi-tenant layer
+//! ([`concurrent::ConcurrentSession`]).
 //!
 //! # Quick start
 //!
@@ -49,6 +51,7 @@
 #![deny(unsafe_code)]
 
 pub mod cache;
+pub mod concurrent;
 pub mod error;
 pub mod events;
 pub mod ids;
@@ -61,6 +64,10 @@ pub mod testutil;
 pub mod visualize;
 
 pub use cache::{AccessResult, CodeCache, EvictionReport, InsertReport, InsertSummary};
+pub use concurrent::{
+    ArbiterConfig, ArbiterDecision, ConcurrentSession, OrgFactory, TenantConfig, TenantId,
+    TenantSession,
+};
 pub use error::CacheError;
 pub use events::{
     CacheEvent, CacheObserver, CountingSink, EventBuffer, EventSink, EvictionScope, NullSink,

@@ -12,11 +12,12 @@
 //! * [`CacheSession::flush`] — evict everything, streaming likewise.
 //!
 //! Thin convenience wrappers ([`CacheSession::access_or_insert_quiet`],
-//! [`CacheSession::flush_report`]) are provided methods, so both
-//! [`CodeCache`] and [`crate::shard::ShardedCache`] expose them for
-//! free. `cce_sim::simulator` and `cce_dbt::engine` drive either cache
-//! through this trait; the legacy `CodeCache` quintet survives as
-//! `#[deprecated]` shims over [`CodeCache::insert_request`].
+//! [`CacheSession::flush_report`]) are provided methods, so
+//! [`CodeCache`], [`crate::shard::ShardedCache`] and the per-tenant
+//! [`crate::concurrent::TenantSession`] expose them for free.
+//! `cce_sim::simulator` and `cce_dbt::engine` drive any of the three
+//! through this trait; the legacy `CodeCache` quintet of shims has been
+//! deleted — [`CodeCache::insert_request`] is the one insert core.
 
 use crate::cache::{AccessResult, CodeCache, EvictionReport, InsertReport, InsertSummary};
 use crate::error::CacheError;
@@ -321,10 +322,10 @@ mod tests {
     fn evented_core_streams_the_settled_stream() {
         let mut c = CodeCache::with_granularity(Granularity::Superblock, 100).unwrap();
         let mut buf = EventBuffer::new();
-        // UFCS: the deprecated inherent `access_or_insert(id, size)` shim
-        // shadows the trait method on a concrete `CodeCache` receiver.
-        CacheSession::access_or_insert(&mut c, InsertRequest::new(sb(1), 60), &mut buf).unwrap();
-        CacheSession::access_or_insert(&mut c, InsertRequest::new(sb(2), 60), &mut buf).unwrap();
+        c.access_or_insert(InsertRequest::new(sb(1), 60), &mut buf)
+            .unwrap();
+        c.access_or_insert(InsertRequest::new(sb(2), 60), &mut buf)
+            .unwrap();
         let evs = buf.events();
         assert_eq!(
             evs.first(),

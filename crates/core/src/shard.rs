@@ -19,14 +19,19 @@
 //! victim with *only* cross-shard fan-in pays a standalone unlink
 //! operation. Links whose *source* is evicted die with it, for free.
 //!
-//! The type implements [`CacheSession`], so `cce_sim::simulator` and
-//! `cce_dbt::engine` drive a sharded cache and a bare [`CodeCache`]
+//! Since the concurrency refactor the type is a thin single-tenant
+//! wrapper over [`crate::concurrent`]'s shared cache: the same per-shard
+//! locks, routing and cross-shard accounting that serve N tenants serve
+//! this one tenant, so the sharded and concurrent paths cannot drift
+//! apart. The type implements [`CacheSession`], so `cce_sim::simulator`
+//! and `cce_dbt::engine` drive a sharded cache and a bare [`CodeCache`]
 //! through the same trait. With N=1 the wrapper is a strict pass-through
 //! and the event stream is byte-identical to a bare cache (enforced by
 //! [`crate::testutil::assert_sessions_equivalent`] and the conformance
 //! suite in `tests/shard_conformance.rs`).
 
 use crate::cache::{AccessResult, CodeCache, InsertSummary};
+use crate::concurrent::ConcurrentCache;
 use crate::error::CacheError;
 use crate::events::{CacheEvent, EventSink};
 use crate::ids::{Granularity, SuperblockId};
@@ -68,13 +73,13 @@ pub fn shard_capacities(total_capacity: u64, shard_count: u32) -> Vec<u64> {
 
 /// Cross-shard bookkeeping the per-shard statistics cannot see: the
 /// shard-aware link graph's contribution to link creation and Eq. 4
-/// eviction charges. Folded into [`ShardedCache::stats_snapshot`].
+/// eviction charges. Folded into stats snapshots per tenant.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-struct CrossShardExtras {
-    links_created: u64,
-    unlink_operations: u64,
-    links_unlinked: u64,
-    links_dropped_free: u64,
+pub(crate) struct CrossShardExtras {
+    pub(crate) links_created: u64,
+    pub(crate) unlink_operations: u64,
+    pub(crate) links_unlinked: u64,
+    pub(crate) links_dropped_free: u64,
 }
 
 /// Rewrites one shard's settled event stream with cross-shard link
@@ -85,12 +90,12 @@ struct CrossShardExtras {
 /// are Eq. 4 charges — merged into the shard's own `Unlinked` event when
 /// one follows, or emitted standalone (one extra unlink operation)
 /// otherwise. Cross-shard *outgoing* links die with the victim, free.
-struct CrossShardSink<'a> {
+pub(crate) struct CrossShardSink<'a> {
     inner: &'a mut dyn EventSink,
     xlinks: &'a mut LinkGraph,
-    unlink_operations: u32,
-    links_unlinked: u64,
-    links_dropped_free: u64,
+    pub(crate) unlink_operations: u32,
+    pub(crate) links_unlinked: u64,
+    pub(crate) links_dropped_free: u64,
     /// Victim with cross-shard fan-in, awaiting a possible merge with
     /// the shard's own `Unlinked` event for the same block.
     pending: Option<(SuperblockId, u32)>,
@@ -99,7 +104,10 @@ struct CrossShardSink<'a> {
 }
 
 impl<'a> CrossShardSink<'a> {
-    fn new(inner: &'a mut dyn EventSink, xlinks: &'a mut LinkGraph) -> CrossShardSink<'a> {
+    pub(crate) fn new(
+        inner: &'a mut dyn EventSink,
+        xlinks: &'a mut LinkGraph,
+    ) -> CrossShardSink<'a> {
         CrossShardSink {
             inner,
             xlinks,
@@ -173,13 +181,10 @@ impl EventSink for CrossShardSink<'_> {
 
 /// N independent [`CodeCache`] shards behind one [`CacheSession`]
 /// surface, with consistent-hash routing and cross-shard link
-/// accounting.
+/// accounting: the single-tenant view of the concurrent serving core.
 #[derive(Debug)]
 pub struct ShardedCache {
-    shards: Vec<CodeCache>,
-    /// Cross-shard links only; intra-shard links live in their shard.
-    xlinks: LinkGraph,
-    extras: CrossShardExtras,
+    inner: ConcurrentCache,
 }
 
 impl ShardedCache {
@@ -190,13 +195,8 @@ impl ShardedCache {
     ///
     /// Returns [`CacheError::ZeroCapacity`] if `shards` is empty.
     pub fn new(shards: Vec<CodeCache>) -> Result<ShardedCache, CacheError> {
-        if shards.is_empty() {
-            return Err(CacheError::ZeroCapacity);
-        }
         Ok(ShardedCache {
-            shards,
-            xlinks: LinkGraph::new(),
-            extras: CrossShardExtras::default(),
+            inner: ConcurrentCache::from_shard_caches(shards)?,
         })
     }
 
@@ -230,26 +230,31 @@ impl ShardedCache {
     /// count, so routing is reproducible across runs and worker counts.
     #[must_use]
     pub fn shard_of(&self, id: SuperblockId) -> usize {
-        jump_hash(id.0, self.shards.len() as u32) as usize
+        self.inner.shard_of(id)
     }
 
-    /// The per-shard breakdown, in shard-index order.
+    /// Number of shards.
     #[must_use]
-    pub fn shards(&self) -> &[CodeCache] {
-        &self.shards
+    pub fn shard_count(&self) -> usize {
+        self.inner.shard_count()
     }
 
-    /// The cross-shard link graph (always-indirect links only).
+    /// Runs `f` against one shard's cache under its lock, for
+    /// inspection in tests and diagnostics.
+    pub fn with_shard<R>(&self, s: usize, f: impl FnOnce(&CodeCache) -> R) -> R {
+        self.inner.with_lane(s, 0, f)
+    }
+
+    /// Number of live cross-shard (always-indirect) links.
     #[must_use]
-    pub fn cross_link_graph(&self) -> &LinkGraph {
-        &self.xlinks
+    pub fn cross_link_count(&self) -> u64 {
+        self.inner.cross_link_count(0)
     }
 }
 
 impl CacheSession for ShardedCache {
     fn access(&mut self, id: SuperblockId) -> AccessResult {
-        let s = self.shard_of(id);
-        self.shards[s].access(id)
+        self.inner.access_for(0, id)
     }
 
     fn access_or_insert(
@@ -257,147 +262,47 @@ impl CacheSession for ShardedCache {
         req: InsertRequest,
         sink: &mut dyn EventSink,
     ) -> Result<AccessOutcome, CacheError> {
-        let s = self.shard_of(req.id);
-        let access = self.shards[s].access(req.id);
-        if access.is_hit() {
-            return Ok(AccessOutcome {
-                access,
-                inserted: None,
-            });
-        }
-        // A hint routed to a different shard cannot inform placement in
-        // this one; same-shard hints pass through untouched (at N=1 that
-        // is every hint, preserving bare-cache equivalence).
-        let hint = req.hint.filter(|h| self.shard_of(*h) == s);
-        let ShardedCache {
-            shards,
-            xlinks,
-            extras,
-        } = self;
-        let mut wrapper = CrossShardSink::new(sink, xlinks);
-        let mut summary = shards[s].insert_request(
-            InsertRequest::new(req.id, req.size).with_hint(hint),
-            &mut wrapper,
-        )?;
-        summary.unlink_operations += wrapper.unlink_operations;
-        summary.links_unlinked += wrapper.links_unlinked;
-        extras.unlink_operations += u64::from(wrapper.unlink_operations);
-        extras.links_unlinked += wrapper.links_unlinked;
-        extras.links_dropped_free += wrapper.links_dropped_free;
-        Ok(AccessOutcome {
-            access,
-            inserted: Some(summary),
-        })
+        self.inner.access_or_insert_for(0, req, sink)
     }
 
     fn link(&mut self, from: SuperblockId, to: SuperblockId) -> Result<bool, CacheError> {
-        let sf = self.shard_of(from);
-        let st = self.shard_of(to);
-        if sf == st {
-            return self.shards[sf].link(from, to);
-        }
-        if !self.shards[sf].is_resident(from) {
-            return Err(CacheError::NotResident(from));
-        }
-        if !self.shards[st].is_resident(to) {
-            return Err(CacheError::NotResident(to));
-        }
-        let new = self.xlinks.add_link(from, to);
-        if new {
-            self.extras.links_created += 1;
-        }
-        Ok(new)
+        self.inner.link_for(0, from, to)
     }
 
     fn flush(&mut self, sink: &mut dyn EventSink) -> Option<InsertSummary> {
-        let ShardedCache {
-            shards,
-            xlinks,
-            extras,
-        } = self;
-        let mut total: Option<InsertSummary> = None;
-        // Shard-index order: each shard flush settles its own links and,
-        // via the wrapper, the cross-shard links its victims touch —
-        // incoming ones are charged (their sources still survive at that
-        // point), outgoing ones drop free.
-        for shard in shards.iter_mut() {
-            let mut wrapper = CrossShardSink::new(&mut *sink, xlinks);
-            if let Some(mut summary) = shard.flush(&mut wrapper) {
-                summary.unlink_operations += wrapper.unlink_operations;
-                summary.links_unlinked += wrapper.links_unlinked;
-                extras.unlink_operations += u64::from(wrapper.unlink_operations);
-                extras.links_unlinked += wrapper.links_unlinked;
-                extras.links_dropped_free += wrapper.links_dropped_free;
-                let t = total.get_or_insert_with(InsertSummary::default);
-                t.padding += summary.padding;
-                t.evictions += summary.evictions;
-                t.blocks_evicted += summary.blocks_evicted;
-                t.bytes_evicted += summary.bytes_evicted;
-                t.unlink_operations += summary.unlink_operations;
-                t.links_unlinked += summary.links_unlinked;
-            }
-        }
-        total
+        self.inner.flush_for(0, sink)
     }
 
     fn is_resident(&self, id: SuperblockId) -> bool {
-        let s = self.shard_of(id);
-        self.shards[s].is_resident(id)
+        self.inner.is_resident_for(0, id)
     }
 
     fn contains_link(&self, from: SuperblockId, to: SuperblockId) -> bool {
-        if self.shard_of(from) == self.shard_of(to) {
-            self.shards[self.shard_of(from)]
-                .link_graph()
-                .contains_link(from, to)
-        } else {
-            self.xlinks.contains_link(from, to)
-        }
+        self.inner.contains_link_for(0, from, to)
     }
 
     fn capacity(&self) -> u64 {
-        self.shards.iter().map(CodeCache::capacity).sum()
+        self.inner.capacity_for(0)
     }
 
     fn used(&self) -> u64 {
-        self.shards.iter().map(CodeCache::used).sum()
+        self.inner.used_for(0)
     }
 
     fn resident_count(&self) -> usize {
-        self.shards.iter().map(CodeCache::resident_count).sum()
+        self.inner.resident_count_for(0)
     }
 
     fn granularity(&self) -> Granularity {
-        self.shards
-            .first()
-            .map_or(Granularity::Flush, CodeCache::granularity)
+        self.inner.granularity_for(0)
     }
 
     fn stats_snapshot(&self) -> CacheStats {
-        let mut stats = CacheStats::new();
-        for shard in &self.shards {
-            stats.merge(shard.stats());
-        }
-        // Cross-shard links span eviction domains, so they are
-        // inter-unit by definition; the Eq. 4 charges join the per-shard
-        // unlink counters. High-water marks stay per-shard maxima.
-        stats.links_created += self.extras.links_created;
-        stats.inter_unit_links_created += self.extras.links_created;
-        stats.unlink_operations += self.extras.unlink_operations;
-        stats.links_unlinked += self.extras.links_unlinked;
-        stats.links_dropped_free += self.extras.links_dropped_free;
-        stats
+        self.inner.stats_snapshot_for(0)
     }
 
     fn link_census(&self) -> (u64, u64) {
-        let mut intra = 0;
-        let mut inter = 0;
-        for shard in &self.shards {
-            let (a, b) = shard.link_census();
-            intra += a;
-            inter += b;
-        }
-        (intra, inter + self.xlinks.link_count())
+        self.inner.link_census_for(0)
     }
 }
 
@@ -440,8 +345,9 @@ mod tests {
                 .access_or_insert_quiet(InsertRequest::new(sb(i), 32))
                 .unwrap();
         }
-        for (i, shard) in sharded.shards().iter().enumerate() {
-            assert!(shard.resident_count() > 0, "shard {i} got nothing");
+        for i in 0..sharded.shard_count() {
+            let resident = sharded.with_shard(i, CodeCache::resident_count);
+            assert!(resident > 0, "shard {i} got nothing");
         }
         assert_eq!(sharded.resident_count(), 64);
         assert_eq!(CacheSession::capacity(&sharded), 4096);
@@ -473,6 +379,13 @@ mod tests {
         (a, other)
     }
 
+    /// Sum of every shard's own (intra-shard) live link count.
+    fn intra_link_count(sharded: &ShardedCache) -> u64 {
+        (0..sharded.shard_count())
+            .map(|i| sharded.with_shard(i, |c| c.link_graph().link_count()))
+            .sum()
+    }
+
     #[test]
     fn cross_shard_links_are_tracked_separately() {
         let mut sharded = ShardedCache::with_granularity(Granularity::units(2), 2048, 2).unwrap();
@@ -487,17 +400,14 @@ mod tests {
         assert!(!sharded.link(a, b).unwrap(), "duplicate patch is a no-op");
         assert!(sharded.contains_link(a, b));
         assert!(!sharded.contains_link(b, a));
-        assert_eq!(sharded.cross_link_graph().link_count(), 1);
+        assert_eq!(sharded.cross_link_count(), 1);
         let s = sharded.stats_snapshot();
         assert_eq!(s.links_created, 1);
         assert_eq!(s.inter_unit_links_created, 1);
         let (_, inter) = sharded.link_census();
         assert_eq!(inter, 1);
         // Both shards' own graphs stay empty.
-        assert!(sharded
-            .shards()
-            .iter()
-            .all(|c| c.link_graph().link_count() == 0));
+        assert_eq!(intra_link_count(&sharded), 0);
     }
 
     #[test]
@@ -552,14 +462,9 @@ mod tests {
         assert!(s.unlink_operations >= 1);
         assert!(s.links_unlinked >= 1);
         assert!(sharded.is_resident(a), "source must have survived");
-        assert_eq!(sharded.cross_link_graph().link_count(), 0);
+        assert_eq!(sharded.cross_link_count(), 0);
         // Link conservation across the shard boundary.
-        let live: u64 = sharded
-            .shards()
-            .iter()
-            .map(|c| c.link_graph().link_count())
-            .sum::<u64>()
-            + sharded.cross_link_graph().link_count();
+        let live = intra_link_count(&sharded) + sharded.cross_link_count();
         assert_eq!(
             s.links_created,
             s.links_unlinked + s.links_dropped_free + live
@@ -591,7 +496,7 @@ mod tests {
         let s = sharded.stats_snapshot();
         assert_eq!(s.unlink_operations, 0, "source death unpatches nothing");
         assert_eq!(s.links_dropped_free, 1);
-        assert_eq!(sharded.cross_link_graph().link_count(), 0);
+        assert_eq!(sharded.cross_link_count(), 0);
     }
 
     #[test]
@@ -613,14 +518,14 @@ mod tests {
         let summary = sharded.flush(&mut NullSink).expect("cache was nonempty");
         assert!(summary.evictions >= 1);
         assert_eq!(CacheSession::used(&sharded), 0);
-        assert_eq!(sharded.cross_link_graph().link_count(), 0);
+        assert_eq!(sharded.cross_link_count(), 0);
         let s = sharded.stats_snapshot();
         assert_eq!(s.links_created, s.links_unlinked + s.links_dropped_free);
     }
 
     #[test]
-    fn sharded_cache_is_send() {
-        fn assert_send<T: Send>() {}
-        assert_send::<ShardedCache>();
+    fn sharded_cache_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ShardedCache>();
     }
 }

@@ -21,11 +21,11 @@ use std::fmt::Write as _;
 /// # Example
 ///
 /// ```
-/// use cce_core::{CodeCache, Granularity, SuperblockId};
+/// use cce_core::{CacheSession, CodeCache, Granularity, InsertRequest, SuperblockId};
 /// use cce_core::visualize::occupancy_chart;
 ///
 /// let mut cache = CodeCache::with_granularity(Granularity::units(2), 200)?;
-/// cache.insert(SuperblockId(1), 60)?;
+/// cache.access_or_insert_quiet(InsertRequest::new(SuperblockId(1), 60))?;
 /// let chart = occupancy_chart(&cache);
 /// assert!(chart.contains("u0"));
 /// # Ok::<(), cce_core::CacheError>(())

@@ -1,20 +1,18 @@
-//! Legacy-shim vs event-sink equivalence.
+//! Core-vs-trait equivalence on the settled event stream.
 //!
 //! For every organization, the same seeded random insert/access/link
-//! sequence is driven through two identically configured caches — one via
-//! the legacy [`CodeCache::insert_hinted`] shim (owned `InsertReport`s),
-//! one via [`CodeCache::insert_with_events`] (streamed into a reusable
-//! buffer) — and the eviction sequences, byte totals and final
-//! [`cce_core::CacheStats`] must match exactly.
-//!
-//! Both entry points are now `#[deprecated]` shims over
-//! [`CodeCache::insert_request`]; this suite is their byte-identical
-//! equivalence guarantee, so it calls them on purpose.
-#![allow(deprecated)]
+//! sequence is driven through two identically configured caches — one
+//! via the bare [`CodeCache::insert_request`] core, one through the
+//! [`CacheSession`] trait the serving layers use — and the event
+//! streams, their [`InsertReport`] reassembly, the compact summaries and
+//! the final [`cce_core::CacheStats`] must match exactly. This is the
+//! guarantee that let the legacy `#[deprecated]` insert shims be
+//! deleted: every surviving entry point is the same core.
 
 use cce_core::{
-    AdaptiveUnits, AffinityUnits, CacheEvent, CacheOrg, CodeCache, EventBuffer, FineFifo,
-    Generational, InsertReport, LruCache, PreemptiveFlush, SuperblockId, UnitFifo,
+    AdaptiveUnits, AffinityUnits, CacheEvent, CacheOrg, CacheSession, CodeCache, EventBuffer,
+    FineFifo, Generational, InsertReport, InsertRequest, LruCache, PreemptiveFlush, SuperblockId,
+    UnitFifo,
 };
 use cce_util::{Rng, StdRng};
 
@@ -66,34 +64,42 @@ fn all_orgs(capacity: u64) -> Vec<OrgPair> {
 }
 
 #[test]
-fn legacy_and_event_paths_are_equivalent_for_every_org() {
-    for (name, legacy_org, evented_org) in all_orgs(1024) {
-        let mut legacy = CodeCache::new(legacy_org);
-        let mut evented = CodeCache::new(evented_org);
+fn core_and_trait_paths_are_equivalent_for_every_org() {
+    for (name, core_org, trait_org) in all_orgs(1024) {
+        let mut core = CodeCache::new(core_org);
+        let mut traited = CodeCache::new(trait_org);
         let mut rng = StdRng::seed_from_u64(0xEC0);
-        let mut buf = EventBuffer::new();
+        let mut core_buf = EventBuffer::new();
+        let mut trait_buf = EventBuffer::new();
         for step in 0..600u32 {
             let id = SuperblockId(rng.gen_range(0..48u64));
             let size = rng.gen_range(16..128u32);
             let partner = rng
                 .gen_bool(0.3)
                 .then(|| SuperblockId(rng.gen_range(0..48u64)))
-                .filter(|p| legacy.is_resident(*p));
-            let (a, b) = (legacy.access(id), evented.access(id));
-            assert_eq!(a, b, "{name}: access diverged at step {step}");
-            if a.is_miss() {
-                let report = legacy
-                    .insert_hinted(id, size, partner)
-                    .unwrap_or_else(|e| panic!("{name}: legacy insert failed: {e}"));
-                buf.clear();
-                let summary = evented
-                    .insert_with_events(id, size, partner, &mut buf)
-                    .unwrap_or_else(|e| panic!("{name}: evented insert failed: {e}"));
-                // The settled stream reassembles into the legacy report:
+                .filter(|p| core.is_resident(*p));
+            let req = InsertRequest::new(id, size).with_hint(partner);
+            let access = core.access(id);
+            trait_buf.clear();
+            let outcome = traited
+                .access_or_insert(req, &mut trait_buf)
+                .unwrap_or_else(|e| panic!("{name}: trait insert failed: {e}"));
+            assert_eq!(access, outcome.access, "{name}: access diverged at {step}");
+            if access.is_miss() {
+                core_buf.clear();
+                let summary = core
+                    .insert_request(req, &mut core_buf)
+                    .unwrap_or_else(|e| panic!("{name}: core insert failed: {e}"));
+                // Byte-identical settled streams from both entry points.
+                assert_eq!(
+                    core_buf.events(),
+                    trait_buf.events(),
+                    "{name}: event streams diverged at step {step}"
+                );
+                assert_eq!(Some(summary), outcome.inserted);
+                // The settled stream reassembles into the owned report:
                 // identical eviction sequences, unlink counts, byte totals.
-                let rebuilt = InsertReport::from_events(buf.events());
-                assert_eq!(report, rebuilt, "{name}: reports diverged at step {step}");
-                // The compact summary agrees with both.
+                let report = InsertReport::from_events(core_buf.events());
                 assert_eq!(summary.padding, report.padding);
                 assert_eq!(summary.evictions as usize, report.evictions.len());
                 assert_eq!(
@@ -112,7 +118,7 @@ fn legacy_and_event_paths_are_equivalent_for_every_org() {
                 );
                 // Event-stream invariants on the settled stream.
                 let mut depth = 0i32;
-                for &ev in buf.events() {
+                for &ev in core_buf.events() {
                     match ev {
                         CacheEvent::EvictionBegin => depth += 1,
                         CacheEvent::EvictionEnd { .. } => depth -= 1,
@@ -121,24 +127,27 @@ fn legacy_and_event_paths_are_equivalent_for_every_org() {
                     assert!((0..=1).contains(&depth), "{name}: malformed nesting");
                 }
                 assert_eq!(depth, 0, "{name}: unbalanced EvictionBegin/End");
+            } else {
+                assert!(outcome.inserted.is_none());
+                assert!(trait_buf.events().is_empty(), "{name}: a hit emits nothing");
             }
             if rng.gen_bool(0.4) {
                 let to = SuperblockId(rng.gen_range(0..48u64));
-                if legacy.is_resident(id) && legacy.is_resident(to) {
-                    let (x, y) = (legacy.link(id, to).unwrap(), evented.link(id, to).unwrap());
+                if core.is_resident(id) && core.is_resident(to) {
+                    let (x, y) = (core.link(id, to).unwrap(), traited.link(id, to).unwrap());
                     assert_eq!(x, y, "{name}: link outcome diverged");
                 }
             }
-            assert_eq!(legacy.used(), evented.used(), "{name}: usage diverged");
+            assert_eq!(core.used(), traited.used(), "{name}: usage diverged");
         }
         assert_eq!(
-            legacy.stats(),
-            evented.stats(),
+            core.stats(),
+            traited.stats(),
             "{name}: final statistics diverged"
         );
         assert_eq!(
-            legacy.org().resident_entries(),
-            evented.org().resident_entries(),
+            core.org().resident_entries(),
+            traited.org().resident_entries(),
             "{name}: resident sets diverged"
         );
     }

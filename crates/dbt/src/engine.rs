@@ -655,11 +655,13 @@ mod sharded_engine_tests {
         assert_eq!(b.superblocks_formed, s.superblocks_formed);
         assert_eq!(b.cache_stats.accesses, s.cache_stats.accesses);
         // The per-shard breakdown covers the whole population.
-        let shards = sharded.cache().shards();
-        assert_eq!(shards.len(), 4);
+        let cache = sharded.cache();
+        assert_eq!(cache.shard_count(), 4);
         assert_eq!(
-            shards.iter().map(cce_core::CodeCache::used).sum::<u64>(),
-            CacheSession::used(sharded.cache())
+            (0..cache.shard_count())
+                .map(|i| cache.with_shard(i, cce_core::CodeCache::used))
+                .sum::<u64>(),
+            CacheSession::used(cache)
         );
         // Stub unpatching still reaches the dispatcher through the
         // summaries, cross-shard charges included.

@@ -16,6 +16,7 @@
 #![deny(unsafe_code)]
 
 mod all;
+mod bench_concurrent;
 mod bench_io;
 mod chaining;
 mod extensions;
@@ -25,6 +26,7 @@ mod miss_figs;
 mod overhead_figs;
 mod shards;
 mod stats_figs;
+mod tenants;
 mod tools;
 
 use std::process::ExitCode;
@@ -49,6 +51,10 @@ pub struct Options {
     /// Simulation worker threads (`--jobs`); `None` defers to the
     /// `CCE_JOBS` environment variable, then to available parallelism.
     pub jobs: Option<usize>,
+    /// Tenant count for the `replay` tool's concurrent mode.
+    pub tenants: Option<u32>,
+    /// Worker threads for the `replay` tool's concurrent mode.
+    pub threads: Option<usize>,
     /// Print progress to stderr.
     pub verbose: bool,
 }
@@ -64,6 +70,8 @@ impl Default for Options {
             pressure: None,
             format: None,
             jobs: None,
+            tenants: None,
+            threads: None,
             verbose: true,
         }
     }
@@ -72,11 +80,12 @@ impl Default for Options {
 fn usage() -> &'static str {
     "usage: cce-experiments <command> [--scale F] [--seed N] [--jobs N] [--out PATH] [--quiet]\n\
      commands: table1 fig3 fig4 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 \
-     table2 sec5_3 ablation future_work stability multiprog analysis shards all\n     \
+     table2 sec5_3 ablation future_work stability multiprog analysis shards tenants all\n     \
      tools: trace --bench <name> --out <path> [--format json|binary] | \
-     replay --log <path> [--pressure N] | \
+     replay --log <path> [--pressure N] [--tenants N --threads T] | \
      convert --log <in> --out <out> [--format json|binary] | \
-     bench_trace_io [--scale F] [--out PATH]"
+     bench_trace_io [--scale F] [--out PATH] | \
+     bench_concurrent [--scale F] [--out PATH]"
 }
 
 fn parse_args(args: &[String]) -> Result<(String, Options), String> {
@@ -128,6 +137,24 @@ fn parse_args(args: &[String]) -> Result<(String, Options), String> {
                 }
                 opts.jobs = Some(n);
             }
+            "--tenants" => {
+                i += 1;
+                let v = args.get(i).ok_or("--tenants needs a value")?;
+                let n: u32 = v.parse().map_err(|_| format!("bad tenants: {v}"))?;
+                if n == 0 {
+                    return Err("tenants must be at least 1".to_owned());
+                }
+                opts.tenants = Some(n);
+            }
+            "--threads" => {
+                i += 1;
+                let v = args.get(i).ok_or("--threads needs a value")?;
+                let n: usize = v.parse().map_err(|_| format!("bad threads: {v}"))?;
+                if n == 0 {
+                    return Err("threads must be at least 1".to_owned());
+                }
+                opts.threads = Some(n);
+            }
             "--quiet" => opts.verbose = false,
             other if cmd.is_none() && !other.starts_with('-') => cmd = Some(other.to_owned()),
             other => return Err(format!("unknown argument: {other}")),
@@ -161,10 +188,12 @@ fn run(cmd: &str, opts: &Options) -> Result<String, String> {
         "multiprog" => extensions::multiprog(opts),
         "analysis" => extensions::analysis(opts),
         "shards" => shards::shards(opts),
+        "tenants" => tenants::tenants(opts),
         "trace" => return tools::trace(opts),
         "replay" => return tools::replay(opts),
         "convert" => return tools::convert(opts),
         "bench_trace_io" => return bench_io::bench_trace_io(opts),
+        "bench_concurrent" => return bench_concurrent::bench_concurrent(opts),
         "all" => all::all(opts),
         other => return Err(format!("unknown command: {other}\n{}", usage())),
     };
@@ -184,7 +213,10 @@ fn main() -> ExitCode {
         Ok(output) => {
             println!("{output}");
             // These tools write their own --out file in a non-text format.
-            let skip_generic_write = matches!(cmd.as_str(), "trace" | "convert" | "bench_trace_io");
+            let skip_generic_write = matches!(
+                cmd.as_str(),
+                "trace" | "convert" | "bench_trace_io" | "bench_concurrent"
+            );
             if let Some(path) = opts.out.as_ref().filter(|_| !skip_generic_write) {
                 if let Err(e) = std::fs::write(path, &output) {
                     eprintln!("failed to write {path}: {e}");
@@ -223,6 +255,15 @@ mod tests {
         assert_eq!(o.jobs, Some(4));
         assert!(parse_args(&s(&["fig6", "--jobs", "0"])).is_err());
         assert!(parse_args(&s(&["fig6", "--jobs", "many"])).is_err());
+    }
+
+    #[test]
+    fn parses_tenants_and_threads() {
+        let (_, o) = parse_args(&s(&["replay", "--tenants", "3", "--threads", "2"])).unwrap();
+        assert_eq!(o.tenants, Some(3));
+        assert_eq!(o.threads, Some(2));
+        assert!(parse_args(&s(&["replay", "--tenants", "0"])).is_err());
+        assert!(parse_args(&s(&["replay", "--threads", "0"])).is_err());
     }
 
     #[test]
@@ -265,6 +306,7 @@ mod tests {
             "multiprog",
             "analysis",
             "shards",
+            "tenants",
         ] {
             let out = run(cmd, &opts).unwrap_or_else(|e| panic!("{cmd}: {e}"));
             assert!(!out.is_empty(), "{cmd} produced no output");

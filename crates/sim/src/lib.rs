@@ -12,6 +12,10 @@
 //!   the chunk-oriented core also ingests streaming binary traces
 //!   ([`cce_dbt::TraceReader`]) with I/O overlapped against simulation
 //!   and O(chunk) peak memory;
+//! * [`concurrent`] — multi-tenant concurrent replay: N per-tenant
+//!   traces served by T threads against one shared
+//!   [`cce_core::ConcurrentSession`], each tenant's result byte-identical
+//!   to its solo run;
 //! * [`metrics`] — the weighted unified miss rate (Eq. 1) and
 //!   normalization helpers for the relative-overhead figures;
 //! * [`regression`] — ordinary least squares, used both to re-derive the
@@ -53,6 +57,7 @@
 #![deny(unsafe_code)]
 
 pub mod analysis;
+pub mod concurrent;
 pub mod exectime;
 pub mod measurement;
 pub mod metrics;
@@ -64,10 +69,12 @@ pub mod seeds;
 pub mod simulator;
 pub mod sweep;
 
+pub use concurrent::{simulate_concurrent, simulate_concurrent_with, ConcurrentSimConfig};
 pub use overhead::{LinearModel, OverheadModel};
 pub use regression::fit_line;
 pub use simulator::{
-    simulate, simulate_reader, simulate_source, EventSource, SimConfig, SimError, SimResult,
+    simulate, simulate_reader, simulate_source, EventSource, SimConfig, SimDriver, SimError,
+    SimResult,
 };
 pub use sweep::{resolve_jobs, run_matrix, run_sharded, run_shared, SweepCell, SweepPoint};
 

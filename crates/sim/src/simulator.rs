@@ -387,7 +387,7 @@ pub fn simulate_event_chunks<S, I, C, E>(
     registry: &[SuperblockInfo],
     event_count: u64,
     chunks: I,
-    mut session: S,
+    session: S,
     label: String,
     config: &SimConfig,
 ) -> Result<SimResult, SimError>
@@ -397,42 +397,105 @@ where
     C: AsRef<[TraceEvent]>,
     E: fmt::Display,
 {
-    if event_count == 0 {
-        return Err(SimError::EmptyTrace);
-    }
-    let sizes: HashMap<SuperblockId, u32> = registry.iter().map(|s| (s.id, s.size)).collect();
-    let mut miss_overhead = 0.0;
-    let mut eviction_overhead = 0.0;
-    let mut unlink_overhead = 0.0;
-    let mut uncacheable = 0u64;
-    let mut census_intra = 0u64;
-    let mut census_inter = 0u64;
-    // Sample the live link graph ~64 times over the run. The period is a
-    // function of the *total* count, never of chunk boundaries.
-    let census_every = (usize::try_from(event_count).unwrap_or(usize::MAX) / 64).max(1);
-    let mut event_idx = 0usize;
-
+    let mut driver = SimDriver::new(name, registry, event_count, session, label, config)?;
     for chunk in chunks {
         let chunk = chunk.map_err(|e| SimError::Ingest(e.to_string()))?;
-        for ev in chunk.as_ref() {
+        driver.feed(chunk.as_ref())?;
+    }
+    driver.finish()
+}
+
+/// Incremental replay: the per-event core that [`simulate_event_chunks`]
+/// (and through it every `simulate_*` entry point) runs, factored out so
+/// concurrent runners can feed one tenant's stream in arbitrary slices
+/// interleaved with other tenants. Feeding the same events through one
+/// `SimDriver` yields a bit-identical [`SimResult`] regardless of how
+/// the stream is sliced: the census period is fixed by the up-front
+/// total `event_count`, never by slice boundaries.
+#[derive(Debug)]
+pub struct SimDriver<S: CacheSession> {
+    session: S,
+    name: String,
+    label: String,
+    config: SimConfig,
+    sizes: HashMap<SuperblockId, u32>,
+    event_count: u64,
+    census_every: usize,
+    event_idx: usize,
+    miss_overhead: f64,
+    eviction_overhead: f64,
+    unlink_overhead: f64,
+    uncacheable: u64,
+    census_intra: u64,
+    census_inter: u64,
+}
+
+impl<S: CacheSession> SimDriver<S> {
+    /// Prepares a replay of `event_count` events against `session`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::EmptyTrace`] when `event_count` is zero.
+    pub fn new(
+        name: &str,
+        registry: &[SuperblockInfo],
+        event_count: u64,
+        session: S,
+        label: String,
+        config: &SimConfig,
+    ) -> Result<SimDriver<S>, SimError> {
+        if event_count == 0 {
+            return Err(SimError::EmptyTrace);
+        }
+        Ok(SimDriver {
+            session,
+            name: name.to_owned(),
+            label,
+            config: *config,
+            sizes: registry.iter().map(|s| (s.id, s.size)).collect(),
+            event_count,
+            // Sample the live link graph ~64 times over the run. The
+            // period is a function of the *total* count, never of how
+            // the stream is chunked or sliced.
+            census_every: (usize::try_from(event_count).unwrap_or(usize::MAX) / 64).max(1),
+            event_idx: 0,
+            miss_overhead: 0.0,
+            eviction_overhead: 0.0,
+            unlink_overhead: 0.0,
+            uncacheable: 0,
+            census_intra: 0,
+            census_inter: 0,
+        })
+    }
+
+    /// Replays one slice of the event stream.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`simulate`].
+    pub fn feed(&mut self, events: &[TraceEvent]) -> Result<(), SimError> {
+        for ev in events {
             let TraceEvent::Access { id, direct_from } = *ev;
-            let size = *sizes.get(&id).ok_or(SimError::UnknownSuperblock(id))?;
+            let size = *self.sizes.get(&id).ok_or(SimError::UnknownSuperblock(id))?;
             // Placement hint: the chain source of this direct transition,
             // if still resident (placement-aware organizations co-locate).
-            let partner = direct_from.filter(|f| session.is_resident(*f));
+            let partner = direct_from.filter(|f| self.session.is_resident(*f));
             // One call looks up and, on a miss, inserts. Eqs. 2 and 4 are
             // linear, so the settled aggregate counts charge exactly what
             // walking per-eviction reports used to.
-            match session.access_or_insert_quiet(InsertRequest::new(id, size).with_hint(partner)) {
+            match self
+                .session
+                .access_or_insert_quiet(InsertRequest::new(id, size).with_hint(partner))
+            {
                 Ok(outcome) => {
                     if let Some(summary) = outcome.inserted {
-                        miss_overhead += config.overhead.miss_cost(u64::from(size));
-                        eviction_overhead += config.overhead.eviction_cost_total(
+                        self.miss_overhead += self.config.overhead.miss_cost(u64::from(size));
+                        self.eviction_overhead += self.config.overhead.eviction_cost_total(
                             u64::from(summary.evictions),
                             summary.bytes_evicted,
                         );
-                        if config.charge_unlinks {
-                            unlink_overhead += config.overhead.unlink_cost_total(
+                        if self.config.charge_unlinks {
+                            self.unlink_overhead += self.config.overhead.unlink_cost_total(
                                 u64::from(summary.unlink_operations),
                                 summary.links_unlinked,
                             );
@@ -442,46 +505,62 @@ where
                 // The miss was still recorded (and is still charged); the
                 // block is simulated as permanently uncached.
                 Err(CacheError::BlockTooLarge { .. }) => {
-                    miss_overhead += config.overhead.miss_cost(u64::from(size));
-                    uncacheable += 1;
+                    self.miss_overhead += self.config.overhead.miss_cost(u64::from(size));
+                    self.uncacheable += 1;
                 }
                 Err(e) => return Err(SimError::Cache(e)),
             }
-            if config.chaining {
+            if self.config.chaining {
                 if let Some(from) = direct_from {
-                    if session.is_resident(from) && session.is_resident(id) {
-                        session
+                    if self.session.is_resident(from) && self.session.is_resident(id) {
+                        self.session
                             .link(from, id)
                             .expect("both endpoints checked resident");
                     }
                 }
             }
-            if event_idx % census_every == census_every - 1 {
-                let (intra, inter) = session.link_census();
-                census_intra += intra;
-                census_inter += inter;
+            if self.event_idx % self.census_every == self.census_every - 1 {
+                let (intra, inter) = self.session.link_census();
+                self.census_intra += intra;
+                self.census_inter += inter;
             }
-            event_idx += 1;
+            self.event_idx += 1;
         }
-    }
-    if event_idx as u64 != event_count {
-        return Err(SimError::Ingest(format!(
-            "event stream delivered {event_idx} events but promised {event_count}"
-        )));
+        Ok(())
     }
 
-    Ok(SimResult {
-        name: name.to_owned(),
-        granularity_label: label,
-        capacity: session.capacity(),
-        stats: session.stats_snapshot(),
-        miss_overhead,
-        eviction_overhead,
-        unlink_overhead,
-        uncacheable,
-        census_intra_links: census_intra,
-        census_inter_links: census_inter,
-    })
+    /// Events fed so far.
+    #[must_use]
+    pub fn events_fed(&self) -> u64 {
+        self.event_idx as u64
+    }
+
+    /// Finishes the replay and assembles the result.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Ingest`] if the number of fed events differs
+    /// from the `event_count` promised at construction.
+    pub fn finish(self) -> Result<SimResult, SimError> {
+        if self.event_idx as u64 != self.event_count {
+            return Err(SimError::Ingest(format!(
+                "event stream delivered {} events but promised {}",
+                self.event_idx, self.event_count
+            )));
+        }
+        Ok(SimResult {
+            name: self.name,
+            granularity_label: self.label,
+            capacity: self.session.capacity(),
+            stats: self.session.stats_snapshot(),
+            miss_overhead: self.miss_overhead,
+            eviction_overhead: self.eviction_overhead,
+            unlink_overhead: self.unlink_overhead,
+            uncacheable: self.uncacheable,
+            census_intra_links: self.census_intra,
+            census_inter_links: self.census_inter,
+        })
+    }
 }
 
 #[cfg(test)]
