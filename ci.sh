@@ -8,12 +8,33 @@ cargo fmt --all --check
 cargo clippy --workspace --all-targets -- -D warnings
 cargo build --release
 cargo test -q
-cargo run -p cce-analyze -- --baseline analyze-baseline.json
+# Analyzer self-check first: each violating fixture must fail, each
+# clean one must pass, so a broken lint can never green the repo gate.
+for fixture in crates/analyze/fixtures/*_violating.rs; do
+    if cargo run -q -p cce-analyze -- "$fixture"; then
+        echo "self-check: $fixture should have produced findings" >&2
+        exit 1
+    fi
+done
+for fixture in crates/analyze/fixtures/*_clean.rs; do
+    cargo run -q -p cce-analyze -- "$fixture"
+done
+# The workspace gate: hard-fails on any finding above the committed
+# baseline, on a stale baseline, or if analysis blows its wall-time
+# budget. The SARIF log is emitted alongside for upload/inspection.
+cargo run -p cce-analyze -- --baseline analyze-baseline.json --budget-ms 5000
+cargo run -q -p cce-analyze -- --baseline analyze-baseline.json --format sarif > analyze.sarif || true
+head -c 400 analyze.sarif; echo
 # Concurrent conformance at a pinned thread axis: per-tenant event
 # streams must be byte-identical to solo runs both single-threaded and
 # under real contention.
 CCE_TEST_THREADS=1 cargo test -q -p cce-core --test concurrent_conformance
 CCE_TEST_THREADS=4 cargo test -q -p cce-core --test concurrent_conformance
+# Lock-interleaving stress at the same axis: the arbiter→tenant→shard
+# descent the lock-graph lint proves acyclic must also survive real
+# scheduling (a deadlock trips the test's watchdog, not the CI timeout).
+CCE_TEST_THREADS=1 cargo test -q -p cce-core --test lock_interleave
+CCE_TEST_THREADS=4 cargo test -q -p cce-core --test lock_interleave
 # Trace-I/O micro-benchmark: regenerates BENCH_trace_io.json so the
 # binary decode path's advantage over JSON stays visible in review.
 cargo run --release -p cce-experiments -- bench_trace_io --scale 0.2 --quiet --out BENCH_trace_io.json

@@ -1,0 +1,64 @@
+//! Fixture: the clean counterpart of `lock_graph_violating.rs` — the
+//! canonical helpers, a hierarchy-ordered descent with explicit drops,
+//! and the full review shape (arbiter, then every tenant ascending,
+//! then one scoped shard lock per iteration). Expected: no findings.
+
+use std::sync::{MutexGuard, PoisonError};
+
+impl ConcurrentCache {
+    fn lock_shard(&self, s: usize) -> MutexGuard<'_, ShardSlot> {
+        self.shards[s].lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn lock_shard_pair(
+        &self,
+        a: usize,
+        b: usize,
+    ) -> (MutexGuard<'_, ShardSlot>, MutexGuard<'_, ShardSlot>) {
+        if a < b {
+            let ga = self.shards[a].lock().unwrap_or_else(PoisonError::into_inner);
+            let gb = self.shards[b].lock().unwrap_or_else(PoisonError::into_inner);
+            (ga, gb)
+        } else {
+            let gb = self.shards[b].lock().unwrap_or_else(PoisonError::into_inner);
+            let ga = self.shards[a].lock().unwrap_or_else(PoisonError::into_inner);
+            (ga, gb)
+        }
+    }
+
+    fn lock_tenant(&self, t: usize) -> MutexGuard<'_, TenantState> {
+        self.tenants[t].lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Tenant then shard is the hierarchy order; both released before
+    /// the unrelated call.
+    fn serve(&self, t: usize, s: usize) -> u64 {
+        let tenant = self.lock_tenant(t);
+        let shard = self.lock_shard(s);
+        let used = shard.used() + tenant.quota();
+        drop(shard);
+        drop(tenant);
+        self.bump(used)
+    }
+
+    fn bump(&self, used: u64) -> u64 {
+        used + 1
+    }
+
+    /// The full descent: arbiter, all tenants ascending, shards one at
+    /// a time in a scope that closes before the next iteration.
+    fn review(&self) {
+        let Some(arb) = &self.arbiter else { return };
+        let mut ast = arb.lock().unwrap_or_else(PoisonError::into_inner);
+        let tenants: Vec<MutexGuard<'_, TenantState>> = self
+            .tenants
+            .iter()
+            .map(|m| m.lock().unwrap_or_else(PoisonError::into_inner))
+            .collect();
+        for s in 0..self.shard_count {
+            let slot = self.lock_shard(s);
+            ast.observe(s, slot.used());
+        }
+        drop(tenants);
+    }
+}

@@ -1,0 +1,42 @@
+//! Fixture: interprocedural lock-hierarchy violations. Expected
+//! findings (lock-graph): the raw shard acquisition in `peek`
+//! (confinement), the second shard lock `migrate` takes through its
+//! callee `spill` (unordered same-class), and the arbiter lock
+//! `rebalance` reaches through `audit` while already holding a shard
+//! lock (backward edge).
+
+use std::sync::{MutexGuard, PoisonError};
+
+impl ConcurrentCache {
+    fn lock_shard(&self, s: usize) -> MutexGuard<'_, ShardSlot> {
+        self.shards[s].lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Raw shard lock outside the canonical helpers.
+    fn peek(&self, s: usize) -> u64 {
+        let slot = self.shards[s].lock().unwrap_or_else(PoisonError::into_inner);
+        slot.used()
+    }
+
+    fn spill(&self, s: usize) {
+        let _cold = self.lock_shard(s);
+    }
+
+    /// Holds one shard lock and takes a second through a helper callee
+    /// with no ordering idiom in sight.
+    fn migrate(&self, hot: usize, cold: usize) {
+        let _hot = self.lock_shard(hot);
+        self.spill(cold);
+    }
+
+    fn audit(&self) {
+        let _arb = self.arbiter.lock().unwrap_or_else(PoisonError::into_inner);
+    }
+
+    /// Shard before arbiter: a backward edge in the hierarchy, one call
+    /// hop away.
+    fn rebalance(&self, s: usize) {
+        let _guard = self.lock_shard(s);
+        self.audit();
+    }
+}

@@ -1,0 +1,44 @@
+//! Fixture: nondeterminism sources that reach an event-emitting or
+//! `SimResult`-producing function through the call graph. Expected
+//! findings (nondet-taint): the hash-order iteration in `r#dump`
+//! (reached from `summarize` in one hop), the wall-clock read inside
+//! `emit_window`, and the parallelism probe in `worker_count` (reached
+//! from `plan` in one hop).
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Sink: produces the run's `SimResult`.
+pub fn summarize(stats: &Stats) -> SimResult {
+    let lines = r#dump(stats);
+    SimResult { lines }
+}
+
+/// Source, one hop from the sink: iterating a default-`RandomState`
+/// map scrambles the report's line order between runs. (The raw
+/// identifier also pins the lexer's `r#` handling.)
+fn r#dump(stats: &Stats) -> Vec<String> {
+    let by_org: HashMap<String, u64> = stats.hits_by_org();
+    by_org
+        .iter()
+        .map(|(name, hits)| format!("{name}: {hits}"))
+        .collect()
+}
+
+/// Sink with the source inline: stamps emitted events with wall-clock
+/// time.
+pub fn emit_window(sink: &mut dyn EventSink, accesses: u64) {
+    let started = Instant::now();
+    sink.on_window(accesses, started.elapsed());
+}
+
+/// Source: machine-dependent worker count.
+fn worker_count() -> usize {
+    std::thread::available_parallelism().map_or(1, usize::from)
+}
+
+/// Sink reached by `worker_count` in one hop.
+pub fn plan(sink: &mut dyn EventSink, accesses: u64) {
+    let workers = worker_count();
+    sink.on_plan(accesses / workers as u64);
+}

@@ -16,7 +16,7 @@ use std::collections::BTreeMap;
 
 use cce_util::Json;
 
-use crate::lints::Finding;
+use crate::lints::{Finding, LINT_RENAMES};
 
 /// Tolerated finding counts, keyed `lint → file → count`.
 #[derive(Debug, Default, Clone, PartialEq, Eq)]
@@ -47,6 +47,12 @@ impl Baseline {
 
     /// Parses the JSON baseline format emitted by [`Baseline::to_json`].
     ///
+    /// Buckets recorded under a lint's *old* name (see
+    /// [`LINT_RENAMES`]) migrate into the successor lint's buckets —
+    /// merged by addition when both names are present — so a committed
+    /// baseline keeps working across a lint rename instead of silently
+    /// dropping its budgets.
+    ///
     /// # Errors
     ///
     /// Returns a description of the first malformed construct.
@@ -60,12 +66,16 @@ impl Baseline {
             let Json::Obj(pairs) = files else {
                 return Err(format!("baseline counts for {lint} are not an object"));
             };
-            let per_file = counts.entry(lint.clone()).or_default();
+            let canonical = LINT_RENAMES
+                .iter()
+                .find(|(old, _)| *old == lint)
+                .map_or(lint.as_str(), |&(_, new)| new);
+            let per_file = counts.entry(canonical.to_owned()).or_default();
             for (file, n) in pairs {
                 let Some(n) = n.as_u64() else {
                     return Err(format!("baseline count for {lint}/{file} is not a count"));
                 };
-                per_file.insert(file, usize::try_from(n).unwrap_or(usize::MAX));
+                *per_file.entry(file).or_default() += usize::try_from(n).unwrap_or(usize::MAX);
             }
         }
         Ok(Baseline { counts })
@@ -161,12 +171,7 @@ mod tests {
     use super::*;
 
     fn finding(lint: &'static str, file: &str, line: u32) -> Finding {
-        Finding {
-            file: file.to_owned(),
-            line,
-            lint,
-            message: String::new(),
-        }
+        Finding::new(file, line, lint, String::new())
     }
 
     #[test]
@@ -223,8 +228,37 @@ mod tests {
         let baseline = Baseline::from_findings(&[finding("panic-path", "a.rs", 1)]);
         let (kept, _) = baseline.apply(vec![finding("panic-path", "b.rs", 3)]);
         assert_eq!(kept.len(), 1);
-        let (kept, _) = baseline.apply(vec![finding("nondet-iter", "a.rs", 3)]);
+        let (kept, _) = baseline.apply(vec![finding("cost-constant", "a.rs", 3)]);
         assert_eq!(kept.len(), 1);
+    }
+
+    #[test]
+    fn renamed_lint_buckets_migrate_on_parse() {
+        // A baseline committed before the rename keeps suppressing the
+        // successor lint's findings.
+        let old = "{\"version\":1,\"counts\":{\"nondet-iter\":{\"a.rs\":2},\
+                    \"lock-ordering\":{\"b.rs\":1}}}";
+        let b = Baseline::parse(old).unwrap();
+        assert_eq!(b.budget("nondet-taint", "a.rs"), 2);
+        assert_eq!(b.budget("lock-graph", "b.rs"), 1);
+        assert_eq!(b.budget("nondet-iter", "a.rs"), 0, "old name is gone");
+        let (kept, suppressed) = b.apply(vec![
+            finding("nondet-taint", "a.rs", 3),
+            finding("nondet-taint", "a.rs", 9),
+        ]);
+        assert!(kept.is_empty());
+        assert_eq!(suppressed, 2);
+    }
+
+    #[test]
+    fn old_and_new_name_buckets_merge_by_addition() {
+        let mixed = "{\"version\":1,\"counts\":{\"nondet-iter\":{\"a.rs\":2},\
+                      \"nondet-taint\":{\"a.rs\":1}}}";
+        let b = Baseline::parse(mixed).unwrap();
+        assert_eq!(b.budget("nondet-taint", "a.rs"), 3);
+        // Re-serializing writes only the canonical name.
+        let round = Baseline::parse(&b.to_json().to_string_compact()).unwrap();
+        assert_eq!(round, b);
     }
 
     #[test]

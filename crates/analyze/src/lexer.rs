@@ -172,6 +172,20 @@ pub fn lex(src: &str) -> Lexed {
             b'r' | b'b' if starts_literal_prefix(&s) => {
                 scan_prefixed_literal(&mut s, &mut out, line)
             }
+            // Raw identifier `r#ident`: one Ident token carrying the
+            // `r#` prefix verbatim, so `r#fn` can never be mistaken for
+            // the `fn` keyword nor its `#` for an attribute opener.
+            b'r' if s.peek(1) == b'#' && is_ident_start(s.peek(2)) => {
+                let start = s.pos;
+                s.bump();
+                s.bump();
+                s.eat_while(is_ident_cont);
+                out.tokens.push(Token {
+                    kind: TokKind::Ident,
+                    text: String::from_utf8_lossy(&s.src[start..s.pos]).into_owned(),
+                    line,
+                });
+            }
             _ if is_ident_start(b) => {
                 let start = s.pos;
                 s.eat_while(is_ident_cont);
@@ -543,6 +557,57 @@ mod tests {
         assert_eq!(lexed.allows[0].lint, "nondet-iter");
         assert_eq!(lexed.allows[0].reason, "order-independent sum");
         assert_eq!(lexed.allows[1].reason, "", "missing reason is inert");
+    }
+
+    #[test]
+    fn raw_identifiers_are_single_tokens() {
+        // `r#fn` used to lex as `r`, `#`, `fn` — a phantom attribute
+        // opener plus a phantom keyword, which poisons item parsing.
+        let lexed = lex("fn r#fn(r#type: u32) -> u32 { r#match(r#type) }");
+        let ids = idents("fn r#fn(r#type: u32) -> u32 { r#match(r#type) }");
+        assert_eq!(
+            ids,
+            vec!["fn", "r#fn", "r#type", "u32", "u32", "r#match", "r#type"]
+        );
+        assert!(
+            !lexed.tokens.iter().any(|t| t.is_punct("#")),
+            "no stray `#` from raw identifiers: {:?}",
+            lexed.tokens
+        );
+        // Raw strings keep working next to raw identifiers.
+        let lexed = lex(r####"let r#x = r#"body"#;"####);
+        let strs: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Str)
+            .collect();
+        assert_eq!(strs.len(), 1);
+        assert_eq!(strs[0].text, "body");
+        assert!(lexed.tokens.iter().any(|t| t.is_ident("r#x")));
+    }
+
+    #[test]
+    fn nested_turbofish_tokens_stay_separate() {
+        // Nested generic closers must remain individual `>` puncts (no
+        // `>>` shift fusing) and `::` must fuse, or the symbol layer's
+        // angle-depth tracking would desynchronize.
+        let lexed = lex("x.collect::<HashMap<u64, Vec<u64>>>();");
+        let puncts: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Punct)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(
+            puncts,
+            vec![".", "::", "<", "<", ",", "<", ">", ">", ">", "(", ")", ";"]
+        );
+    }
+
+    #[test]
+    fn raw_ident_does_not_shadow_byte_literals() {
+        assert_eq!(idents("let b = b'x';"), vec!["let", "b"]);
+        assert_eq!(idents("let v = br#\"s\"#;"), vec!["let", "v"]);
     }
 
     #[test]

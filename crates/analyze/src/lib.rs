@@ -1,12 +1,10 @@
 //! # cce-analyze — repo-specific static analysis
 //!
 //! Mechanizes the invariants the workspace otherwise keeps by
-//! convention (see DESIGN.md §9):
+//! convention (see DESIGN.md §9). Two layers:
 //!
-//! * **nondet-iter** — no iteration over `std` `HashMap`/`HashSet` in
-//!   the deterministic-output crates (`cce-core`, `cce-sim`,
-//!   `cce-experiments`); this is the DESIGN.md §8 ordering audit as a
-//!   CI gate instead of a paragraph.
+//! **Flat token lints** ([`lints`]), scoped per file:
+//!
 //! * **cost-constant** — the Eq. 2–4 overhead constants are defined
 //!   once, in `cce_sim::overhead`; re-typed literals anywhere else are
 //!   drift waiting to happen.
@@ -17,20 +15,39 @@
 //!   are constructed only inside `cce-core`'s event machinery
 //!   (including the shard and concurrent layers' event-rewriting
 //!   sinks); organizations must stream through `EvictionScope`.
-//! * **lock-ordering** — in `cce-core`, a shard lock is acquired only
-//!   inside the two canonical helpers (`lock_shard`,
-//!   `lock_shard_pair`), which take locks in ascending shard index;
-//!   any other `shards[…].lock()` is a deadlock hazard.
+//!
+//! **Interprocedural lints**, built on a workspace symbol table
+//! ([`symbols`]) and a conservative call graph ([`callgraph`]):
+//!
+//! * **nondet-taint** ([`taint`]) — nondeterminism sources (hash-order
+//!   iteration, wall-clock reads, `available_parallelism`, thread ids,
+//!   unordered channel receives) that reach an event-emitting or
+//!   `SimResult`-producing function through the call graph, with the
+//!   call path reported hop by hop. Successor to the file-local
+//!   `nondet-iter`.
+//! * **lock-graph** ([`lockgraph`]) — verifies the global lock
+//!   hierarchy (arbiter → tenant ascending → shard ascending) is
+//!   acyclic on every interprocedural path and keeps shard-lock
+//!   acquisition confined to `lock_shard`/`lock_shard_pair`.
+//!   Successor to the textual `lock-ordering` check.
+//!
+//! Old lint names still work in `cce-analyze: allow(…)` annotations
+//! and committed baselines ([`lints::LINT_RENAMES`]).
 //!
 //! Built on a hand-rolled lexer ([`lexer`]) because the offline CI
-//! cannot fetch `syn`; the lints ([`lints`]) are token-pattern passes,
-//! and [`baseline`] implements the ratchet.
+//! cannot fetch `syn`; [`baseline`] implements the two-way ratchet and
+//! [`sarif`] renders findings as SARIF 2.1.0.
 
 #![deny(unsafe_code)]
 
 pub mod baseline;
+pub mod callgraph;
 pub mod lexer;
 pub mod lints;
+pub mod lockgraph;
+pub mod sarif;
+pub mod symbols;
+pub mod taint;
 
 pub use baseline::Baseline;
 pub use lints::{Finding, LintSet};
@@ -39,9 +56,8 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
-/// Crates whose sweep/report output must be bit-reproducible; the
-/// nondet-iter lint runs on their sources.
-const DETERMINISTIC_CRATES: &[&str] = &["core", "sim", "experiments"];
+use callgraph::CallGraph;
+use symbols::Workspace;
 
 /// Library crates where panics are findings (ratcheted).
 const PANIC_CRATES: &[&str] = &["core", "sim", "dbt"];
@@ -58,16 +74,14 @@ const EVENT_ALLOWED: &[&str] = &[
     "crates/core/src/testutil.rs",
 ];
 
-/// The crate holding the concurrent serving layer; the lock-ordering
-/// lint runs on its sources.
-const LOCK_CRATE: &str = "core";
-
 /// The analyzer's own sources are exempt: its lint tables spell out the
 /// constants and method names it searches for.
 const SELF_CRATE: &str = "analyze";
 
-/// The lints that apply to one repo file, from the scoping rules above.
-/// `rel` is the repo-relative path with forward slashes.
+/// The flat lints that apply to one repo file, from the scoping rules
+/// above. `rel` is the repo-relative path with forward slashes.
+/// (The interprocedural lints scope themselves: see
+/// [`taint::SCOPE_CRATES`] and the lock-graph's home crate.)
 #[must_use]
 pub fn lint_set_for(rel: &str) -> LintSet {
     let krate = rel
@@ -75,44 +89,60 @@ pub fn lint_set_for(rel: &str) -> LintSet {
         .and_then(|r| r.split('/').next())
         .unwrap_or("");
     LintSet {
-        nondet_iter: DETERMINISTIC_CRATES.contains(&krate),
         cost_constant: rel != COST_DEFINITION_SITE,
         panic_path: PANIC_CRATES.contains(&krate),
         event_protocol: !EVENT_ALLOWED.contains(&rel),
-        lock_ordering: krate == LOCK_CRATE,
     }
 }
 
-/// Lints `crates/*/src/**/*.rs` under `root`, in path order.
+/// Lints `crates/*/src/**/*.rs` under `root`: every file gets its flat
+/// lint set, then the workspace-wide symbol table and call graph feed
+/// the interprocedural passes. Findings come back in path order.
 ///
 /// # Errors
 ///
 /// Propagates filesystem errors from the walk or from reading a source
 /// file.
 pub fn scan_repo(root: &Path) -> io::Result<Vec<Finding>> {
+    let mut ws = Workspace::default();
     let mut findings = Vec::new();
     for src_dir in crate_src_dirs(root)? {
         for path in rust_files(&src_dir)? {
             let rel = relative_slash(root, &path);
-            let set = lint_set_for(&rel);
             let src = fs::read_to_string(&path)?;
-            findings.extend(lints::run_lints(&rel, &src, &set));
+            let id = ws.add_file(&rel, &src);
+            let set = lint_set_for(&rel);
+            findings.extend(lints::run_flat(&rel, &ws.files[id].lexed, &set));
         }
     }
+    let cg = CallGraph::build(&ws);
+    findings.extend(taint::run(&ws, &cg, true));
+    findings.extend(lockgraph::run(&ws, &cg, true));
     findings.sort_by(|a, b| (&a.file, a.line, a.lint).cmp(&(&b.file, b.line, b.lint)));
     Ok(findings)
 }
 
-/// Lints one explicitly named file with every lint enabled and no
-/// path-based exemptions — fixture mode.
+/// Lints explicitly named files as one miniature workspace with every
+/// lint enabled and no path-based exemptions — fixture mode. Call
+/// edges resolve across all the given files.
 ///
 /// # Errors
 ///
-/// Propagates the read error if the file cannot be loaded.
-pub fn scan_fixture(path: &Path) -> io::Result<Vec<Finding>> {
-    let src = fs::read_to_string(path)?;
-    let name = path.to_string_lossy().replace('\\', "/");
-    Ok(lints::run_lints(&name, &src, &LintSet::all()))
+/// Propagates the read error if a file cannot be loaded.
+pub fn scan_fixtures(paths: &[PathBuf]) -> io::Result<Vec<Finding>> {
+    let mut ws = Workspace::default();
+    let mut findings = Vec::new();
+    for path in paths {
+        let src = fs::read_to_string(path)?;
+        let name = path.to_string_lossy().replace('\\', "/");
+        let id = ws.add_file(&name, &src);
+        findings.extend(lints::run_flat(&name, &ws.files[id].lexed, &LintSet::all()));
+    }
+    let cg = CallGraph::build(&ws);
+    findings.extend(taint::run(&ws, &cg, false));
+    findings.extend(lockgraph::run(&ws, &cg, false));
+    findings.sort_by(|a, b| (&a.file, a.line, a.lint).cmp(&(&b.file, b.line, b.lint)));
+    Ok(findings)
 }
 
 /// `crates/<name>/src` directories under `root`, sorted, minus the
@@ -167,43 +197,31 @@ mod tests {
     #[test]
     fn scoping_follows_the_lint_catalog() {
         let sim = lint_set_for("crates/sim/src/simulator.rs");
-        assert!(sim.nondet_iter && sim.cost_constant && sim.panic_path && sim.event_protocol);
-        assert!(!sim.lock_ordering, "lock-ordering is scoped to cce-core");
+        assert!(sim.cost_constant && sim.panic_path && sim.event_protocol);
 
         let overhead = lint_set_for(COST_DEFINITION_SITE);
         assert!(!overhead.cost_constant, "the definition site is exempt");
-        assert!(overhead.nondet_iter && overhead.panic_path);
+        assert!(overhead.panic_path);
 
         let events = lint_set_for("crates/core/src/events.rs");
         assert!(
             !events.event_protocol,
             "event machinery may construct events"
         );
-        assert!(events.panic_path && events.lock_ordering);
+        assert!(events.panic_path);
 
         let shard = lint_set_for("crates/core/src/shard.rs");
         assert!(
             !shard.event_protocol,
             "the shard layer rewrites settled event streams"
         );
-        assert!(shard.panic_path && shard.lock_ordering);
-
-        let concurrent = lint_set_for("crates/core/src/concurrent.rs");
-        assert!(
-            !concurrent.event_protocol,
-            "the concurrent layer rewrites settled event streams"
-        );
-        assert!(concurrent.lock_ordering, "the lock lint owns its home");
+        assert!(shard.panic_path);
 
         let workloads = lint_set_for("crates/workloads/src/access.rs");
-        assert!(
-            !workloads.nondet_iter,
-            "workloads is not a deterministic-output crate"
-        );
         assert!(!workloads.panic_path);
         assert!(workloads.cost_constant && workloads.event_protocol);
 
         let dbt = lint_set_for("crates/dbt/src/lib.rs");
-        assert!(dbt.panic_path && !dbt.nondet_iter);
+        assert!(dbt.panic_path);
     }
 }

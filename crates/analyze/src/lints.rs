@@ -1,23 +1,49 @@
-//! The five repo-specific lints.
+//! The flat (single-file) lints, plus the shared [`Finding`] type used
+//! by every pass in the analyzer.
 //!
-//! Each lint is a pass over the token stream of one file (see
+//! Each flat lint is a pass over the token stream of one file (see
 //! [`crate::lexer`]); which lints run on which file is decided by the
-//! walker in [`crate::scan_file`]. Findings suppressed by a
+//! scoping rules in [`crate::lint_set_for`]. The interprocedural lints
+//! — determinism taint ([`crate::taint`]) and the lock graph
+//! ([`crate::lockgraph`]) — run over the whole-workspace call graph
+//! instead and produce [`Finding`]s with a call-path [`TraceHop`]
+//! chain. Findings suppressed by a
 //! `// cce-analyze: allow(<lint>): <reason>` annotation (same line or
-//! the line above, reason required) never leave this module.
+//! the line above, reason required) never leave the analyzer; the
+//! pre-interprocedural lint names `nondet-iter` and `lock-ordering`
+//! are honored as aliases for their successors so existing
+//! annotations keep working.
 
 use crate::lexer::{lex, number_value, Lexed, TokKind, Token};
 
 /// Lint identifiers, as used in annotations, baselines and output.
-pub const NONDET_ITER: &str = "nondet-iter";
-/// See [`NONDET_ITER`].
+pub const NONDET_TAINT: &str = "nondet-taint";
+/// See [`NONDET_TAINT`].
 pub const COST_CONSTANT: &str = "cost-constant";
-/// See [`NONDET_ITER`].
+/// See [`NONDET_TAINT`].
 pub const PANIC_PATH: &str = "panic-path";
-/// See [`NONDET_ITER`].
+/// See [`NONDET_TAINT`].
 pub const EVENT_PROTOCOL: &str = "event-protocol";
-/// See [`NONDET_ITER`].
-pub const LOCK_ORDERING: &str = "lock-ordering";
+/// See [`NONDET_TAINT`].
+pub const LOCK_GRAPH: &str = "lock-graph";
+
+/// Historical lint names accepted as annotation aliases and migrated
+/// in baselines: the file-local `nondet-iter` became the
+/// interprocedural [`NONDET_TAINT`], and the textual `lock-ordering`
+/// became [`LOCK_GRAPH`].
+pub const LINT_RENAMES: &[(&str, &str)] =
+    &[("nondet-iter", NONDET_TAINT), ("lock-ordering", LOCK_GRAPH)];
+
+/// One hop of an interprocedural call path attached to a finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceHop {
+    /// Repo-relative path of the hop.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// What happens at this hop (a call, an acquisition, a sink).
+    pub label: String,
+}
 
 /// One diagnostic.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -26,10 +52,27 @@ pub struct Finding {
     pub file: String,
     /// 1-based line.
     pub line: u32,
-    /// Lint identifier ([`NONDET_ITER`] etc.).
+    /// Lint identifier ([`NONDET_TAINT`] etc.).
     pub lint: &'static str,
     /// Human-readable description.
     pub message: String,
+    /// Call-path hops for interprocedural findings; empty for flat
+    /// lints.
+    pub trace: Vec<TraceHop>,
+}
+
+impl Finding {
+    /// A trace-less finding (the flat-lint constructor).
+    #[must_use]
+    pub fn new(file: &str, line: u32, lint: &'static str, message: String) -> Finding {
+        Finding {
+            file: file.to_owned(),
+            line,
+            lint,
+            message,
+            trace: Vec::new(),
+        }
+    }
 }
 
 impl std::fmt::Display for Finding {
@@ -46,70 +89,69 @@ impl std::fmt::Display for Finding {
 /// rules (crate lists, exempt files) or all-on in fixture mode.
 #[derive(Debug, Clone, Copy)]
 pub struct LintSet {
-    /// Run the determinism lint.
-    pub nondet_iter: bool,
     /// Run the cost-constant-drift lint.
     pub cost_constant: bool,
     /// Run the panic-path lint.
     pub panic_path: bool,
     /// Run the event-protocol lint.
     pub event_protocol: bool,
-    /// Run the lock-ordering lint.
-    pub lock_ordering: bool,
 }
 
 impl LintSet {
-    /// Every lint enabled (fixture mode).
+    /// Every flat lint enabled (fixture mode).
     #[must_use]
     pub fn all() -> LintSet {
         LintSet {
-            nondet_iter: true,
             cost_constant: true,
             panic_path: true,
             event_protocol: true,
-            lock_ordering: true,
         }
     }
 }
 
-/// Runs the enabled lints over `src`, attributing findings to `file`.
+/// Runs the enabled flat lints over `src`, attributing findings to
+/// `file`. Interprocedural lints need a workspace — see
+/// [`crate::scan_repo`] / [`crate::scan_fixtures`].
 #[must_use]
 pub fn run_lints(file: &str, src: &str, set: &LintSet) -> Vec<Finding> {
-    let lexed = lex(src);
+    run_flat(file, &lex(src), set)
+}
+
+/// [`run_lints`] against an already-lexed file.
+#[must_use]
+pub fn run_flat(file: &str, lexed: &Lexed, set: &LintSet) -> Vec<Finding> {
     let tests = test_ranges(&lexed.tokens);
     let mut findings = Vec::new();
-    if set.nondet_iter {
-        nondet_iter(file, &lexed, &tests, &mut findings);
-    }
     if set.cost_constant {
-        cost_constant(file, &lexed, &mut findings);
+        cost_constant(file, lexed, &mut findings);
     }
     if set.panic_path {
-        panic_path(file, &lexed, &tests, &mut findings);
+        panic_path(file, lexed, &tests, &mut findings);
     }
     if set.event_protocol {
-        event_protocol(file, &lexed, &mut findings);
+        event_protocol(file, lexed, &mut findings);
     }
-    if set.lock_ordering {
-        lock_ordering(file, &lexed, &mut findings);
-    }
-    findings.retain(|f| !suppressed(&lexed, f));
+    findings.retain(|f| !is_suppressed(lexed, f.lint, f.line));
     findings.sort_by(|a, b| (a.line, a.lint).cmp(&(b.line, b.lint)));
     findings
 }
 
-/// True if an allow-annotation for the finding's lint sits on the same
-/// line or the line above, with a non-empty reason.
-fn suppressed(lexed: &Lexed, finding: &Finding) -> bool {
+/// True if an allow-annotation for `lint` (or a historical alias of it,
+/// per [`LINT_RENAMES`]) sits on the same line or the line above, with
+/// a non-empty reason.
+#[must_use]
+pub fn is_suppressed(lexed: &Lexed, lint: &str, line: u32) -> bool {
     lexed.allows.iter().any(|a| {
-        a.lint == finding.lint
-            && !a.reason.is_empty()
-            && (a.line == finding.line || a.line + 1 == finding.line)
+        let names_lint = a.lint == lint
+            || LINT_RENAMES
+                .iter()
+                .any(|&(old, new)| new == lint && a.lint == old);
+        names_lint && !a.reason.is_empty() && (a.line == line || a.line + 1 == line)
     })
 }
 
 /// Token-index ranges of `#[cfg(test)] mod … { … }` bodies.
-fn test_ranges(tokens: &[Token]) -> Vec<(usize, usize)> {
+pub(crate) fn test_ranges(tokens: &[Token]) -> Vec<(usize, usize)> {
     let mut ranges = Vec::new();
     let mut i = 0;
     while i < tokens.len() {
@@ -143,7 +185,7 @@ fn test_ranges(tokens: &[Token]) -> Vec<(usize, usize)> {
     ranges
 }
 
-fn in_test(tests: &[(usize, usize)], idx: usize) -> bool {
+pub(crate) fn in_test(tests: &[(usize, usize)], idx: usize) -> bool {
     tests.iter().any(|&(s, e)| idx >= s && idx < e)
 }
 
@@ -158,7 +200,7 @@ fn matches(tokens: &[Token], at: usize, pattern: &[&str]) -> bool {
 
 /// With `tokens[at]` an opening delimiter, returns the index just past
 /// its matching close.
-fn skip_balanced(tokens: &[Token], at: usize, open: &str, close: &str) -> usize {
+pub(crate) fn skip_balanced(tokens: &[Token], at: usize, open: &str, close: &str) -> usize {
     let mut depth = 0usize;
     let mut i = at;
     while i < tokens.len() {
@@ -188,163 +230,7 @@ fn skip_attribute(tokens: &[Token], at: usize) -> usize {
 }
 
 // ---------------------------------------------------------------------
-// Lint 1: nondet-iter
-// ---------------------------------------------------------------------
-
-const ITER_METHODS: &[&str] = &[
-    "iter",
-    "iter_mut",
-    "keys",
-    "values",
-    "values_mut",
-    "drain",
-    "into_iter",
-    "into_keys",
-    "into_values",
-    "retain",
-];
-
-/// Names bound to `HashMap`/`HashSet` in this file: `name: HashMap<…>`
-/// declarations (lets, fields, params) and `name = HashMap::new()`-style
-/// initializers. Collection is file-granular — a name hash-bound in one
-/// function taints the same name everywhere in the file — which errs on
-/// the side of flagging; rename or annotate to disambiguate.
-fn hash_bound_names(tokens: &[Token]) -> Vec<String> {
-    let mut names = Vec::new();
-    for (i, t) in tokens.iter().enumerate() {
-        if !(t.is_ident("HashMap") || t.is_ident("HashSet")) {
-            continue;
-        }
-        // Walk back over a `std::collections::` path prefix, then over
-        // `&`/`&mut`/lifetime qualifiers, to reach an ascription colon.
-        let mut head = i;
-        while head >= 2
-            && tokens[head - 1].is_punct("::")
-            && tokens[head - 2].kind == TokKind::Ident
-        {
-            head -= 2;
-        }
-        while head >= 1
-            && (tokens[head - 1].is_punct("&")
-                || tokens[head - 1].is_ident("mut")
-                || tokens[head - 1].kind == TokKind::Lifetime)
-        {
-            head -= 1;
-        }
-        if head < 2 || tokens[head - 2].kind != TokKind::Ident {
-            continue;
-        }
-        let ascription = tokens[head - 1].is_punct(":");
-        let initializer =
-            tokens[head - 1].is_punct("=") && tokens.get(i + 1).is_some_and(|t| t.is_punct("::"));
-        if ascription || initializer {
-            names.push(tokens[head - 2].text.clone());
-        }
-    }
-    names.sort_unstable();
-    names.dedup();
-    names
-}
-
-fn nondet_iter(file: &str, lexed: &Lexed, tests: &[(usize, usize)], out: &mut Vec<Finding>) {
-    let tokens = &lexed.tokens;
-    let names = hash_bound_names(tokens);
-    if names.is_empty() {
-        return;
-    }
-    let is_hash_name = |t: &Token| t.kind == TokKind::Ident && names.iter().any(|n| n == &t.text);
-    for (i, t) in tokens.iter().enumerate() {
-        if in_test(tests, i) || !is_hash_name(t) {
-            continue;
-        }
-        // `name.iter()` / `.keys()` / … method form.
-        if tokens.get(i + 1).is_some_and(|t| t.is_punct("."))
-            && tokens.get(i + 3).is_some_and(|t| t.is_punct("("))
-        {
-            if let Some(m) = tokens.get(i + 2) {
-                if m.kind == TokKind::Ident && ITER_METHODS.contains(&m.text.as_str()) {
-                    out.push(Finding {
-                        file: file.to_owned(),
-                        line: m.line,
-                        lint: NONDET_ITER,
-                        message: format!(
-                            "iteration over std HashMap/HashSet `{}.{}()` is \
-                             nondeterministically ordered; use BTreeMap/BTreeSet, sort first, \
-                             or annotate `// cce-analyze: allow(nondet-iter): <why order cannot \
-                             reach output>` (DESIGN.md \u{a7}8)",
-                            t.text, m.text
-                        ),
-                    });
-                }
-            }
-        }
-    }
-    // `for … in [&mut] name { …` form (method-call forms in the iterator
-    // expression are caught above).
-    let mut i = 0;
-    while i < tokens.len() {
-        if !tokens[i].is_ident("for") || in_test(tests, i) {
-            i += 1;
-            continue;
-        }
-        // Find `in` at delimiter depth 0, then the body `{`. A brace at
-        // depth 0 before any `in` — `impl Trait for Type { … }`,
-        // `for<'a>` bounds reaching a body — means this `for` is not a
-        // loop at all.
-        let mut j = i + 1;
-        let mut depth = 0i32;
-        let mut found_in = false;
-        while j < tokens.len() {
-            let t = &tokens[j];
-            if t.is_punct("(") || t.is_punct("[") {
-                depth += 1;
-            } else if t.is_punct(")") || t.is_punct("]") {
-                depth -= 1;
-            } else if depth == 0 && t.is_ident("in") {
-                found_in = true;
-                break;
-            } else if depth == 0 && t.is_punct("{") {
-                break;
-            }
-            j += 1;
-        }
-        if !found_in {
-            i += 1;
-            continue;
-        }
-        let expr_start = j + 1;
-        let mut k = expr_start;
-        let mut has_call = false;
-        while k < tokens.len() && !tokens[k].is_punct("{") {
-            if tokens[k].is_punct("(") {
-                has_call = true;
-            }
-            k += 1;
-        }
-        if !has_call {
-            for t in &tokens[expr_start..k] {
-                if is_hash_name(t) {
-                    out.push(Finding {
-                        file: file.to_owned(),
-                        line: t.line,
-                        lint: NONDET_ITER,
-                        message: format!(
-                            "`for` loop over std HashMap/HashSet `{}` is nondeterministically \
-                             ordered; use BTreeMap/BTreeSet, sort first, or annotate \
-                             `// cce-analyze: allow(nondet-iter): <why order cannot reach \
-                             output>` (DESIGN.md \u{a7}8)",
-                            t.text
-                        ),
-                    });
-                }
-            }
-        }
-        i = k;
-    }
-}
-
-// ---------------------------------------------------------------------
-// Lint 2: cost-constant
+// Lint: cost-constant
 // ---------------------------------------------------------------------
 
 /// The Eq. 2–4 constants, with the substring forms searched inside
@@ -395,33 +281,33 @@ fn cost_constant(file: &str, lexed: &Lexed, out: &mut Vec<Finding>) {
             TokKind::Number => {
                 if let Some(v) = number_value(&t.text) {
                     if let Some((_, name)) = PAPER_CONSTANTS.iter().find(|(c, _)| *c == v) {
-                        out.push(Finding {
-                            file: file.to_owned(),
-                            line: t.line,
-                            lint: COST_CONSTANT,
-                            message: format!(
+                        out.push(Finding::new(
+                            file,
+                            t.line,
+                            COST_CONSTANT,
+                            format!(
                                 "Eq. 2\u{2013}4 constant {name} re-typed as a literal; the only \
                                  definition site is cce_sim::overhead (EVICTION_EQ2 / MISS_EQ3 / \
                                  UNLINK_EQ4) — import it, or annotate \
                                  `// cce-analyze: allow(cost-constant): <reason>`"
                             ),
-                        });
+                        ));
                     }
                 }
             }
             TokKind::Str => {
                 for name in constants_in_string(&t.text) {
-                    out.push(Finding {
-                        file: file.to_owned(),
-                        line: t.line,
-                        lint: COST_CONSTANT,
-                        message: format!(
+                    out.push(Finding::new(
+                        file,
+                        t.line,
+                        COST_CONSTANT,
+                        format!(
                             "Eq. 2\u{2013}4 constant {name} re-typed inside a string literal; \
                              format the canonical cce_sim::overhead model (its Display impl) \
                              instead, or annotate \
                              `// cce-analyze: allow(cost-constant): <reason>`"
                         ),
-                    });
+                    ));
                 }
             }
             _ => {}
@@ -447,15 +333,15 @@ fn panic_path(file: &str, lexed: &Lexed, tests: &[(usize, usize)], out: &mut Vec
             "panic" if tokens.get(i + 1).is_some_and(|t| t.is_punct("!")) => "panic!",
             _ => continue,
         };
-        out.push(Finding {
-            file: file.to_owned(),
-            line: t.line,
-            lint: PANIC_PATH,
-            message: format!(
+        out.push(Finding::new(
+            file,
+            t.line,
+            PANIC_PATH,
+            format!(
                 "{what} in non-test library code; return an error or prove the invariant \
                  (ratcheted by analyze-baseline.json — the count may only go down)"
             ),
-        });
+        ));
     }
 }
 
@@ -507,98 +393,23 @@ fn event_protocol(file: &str, lexed: &Lexed, out: &mut Vec<Finding>) {
             let is_pattern =
                 next_is_arm || next_is_let_eq || braces_have_dotdot || in_matches_macro;
             if !is_pattern {
-                out.push(Finding {
-                    file: file.to_owned(),
-                    line: variant.line,
-                    lint: EVENT_PROTOCOL,
-                    message: format!(
+                out.push(Finding::new(
+                    file,
+                    variant.line,
+                    EVENT_PROTOCOL,
+                    format!(
                         "direct construction of CacheEvent::{} outside \
                          crates/core/src/{{events,cache,testutil}}.rs; organizations must \
                          stream evictions through cce_core::EvictionScope so the \
                          begin/end grammar cannot be violated",
                         variant.text
                     ),
-                });
+                ));
             }
             i = end;
             continue;
         }
         i += 1;
-    }
-}
-
-// ---------------------------------------------------------------------
-// Lint 5: lock-ordering
-// ---------------------------------------------------------------------
-
-/// The only two functions allowed to acquire a shard lock. Both live in
-/// `crates/core/src/concurrent.rs` and take locks in ascending shard
-/// index, which is what makes the concurrent layer deadlock-free.
-const LOCK_HELPERS: &[&str] = &["lock_shard", "lock_shard_pair"];
-
-/// Token-index ranges of the canonical lock helpers' bodies.
-fn lock_helper_bodies(tokens: &[Token]) -> Vec<(usize, usize)> {
-    let mut ranges = Vec::new();
-    let mut i = 0;
-    while i < tokens.len() {
-        if tokens[i].is_ident("fn")
-            && tokens.get(i + 1).is_some_and(|t| {
-                t.kind == TokKind::Ident && LOCK_HELPERS.contains(&t.text.as_str())
-            })
-        {
-            // Find the body `{` past the signature (params, return type).
-            let mut j = i + 2;
-            let mut depth = 0i32;
-            while j < tokens.len() {
-                let t = &tokens[j];
-                if t.is_punct("(") || t.is_punct("[") {
-                    depth += 1;
-                } else if t.is_punct(")") || t.is_punct("]") {
-                    depth -= 1;
-                } else if depth == 0 && t.is_punct("{") {
-                    break;
-                }
-                j += 1;
-            }
-            let end = skip_balanced(tokens, j, "{", "}");
-            ranges.push((j, end));
-            i = end;
-            continue;
-        }
-        i += 1;
-    }
-    ranges
-}
-
-fn lock_ordering(file: &str, lexed: &Lexed, out: &mut Vec<Finding>) {
-    let tokens = &lexed.tokens;
-    let allowed = lock_helper_bodies(tokens);
-    for (i, t) in tokens.iter().enumerate() {
-        // `….lock(` with `shards` naming the receiver a few tokens back
-        // (`self.shards[s].lock(…)` and relatives).
-        if !(t.is_ident("lock")
-            && i > 0
-            && tokens[i - 1].is_punct(".")
-            && tokens.get(i + 1).is_some_and(|t| t.is_punct("(")))
-        {
-            continue;
-        }
-        let lookback = i.saturating_sub(8);
-        if !tokens[lookback..i].iter().any(|t| t.is_ident("shards")) {
-            continue;
-        }
-        if allowed.iter().any(|&(s, e)| i >= s && i < e) {
-            continue;
-        }
-        out.push(Finding {
-            file: file.to_owned(),
-            line: t.line,
-            lint: LOCK_ORDERING,
-            message: "shard lock acquired outside the canonical helpers; all shard-lock \
-                      acquisition must go through lock_shard/lock_shard_pair so locks are \
-                      always taken in ascending shard index (deadlock freedom, DESIGN.md \u{a7}12)"
-                .to_owned(),
-        });
     }
 }
 
@@ -615,69 +426,11 @@ mod tests {
     }
 
     #[test]
-    fn hash_iteration_is_flagged_lookup_is_not() {
-        let src = "
-use std::collections::HashMap;
-fn f(m: &HashMap<u64, u64>) -> u64 {
-    let mut s = 0;
-    for (_k, v) in m.iter() { s += v; }
-    s + m.get(&3).copied().unwrap_or(0)
-}";
-        let f = run_all(src);
-        assert_eq!(lints_of(&f), vec![NONDET_ITER]);
-        assert_eq!(f[0].line, 5);
-    }
-
-    #[test]
-    fn plain_for_over_hashset_is_flagged() {
-        let src = "
-use std::collections::HashSet;
-fn g() {
-    let mut seen = HashSet::new();
-    seen.insert(1u64);
-    for v in &seen { let _ = v; }
-}";
-        assert_eq!(lints_of(&run_all(src)), vec![NONDET_ITER]);
-    }
-
-    #[test]
-    fn impl_for_and_hrtb_are_not_for_loops() {
-        // A trailing `for` with no `in` (trait impl, HRTB) after the
-        // last real loop used to slice past the end of the token stream.
-        let src = "
-use std::collections::HashMap;
-pub struct S { m: HashMap<u64, u64> }
-fn sum(m: &HashMap<u64, u64>) -> u64 {
-    let mut s = 0;
-    for (_k, v) in m { s += v; }
-    s
-}
-fn apply<F>(f: F) where F: for<'a> Fn(&'a u64) { f(&0); }
-impl Default for S {
-    fn default() -> S { S { m: HashMap::new() } }
-}";
-        let f = run_all(src);
-        assert_eq!(lints_of(&f), vec![NONDET_ITER]);
-        assert_eq!(f[0].line, 6);
-    }
-
-    #[test]
-    fn btree_iteration_is_clean() {
-        let src = "
-use std::collections::BTreeMap;
-fn f(m: &BTreeMap<u64, u64>) -> u64 {
-    m.values().sum()
-}";
-        assert!(run_all(src).is_empty());
-    }
-
-    #[test]
     fn annotation_with_reason_suppresses() {
         let src = "
-use std::collections::HashMap;
-fn f(m: &HashMap<u64, u64>) -> u64 {
-    // cce-analyze: allow(nondet-iter): summation is order-independent
-    m.values().sum()
+fn f(v: Option<u32>) -> u32 {
+    // cce-analyze: allow(panic-path): the caller checked is_some
+    v.unwrap()
 }";
         assert!(run_all(src).is_empty());
     }
@@ -685,12 +438,26 @@ fn f(m: &HashMap<u64, u64>) -> u64 {
     #[test]
     fn annotation_without_reason_is_inert() {
         let src = "
-use std::collections::HashMap;
-fn f(m: &HashMap<u64, u64>) -> u64 {
-    // cce-analyze: allow(nondet-iter)
-    m.values().sum()
+fn f(v: Option<u32>) -> u32 {
+    // cce-analyze: allow(panic-path)
+    v.unwrap()
 }";
-        assert_eq!(lints_of(&run_all(src)), vec![NONDET_ITER]);
+        assert_eq!(lints_of(&run_all(src)), vec![PANIC_PATH]);
+    }
+
+    #[test]
+    fn legacy_lint_names_suppress_their_successors() {
+        let lexed = lex("
+// cce-analyze: allow(nondet-iter): order cannot reach output
+// cce-analyze: allow(lock-ordering): guard dropped on the line above
+");
+        assert!(is_suppressed(&lexed, NONDET_TAINT, 2));
+        assert!(is_suppressed(&lexed, LOCK_GRAPH, 3));
+        assert!(
+            !is_suppressed(&lexed, PANIC_PATH, 2),
+            "aliases are per-lint"
+        );
+        assert!(!is_suppressed(&lexed, NONDET_TAINT, 9), "and per-line");
     }
 
     #[test]
@@ -775,47 +542,6 @@ fn bad() -> CacheEvent {
         let f = run_all(src);
         assert_eq!(lints_of(&f), vec![EVENT_PROTOCOL]);
         assert_eq!(f[0].line, 9);
-    }
-
-    #[test]
-    fn direct_shard_lock_is_flagged_helpers_are_not() {
-        let src = "
-impl ConcurrentCache {
-    fn lock_shard(&self, s: usize) -> MutexGuard<'_, ShardSlot> {
-        self.shards[s].lock().unwrap_or_else(PoisonError::into_inner)
-    }
-    fn lock_shard_pair(&self, a: usize, b: usize) -> (MutexGuard<'_, ShardSlot>, MutexGuard<'_, ShardSlot>) {
-        let first = self.shards[a.min(b)].lock().unwrap_or_else(PoisonError::into_inner);
-        let second = self.shards[a.max(b)].lock().unwrap_or_else(PoisonError::into_inner);
-        if a < b { (first, second) } else { (second, first) }
-    }
-    fn rogue(&self, s: usize) -> u64 {
-        let guard = self.shards[s].lock().unwrap_or_else(PoisonError::into_inner);
-        guard.used()
-    }
-}";
-        let f = run_all(src);
-        let lo: Vec<_> = f.iter().filter(|f| f.lint == LOCK_ORDERING).collect();
-        assert_eq!(lo.len(), 1, "{f:?}");
-        assert_eq!(lo[0].line, 12);
-    }
-
-    #[test]
-    fn non_shard_locks_are_clean() {
-        let src = "
-impl ConcurrentCache {
-    fn review(&self) {
-        let mut ast = self.arbiter.lock().unwrap_or_else(PoisonError::into_inner);
-        let tstate = self.tenants[0].lock().unwrap_or_else(PoisonError::into_inner);
-        drop((ast, tstate));
-    }
-    fn shard_count(&self) -> usize { self.shards.len() }
-}";
-        assert!(
-            run_all(src).iter().all(|f| f.lint != LOCK_ORDERING),
-            "{:?}",
-            run_all(src)
-        );
     }
 
     #[test]

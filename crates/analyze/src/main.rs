@@ -4,8 +4,9 @@
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Instant;
 
-use cce_analyze::{scan_fixture, scan_repo, Baseline, Finding};
+use cce_analyze::{sarif, scan_fixtures, scan_repo, Baseline, Finding};
 use cce_util::Json;
 
 const USAGE: &str = "\
@@ -15,39 +16,52 @@ USAGE:
     cce-analyze [OPTIONS] [FILES...]
 
 With no FILES, lints every crates/*/src/**/*.rs under --root using the
-per-crate scoping rules. With FILES, lints exactly those files with
-every lint enabled and no path exemptions (fixture mode).
+per-crate scoping rules; the interprocedural passes (nondet-taint,
+lock-graph) see the whole workspace at once. With FILES, lints exactly
+those files as one miniature workspace with every lint enabled and no
+path exemptions (fixture mode).
 
 OPTIONS:
     --root DIR          Repository root to scan (default: .)
-    --format FMT        Output format: text | json (default: text)
+    --format FMT        Output format: text | json | sarif (default: text)
     --baseline FILE     Suppress findings covered by this ratchet file
     --update-baseline   Rewrite --baseline FILE from current findings
+    --budget-ms N       Fail (exit 1) if analysis exceeds N milliseconds
     -h, --help          Show this help
 
 EXIT CODES:
     0  no findings above baseline, baseline not stale
-    1  findings reported, or the baseline over-budgets a paid-down
-       file (rerun with --update-baseline to lock the reduction in)
+    1  findings reported, the baseline over-budgets a paid-down file
+       (rerun with --update-baseline to lock the reduction in), or the
+       --budget-ms wall-time budget was exceeded
     2  usage or I/O error";
 
 /// `(lint, file, budget, current)` from [`Baseline::stale_buckets`].
 type StaleBucket = (String, String, usize, usize);
 
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Text,
+    Json,
+    Sarif,
+}
+
 struct Options {
     root: PathBuf,
-    json: bool,
+    format: Format,
     baseline: Option<PathBuf>,
     update_baseline: bool,
+    budget_ms: Option<u64>,
     files: Vec<PathBuf>,
 }
 
 fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
     let mut opts = Options {
         root: PathBuf::from("."),
-        json: false,
+        format: Format::Text,
         baseline: None,
         update_baseline: false,
+        budget_ms: None,
         files: Vec::new(),
     };
     let mut it = args.iter();
@@ -59,15 +73,24 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
                 opts.root = PathBuf::from(dir);
             }
             "--format" => match it.next().map(String::as_str) {
-                Some("text") => opts.json = false,
-                Some("json") => opts.json = true,
-                other => return Err(format!("--format must be text or json, got {other:?}")),
+                Some("text") => opts.format = Format::Text,
+                Some("json") => opts.format = Format::Json,
+                Some("sarif") => opts.format = Format::Sarif,
+                other => {
+                    return Err(format!(
+                        "--format must be text, json, or sarif, got {other:?}"
+                    ))
+                }
             },
             "--baseline" => {
                 let file = it.next().ok_or("--baseline needs a file")?;
                 opts.baseline = Some(PathBuf::from(file));
             }
             "--update-baseline" => opts.update_baseline = true,
+            "--budget-ms" => {
+                let n = it.next().ok_or("--budget-ms needs a number")?;
+                opts.budget_ms = Some(n.parse().map_err(|e| format!("--budget-ms {n}: {e}"))?);
+            }
             flag if flag.starts_with('-') => return Err(format!("unknown option {flag}")),
             file => opts.files.push(PathBuf::from(file)),
         }
@@ -86,12 +109,30 @@ fn findings_json(findings: &[Finding], suppressed: usize, stale: &[StaleBucket])
                 findings
                     .iter()
                     .map(|f| {
-                        Json::obj(vec![
+                        let mut pairs = vec![
                             ("file", Json::from(f.file.as_str())),
                             ("line", Json::from(f.line)),
                             ("lint", Json::from(f.lint)),
                             ("message", Json::from(f.message.as_str())),
-                        ])
+                        ];
+                        if !f.trace.is_empty() {
+                            pairs.push((
+                                "trace",
+                                Json::Arr(
+                                    f.trace
+                                        .iter()
+                                        .map(|h| {
+                                            Json::obj(vec![
+                                                ("file", Json::from(h.file.as_str())),
+                                                ("line", Json::from(h.line)),
+                                                ("label", Json::from(h.label.as_str())),
+                                            ])
+                                        })
+                                        .collect(),
+                                ),
+                            ));
+                        }
+                        Json::obj(pairs)
                     })
                     .collect(),
             ),
@@ -123,15 +164,13 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         return Ok(ExitCode::SUCCESS);
     };
 
+    let started = Instant::now();
     let findings = if opts.files.is_empty() {
         scan_repo(&opts.root).map_err(|e| format!("scanning {}: {e}", opts.root.display()))?
     } else {
-        let mut all = Vec::new();
-        for file in &opts.files {
-            all.extend(scan_fixture(file).map_err(|e| format!("{}: {e}", file.display()))?);
-        }
-        all
+        scan_fixtures(&opts.files).map_err(|e| format!("fixture scan: {e}"))?
     };
+    let elapsed_ms = u64::try_from(started.elapsed().as_millis()).unwrap_or(u64::MAX);
 
     if opts.update_baseline {
         let path = opts.baseline.as_ref().expect("checked in parse_args");
@@ -157,30 +196,42 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     };
     let stale = baseline.stale_buckets(&findings);
     let (kept, suppressed) = baseline.apply(findings);
+    let over_budget = opts.budget_ms.is_some_and(|b| elapsed_ms > b);
 
-    if opts.json {
-        println!(
+    match opts.format {
+        Format::Json => println!(
             "{}",
             findings_json(&kept, suppressed, &stale).to_string_compact()
-        );
-    } else {
-        for f in &kept {
-            println!("{f}");
-        }
-        for (lint, file, budget, current) in &stale {
+        ),
+        Format::Sarif => println!("{}", sarif::to_sarif(&kept).to_string_compact()),
+        Format::Text => {
+            for f in &kept {
+                println!("{f}");
+                for hop in &f.trace {
+                    println!("    {} ({}:{})", hop.label, hop.file, hop.line);
+                }
+            }
+            for (lint, file, budget, current) in &stale {
+                println!(
+                    "cce-analyze: baseline is stale for {file}: [{lint}] budget {budget}, \
+                     current {current}; run --update-baseline to lock the reduction in"
+                );
+            }
             println!(
-                "cce-analyze: baseline is stale for {file}: [{lint}] budget {budget}, \
-                 current {current}; run --update-baseline to lock the reduction in"
+                "cce-analyze: {} finding(s), {} suppressed by baseline, {} stale baseline bucket(s)",
+                kept.len(),
+                suppressed,
+                stale.len()
             );
         }
-        println!(
-            "cce-analyze: {} finding(s), {} suppressed by baseline, {} stale baseline bucket(s)",
-            kept.len(),
-            suppressed,
-            stale.len()
+    }
+    if over_budget {
+        eprintln!(
+            "cce-analyze: wall time {elapsed_ms} ms exceeded --budget-ms {}",
+            opts.budget_ms.unwrap_or(0)
         );
     }
-    Ok(if kept.is_empty() && stale.is_empty() {
+    Ok(if kept.is_empty() && stale.is_empty() && !over_budget {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE

@@ -1,6 +1,8 @@
 //! Golden-fixture tests: the binary must exit nonzero on each
-//! violating fixture, zero on each clean one, and the repo itself must
-//! report nothing above the committed baseline.
+//! violating fixture, zero on each clean one, traces must survive all
+//! three output formats, renamed-lint baselines must keep suppressing,
+//! and the repo itself must report nothing above the committed
+//! baseline.
 
 use std::path::PathBuf;
 use std::process::{Command, Output};
@@ -56,11 +58,21 @@ fn assert_pair(lint: &str, violating: &str, clean: &str, expected_findings: usiz
 }
 
 #[test]
-fn nondet_iter_pair() {
+fn nondet_taint_pair() {
     assert_pair(
-        "nondet-iter",
-        "nondet_iter_violating.rs",
-        "nondet_iter_clean.rs",
+        "nondet-taint",
+        "nondet_taint_violating.rs",
+        "nondet_taint_clean.rs",
+        3,
+    );
+}
+
+#[test]
+fn lock_graph_pair() {
+    assert_pair(
+        "lock-graph",
+        "lock_graph_violating.rs",
+        "lock_graph_clean.rs",
         3,
     );
 }
@@ -96,16 +108,6 @@ fn event_protocol_pair() {
 }
 
 #[test]
-fn lock_ordering_pair() {
-    assert_pair(
-        "lock-ordering",
-        "lock_ordering_violating.rs",
-        "lock_ordering_clean.rs",
-        3,
-    );
-}
-
-#[test]
 fn diagnostics_are_file_line_clickable() {
     let (_, stdout) = run_fixture("panic_path_violating.rs");
     let first = stdout.lines().next().expect("at least one line");
@@ -113,6 +115,69 @@ fn diagnostics_are_file_line_clickable() {
         first.contains("panic_path_violating.rs:3: [panic-path]"),
         "{first}"
     );
+}
+
+#[test]
+fn interprocedural_traces_survive_all_three_formats() {
+    // Text: indented continuation hops under the finding line, with
+    // the sink, the call hop, and the source each present.
+    let (_, stdout) = run_fixture("nondet_taint_violating.rs");
+    let hops: Vec<&str> = stdout.lines().filter(|l| l.starts_with("    ")).collect();
+    assert!(
+        hops.iter()
+            .any(|l| l.contains("sink `") && l.contains("summarize")),
+        "{stdout}"
+    );
+    assert!(hops.iter().any(|l| l.contains("call inside `")), "{stdout}");
+    assert!(
+        hops.iter()
+            .any(|l| l.contains("source in `") && l.contains("dump")),
+        "{stdout}"
+    );
+
+    // JSON: a trace array with file/line/label per hop.
+    let out = run(&["--format", "json", &fixture("nondet_taint_violating.rs")]);
+    let doc =
+        Json::parse(std::str::from_utf8(&out.stdout).expect("utf-8")).expect("json output parses");
+    let findings = doc
+        .get("findings")
+        .and_then(Json::as_arr)
+        .expect("findings");
+    assert_eq!(findings.len(), 3);
+    let trace = findings[0]
+        .get("trace")
+        .and_then(Json::as_arr)
+        .expect("first finding has a trace");
+    assert_eq!(trace.len(), 3, "sink, call hop, source");
+    for hop in trace {
+        assert!(hop.get("file").and_then(Json::as_str).is_some());
+        assert!(hop.get("line").and_then(Json::as_u64).is_some());
+        assert!(hop.get("label").and_then(Json::as_str).is_some());
+    }
+
+    // SARIF: versioned log with codeFlows carrying the same hops.
+    let out = run(&["--format", "sarif", &fixture("nondet_taint_violating.rs")]);
+    assert!(!out.status.success(), "findings still fail in sarif mode");
+    let doc =
+        Json::parse(std::str::from_utf8(&out.stdout).expect("utf-8")).expect("sarif output parses");
+    assert_eq!(doc.get("version").and_then(Json::as_str), Some("2.1.0"));
+    let runs = doc.get("runs").and_then(Json::as_arr).expect("runs");
+    let results = runs[0]
+        .get("results")
+        .and_then(Json::as_arr)
+        .expect("results");
+    assert_eq!(results.len(), 3);
+    let flows = results[0]
+        .get("codeFlows")
+        .and_then(Json::as_arr)
+        .expect("traced finding has codeFlows");
+    let steps = flows[0]
+        .get("threadFlows")
+        .and_then(Json::as_arr)
+        .and_then(|tf| tf[0].get("locations"))
+        .and_then(Json::as_arr)
+        .expect("threadFlow locations");
+    assert_eq!(steps.len(), 3);
 }
 
 #[test]
@@ -177,12 +242,59 @@ fn baseline_ratchets_findings_to_zero_but_not_below() {
 }
 
 #[test]
+fn baselines_written_under_old_lint_names_keep_suppressing() {
+    // A baseline committed before the nondet-iter → nondet-taint
+    // rename must migrate its buckets, not silently drop them.
+    let baseline_path =
+        std::env::temp_dir().join(format!("cce-analyze-rename-{}.json", std::process::id()));
+    let target = fixture("nondet_taint_violating.rs");
+    let old_style =
+        format!("{{\"version\":1,\"counts\":{{\"nondet-iter\":{{\"{target}\":3}}}}}}\n");
+    std::fs::write(&baseline_path, old_style).expect("write old-style baseline");
+
+    let baseline = baseline_path.to_string_lossy().into_owned();
+    let out = run(&[&target, "--baseline", &baseline]);
+    let stdout = String::from_utf8(out.stdout).expect("utf-8");
+    assert!(
+        out.status.success(),
+        "old-name budgets must cover the successor lint:\n{stdout}"
+    );
+    assert!(stdout.contains("3 suppressed by baseline"), "{stdout}");
+
+    std::fs::remove_file(&baseline_path).ok();
+}
+
+#[test]
+fn wall_time_budget_gates_the_run() {
+    // An absurdly generous budget passes…
+    let out = run(&[&fixture("panic_path_clean.rs"), "--budget-ms", "600000"]);
+    assert!(out.status.success());
+    // …an impossible one fails even with zero findings above baseline.
+    // (The whole-repo scan always takes longer than 0 ms; a single
+    // tiny fixture can round down to it.)
+    let root = repo_root();
+    let out = run(&[
+        "--root",
+        &root.to_string_lossy(),
+        "--baseline",
+        &root.join("analyze-baseline.json").to_string_lossy(),
+        "--budget-ms",
+        "0",
+    ]);
+    assert!(!out.status.success(), "0ms budget must fail");
+    let stderr = String::from_utf8(out.stderr).expect("utf-8");
+    assert!(stderr.contains("exceeded --budget-ms"), "{stderr}");
+}
+
+#[test]
 fn usage_errors_exit_two() {
     let out = run(&["--format", "yaml"]);
     assert_eq!(out.status.code(), Some(2));
     let out = run(&["--update-baseline"]);
     assert_eq!(out.status.code(), Some(2));
     let out = run(&["--no-such-flag"]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = run(&["--budget-ms", "lots"]);
     assert_eq!(out.status.code(), Some(2));
 }
 
@@ -204,5 +316,51 @@ fn repo_reports_nothing_above_committed_baseline() {
     assert!(
         out.status.success(),
         "repo has findings above baseline:\n{stdout}"
+    );
+}
+
+#[test]
+fn lock_model_matches_the_real_concurrent_cache() {
+    // Cross-check the lint's static model against the actual
+    // crates/core/src/concurrent.rs: the canonical helpers transfer
+    // guards, the hierarchy descent in review() touches all three
+    // classes, and the whole file simulates without violations.
+    use cce_analyze::callgraph::CallGraph;
+    use cce_analyze::lockgraph::{self, LockClass};
+    use cce_analyze::symbols::Workspace;
+    use std::collections::BTreeSet;
+
+    let src = std::fs::read_to_string(repo_root().join("crates/core/src/concurrent.rs"))
+        .expect("read concurrent.rs");
+    let mut ws = Workspace::default();
+    ws.add_file("crates/core/src/concurrent.rs", &src);
+    let cg = CallGraph::build(&ws);
+
+    let model = lockgraph::model(&ws, &cg);
+    let q = |name: &str| format!("cce_core::concurrent::ConcurrentCache::{name}");
+    assert!(model.returns_guard.contains(&q("lock_shard")));
+    assert!(model.returns_guard.contains(&q("lock_tenant")));
+    assert_eq!(
+        model.may_acquire[&q("lock_shard")],
+        BTreeSet::from([LockClass::Shard])
+    );
+    assert_eq!(
+        model.may_acquire[&q("lock_shard_pair")],
+        BTreeSet::from([LockClass::Shard])
+    );
+    assert_eq!(
+        model.may_acquire[&q("lock_tenant")],
+        BTreeSet::from([LockClass::Tenant])
+    );
+    assert_eq!(
+        model.may_acquire[&q("review")],
+        BTreeSet::from([LockClass::Arbiter, LockClass::Tenant, LockClass::Shard]),
+        "review descends the full hierarchy"
+    );
+
+    let findings = lockgraph::run(&ws, &cg, true);
+    assert!(
+        findings.is_empty(),
+        "the concurrent layer must satisfy its own lock model: {findings:?}"
     );
 }

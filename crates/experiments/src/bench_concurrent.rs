@@ -34,6 +34,7 @@ fn min_secs<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, T) {
     let mut best = f64::INFINITY;
     let mut last = None;
     for _ in 0..reps.max(1) {
+        // cce-analyze: allow(nondet-taint): wall-clock timing is the benchmark's measurement, not cache state
         let t0 = Instant::now();
         let out = f();
         best = best.min(t0.elapsed().as_secs_f64());
@@ -70,6 +71,7 @@ pub fn bench_concurrent(opts: &Options) -> Result<String, String> {
         .max()
         .unwrap_or(1);
 
+    // cce-analyze: allow(nondet-taint): reported as machine context alongside throughput, never feeds cache decisions
     let parallelism = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     let mut rows = Vec::with_capacity(THREADS.len());
     let mut baseline = None;

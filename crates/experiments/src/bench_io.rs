@@ -25,6 +25,7 @@ fn min_secs<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, T) {
     let mut best = f64::INFINITY;
     let mut last = None;
     for _ in 0..reps.max(1) {
+        // cce-analyze: allow(nondet-taint): wall-clock timing is the benchmark's measurement, not cache state
         let t0 = Instant::now();
         let out = f();
         best = best.min(t0.elapsed().as_secs_f64());

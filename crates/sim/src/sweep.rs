@@ -92,6 +92,7 @@ pub fn jobs_from(flag: Option<usize>, env: Option<&str>) -> usize {
     flag.filter(|&n| n > 0)
         .or_else(|| env.and_then(|s| s.trim().parse().ok()).filter(|&n| n > 0))
         .unwrap_or_else(|| {
+            // cce-analyze: allow(nondet-taint): job-count fallback only; per-job results are merged in config order
             std::thread::available_parallelism()
                 .map(std::num::NonZeroUsize::get)
                 .unwrap_or(1)
