@@ -8,7 +8,18 @@ cargo fmt --all --check
 cargo clippy --workspace --all-targets -- -D warnings
 cargo build --release
 cargo test -q
-# Analyzer self-check first: each violating fixture must fail, each
+# Path-sensitive lint self-checks first, by name: the event-grammar
+# typestate and cost-unit flow lints each must flag their violating
+# fixture and stay quiet on their clean twin, so a regression in the
+# CFG/dataflow layer can never silently green the repo gate below.
+for lint in event_typestate cost_units; do
+    if cargo run -q -p cce-analyze -- "crates/analyze/fixtures/${lint}_violating.rs"; then
+        echo "self-check: ${lint} lint found nothing in its violating fixture" >&2
+        exit 1
+    fi
+    cargo run -q -p cce-analyze -- "crates/analyze/fixtures/${lint}_clean.rs"
+done
+# Then the full fixture sweep: each violating fixture must fail, each
 # clean one must pass, so a broken lint can never green the repo gate.
 for fixture in crates/analyze/fixtures/*_violating.rs; do
     if cargo run -q -p cce-analyze -- "$fixture"; then

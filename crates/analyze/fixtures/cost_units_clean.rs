@@ -1,0 +1,32 @@
+//! Clean fixture for the `cost-units` lint: the canonical model
+//! combines currencies through casts and fitted coefficients,
+//! same-unit arithmetic is fine, float accumulation is exempt, and
+//! integer cycle totals that use saturating ops pass.
+
+fn model_eval(slope: f64, shard_bytes: u64, intercept: f64, invocations: u64) -> f64 {
+    slope * shard_bytes as f64 + intercept * invocations as f64
+}
+
+fn accumulate(per_event_cost: u64, rounds: u64) -> u64 {
+    let mut total_cycles: u64 = 0;
+    let mut i = 0;
+    while i < rounds {
+        total_cycles = total_cycles.saturating_add(per_event_cost);
+        i += 1;
+    }
+    total_cycles
+}
+
+fn float_total(per_event_cost: f64, rounds: u64) -> f64 {
+    let mut total_cycles = 0.0;
+    let mut k: u64 = 0;
+    while k < rounds {
+        total_cycles += per_event_cost;
+        k += 1;
+    }
+    total_cycles
+}
+
+fn same_unit(total_bytes: u64, freed_bytes: u64) -> u64 {
+    total_bytes - freed_bytes
+}

@@ -1,0 +1,29 @@
+//! Violating fixture for the `cost-units` lint: cross-unit
+//! arithmetic between bytes, cycles and event counts, plus an
+//! unsaturated integer cycle accumulator. Findings trace each
+//! operand's unit back to the binding where it was inferred.
+
+fn mix(total_bytes: u64, miss_cycles: u64) -> u64 {
+    let wrong = total_bytes + miss_cycles;
+    wrong
+}
+
+fn tally(hit_count: u64, shard_bytes: u64) -> u64 {
+    hit_count + shard_bytes
+}
+
+fn accumulate(per_event_cost: u64, rounds: u64) -> u64 {
+    let mut total_cycles: u64 = 0;
+    let mut i = 0;
+    while i < rounds {
+        total_cycles += per_event_cost;
+        i += 1;
+    }
+    total_cycles
+}
+
+fn eval_mix(model: &OverheadModel, freed_bytes: u64) -> u64 {
+    let unlink = model.eval(4, 3);
+    let total = unlink + freed_bytes;
+    total
+}

@@ -1,0 +1,49 @@
+//! Clean fixture for the `event-typestate` lint: balanced scopes,
+//! loops of Evicted inside an open scope, pattern positions that are
+//! not emissions, and an interprocedurally balanced open/close pair.
+
+fn balanced(sink: &mut Sink) {
+    sink.event(CacheEvent::EvictionBegin);
+    sink.event(CacheEvent::Evicted { id: 3, size: 128 });
+    sink.event(CacheEvent::Unlinked { id: 3, links: 2 });
+    sink.event(CacheEvent::EvictionEnd { bytes: 128, links_dropped_free: 2 });
+}
+
+fn sweep(sink: &mut Sink, ids: &[u64]) {
+    sink.event(CacheEvent::EvictionBegin);
+    for id in ids {
+        sink.event(CacheEvent::Evicted { id: *id, size: 64 });
+    }
+    sink.event(CacheEvent::EvictionEnd { bytes: 64, links_dropped_free: 0 });
+}
+
+fn classify(ev: CacheEvent) -> bool {
+    match ev {
+        CacheEvent::EvictionBegin => true,
+        CacheEvent::EvictionEnd { .. } => false,
+        CacheEvent::Evicted { id: 0, size: 0 } => true,
+        _ => matches!(ev, CacheEvent::Unlinked { id: 0, links: 0 }),
+    }
+}
+
+fn scan(ev: CacheEvent) -> u64 {
+    if let CacheEvent::EvictionEnd { bytes, .. } = ev {
+        bytes
+    } else {
+        0
+    }
+}
+
+fn open_scope(sink: &mut Sink) {
+    sink.event(CacheEvent::EvictionBegin);
+}
+
+fn close_scope(sink: &mut Sink) {
+    sink.event(CacheEvent::EvictionEnd { bytes: 16, links_dropped_free: 0 });
+}
+
+fn driver(sink: &mut Sink) {
+    open_scope(sink);
+    sink.event(CacheEvent::Evicted { id: 9, size: 16 });
+    close_scope(sink);
+}

@@ -1,0 +1,37 @@
+//! Violating fixture for the `event-typestate` lint: four grammar
+//! breaks — a nested Begin, a leak through an early return, a stray
+//! Evicted after the scope closed, and an interprocedural double-open
+//! through a helper. Every finding carries a multi-hop path trace.
+
+fn nested(sink: &mut Sink) {
+    sink.event(CacheEvent::EvictionBegin);
+    sink.event(CacheEvent::EvictionBegin);
+    sink.event(CacheEvent::EvictionEnd { bytes: 64, links_dropped_free: 0 });
+}
+
+fn leaky(sink: &mut Sink, abort: bool) {
+    sink.event(CacheEvent::EvictionBegin);
+    if abort {
+        return;
+    }
+    sink.event(CacheEvent::EvictionEnd { bytes: 64, links_dropped_free: 1 });
+}
+
+fn stray(sink: &mut Sink) {
+    sink.event(CacheEvent::EvictionEnd { bytes: 32, links_dropped_free: 0 });
+    sink.event(CacheEvent::Evicted { id: 7, size: 32 });
+}
+
+fn open_scope(sink: &mut Sink) {
+    sink.event(CacheEvent::EvictionBegin);
+}
+
+fn close_scope(sink: &mut Sink) {
+    sink.event(CacheEvent::EvictionEnd { bytes: 16, links_dropped_free: 0 });
+}
+
+fn driver(sink: &mut Sink) {
+    open_scope(sink);
+    open_scope(sink);
+    close_scope(sink);
+}

@@ -1,0 +1,31 @@
+//! Clean regression fixture for lexer desync: nested block comments
+//! and the full escape set in char/byte literals. If the lexer loses
+//! track of a literal boundary, the trap strings below leak their
+//! contents as real tokens and a lint fires, failing the clean check.
+
+/* outer /* inner /* deepest */ still inner */ still outer */
+
+fn escapes() -> char {
+    let _tab = '\t';
+    let _newline = '\n';
+    let _return = '\r';
+    let _nul = '\0';
+    let _quote = '\'';
+    let _backslash = '\\';
+    let hex = '\x7f';
+    let _byte_nul = b'\x00';
+    let _byte_max = b'\xFF';
+    let _uni = '\u{1F600}';
+    let _uni_short = '\u{7e}';
+    // If any literal above desynced the lexer, these strings would
+    // terminate early and leak panic-path bait as real code tokens.
+    let _trap = "literal text: value.unwrap() stays inside this string";
+    let _trap2 = "still a string: x.expect(\"nope\") and panic!(\"no\")";
+    hex
+}
+
+fn comments_stay_comments() -> u32 {
+    /* a /* nested */ comment with an apostrophe: don't desync */
+    /* /**/ */
+    0
+}

@@ -317,15 +317,29 @@ fn scan_string(s: &mut Scanner<'_>) -> String {
 fn scan_quote(s: &mut Scanner<'_>, out: &mut Lexed, line: u32) {
     s.bump(); // the quote
     if s.peek(0) == b'\\' {
-        // Escaped char literal: '\n', '\'', '\u{1F600}', …
+        // Escaped char literal: '\n', '\'', '\x41', '\u{1F600}', …
         s.bump();
-        if s.peek(0) == b'u' && s.peek(1) == b'{' {
-            s.bump();
-            while s.pos < s.src.len() && s.peek(0) != b'}' {
+        match s.peek(0) {
+            // Unicode escape: consume `u{…}` wholesale.
+            b'u' if s.peek(1) == b'{' => {
+                s.bump(); // u
+                while s.pos < s.src.len() && s.peek(0) != b'}' {
+                    s.bump();
+                }
+                s.bump(); // closing brace
+            }
+            // Hex escape (`'\x7f'`, `b'\xFF'`): the digits after `x`
+            // used to leak out as a number token plus a stray quote,
+            // desyncing every token range after the literal.
+            b'x' => {
+                s.bump(); // x
+                s.eat_while(|c| c.is_ascii_hexdigit());
+            }
+            // Single-char escapes: \n \t \r \\ \' \" \0.
+            _ => {
                 s.bump();
             }
         }
-        s.bump(); // escaped char or closing brace
         if s.peek(0) == b'\'' {
             s.bump();
         }
@@ -608,6 +622,54 @@ mod tests {
     fn raw_ident_does_not_shadow_byte_literals() {
         assert_eq!(idents("let b = b'x';"), vec!["let", "b"]);
         assert_eq!(idents("let v = br#\"s\"#;"), vec!["let", "v"]);
+    }
+
+    #[test]
+    fn hex_escapes_do_not_desync_token_ranges() {
+        // `'\x41'` used to leak `41'` as a number plus a stray quote,
+        // corrupting every token after the literal.
+        let lexed = lex("let del = '\\x7f'; let nul = b'\\x00'; let rest = value;");
+        let chars = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Char)
+            .count();
+        assert_eq!(chars, 2, "{:?}", lexed.tokens);
+        assert!(
+            lexed.tokens.iter().any(|t| t.is_ident("value")),
+            "code after the literals still lexes: {:?}",
+            lexed.tokens
+        );
+        assert!(
+            !lexed.tokens.iter().any(|t| t.kind == TokKind::Number),
+            "no escape digits leak as numbers: {:?}",
+            lexed.tokens
+        );
+    }
+
+    #[test]
+    fn full_escape_set_in_char_and_byte_literals() {
+        let src = r"let a = '\n'; let b = '\\'; let c = '\''; let d = '\0';
+let e = '\u{1F600}'; let f = b'\xFF'; let g = '\t'; let tail = done;";
+        let lexed = lex(src);
+        let chars = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Char)
+            .count();
+        assert_eq!(chars, 7, "{:?}", lexed.tokens);
+        assert!(lexed.tokens.iter().any(|t| t.is_ident("done")));
+        assert!(
+            !lexed.tokens.iter().any(|t| t.kind == TokKind::Lifetime),
+            "no literal is misread as a lifetime: {:?}",
+            lexed.tokens
+        );
+    }
+
+    #[test]
+    fn deeply_nested_block_comments_close_correctly() {
+        let src = "/* a /* b /* c */ b */ a */ let x = 1; /* /**/ */ let y = 2;";
+        assert_eq!(idents(src), vec!["let", "x", "let", "y"]);
     }
 
     #[test]

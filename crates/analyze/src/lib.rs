@@ -11,13 +11,12 @@
 //! * **panic-path** — `unwrap`/`expect`/`panic!` in non-test library
 //!   code of `cce-core`/`cce-sim`/`cce-dbt`, ratcheted by
 //!   `analyze-baseline.json` so the count only goes down.
-//! * **event-protocol** — `CacheEvent::EvictionBegin`/`EvictionEnd`
-//!   are constructed only inside `cce-core`'s event machinery
-//!   (including the shard and concurrent layers' event-rewriting
-//!   sinks); organizations must stream through `EvictionScope`.
 //!
 //! **Interprocedural lints**, built on a workspace symbol table
-//! ([`symbols`]) and a conservative call graph ([`callgraph`]):
+//! ([`symbols`]), a conservative call graph ([`callgraph`]), and — for
+//! the path-sensitive passes — per-function control-flow graphs
+//! ([`cfg`]) solved by a generic worklist dataflow engine
+//! ([`dataflow`]):
 //!
 //! * **nondet-taint** ([`taint`]) — nondeterminism sources (hash-order
 //!   iteration, wall-clock reads, `available_parallelism`, thread ids,
@@ -28,8 +27,21 @@
 //! * **lock-graph** ([`lockgraph`]) — verifies the global lock
 //!   hierarchy (arbiter → tenant ascending → shard ascending) is
 //!   acyclic on every interprocedural path and keeps shard-lock
-//!   acquisition confined to `lock_shard`/`lock_shard_pair`.
-//!   Successor to the textual `lock-ordering` check.
+//!   acquisition confined to `lock_shard`/`lock_shard_pair`. Guard
+//!   releases are path-sensitive: a `drop` on a branch that falls
+//!   through to the join releases the guard; a `drop` on a diverging
+//!   branch does not. Successor to the textual `lock-ordering` check.
+//! * **event-typestate** ([`typestate`]) — path-sensitive verification
+//!   of the eviction event grammar: every path from `EvictionBegin`
+//!   reaches exactly one `EvictionEnd` before function exit, no nested
+//!   scopes, `Evicted`/`Unlinked` only inside an open scope —
+//!   interprocedural through opens/closes/balanced function summaries.
+//!   Successor to the construction-site-only `event-protocol` check
+//!   (whose machinery-confinement rule it keeps as a backstop).
+//! * **cost-units** ([`units`]) — infers units (bytes, cycles, event
+//!   counts) for locals from the `cce_sim::overhead` cost model and
+//!   naming conventions, then flags cross-unit `+`/`-` arithmetic and
+//!   unsaturated integer cycle accumulation.
 //!
 //! Old lint names still work in `cce-analyze: allow(…)` annotations
 //! and committed baselines ([`lints::LINT_RENAMES`]).
@@ -42,12 +54,16 @@
 
 pub mod baseline;
 pub mod callgraph;
+pub mod cfg;
+pub mod dataflow;
 pub mod lexer;
 pub mod lints;
 pub mod lockgraph;
 pub mod sarif;
 pub mod symbols;
 pub mod taint;
+pub mod typestate;
+pub mod units;
 
 pub use baseline::Baseline;
 pub use lints::{Finding, LintSet};
@@ -65,8 +81,10 @@ const PANIC_CRATES: &[&str] = &["core", "sim", "dbt"];
 /// The one file allowed to spell out the Eq. 2–4 constants.
 const COST_DEFINITION_SITE: &str = "crates/sim/src/overhead.rs";
 
-/// Files allowed to construct `EvictionBegin`/`EvictionEnd` directly.
-const EVENT_ALLOWED: &[&str] = &[
+/// Files allowed to construct the eviction-grammar events directly;
+/// also exempt from the grammar findings (their raw stream rewriting is
+/// deliberately outside the function-scoped grammar).
+pub const EVENT_ALLOWED: &[&str] = &[
     "crates/core/src/events.rs",
     "crates/core/src/cache.rs",
     "crates/core/src/shard.rs",
@@ -91,7 +109,6 @@ pub fn lint_set_for(rel: &str) -> LintSet {
     LintSet {
         cost_constant: rel != COST_DEFINITION_SITE,
         panic_path: PANIC_CRATES.contains(&krate),
-        event_protocol: !EVENT_ALLOWED.contains(&rel),
     }
 }
 
@@ -118,6 +135,8 @@ pub fn scan_repo(root: &Path) -> io::Result<Vec<Finding>> {
     let cg = CallGraph::build(&ws);
     findings.extend(taint::run(&ws, &cg, true));
     findings.extend(lockgraph::run(&ws, &cg, true));
+    findings.extend(typestate::run(&ws, &cg, true));
+    findings.extend(units::run(&ws, true));
     findings.sort_by(|a, b| (&a.file, a.line, a.lint).cmp(&(&b.file, b.line, b.lint)));
     Ok(findings)
 }
@@ -141,6 +160,8 @@ pub fn scan_fixtures(paths: &[PathBuf]) -> io::Result<Vec<Finding>> {
     let cg = CallGraph::build(&ws);
     findings.extend(taint::run(&ws, &cg, false));
     findings.extend(lockgraph::run(&ws, &cg, false));
+    findings.extend(typestate::run(&ws, &cg, false));
+    findings.extend(units::run(&ws, false));
     findings.sort_by(|a, b| (&a.file, a.line, a.lint).cmp(&(&b.file, b.line, b.lint)));
     Ok(findings)
 }
@@ -197,31 +218,29 @@ mod tests {
     #[test]
     fn scoping_follows_the_lint_catalog() {
         let sim = lint_set_for("crates/sim/src/simulator.rs");
-        assert!(sim.cost_constant && sim.panic_path && sim.event_protocol);
+        assert!(sim.cost_constant && sim.panic_path);
 
         let overhead = lint_set_for(COST_DEFINITION_SITE);
         assert!(!overhead.cost_constant, "the definition site is exempt");
         assert!(overhead.panic_path);
 
-        let events = lint_set_for("crates/core/src/events.rs");
-        assert!(
-            !events.event_protocol,
-            "event machinery may construct events"
-        );
-        assert!(events.panic_path);
-
-        let shard = lint_set_for("crates/core/src/shard.rs");
-        assert!(
-            !shard.event_protocol,
-            "the shard layer rewrites settled event streams"
-        );
-        assert!(shard.panic_path);
-
         let workloads = lint_set_for("crates/workloads/src/access.rs");
         assert!(!workloads.panic_path);
-        assert!(workloads.cost_constant && workloads.event_protocol);
+        assert!(workloads.cost_constant);
 
         let dbt = lint_set_for("crates/dbt/src/lib.rs");
         assert!(dbt.panic_path);
+    }
+
+    #[test]
+    fn event_machinery_files_are_typestate_exempt() {
+        for rel in [
+            "crates/core/src/events.rs",
+            "crates/core/src/shard.rs",
+            "crates/core/src/concurrent.rs",
+        ] {
+            assert!(EVENT_ALLOWED.contains(&rel), "{rel} must stay exempt");
+        }
+        assert!(!EVENT_ALLOWED.contains(&"crates/core/src/org/mod.rs"));
     }
 }

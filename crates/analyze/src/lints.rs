@@ -23,16 +23,22 @@ pub const COST_CONSTANT: &str = "cost-constant";
 /// See [`NONDET_TAINT`].
 pub const PANIC_PATH: &str = "panic-path";
 /// See [`NONDET_TAINT`].
-pub const EVENT_PROTOCOL: &str = "event-protocol";
-/// See [`NONDET_TAINT`].
 pub const LOCK_GRAPH: &str = "lock-graph";
+/// See [`NONDET_TAINT`].
+pub const EVENT_TYPESTATE: &str = "event-typestate";
+/// See [`NONDET_TAINT`].
+pub const COST_UNITS: &str = "cost-units";
 
 /// Historical lint names accepted as annotation aliases and migrated
 /// in baselines: the file-local `nondet-iter` became the
-/// interprocedural [`NONDET_TAINT`], and the textual `lock-ordering`
-/// became [`LOCK_GRAPH`].
-pub const LINT_RENAMES: &[(&str, &str)] =
-    &[("nondet-iter", NONDET_TAINT), ("lock-ordering", LOCK_GRAPH)];
+/// interprocedural [`NONDET_TAINT`], the textual `lock-ordering`
+/// became [`LOCK_GRAPH`], and the construction-site `event-protocol`
+/// check became the path-sensitive [`EVENT_TYPESTATE`] grammar lint.
+pub const LINT_RENAMES: &[(&str, &str)] = &[
+    ("nondet-iter", NONDET_TAINT),
+    ("lock-ordering", LOCK_GRAPH),
+    ("event-protocol", EVENT_TYPESTATE),
+];
 
 /// One hop of an interprocedural call path attached to a finding.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -93,8 +99,6 @@ pub struct LintSet {
     pub cost_constant: bool,
     /// Run the panic-path lint.
     pub panic_path: bool,
-    /// Run the event-protocol lint.
-    pub event_protocol: bool,
 }
 
 impl LintSet {
@@ -104,7 +108,6 @@ impl LintSet {
         LintSet {
             cost_constant: true,
             panic_path: true,
-            event_protocol: true,
         }
     }
 }
@@ -127,9 +130,6 @@ pub fn run_flat(file: &str, lexed: &Lexed, set: &LintSet) -> Vec<Finding> {
     }
     if set.panic_path {
         panic_path(file, lexed, &tests, &mut findings);
-    }
-    if set.event_protocol {
-        event_protocol(file, lexed, &mut findings);
     }
     findings.retain(|f| !is_suppressed(lexed, f.lint, f.line));
     findings.sort_by(|a, b| (a.line, a.lint).cmp(&(b.line, b.lint)));
@@ -345,74 +345,6 @@ fn panic_path(file: &str, lexed: &Lexed, tests: &[(usize, usize)], out: &mut Vec
     }
 }
 
-// ---------------------------------------------------------------------
-// Lint 4: event-protocol
-// ---------------------------------------------------------------------
-
-fn event_protocol(file: &str, lexed: &Lexed, out: &mut Vec<Finding>) {
-    let tokens = &lexed.tokens;
-    // Paren-context stack: true when the `(` belongs to a `matches!`-like
-    // macro, whose second operand is a pattern, not a construction.
-    let mut paren_is_pattern: Vec<bool> = Vec::new();
-    let mut i = 0;
-    while i < tokens.len() {
-        let t = &tokens[i];
-        if t.is_punct("(") {
-            let is_matches = i >= 2
-                && tokens[i - 1].is_punct("!")
-                && tokens[i - 2].kind == TokKind::Ident
-                && tokens[i - 2].text.ends_with("matches");
-            paren_is_pattern.push(is_matches);
-        } else if t.is_punct(")") {
-            paren_is_pattern.pop();
-        } else if t.is_ident("CacheEvent")
-            && tokens.get(i + 1).is_some_and(|t| t.is_punct("::"))
-            && tokens
-                .get(i + 2)
-                .is_some_and(|t| t.is_ident("EvictionBegin") || t.is_ident("EvictionEnd"))
-        {
-            let variant = &tokens[i + 2];
-            // Where does the expression end? Unit variant: right after
-            // the path. Struct variant: after the brace group.
-            let mut end = i + 3;
-            let mut braces_have_dotdot = false;
-            if tokens.get(end).is_some_and(|t| t.is_punct("{")) {
-                let close = skip_balanced(tokens, end, "{", "}");
-                braces_have_dotdot = tokens[end..close].iter().any(|t| t.is_punct(".."));
-                end = close;
-            }
-            let next_is_arm = tokens
-                .get(end)
-                .is_some_and(|t| t.is_punct("=>") || t.is_punct("|"));
-            // `if let`/`while let`/`let` position: a unit variant cannot
-            // be assigned to, so a single `=` after it (the lexer splits
-            // `==` into two tokens) means the path is a pattern.
-            let next_is_let_eq = tokens.get(end).is_some_and(|t| t.is_punct("="))
-                && !tokens.get(end + 1).is_some_and(|t| t.is_punct("="));
-            let in_matches_macro = paren_is_pattern.last().copied().unwrap_or(false);
-            let is_pattern =
-                next_is_arm || next_is_let_eq || braces_have_dotdot || in_matches_macro;
-            if !is_pattern {
-                out.push(Finding::new(
-                    file,
-                    variant.line,
-                    EVENT_PROTOCOL,
-                    format!(
-                        "direct construction of CacheEvent::{} outside \
-                         crates/core/src/{{events,cache,testutil}}.rs; organizations must \
-                         stream evictions through cce_core::EvictionScope so the \
-                         begin/end grammar cannot be violated",
-                        variant.text
-                    ),
-                ));
-            }
-            i = end;
-            continue;
-        }
-        i += 1;
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -507,41 +439,12 @@ mod tests {
     }
 
     #[test]
-    fn event_construction_vs_pattern() {
-        let src = "
-fn bad(sink: &mut dyn EventSink) {
-    sink.event(CacheEvent::EvictionBegin);
-    sink.event(CacheEvent::EvictionEnd { bytes: 4, links_dropped_free: 0 });
-}
-fn good(ev: CacheEvent) -> bool {
-    match ev {
-        CacheEvent::EvictionBegin => true,
-        CacheEvent::EvictionEnd { .. } => false,
-        _ => matches!(ev, CacheEvent::EvictionBegin),
-    }
-}";
-        let f = run_all(src);
-        assert_eq!(lints_of(&f), vec![EVENT_PROTOCOL, EVENT_PROTOCOL]);
-        assert_eq!(f[0].line, 3);
-        assert_eq!(f[1].line, 4);
-    }
-
-    #[test]
-    fn if_let_and_while_let_are_patterns_let_binding_is_not() {
-        let src = "
-fn scan(ev: CacheEvent, mut next: impl FnMut() -> CacheEvent) -> u64 {
-    let mut n = 0;
-    if let CacheEvent::EvictionBegin = ev { n += 1; }
-    while let CacheEvent::EvictionEnd { bytes } = next() { n += bytes; }
-    n
-}
-fn bad() -> CacheEvent {
-    let ev = CacheEvent::EvictionBegin;
-    ev
-}";
-        let f = run_all(src);
-        assert_eq!(lints_of(&f), vec![EVENT_PROTOCOL]);
-        assert_eq!(f[0].line, 9);
+    fn legacy_event_protocol_name_suppresses_event_typestate() {
+        let lexed = lex("
+// cce-analyze: allow(event-protocol): rewriting a settled stream
+");
+        assert!(is_suppressed(&lexed, EVENT_TYPESTATE, 2));
+        assert!(!is_suppressed(&lexed, COST_UNITS, 2));
     }
 
     #[test]

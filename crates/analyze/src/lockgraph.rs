@@ -18,8 +18,11 @@
 //!   projected acquisition (`self.lock_shard(s).lanes[t].…` — the
 //!   binding is not the guard) or one buried in a larger expression is
 //!   a temporary released at end of statement. A `drop` inside a
-//!   nested branch releases only until that branch closes (the
-//!   fall-through path still holds the guard).
+//!   nested branch is path-sensitive (via [`crate::cfg`]): if the
+//!   branch falls through to the join, the guard stops counting as
+//!   held there (it is no longer must-held); if the branch diverges
+//!   (`return`/`break`/`panic!`), the fall-through path still holds
+//!   the guard.
 //! * **Transfer.** A function whose return type mentions `MutexGuard`
 //!   (e.g. `lock_shard`) transfers its acquisitions to the caller.
 //! * **Order.** Acquiring class `c` while a *higher* class is held is
@@ -40,6 +43,7 @@
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use crate::callgraph::{CallGraph, ReceiverKind};
+use crate::cfg::Cfg;
 use crate::lexer::{TokKind, Token};
 use crate::lints::{in_test, is_suppressed, Finding, TraceHop, LOCK_GRAPH};
 use crate::symbols::Workspace;
@@ -398,13 +402,18 @@ struct Guard {
     temp: bool,
     /// Acquisition line, for messages.
     line: u32,
-    /// Branch-local `drop(…)`: released until depth falls below this.
-    suspended_below: Option<u32>,
+    /// Branch-local `drop(…)`: `(brace depth of the drop, drop token)`.
+    /// While set, the guard does not count as held. When the branch
+    /// closes, the CFG decides the outcome: a branch that falls
+    /// through to the join releases the guard for good (it is no
+    /// longer must-held), a diverging branch (return/break/panic)
+    /// restores it — only non-dropping paths reach the join.
+    suspended: Option<(u32, usize)>,
 }
 
 impl Guard {
     fn held(&self) -> bool {
-        self.suspended_below.is_none()
+        self.suspended.is_none()
     }
 }
 
@@ -451,6 +460,7 @@ fn simulate(ws: &Workspace, cg: &CallGraph, a: &Analysis, id: usize, out: &mut V
         }
     }
     let fn_is_helper = LOCK_HELPERS.contains(&f.name.as_str());
+    let cfg = Cfg::build(tokens, f.body);
     let mut guards: Vec<Guard> = Vec::new();
     let mut depth: u32 = 0;
     let mut i = start;
@@ -461,11 +471,21 @@ fn simulate(ws: &Workspace, cg: &CallGraph, a: &Analysis, id: usize, out: &mut V
         } else if t.is_punct("}") {
             depth = depth.saturating_sub(1);
             guards.retain(|g| g.depth <= depth);
-            for g in &mut guards {
-                if g.suspended_below.is_some_and(|d| depth < d) {
-                    g.suspended_below = None;
+            guards.retain_mut(|g| match g.suspended {
+                Some((d, dtok)) if depth < d => {
+                    if cfg.reaches_past(dtok, i) {
+                        // The dropping branch falls through: at the
+                        // join the guard is no longer must-held.
+                        false
+                    } else {
+                        // The dropping branch diverges; paths that
+                        // reach this point still hold the guard.
+                        g.suspended = None;
+                        true
+                    }
                 }
-            }
+                _ => true,
+            });
         } else if t.is_punct(";") {
             guards.retain(|g| !(g.temp && depth <= g.depth));
         } else if t.is_ident("drop")
@@ -478,7 +498,7 @@ fn simulate(ws: &Workspace, cg: &CallGraph, a: &Analysis, id: usize, out: &mut V
                 for (gi, g) in guards.iter_mut().enumerate() {
                     if g.binding.as_deref() == Some(name.text.as_str()) {
                         if at_depth > g.depth {
-                            g.suspended_below = Some(at_depth);
+                            g.suspended = Some((at_depth, i));
                         } else {
                             permanent.push(gi);
                         }
@@ -667,7 +687,7 @@ fn acquire(
         depth,
         temp,
         line,
-        suspended_below: None,
+        suspended: None,
     });
 }
 
@@ -956,6 +976,30 @@ impl Cache {{
         );
         let f = findings(src);
         assert_eq!(f.len(), 1, "only the fall-through call conflicts: {f:?}");
+    }
+
+    #[test]
+    fn fall_through_drop_releases_the_guard_at_the_join() {
+        // Unlike the diverging branch above, this drop branch falls
+        // through: at the join the guard is not must-held anymore, so
+        // the audit() call after the `if` is clean.
+        let src = &format!(
+            "{HELPERS}
+impl Cache {{
+    fn audit(&self) {{
+        let _a = self.arbiter.lock().unwrap_or_else(PoisonError::into_inner);
+    }}
+    fn serve(&self, s: usize, hit: bool) {{
+        let g = self.lock_shard(s);
+        if hit {{
+            drop(g);
+        }}
+        self.audit();
+    }}
+}}"
+        );
+        let f = findings(src);
+        assert!(f.is_empty(), "the dropping branch reaches the join: {f:?}");
     }
 
     #[test]

@@ -2,8 +2,9 @@
 
 #![deny(unsafe_code)]
 
+use std::collections::BTreeSet;
 use std::path::PathBuf;
-use std::process::ExitCode;
+use std::process::{Command, ExitCode};
 use std::time::Instant;
 
 use cce_analyze::{sarif, scan_fixtures, scan_repo, Baseline, Finding};
@@ -27,6 +28,12 @@ OPTIONS:
     --baseline FILE     Suppress findings covered by this ratchet file
     --update-baseline   Rewrite --baseline FILE from current findings
     --budget-ms N       Fail (exit 1) if analysis exceeds N milliseconds
+    --git-diff REV      Incremental mode: scan the whole workspace (the
+                        symbol table, call graph and summaries stay
+                        workspace-wide) but report only findings in
+                        files changed since REV (`git diff --name-only
+                        REV`). Stale-baseline enforcement is skipped —
+                        unchanged buckets would look paid-down.
     -h, --help          Show this help
 
 EXIT CODES:
@@ -52,6 +59,7 @@ struct Options {
     baseline: Option<PathBuf>,
     update_baseline: bool,
     budget_ms: Option<u64>,
+    git_diff: Option<String>,
     files: Vec<PathBuf>,
 }
 
@@ -62,6 +70,7 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
         baseline: None,
         update_baseline: false,
         budget_ms: None,
+        git_diff: None,
         files: Vec::new(),
     };
     let mut it = args.iter();
@@ -87,6 +96,10 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
                 opts.baseline = Some(PathBuf::from(file));
             }
             "--update-baseline" => opts.update_baseline = true,
+            "--git-diff" => {
+                let rev = it.next().ok_or("--git-diff needs a revision")?;
+                opts.git_diff = Some(rev.clone());
+            }
             "--budget-ms" => {
                 let n = it.next().ok_or("--budget-ms needs a number")?;
                 opts.budget_ms = Some(n.parse().map_err(|e| format!("--budget-ms {n}: {e}"))?);
@@ -98,7 +111,32 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
     if opts.update_baseline && opts.baseline.is_none() {
         return Err("--update-baseline needs --baseline FILE".to_owned());
     }
+    if opts.git_diff.is_some() && !opts.files.is_empty() {
+        return Err("--git-diff applies to repo scans, not explicit FILES".to_owned());
+    }
     Ok(Some(opts))
+}
+
+/// Repo-relative paths (forward slashes) changed since `rev`, per
+/// `git -C root diff --name-only rev`.
+fn changed_files(root: &std::path::Path, rev: &str) -> Result<BTreeSet<String>, String> {
+    let output = Command::new("git")
+        .arg("-C")
+        .arg(root)
+        .args(["diff", "--name-only", rev])
+        .output()
+        .map_err(|e| format!("running git diff: {e}"))?;
+    if !output.status.success() {
+        return Err(format!(
+            "git diff --name-only {rev} failed: {}",
+            String::from_utf8_lossy(&output.stderr).trim()
+        ));
+    }
+    Ok(String::from_utf8_lossy(&output.stdout)
+        .lines()
+        .map(|l| l.trim().replace('\\', "/"))
+        .filter(|l| !l.is_empty())
+        .collect())
 }
 
 fn findings_json(findings: &[Finding], suppressed: usize, stale: &[StaleBucket]) -> Json {
@@ -165,10 +203,18 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     };
 
     let started = Instant::now();
-    let findings = if opts.files.is_empty() {
+    let mut findings = if opts.files.is_empty() {
         scan_repo(&opts.root).map_err(|e| format!("scanning {}: {e}", opts.root.display()))?
     } else {
         scan_fixtures(&opts.files).map_err(|e| format!("fixture scan: {e}"))?
+    };
+    let incremental = match &opts.git_diff {
+        Some(rev) => {
+            let changed = changed_files(&opts.root, rev)?;
+            findings.retain(|f| changed.contains(&f.file));
+            true
+        }
+        None => false,
     };
     let elapsed_ms = u64::try_from(started.elapsed().as_millis()).unwrap_or(u64::MAX);
 
@@ -194,7 +240,12 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         }
         None => Baseline::empty(),
     };
-    let stale = baseline.stale_buckets(&findings);
+    let stale = if incremental {
+        // Buckets in unchanged files would all look paid-down.
+        Vec::new()
+    } else {
+        baseline.stale_buckets(&findings)
+    };
     let (kept, suppressed) = baseline.apply(findings);
     let over_budget = opts.budget_ms.is_some_and(|b| elapsed_ms > b);
 

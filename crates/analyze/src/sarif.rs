@@ -28,8 +28,16 @@ fn rule_help(lint: &str) -> &'static str {
         crate::lints::PANIC_PATH => {
             "unwrap/expect/panic on a library path; return an error instead."
         }
-        crate::lints::EVENT_PROTOCOL => {
-            "CacheEvent construction is confined to the instrumented call sites."
+        crate::lints::EVENT_TYPESTATE => {
+            "Every path from EvictionBegin must emit exactly one EvictionEnd \
+             before function exit; no nested scopes; Evicted/Unlinked only \
+             inside an open scope. CacheEvent construction stays confined to \
+             the event machinery."
+        }
+        crate::lints::COST_UNITS => {
+            "Bytes, cycles and event counts are distinct currencies: no \
+             cross-unit +/- arithmetic, and integer cycle accumulators must \
+             use saturating/checked ops."
         }
         crate::lints::LOCK_GRAPH => {
             "Locks must follow the global hierarchy arbiter \u{2192} tenant \

@@ -1,0 +1,1100 @@
+//! The path-sensitive **event-typestate** lint (`event-typestate`),
+//! successor to the construction-site-only `event-protocol` check.
+//!
+//! Statically verifies the eviction event grammar of DESIGN.md §8 —
+//! `insert := Padding? (EvictionBegin Evicted+ EvictionEnd)* Inserted`
+//! — at the function level, on every control-flow path:
+//!
+//! * every path from an `EvictionBegin` emission reaches exactly one
+//!   `EvictionEnd` before function exit (early `return`, `?` error
+//!   edges and branch joins included);
+//! * no nested `EvictionBegin`;
+//! * `Evicted`/`Unlinked` are emitted only while a scope is open.
+//!
+//! The analysis is a forward dataflow ([`crate::dataflow`]) over the
+//! function's CFG ([`crate::cfg`]). The abstract state is a *set* of
+//! typestates: `Caller` (pass-through — whatever the caller had
+//! open), `Open(origin)` (a scope opened locally at `origin`), and
+//! `Closed(origin)` (the caller's scope was closed at `origin`).
+//! Interprocedural effects come from per-function summaries —
+//! [`Effect::Opens`], [`Effect::Closes`], [`Effect::Balanced`] —
+//! iterated to a fixpoint over the call graph, so a helper that opens
+//! a scope makes its *call sites* participate in the grammar. A
+//! function whose effect is conditional (the lazy
+//! `EvictionScope::evict`) summarizes as [`Effect::Unknown`] and is
+//! treated as a no-op rather than guessed at.
+//!
+//! A function that opens on **every** path and never closes is a
+//! deliberate opener (summary [`Effect::Opens`]) and is not reported;
+//! leak findings fire only when some paths close (or never open) and
+//! others reach an exit with the scope still open — those are the
+//! genuinely unbalanced shapes.
+//!
+//! In repo mode the old confinement rule is kept as a backstop:
+//! constructing any eviction-grammar variant outside the event
+//! machinery files ([`crate::EVENT_ALLOWED`]) is a finding, and the
+//! machinery files themselves are exempt from grammar findings (their
+//! raw stream rewriting is deliberately outside the function-scoped
+//! grammar, so their summaries are also not trusted at call sites).
+
+use std::collections::BTreeSet;
+
+use crate::callgraph::{CallGraph, ReceiverKind};
+use crate::cfg::{Cfg, EXIT};
+use crate::dataflow::{self, Lattice};
+use crate::lexer::{TokKind, Token};
+use crate::lints::{in_test, is_suppressed, skip_balanced, Finding, TraceHop, EVENT_TYPESTATE};
+use crate::symbols::Workspace;
+
+/// The eviction-grammar event variants the lint tracks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Variant {
+    Begin,
+    End,
+    Evicted,
+    Unlinked,
+}
+
+impl Variant {
+    fn of(name: &str) -> Option<Variant> {
+        match name {
+            "EvictionBegin" => Some(Variant::Begin),
+            "EvictionEnd" => Some(Variant::End),
+            "Evicted" => Some(Variant::Evicted),
+            "Unlinked" => Some(Variant::Unlinked),
+            _ => None,
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            Variant::Begin => "EvictionBegin",
+            Variant::End => "EvictionEnd",
+            Variant::Evicted => "Evicted",
+            Variant::Unlinked => "Unlinked",
+        }
+    }
+}
+
+/// A `CacheEvent::<Variant>` construction site inside one body.
+#[derive(Debug, Clone, Copy)]
+struct Emission {
+    tok: usize,
+    line: u32,
+    variant: Variant,
+}
+
+/// What calling a function does to the caller's eviction scope.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Effect {
+    /// Emits nothing that affects the scope.
+    #[default]
+    NoEffect,
+    /// Every path leaves a locally-opened scope open for the caller.
+    Opens,
+    /// Every path closes the caller's open scope.
+    Closes,
+    /// Opens and closes internally; needs no scope and leaves none.
+    Balanced,
+    /// Conditional or contradictory paths — treated as a no-op.
+    Unknown,
+}
+
+/// Per-function summary, iterated to a fixpoint over the call graph.
+#[derive(Debug, Clone, Default)]
+pub struct Summary {
+    /// The scope effect of calling this function.
+    pub effect: Effect,
+    /// Emits `Evicted`/`Unlinked` in the caller's scope (so calling it
+    /// with the scope provably closed is a violation).
+    pub requires_open: bool,
+    /// Representative `EvictionBegin` site for traces: `(file, line)`.
+    pub begin_site: Option<(String, u32)>,
+    /// Representative `EvictionEnd` site for traces.
+    pub end_site: Option<(String, u32)>,
+}
+
+/// One abstract typestate. The `usize` origins are token indices in
+/// the owning file, resolved to emission or call sites for traces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum St {
+    /// Pass-through: whatever scope state the caller had.
+    Caller,
+    /// A scope opened locally (emission or opening call) at the token.
+    Open(usize),
+    /// The caller's scope was closed at the token.
+    Closed(usize),
+}
+
+/// The dataflow fact: the set of typestates reaching a point.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+struct Fact(BTreeSet<St>);
+
+impl Lattice for Fact {
+    fn bottom() -> Fact {
+        Fact(BTreeSet::new())
+    }
+    fn join(&mut self, other: &Fact) -> bool {
+        let before = self.0.len();
+        self.0.extend(other.0.iter().copied());
+        self.0.len() != before
+    }
+}
+
+/// One scope-relevant event in token order: an emission or a call.
+#[derive(Debug, Clone)]
+enum Event {
+    Emit(Emission),
+    /// `(tok, line, candidate callee ids)`.
+    Call(usize, u32, Vec<usize>),
+}
+
+impl Event {
+    fn tok(&self) -> usize {
+        match self {
+            Event::Emit(e) => e.tok,
+            Event::Call(tok, _, _) => *tok,
+        }
+    }
+}
+
+/// Per-function prepared inputs for the dataflow.
+struct FnInfo {
+    cfg: Cfg,
+    events: Vec<Event>,
+    emissions: Vec<Emission>,
+}
+
+/// Runs the event-typestate lint over the workspace. `repo_scope`
+/// enables the [`crate::EVENT_ALLOWED`] confinement backstop and
+/// exempts the machinery files from grammar findings; fixture mode
+/// (`false`) checks the grammar everywhere and skips confinement.
+#[must_use]
+pub fn run(ws: &Workspace, cg: &CallGraph, repo_scope: bool) -> Vec<Finding> {
+    let infos: Vec<FnInfo> = (0..ws.fns.len()).map(|id| prepare(ws, cg, id)).collect();
+    let summaries = solve_summaries(ws, &infos, repo_scope);
+    let mut findings = Vec::new();
+    for (id, f) in ws.fns.iter().enumerate() {
+        let file = &ws.files[f.file];
+        if repo_scope && (exempt_file(&file.rel) || in_test(&file.tests, f.sig.0)) {
+            continue;
+        }
+        report(ws, &infos[id], &summaries, id, repo_scope, &mut findings);
+    }
+    findings.retain(|f| {
+        let lexed = ws
+            .files
+            .iter()
+            .find(|fs| fs.rel == f.file)
+            .map(|fs| &fs.lexed);
+        lexed.is_none_or(|l| !is_suppressed(l, EVENT_TYPESTATE, f.line))
+    });
+    findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    findings
+}
+
+fn exempt_file(rel: &str) -> bool {
+    crate::EVENT_ALLOWED.contains(&rel)
+}
+
+/// Extracts one function's emissions, admitted calls and CFG.
+fn prepare(ws: &Workspace, cg: &CallGraph, id: usize) -> FnInfo {
+    let f = &ws.fns[id];
+    let tokens = &ws.files[f.file].lexed.tokens;
+    let emissions = emission_sites(tokens, f.body);
+    let mut events: Vec<Event> = emissions.iter().copied().map(Event::Emit).collect();
+    // Admitted call edges, merged per call site (a name can resolve to
+    // several candidates). Local/SelfField receiver edges are dropped
+    // exactly as in the lock graph: their name-only targets are other
+    // types' methods.
+    let mut per_site: Vec<(usize, u32, Vec<usize>)> = Vec::new();
+    for e in &cg.edges[id] {
+        let s = &cg.sites[id][e.site];
+        if matches!(s.recv, ReceiverKind::Local | ReceiverKind::SelfField) {
+            continue;
+        }
+        match per_site.iter_mut().find(|(tok, _, _)| *tok == s.tok) {
+            Some((_, _, callees)) => callees.push(e.callee),
+            None => per_site.push((s.tok, s.line, vec![e.callee])),
+        }
+    }
+    events.extend(
+        per_site
+            .into_iter()
+            .map(|(tok, line, callees)| Event::Call(tok, line, callees)),
+    );
+    events.sort_by_key(Event::tok);
+    FnInfo {
+        cfg: Cfg::build(tokens, f.body),
+        events,
+        emissions,
+    }
+}
+
+/// `CacheEvent::<Variant>` construction sites in a body, with the
+/// pattern-position filter carried over from the old `event-protocol`
+/// lint: match arms, or-patterns, `matches!` operands, `{ .. }` rest
+/// patterns and `let`-bindings' left-hand sides are not constructions.
+fn emission_sites(tokens: &[Token], body: (usize, usize)) -> Vec<Emission> {
+    let mut out = Vec::new();
+    let end = body.1.min(tokens.len());
+    let mut paren_is_pattern: Vec<bool> = Vec::new();
+    let mut i = body.0;
+    while i < end {
+        let t = &tokens[i];
+        if t.is_punct("(") {
+            let is_matches = i >= 2
+                && tokens[i - 1].is_punct("!")
+                && tokens[i - 2].kind == TokKind::Ident
+                && tokens[i - 2].text.ends_with("matches");
+            paren_is_pattern.push(is_matches);
+        } else if t.is_punct(")") {
+            paren_is_pattern.pop();
+        } else if t.is_ident("CacheEvent")
+            && tokens.get(i + 1).is_some_and(|t| t.is_punct("::"))
+            && tokens
+                .get(i + 2)
+                .is_some_and(|t| t.kind == TokKind::Ident && Variant::of(&t.text).is_some())
+        {
+            let variant_tok = &tokens[i + 2];
+            let variant = Variant::of(&variant_tok.text).unwrap_or(Variant::Begin);
+            let mut site_end = i + 3;
+            let mut braces_have_dotdot = false;
+            if tokens.get(site_end).is_some_and(|t| t.is_punct("{")) {
+                let close = skip_balanced(tokens, site_end, "{", "}");
+                braces_have_dotdot = tokens[site_end..close].iter().any(|t| t.is_punct(".."));
+                site_end = close;
+            }
+            let next_is_arm = tokens
+                .get(site_end)
+                .is_some_and(|t| t.is_punct("=>") || t.is_punct("|"));
+            // Pattern position in `let`/`if let`/`while let`: a single
+            // `=` after the path (the lexer splits `==`).
+            let next_is_let_eq = tokens.get(site_end).is_some_and(|t| t.is_punct("="))
+                && !tokens.get(site_end + 1).is_some_and(|t| t.is_punct("="));
+            let in_matches_macro = paren_is_pattern.last().copied().unwrap_or(false);
+            if !(next_is_arm || next_is_let_eq || braces_have_dotdot || in_matches_macro) {
+                out.push(Emission {
+                    tok: i + 2,
+                    line: variant_tok.line,
+                    variant,
+                });
+            }
+            i = site_end;
+            continue;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Applies one event to a state set; findings are collected only when
+/// `out` is provided (the reporting pass), so the solver stays pure.
+fn apply_event(
+    ev: &Event,
+    states: &mut BTreeSet<St>,
+    summaries: &[Summary],
+    repo_scope: bool,
+    ws: &Workspace,
+    mut report: Option<(&mut Vec<Finding>, &FnInfo, usize)>,
+) {
+    match ev {
+        Event::Emit(e) => match e.variant {
+            Variant::Begin => {
+                if let Some((out, info, id)) = report.as_mut() {
+                    for s in states.iter() {
+                        if let St::Open(origin) = s {
+                            nested_finding(ws, info, summaries, *id, *origin, e.line, None, out);
+                            break;
+                        }
+                    }
+                }
+                let opened = St::Open(e.tok);
+                states.clear();
+                states.insert(opened);
+            }
+            Variant::End => {
+                if let Some((out, info, id)) = report.as_mut() {
+                    for s in states.iter() {
+                        if let St::Closed(origin) = s {
+                            closed_finding(
+                                ws,
+                                info,
+                                summaries,
+                                *id,
+                                *origin,
+                                e.line,
+                                "EvictionEnd emitted again after the scope was already \
+                                     closed — the grammar allows exactly one End per Begin",
+                                out,
+                            );
+                            break;
+                        }
+                    }
+                }
+                let next: BTreeSet<St> = states
+                    .iter()
+                    .map(|s| match s {
+                        St::Open(_) => St::Caller,
+                        St::Caller => St::Closed(e.tok),
+                        St::Closed(o) => St::Closed(*o),
+                    })
+                    .collect();
+                *states = next;
+            }
+            Variant::Evicted | Variant::Unlinked => {
+                if let Some((out, info, id)) = report.as_mut() {
+                    for s in states.iter() {
+                        if let St::Closed(origin) = s {
+                            closed_finding(
+                                ws,
+                                info,
+                                summaries,
+                                *id,
+                                *origin,
+                                e.line,
+                                &format!(
+                                    "{} emitted after the eviction scope closed; \
+                                         Evicted/Unlinked are valid only between \
+                                         EvictionBegin and EvictionEnd",
+                                    e.variant.name()
+                                ),
+                                out,
+                            );
+                            break;
+                        }
+                    }
+                }
+            }
+        },
+        Event::Call(tok, line, callees) => {
+            let Some(effect) = agreed_effect(callees, summaries, repo_scope, ws) else {
+                return;
+            };
+            match effect {
+                Effect::Opens => {
+                    if let Some((out, info, id)) = report.as_mut() {
+                        for s in states.iter() {
+                            if let St::Open(origin) = s {
+                                nested_finding(
+                                    ws,
+                                    info,
+                                    summaries,
+                                    *id,
+                                    *origin,
+                                    *line,
+                                    Some(callees[0]),
+                                    out,
+                                );
+                                break;
+                            }
+                        }
+                    }
+                    let opened = St::Open(*tok);
+                    states.clear();
+                    states.insert(opened);
+                }
+                Effect::Closes => {
+                    if let Some((out, info, id)) = report.as_mut() {
+                        for s in states.iter() {
+                            if let St::Closed(origin) = s {
+                                closed_finding(
+                                    ws,
+                                    info,
+                                    summaries,
+                                    *id,
+                                    *origin,
+                                    *line,
+                                    "call closes the eviction scope, but it was already \
+                                     closed — the grammar allows exactly one End per Begin",
+                                    out,
+                                );
+                                break;
+                            }
+                        }
+                    }
+                    let next: BTreeSet<St> = states
+                        .iter()
+                        .map(|s| match s {
+                            St::Open(_) => St::Caller,
+                            St::Caller => St::Closed(*tok),
+                            St::Closed(o) => St::Closed(*o),
+                        })
+                        .collect();
+                    *states = next;
+                }
+                Effect::Balanced => {
+                    if let Some((out, info, id)) = report.as_mut() {
+                        for s in states.iter() {
+                            if let St::Open(origin) = s {
+                                nested_finding(
+                                    ws,
+                                    info,
+                                    summaries,
+                                    *id,
+                                    *origin,
+                                    *line,
+                                    Some(callees[0]),
+                                    out,
+                                );
+                                break;
+                            }
+                        }
+                    }
+                }
+                Effect::NoEffect | Effect::Unknown => {
+                    let requires = callees
+                        .iter()
+                        .any(|&c| summaries[c].requires_open && trusted(c, repo_scope, ws));
+                    if requires {
+                        if let Some((out, info, id)) = report.as_mut() {
+                            for s in states.iter() {
+                                if let St::Closed(origin) = s {
+                                    closed_finding(
+                                        ws,
+                                        info,
+                                        summaries,
+                                        *id,
+                                        *origin,
+                                        *line,
+                                        "call emits Evicted/Unlinked, but the eviction \
+                                         scope was already closed on this path",
+                                        out,
+                                    );
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A callee defined in an event-machinery file rewrites raw streams;
+/// its summary is not trusted at call sites in repo mode.
+fn trusted(callee: usize, repo_scope: bool, ws: &Workspace) -> bool {
+    !(repo_scope && exempt_file(&ws.files[ws.fns[callee].file].rel))
+}
+
+/// The effect all candidate callees agree on, or `None` (no-op) when
+/// they disagree or none is trusted.
+fn agreed_effect(
+    callees: &[usize],
+    summaries: &[Summary],
+    repo_scope: bool,
+    ws: &Workspace,
+) -> Option<Effect> {
+    let mut agreed: Option<Effect> = None;
+    for &c in callees {
+        let eff = if trusted(c, repo_scope, ws) {
+            summaries[c].effect
+        } else {
+            Effect::Unknown
+        };
+        match agreed {
+            None => agreed = Some(eff),
+            Some(prev) if prev == eff => {}
+            Some(_) => return Some(Effect::Unknown),
+        }
+    }
+    agreed.filter(|e| *e != Effect::Unknown && *e != Effect::NoEffect)
+}
+
+/// Runs the intraprocedural dataflow for one function under the
+/// current summary table; returns the solved per-node facts.
+fn solve_fn(
+    ws: &Workspace,
+    info: &FnInfo,
+    summaries: &[Summary],
+    repo_scope: bool,
+) -> dataflow::Solution<Fact> {
+    let seed = Fact(BTreeSet::from([St::Caller]));
+    dataflow::forward(&info.cfg, seed, |node, fact| {
+        let span = info.cfg.nodes[node].span;
+        for ev in &info.events {
+            let tok = ev.tok();
+            if tok >= span.0 && tok < span.1 {
+                apply_event(ev, &mut fact.0, summaries, repo_scope, ws, None);
+            }
+        }
+    })
+}
+
+/// Iterates per-function summaries to a fixpoint over the call graph.
+fn solve_summaries(ws: &Workspace, infos: &[FnInfo], repo_scope: bool) -> Vec<Summary> {
+    let n = ws.fns.len();
+    let mut summaries: Vec<Summary> = vec![Summary::default(); n];
+    // The effect lattice is tiny; convergence is fast, but the
+    // agreement rule is not strictly monotone — cap the iterations.
+    for _ in 0..10 {
+        let mut changed = false;
+        for id in 0..n {
+            let next = summarize(ws, &infos[id], &summaries, id, repo_scope);
+            if next.effect != summaries[id].effect
+                || next.requires_open != summaries[id].requires_open
+                || next.begin_site != summaries[id].begin_site
+                || next.end_site != summaries[id].end_site
+            {
+                summaries[id] = next;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    summaries
+}
+
+/// Condenses one function's solved exit facts into a [`Summary`].
+fn summarize(
+    ws: &Workspace,
+    info: &FnInfo,
+    summaries: &[Summary],
+    id: usize,
+    repo_scope: bool,
+) -> Summary {
+    let f = &ws.fns[id];
+    let rel = ws.files[f.file].rel.clone();
+    if f.body.0 == f.body.1 {
+        return Summary::default(); // bodyless trait declaration
+    }
+    let sol = solve_fn(ws, info, summaries, repo_scope);
+    let exit = &sol.input[EXIT].0;
+    let any_open = exit.iter().any(|s| matches!(s, St::Open(_)));
+    let any_caller = exit.contains(&St::Caller);
+    let any_closed = exit.iter().any(|s| matches!(s, St::Closed(_)));
+    let did_open = info.emissions.iter().any(|e| e.variant == Variant::Begin)
+        || info.events.iter().any(|ev| match ev {
+            Event::Call(_, _, callees) => matches!(
+                agreed_effect(callees, summaries, repo_scope, ws),
+                Some(Effect::Opens | Effect::Balanced)
+            ),
+            Event::Emit(_) => false,
+        });
+    let effect = match (any_open, any_caller, any_closed) {
+        (false, _, false) if exit.is_empty() => Effect::Unknown, // diverges
+        (false, true, false) => {
+            if did_open {
+                Effect::Balanced
+            } else {
+                Effect::NoEffect
+            }
+        }
+        (true, false, false) => Effect::Opens,
+        (false, false, true) => Effect::Closes,
+        _ => Effect::Unknown,
+    };
+    // Evicted/Unlinked (or End) reached while pass-through: the
+    // function needs the caller's scope.
+    let mut requires_open = false;
+    for (node, input) in sol.input.iter().enumerate() {
+        if input.0.is_empty() {
+            continue;
+        }
+        let span = info.cfg.nodes[node].span;
+        let mut states = input.0.clone();
+        for ev in &info.events {
+            let tok = ev.tok();
+            if tok < span.0 || tok >= span.1 {
+                continue;
+            }
+            if let Event::Emit(e) = ev {
+                if matches!(e.variant, Variant::Evicted | Variant::Unlinked)
+                    && states.contains(&St::Caller)
+                {
+                    requires_open = true;
+                }
+            }
+            apply_event(ev, &mut states, summaries, repo_scope, ws, None);
+        }
+    }
+    let begin_site = info
+        .emissions
+        .iter()
+        .find(|e| e.variant == Variant::Begin)
+        .map(|e| (rel.clone(), e.line))
+        .or_else(|| first_call_site(info, summaries, repo_scope, ws, Effect::Opens, true));
+    let end_site = info
+        .emissions
+        .iter()
+        .find(|e| e.variant == Variant::End)
+        .map(|e| (rel.clone(), e.line))
+        .or_else(|| first_call_site(info, summaries, repo_scope, ws, Effect::Closes, false));
+    Summary {
+        effect,
+        requires_open,
+        begin_site,
+        end_site,
+    }
+}
+
+/// The representative begin/end site inherited from the first callee
+/// with the given effect.
+fn first_call_site(
+    info: &FnInfo,
+    summaries: &[Summary],
+    repo_scope: bool,
+    ws: &Workspace,
+    effect: Effect,
+    begin: bool,
+) -> Option<(String, u32)> {
+    info.events.iter().find_map(|ev| match ev {
+        Event::Call(_, _, callees)
+            if agreed_effect(callees, summaries, repo_scope, ws) == Some(effect) =>
+        {
+            let s = &summaries[callees[0]];
+            if begin {
+                s.begin_site.clone()
+            } else {
+                s.end_site.clone()
+            }
+        }
+        _ => None,
+    })
+}
+
+/// The reporting pass over one solved function.
+fn report(
+    ws: &Workspace,
+    info: &FnInfo,
+    summaries: &[Summary],
+    id: usize,
+    repo_scope: bool,
+    out: &mut Vec<Finding>,
+) {
+    let f = &ws.fns[id];
+    let rel = &ws.files[f.file].rel;
+    if repo_scope {
+        // Confinement backstop: constructing any eviction-grammar
+        // variant outside the machinery files.
+        for e in &info.emissions {
+            out.push(Finding::new(
+                rel,
+                e.line,
+                EVENT_TYPESTATE,
+                format!(
+                    "direct construction of CacheEvent::{} outside the event machinery \
+                     (crates/core/src/{{events,cache,shard,concurrent,testutil}}.rs); \
+                     organizations must stream evictions through cce_core::EvictionScope \
+                     so the begin/end grammar cannot be violated",
+                    e.variant.name()
+                ),
+            ));
+        }
+    }
+    if f.body.0 == f.body.1 {
+        return;
+    }
+    let sol = solve_fn(ws, info, summaries, repo_scope);
+    // Walk each node once with its fixpoint input, emitting findings.
+    for (node, input) in sol.input.iter().enumerate() {
+        if input.0.is_empty() {
+            continue;
+        }
+        let span = info.cfg.nodes[node].span;
+        let mut states = input.0.clone();
+        for ev in &info.events {
+            let tok = ev.tok();
+            if tok >= span.0 && tok < span.1 {
+                apply_event(
+                    ev,
+                    &mut states,
+                    summaries,
+                    repo_scope,
+                    ws,
+                    Some((out, info, id)),
+                );
+            }
+        }
+    }
+    // Leak detection: exit edges reached with a scope still open, in
+    // functions that are not pure openers.
+    let exit_edges: Vec<usize> = (0..info.cfg.nodes.len())
+        .filter(|&n| n != EXIT && info.cfg.nodes[n].succs.contains(&EXIT))
+        .collect();
+    let pure_opener = !exit_edges.is_empty()
+        && exit_edges.iter().all(|&n| {
+            !sol.output[n].0.is_empty() && sol.output[n].0.iter().all(|s| matches!(s, St::Open(_)))
+        });
+    if pure_opener {
+        return;
+    }
+    for &n in &exit_edges {
+        let leaked: Vec<usize> = sol.output[n]
+            .0
+            .iter()
+            .filter_map(|s| match s {
+                St::Open(origin) => Some(*origin),
+                _ => None,
+            })
+            .collect();
+        if let Some(&origin) = leaked.first() {
+            let node = &info.cfg.nodes[n];
+            let mut trace = origin_hops(ws, info, summaries, id, origin, true);
+            trace.push(TraceHop {
+                file: rel.clone(),
+                line: node.line,
+                label: "function exit reached here with the scope still open".to_owned(),
+            });
+            out.push(Finding {
+                file: rel.clone(),
+                line: node.line,
+                lint: EVENT_TYPESTATE,
+                message: "path reaches function exit with an eviction scope still open; \
+                          every path from EvictionBegin must emit exactly one EvictionEnd \
+                          before returning (DESIGN.md \u{a7}8 grammar)"
+                    .to_owned(),
+                trace,
+            });
+        }
+    }
+}
+
+/// Trace hops explaining where a scope was opened/closed: the local
+/// emission or call line, plus the callee's representative site when
+/// the origin is a call (a multi-hop interprocedural trace).
+fn origin_hops(
+    ws: &Workspace,
+    info: &FnInfo,
+    summaries: &[Summary],
+    id: usize,
+    origin_tok: usize,
+    opened: bool,
+) -> Vec<TraceHop> {
+    let what = if opened {
+        "eviction scope opened here"
+    } else {
+        "eviction scope closed here"
+    };
+    let f = &ws.fns[id];
+    let rel = &ws.files[f.file].rel;
+    if let Some(e) = info.emissions.iter().find(|e| e.tok == origin_tok) {
+        return vec![TraceHop {
+            file: rel.clone(),
+            line: e.line,
+            label: format!("{what} ({})", e.variant.name()),
+        }];
+    }
+    if let Some(Event::Call(_, line, callees)) = info
+        .events
+        .iter()
+        .find(|ev| matches!(ev, Event::Call(tok, _, _) if *tok == origin_tok))
+    {
+        let callee = callees[0];
+        let qname = &ws.fns[callee].qname;
+        let mut hops = vec![TraceHop {
+            file: rel.clone(),
+            line: *line,
+            label: format!("{what} by the call to `{qname}`"),
+        }];
+        // The representative emission inside the callee, one level in.
+        let site = if opened {
+            summaries[callee].begin_site.as_ref()
+        } else {
+            summaries[callee].end_site.as_ref()
+        };
+        if let Some((file, line)) = site {
+            hops.push(TraceHop {
+                file: file.clone(),
+                line: *line,
+                label: format!(
+                    "`{qname}` emits {} here",
+                    if opened {
+                        "EvictionBegin"
+                    } else {
+                        "EvictionEnd"
+                    }
+                ),
+            });
+        }
+        hops
+    } else {
+        vec![TraceHop {
+            file: rel.clone(),
+            line: ws.fns[id].line,
+            label: what.to_owned(),
+        }]
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn nested_finding(
+    ws: &Workspace,
+    info: &FnInfo,
+    summaries: &[Summary],
+    id: usize,
+    origin_tok: usize,
+    line: u32,
+    via_callee: Option<usize>,
+    out: &mut Vec<Finding>,
+) {
+    let f = &ws.fns[id];
+    let rel = &ws.files[f.file].rel;
+    let mut trace = origin_hops(ws, info, summaries, id, origin_tok, true);
+    let label = match via_callee {
+        Some(c) => format!(
+            "nested scope opened here by the call to `{}`",
+            ws.fns[c].qname
+        ),
+        None => "nested EvictionBegin emitted here".to_owned(),
+    };
+    trace.push(TraceHop {
+        file: rel.clone(),
+        line,
+        label,
+    });
+    out.push(Finding {
+        file: rel.clone(),
+        line,
+        lint: EVENT_TYPESTATE,
+        message: "EvictionBegin while an eviction scope is already open; the grammar \
+                  (EvictionBegin Evicted+ EvictionEnd)* forbids nesting (DESIGN.md \u{a7}8)"
+            .to_owned(),
+        trace,
+    });
+}
+
+#[allow(clippy::too_many_arguments)]
+fn closed_finding(
+    ws: &Workspace,
+    info: &FnInfo,
+    summaries: &[Summary],
+    id: usize,
+    origin_tok: usize,
+    line: u32,
+    message: &str,
+    out: &mut Vec<Finding>,
+) {
+    let f = &ws.fns[id];
+    let rel = &ws.files[f.file].rel;
+    let mut trace = origin_hops(ws, info, summaries, id, origin_tok, false);
+    trace.push(TraceHop {
+        file: rel.clone(),
+        line,
+        label: "emitted here after the close".to_owned(),
+    });
+    out.push(Finding {
+        file: rel.clone(),
+        line,
+        lint: EVENT_TYPESTATE,
+        message: message.to_owned(),
+        trace,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_on(src: &str) -> Vec<Finding> {
+        let mut ws = Workspace::default();
+        ws.add_file("fix.rs", src);
+        let cg = CallGraph::build(&ws);
+        run(&ws, &cg, false)
+    }
+
+    const END: &str = "CacheEvent::EvictionEnd { bytes: 0, links_dropped_free: 0 }";
+
+    #[test]
+    fn balanced_scope_is_clean() {
+        let src = "
+fn ok(sink: &mut Sink) {
+    sink.event(CacheEvent::EvictionBegin);
+    sink.event(CacheEvent::Evicted { id: 1, size: 64 });
+    sink.event(CacheEvent::EvictionEnd { bytes: 64, links_dropped_free: 0 });
+}";
+        assert!(run_on(src).is_empty());
+    }
+
+    #[test]
+    fn patterns_are_not_emissions() {
+        let src = "
+fn classify(ev: CacheEvent) -> bool {
+    match ev {
+        CacheEvent::EvictionBegin => true,
+        CacheEvent::EvictionEnd { .. } => false,
+        _ => matches!(ev, CacheEvent::Evicted { id: 0, size: 0 }),
+    }
+}
+fn scan(ev: CacheEvent) -> u64 {
+    if let CacheEvent::EvictionEnd { bytes, .. } = ev { bytes } else { 0 }
+}";
+        assert!(run_on(src).is_empty());
+    }
+
+    #[test]
+    fn nested_begin_is_flagged_once() {
+        let src = format!(
+            "
+fn nested(sink: &mut Sink) {{
+    sink.event(CacheEvent::EvictionBegin);
+    sink.event(CacheEvent::EvictionBegin);
+    sink.event({END});
+}}"
+        );
+        let f = run_on(&src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("nested") || f[0].message.contains("already open"));
+        assert_eq!(f[0].line, 4);
+        assert!(
+            f[0].trace.len() >= 2,
+            "origin + violation hops: {:?}",
+            f[0].trace
+        );
+    }
+
+    #[test]
+    fn early_return_leak_is_flagged_on_the_leaking_path_only() {
+        let src = format!(
+            "
+fn leaky(sink: &mut Sink, abort: bool) {{
+    sink.event(CacheEvent::EvictionBegin);
+    if abort {{
+        return;
+    }}
+    sink.event({END});
+}}"
+        );
+        let f = run_on(&src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].line, 5, "the return is the leaking exit");
+        assert!(f[0].message.contains("still open"));
+    }
+
+    #[test]
+    fn stray_events_after_close_are_flagged() {
+        let src = format!(
+            "
+fn stray(sink: &mut Sink) {{
+    sink.event({END});
+    sink.event(CacheEvent::Evicted {{ id: 1, size: 2 }});
+}}"
+        );
+        let f = run_on(&src);
+        assert_eq!(
+            f.len(),
+            1,
+            "closing the caller's scope is fine, emitting after is not: {f:?}"
+        );
+        assert_eq!(f[0].line, 4);
+        assert!(f[0].message.contains("after the eviction scope closed"));
+    }
+
+    #[test]
+    fn pure_opener_is_clean_but_double_open_via_calls_is_nested() {
+        let src = format!(
+            "
+fn open_scope(sink: &mut Sink) {{
+    sink.event(CacheEvent::EvictionBegin);
+}}
+fn close_scope(sink: &mut Sink) {{
+    sink.event({END});
+}}
+fn driver(sink: &mut Sink) {{
+    open_scope(sink);
+    open_scope(sink);
+    close_scope(sink);
+}}"
+        );
+        let f = run_on(&src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].line, 10, "the second open is the violation");
+        assert!(
+            f[0].trace.len() >= 3,
+            "call hop + callee begin site + violation: {:?}",
+            f[0].trace
+        );
+        assert!(f[0].trace.iter().any(|h| h.label.contains("open_scope")));
+    }
+
+    #[test]
+    fn interprocedural_open_close_pairing_is_clean() {
+        let src = format!(
+            "
+fn open_scope(sink: &mut Sink) {{
+    sink.event(CacheEvent::EvictionBegin);
+}}
+fn close_scope(sink: &mut Sink) {{
+    sink.event({END});
+}}
+fn driver(sink: &mut Sink) {{
+    open_scope(sink);
+    sink.event(CacheEvent::Evicted {{ id: 9, size: 8 }});
+    close_scope(sink);
+}}"
+        );
+        assert!(run_on(&src).is_empty());
+    }
+
+    #[test]
+    fn loop_of_evictions_inside_a_scope_is_clean() {
+        let src = format!(
+            "
+fn sweep(sink: &mut Sink, ids: &[u64]) {{
+    sink.event(CacheEvent::EvictionBegin);
+    for id in ids {{
+        sink.event(CacheEvent::Evicted {{ id: *id, size: 32 }});
+    }}
+    sink.event({END});
+}}"
+        );
+        assert!(run_on(&src).is_empty());
+    }
+
+    #[test]
+    fn repo_mode_confines_construction_to_the_machinery() {
+        let balanced = "
+fn rogue(sink: &mut Sink) {
+    sink.event(CacheEvent::EvictionBegin);
+    sink.event(CacheEvent::EvictionEnd { bytes: 0, links_dropped_free: 0 });
+}";
+        let mut ws = Workspace::default();
+        ws.add_file("crates/core/src/org/mod.rs", balanced);
+        let cg = CallGraph::build(&ws);
+        let f = run(&ws, &cg, true);
+        assert_eq!(f.len(), 2, "both constructions are confined: {f:?}");
+        assert!(f.iter().all(|f| f.message.contains("event machinery")));
+
+        let mut ws = Workspace::default();
+        ws.add_file("crates/core/src/events.rs", balanced);
+        let cg = CallGraph::build(&ws);
+        assert!(run(&ws, &cg, true).is_empty(), "the machinery is exempt");
+    }
+
+    #[test]
+    fn conditional_scope_like_eviction_scope_is_unknown_and_quiet() {
+        // The lazy EvictionScope shape: Begin emitted only when the
+        // flag flips. The summary must be Unknown (no effect at call
+        // sites) and the function itself must not be reported — the
+        // close is equally conditional.
+        let src = format!(
+            "
+fn evict_lazy(sink: &mut Sink, begun: &mut bool) {{
+    if !*begun {{
+        *begun = true;
+        sink.event(CacheEvent::EvictionBegin);
+    }}
+    sink.event(CacheEvent::Evicted {{ id: 1, size: 1 }});
+}}
+fn finish_lazy(sink: &mut Sink, begun: bool) {{
+    if begun {{
+        sink.event({END});
+    }}
+}}"
+        );
+        let f = run_on(&src);
+        // evict_lazy exits {Open, Caller}: the no-Begin path emitting
+        // Evicted is a caller obligation, not a local violation; the
+        // Begin path leaks by design (the scope object carries it).
+        // This mirrors EvictionScope, which the repo keeps in the
+        // exempt machinery file — here we only require no *spurious*
+        // nested/closed findings.
+        assert!(
+            f.iter().all(|f| f.message.contains("still open")),
+            "only leak-shaped findings are acceptable here: {f:?}"
+        );
+    }
+}

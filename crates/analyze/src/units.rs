@@ -1,0 +1,588 @@
+//! The **cost-units** lint: flow-sensitive unit inference for the cost
+//! model's three currencies — **bytes** (cache capacity), **cycles**
+//! (Eq. 2–4 overheads) and **event counts** (misses, evictions,
+//! unlinks) — with two checks on top:
+//!
+//! 1. **cross-unit arithmetic** — adding or subtracting two locals
+//!    whose inferred units differ (`total_bytes - miss_cycles`) is a
+//!    category error; the paper's overhead equations only ever combine
+//!    them through the fitted model (`cce_sim::overhead`), never by
+//!    direct addition.
+//! 2. **unsaturated cycle accumulation** — an *integer* local holding
+//!    cycles that grows via bare `+=`/`+` must use
+//!    `saturating_add`/`checked_add`: long sweeps multiply Eq. 2–4
+//!    costs by millions of events, and a silent wrap produces a
+//!    plausible-looking but wrong overhead total.
+//!
+//! Units come from two sources, both recorded per binding so findings
+//! can trace where each side's unit was inferred:
+//!
+//! * **names** — `*_bytes`/`*_size` are bytes; `*_cost`/`*_cycles`/
+//!   `*_overhead` are cycles; `*_count`/`misses`/`evictions`/… are
+//!   counts;
+//! * **the cost model** — anything produced by `OverheadModel::eval`
+//!   or the `eviction_cost`/`miss_cost`/`unlink_cost` helpers (or the
+//!   `EVICTION_EQ2`/`MISS_EQ3`/`UNLINK_EQ4` constants) is cycles,
+//!   whatever the binding is called.
+//!
+//! The environment flows through the CFG with a *must* (intersection)
+//! join: a variable keeps its unit at a merge point only when every
+//! incoming path agrees, so the lint stays quiet on genuinely
+//! ambiguous code. Only bare-identifier operands are checked —
+//! `slope * bytes as f64 + intercept` never fires because the operand
+//! adjacent to `+` is a cast, not a unit-carrying local.
+
+use std::collections::BTreeMap;
+
+use crate::cfg::Cfg;
+use crate::dataflow::{self, Lattice};
+use crate::lexer::{TokKind, Token};
+use crate::lints::{in_test, is_suppressed, Finding, TraceHop, COST_UNITS};
+use crate::symbols::Workspace;
+
+/// A currency of the cost model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Unit {
+    Bytes,
+    Cycles,
+    Count,
+}
+
+impl Unit {
+    fn name(self) -> &'static str {
+        match self {
+            Unit::Bytes => "bytes",
+            Unit::Cycles => "cycles",
+            Unit::Count => "event-count",
+        }
+    }
+}
+
+/// What is known about one local binding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct VarInfo {
+    unit: Unit,
+    /// `Some(true)` when the binding is provably an integer (type
+    /// ascription or integer cast); `Some(false)` for floats; `None`
+    /// unknown.
+    int: Option<bool>,
+    /// Line where the unit was inferred (the binding), for traces.
+    line: u32,
+}
+
+/// The dataflow fact: `None` = unreached; otherwise the must-known
+/// bindings. The join is intersection over reached paths.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+struct Env(Option<BTreeMap<String, VarInfo>>);
+
+impl Lattice for Env {
+    fn bottom() -> Env {
+        Env(None)
+    }
+    fn join(&mut self, other: &Env) -> bool {
+        match (&mut self.0, &other.0) {
+            (_, None) => false,
+            (slot @ None, Some(_)) => {
+                *slot = other.0.clone();
+                true
+            }
+            (Some(a), Some(b)) => {
+                let before = a.clone();
+                a.retain(|k, v| b.get(k).is_some_and(|w| w.unit == v.unit));
+                for (k, v) in a.iter_mut() {
+                    let w = &b[k];
+                    if w.int != v.int {
+                        v.int = None;
+                    }
+                    v.line = v.line.min(w.line);
+                }
+                *a != before
+            }
+        }
+    }
+}
+
+/// Identifiers whose value is cycles regardless of the binding name.
+const CYCLE_CONSTS: &[&str] = &["EVICTION_EQ2", "MISS_EQ3", "UNLINK_EQ4"];
+const CYCLE_FNS: &[&str] = &[
+    "eviction_cost",
+    "miss_cost",
+    "unlink_cost",
+    "unlink_cost_total",
+    "eval",
+];
+
+const INT_TYPES: &[&str] = &[
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize",
+];
+const FLOAT_TYPES: &[&str] = &["f32", "f64"];
+
+/// Unit inferred from an identifier's name, or `None`.
+fn name_unit(name: &str) -> Option<Unit> {
+    let n = name.to_ascii_lowercase();
+    if n.contains("cost") || n.contains("cycles") || n.contains("overhead") || n.contains("instr") {
+        return Some(Unit::Cycles);
+    }
+    if n.contains("bytes") || n.ends_with("_size") || n == "size" {
+        return Some(Unit::Bytes);
+    }
+    if n.contains("count")
+        || n.contains("invocations")
+        || n.contains("links")
+        || n.contains("evictions")
+        || n.contains("misses")
+        || n.contains("hits")
+        || n.contains("accesses")
+    {
+        return Some(Unit::Count);
+    }
+    None
+}
+
+/// Runs the cost-units lint over every function in the workspace.
+#[must_use]
+pub fn run(ws: &Workspace, repo_scope: bool) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for f in &ws.fns {
+        let file = &ws.files[f.file];
+        if repo_scope && in_test(&file.tests, f.sig.0) {
+            continue;
+        }
+        if f.body.0 == f.body.1 {
+            continue;
+        }
+        check_fn(&file.rel, &file.lexed.tokens, f.sig, f.body, &mut findings);
+    }
+    findings.retain(|f| {
+        let lexed = ws
+            .files
+            .iter()
+            .find(|fs| fs.rel == f.file)
+            .map(|fs| &fs.lexed);
+        lexed.is_none_or(|l| !is_suppressed(l, COST_UNITS, f.line))
+    });
+    findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    findings
+}
+
+/// Seeds the environment from the signature's typed parameters.
+fn seed_env(tokens: &[Token], sig: (usize, usize)) -> Env {
+    let mut env = BTreeMap::new();
+    let mut i = sig.0;
+    let end = sig.1.min(tokens.len());
+    while i < end {
+        if tokens[i].kind == TokKind::Ident
+            && tokens.get(i + 1).is_some_and(|t| t.is_punct(":"))
+            && i > 0
+            && (tokens[i - 1].is_punct("(") || tokens[i - 1].is_punct(","))
+        {
+            if let Some(unit) = name_unit(&tokens[i].text) {
+                let int = tokens.get(i + 2).map(|t| t.text.as_str()).and_then(|ty| {
+                    if INT_TYPES.contains(&ty) {
+                        Some(true)
+                    } else if FLOAT_TYPES.contains(&ty) {
+                        Some(false)
+                    } else {
+                        None
+                    }
+                });
+                env.insert(
+                    tokens[i].text.clone(),
+                    VarInfo {
+                        unit,
+                        int,
+                        line: tokens[i].line,
+                    },
+                );
+            }
+        }
+        i += 1;
+    }
+    Env(Some(env))
+}
+
+fn check_fn(
+    rel: &str,
+    tokens: &[Token],
+    sig: (usize, usize),
+    body: (usize, usize),
+    out: &mut Vec<Finding>,
+) {
+    let cfg = Cfg::build(tokens, body);
+    let seed = seed_env(tokens, sig);
+    let sol = dataflow::forward(&cfg, seed, |node, env| {
+        let span = cfg.nodes[node].span;
+        walk_span(tokens, span, env, None);
+    });
+    for (node, input) in sol.input.iter().enumerate() {
+        if input.0.is_none() {
+            continue;
+        }
+        let mut env = input.clone();
+        let span = cfg.nodes[node].span;
+        walk_span(tokens, span, &mut env, Some((rel, out)));
+    }
+}
+
+/// Walks one node's token span: applies `let` bindings to the
+/// environment and (in the reporting pass) checks the two rules.
+fn walk_span(
+    tokens: &[Token],
+    span: (usize, usize),
+    env: &mut Env,
+    mut report: Option<(&str, &mut Vec<Finding>)>,
+) {
+    let Some(map) = env.0.as_mut() else { return };
+    let end = span.1.min(tokens.len());
+    let mut i = span.0;
+    while i < end {
+        let t = &tokens[i];
+        if t.is_ident("let") {
+            i = apply_let(tokens, i, end, map);
+            continue;
+        }
+        if let Some((rel, out)) = report.as_mut() {
+            check_site(tokens, i, end, map, rel, out);
+        }
+        i += 1;
+    }
+}
+
+/// Processes `let [mut] name [: ty] = rhs ;` starting at the `let`;
+/// returns the index to resume from (just past the binding name).
+fn apply_let(
+    tokens: &[Token],
+    at: usize,
+    end: usize,
+    map: &mut BTreeMap<String, VarInfo>,
+) -> usize {
+    let mut i = at + 1;
+    if i < end && tokens[i].is_ident("mut") {
+        i += 1;
+    }
+    if i >= end || tokens[i].kind != TokKind::Ident {
+        return i; // destructuring or `let _` — not tracked
+    }
+    let name = tokens[i].text.clone();
+    let line = tokens[i].line;
+    let name_idx = i;
+    i += 1;
+    // Optional ascription: `: ty` up to `=` or `;` at depth 0.
+    let mut asc_int: Option<bool> = None;
+    if i < end && tokens[i].is_punct(":") {
+        i += 1;
+        while i < end && !tokens[i].is_punct("=") && !tokens[i].is_punct(";") {
+            let ty = tokens[i].text.as_str();
+            if INT_TYPES.contains(&ty) {
+                asc_int = Some(true);
+            } else if FLOAT_TYPES.contains(&ty) {
+                asc_int = Some(false);
+            }
+            i += 1;
+        }
+    }
+    if i >= end || !tokens[i].is_punct("=") {
+        return name_idx + 1; // `let name;` — no initializer
+    }
+    let rhs_start = i + 1;
+    let rhs_end = stmt_end(tokens, rhs_start, end);
+    let (rhs_unit, rhs_int) = rhs_info(tokens, rhs_start, rhs_end, map);
+    let unit = name_unit(&name).or(rhs_unit);
+    let int = asc_int.or(rhs_int);
+    match unit {
+        Some(unit) => {
+            map.insert(name, VarInfo { unit, int, line });
+        }
+        None => {
+            map.remove(&name); // shadowing clears stale knowledge
+        }
+    }
+    name_idx + 1
+}
+
+/// Index of the `;` (or `end`) terminating a statement, at depth 0.
+fn stmt_end(tokens: &[Token], from: usize, end: usize) -> usize {
+    let mut depth = 0i32;
+    let mut i = from;
+    while i < end {
+        match tokens[i].text.as_str() {
+            "(" | "[" | "{" if tokens[i].kind == TokKind::Punct => depth += 1,
+            ")" | "]" | "}" if tokens[i].kind == TokKind::Punct => depth -= 1,
+            ";" if depth == 0 && tokens[i].kind == TokKind::Punct => return i,
+            _ => {}
+        }
+        i += 1;
+    }
+    end
+}
+
+/// Unit and integer-ness evidence scanned from an initializer.
+fn rhs_info(
+    tokens: &[Token],
+    from: usize,
+    to: usize,
+    map: &BTreeMap<String, VarInfo>,
+) -> (Option<Unit>, Option<bool>) {
+    let mut unit = None;
+    let mut int: Option<bool> = None;
+    let mut saw_int_literal = false;
+    for i in from..to {
+        let t = &tokens[i];
+        match t.kind {
+            TokKind::Ident => {
+                if unit.is_none() {
+                    if CYCLE_CONSTS.contains(&t.text.as_str())
+                        || (CYCLE_FNS.contains(&t.text.as_str())
+                            && tokens.get(i + 1).is_some_and(|n| n.is_punct("(")))
+                    {
+                        unit = Some(Unit::Cycles);
+                    } else if let Some(v) = map.get(&t.text) {
+                        unit = Some(v.unit);
+                    }
+                }
+                if i > 0 && tokens[i - 1].is_ident("as") {
+                    let ty = t.text.as_str();
+                    if FLOAT_TYPES.contains(&ty) {
+                        int = Some(false);
+                    } else if INT_TYPES.contains(&ty) && int.is_none() {
+                        int = Some(true);
+                    }
+                }
+            }
+            TokKind::Number => {
+                if t.text.contains('.') || t.text.contains("f6") || t.text.contains("f3") {
+                    int = Some(false);
+                } else {
+                    saw_int_literal = true;
+                }
+            }
+            _ => {}
+        }
+    }
+    if int.is_none() && saw_int_literal {
+        int = Some(true);
+    }
+    (unit, int)
+}
+
+/// Checks the two rules at token `i` against the current environment.
+fn check_site(
+    tokens: &[Token],
+    i: usize,
+    end: usize,
+    map: &BTreeMap<String, VarInfo>,
+    rel: &str,
+    out: &mut Vec<Finding>,
+) {
+    let t = &tokens[i];
+    if t.kind != TokKind::Ident {
+        return;
+    }
+    // Method-call or field-access results are not the bare local.
+    if i > 0 && tokens[i - 1].is_punct(".") {
+        return;
+    }
+    let Some(a) = map.get(&t.text) else { return };
+    let Some(op) = tokens
+        .get(i + 1)
+        .filter(|o| o.is_punct("+") || o.is_punct("-"))
+    else {
+        return;
+    };
+    let op_txt = op.text.clone();
+    // `a += b` / `a -= b` lexes as `a` `+` `=` `b`.
+    let compound = tokens.get(i + 2).is_some_and(|t| t.is_punct("="));
+    let b_idx = if compound { i + 3 } else { i + 2 };
+    let b_tok = tokens.get(b_idx).filter(|_| b_idx < end);
+
+    // Rule 2: integer cycle accumulator grown with a bare `+=`.
+    if compound && op_txt == "+" && a.unit == Unit::Cycles && a.int == Some(true) {
+        out.push(Finding {
+            file: rel.to_owned(),
+            line: t.line,
+            lint: COST_UNITS,
+            message: format!(
+                "`{}` accumulates cycles in an integer with a bare `+=`; sweeps multiply \
+                 Eq. 2\u{2013}4 costs by millions of events — use saturating_add or \
+                 checked_add so overflow cannot silently wrap the overhead total",
+                t.text
+            ),
+            trace: vec![
+                TraceHop {
+                    file: rel.to_owned(),
+                    line: a.line,
+                    label: format!("`{}` bound here as an integer holding cycles", t.text),
+                },
+                TraceHop {
+                    file: rel.to_owned(),
+                    line: t.line,
+                    label: "unchecked accumulation here".to_owned(),
+                },
+            ],
+        });
+    }
+
+    // Rule 1: cross-unit `+`/`-` between two known bare locals.
+    let Some(b_tok) = b_tok else { return };
+    if b_tok.kind != TokKind::Ident {
+        return;
+    }
+    // `b.method()` still starts with the bare local — fine to check —
+    // but `b` followed by `::` is a path, not a local.
+    if tokens.get(b_idx + 1).is_some_and(|t| t.is_punct("::")) {
+        return;
+    }
+    let Some(b) = map.get(&b_tok.text) else {
+        return;
+    };
+    if a.unit != b.unit {
+        out.push(Finding {
+            file: rel.to_owned(),
+            line: op.line,
+            lint: COST_UNITS,
+            message: format!(
+                "cross-unit arithmetic: `{}` is {} but `{}` is {}; the cost model only \
+                 combines currencies through cce_sim::overhead (Eq. 2\u{2013}4), never by \
+                 direct `{}`",
+                t.text,
+                a.unit.name(),
+                b_tok.text,
+                b.unit.name(),
+                if compound {
+                    format!("{op_txt}=")
+                } else {
+                    op_txt.clone()
+                }
+            ),
+            trace: vec![
+                TraceHop {
+                    file: rel.to_owned(),
+                    line: a.line,
+                    label: format!("`{}` inferred as {} here", t.text, a.unit.name()),
+                },
+                TraceHop {
+                    file: rel.to_owned(),
+                    line: b.line,
+                    label: format!("`{}` inferred as {} here", b_tok.text, b.unit.name()),
+                },
+                TraceHop {
+                    file: rel.to_owned(),
+                    line: op.line,
+                    label: "mixed-unit arithmetic here".to_owned(),
+                },
+            ],
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbols::Workspace;
+
+    fn run_on(src: &str) -> Vec<Finding> {
+        let mut ws = Workspace::default();
+        ws.add_file("fix.rs", src);
+        run(&ws, false)
+    }
+
+    #[test]
+    fn cross_unit_addition_is_flagged_with_both_origins() {
+        let src = "
+fn f(total_bytes: u64, miss_cycles: u64) -> u64 {
+    let x = total_bytes + miss_cycles;
+    x
+}";
+        let f = run_on(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].lint, COST_UNITS);
+        assert_eq!(f[0].trace.len(), 3);
+        assert!(f[0].message.contains("bytes") && f[0].message.contains("cycles"));
+    }
+
+    #[test]
+    fn same_unit_addition_is_clean() {
+        let src = "
+fn f(total_bytes: u64, freed_bytes: u64) -> u64 {
+    total_bytes + freed_bytes
+}";
+        assert!(run_on(src).is_empty());
+    }
+
+    #[test]
+    fn eval_result_is_cycles_whatever_its_name() {
+        let src = "
+fn f(model: &OverheadModel, shard_bytes: u64) -> f64 {
+    let unlink = model.eval(1, 2);
+    let wrong = unlink + shard_bytes;
+    wrong
+}";
+        let f = run_on(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("cycles"));
+    }
+
+    #[test]
+    fn integer_cycle_accumulator_needs_saturating_add() {
+        let src = "
+fn f(per_event_cost: u64, n: u64) -> u64 {
+    let mut total_cycles: u64 = 0;
+    let mut i = 0;
+    while i < n {
+        total_cycles += per_event_cost;
+        i += 1;
+    }
+    total_cycles
+}";
+        let f = run_on(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("saturating_add"));
+        assert_eq!(f[0].trace.len(), 2);
+    }
+
+    #[test]
+    fn float_accumulators_and_saturating_calls_are_clean() {
+        let src = "
+fn f(per_event_cost: f64, n: u64) -> f64 {
+    let mut total_cycles = 0.0;
+    let mut k: u64 = 0;
+    let mut safe_cycles: u64 = 0;
+    while k < n {
+        total_cycles += per_event_cost;
+        safe_cycles = safe_cycles.saturating_add(1);
+        k += 1;
+    }
+    total_cycles
+}";
+        assert!(run_on(src).is_empty());
+    }
+
+    #[test]
+    fn must_join_drops_conflicting_units_at_merge_points() {
+        let src = "
+fn f(cond: bool, miss_count: u64, shard_bytes: u64, total_cycles: u64) -> u64 {
+    if cond {
+        let v = miss_count;
+        consume(v);
+    } else {
+        let v = shard_bytes;
+        consume(v);
+    }
+    let w = v + total_cycles;
+    w
+}";
+        // `v` is count on one path, bytes on the other: the must-join
+        // forgets it at the merge, so no finding can name it.
+        let f = run_on(src);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn cast_operand_is_not_a_bare_local() {
+        let src = "
+fn f(slope: f64, shard_bytes: u64, intercept: f64, invocations: u64) -> f64 {
+    slope * shard_bytes as f64 + intercept * invocations as f64
+}";
+        assert!(run_on(src).is_empty());
+    }
+}

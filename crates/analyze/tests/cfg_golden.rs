@@ -1,0 +1,258 @@
+//! CFG construction coverage: golden `dump()` renderings for the
+//! canonical control shapes, and a randomized token-soup fuzz that
+//! holds the builder to its structural invariants — no panics, the
+//! fixed entry/exit pair, in-bounds edges, every emitted node
+//! reachable from entry, and no dangling reachable node.
+
+use cce_analyze::cfg::{Cfg, NodeKind, ENTRY, EXIT};
+use cce_analyze::lexer::lex;
+use cce_util::rng::{Rng, StdRng};
+
+/// Builds the CFG of a brace-wrapped body, [`FnDef::body`]-style:
+/// the token range includes both braces.
+fn build(src: &str) -> Cfg {
+    let lexed = lex(src);
+    Cfg::build(&lexed.tokens, (0, lexed.tokens.len()))
+}
+
+#[test]
+fn golden_if_else() {
+    let cfg = build("{ if hit {\n promote();\n } else {\n demote();\n }\n seal(); }");
+    assert_eq!(
+        cfg.dump(),
+        "n0 Entry -> n2\n\
+         n1 Exit\n\
+         n2 Cond@L1 -> n3,n4\n\
+         n3 Stmt@L2 -> n5\n\
+         n4 Stmt@L4 -> n5\n\
+         n5 Stmt@L6 -> n1\n"
+    );
+}
+
+#[test]
+fn golden_match_arms() {
+    // Expression arm, block arm with two statements, and a diverging
+    // `_ => return` arm; only the first two join at `after()`.
+    let cfg = build(
+        "{ match ev {\n A => one(),\n B { .. } => {\n two();\n three();\n }\n \
+         _ => return,\n }\n after(); }",
+    );
+    assert_eq!(
+        cfg.dump(),
+        "n0 Entry -> n2\n\
+         n1 Exit\n\
+         n2 Cond@L1 -> n3,n4,n6\n\
+         n3 Stmt@L2 -> n7\n\
+         n4 Stmt@L4 -> n5\n\
+         n5 Stmt@L5 -> n7\n\
+         n6 Stmt@L7 -> n1\n\
+         n7 Stmt@L9 -> n1\n"
+    );
+}
+
+#[test]
+fn golden_loop_break_continue() {
+    // `break` flows to the statement after the loop, `continue` and
+    // the body fall-through take the back edge to the loop header.
+    let cfg =
+        build("{ loop {\n if done { break; }\n if skip { continue; }\n step();\n }\n after(); }");
+    assert_eq!(
+        cfg.dump(),
+        "n0 Entry -> n2\n\
+         n1 Exit\n\
+         n2 Loop@L1 -> n3\n\
+         n3 Cond@L2 -> n4,n5\n\
+         n4 Stmt@L2 -> n8\n\
+         n5 Cond@L3 -> n6,n7\n\
+         n6 Stmt@L3 -> n2\n\
+         n7 Stmt@L4 -> n2\n\
+         n8 Stmt@L6 -> n1\n"
+    );
+}
+
+#[test]
+fn golden_try_and_return() {
+    // `?` adds an early exit edge on the binding statement; the
+    // elseless `if … return` falls through its condition to the tail.
+    let cfg = build("{ let x = open()?;\n if x == 0 { return; }\n close(x); }");
+    assert_eq!(
+        cfg.dump(),
+        "n0 Entry -> n2\n\
+         n1 Exit\n\
+         n2 Stmt@L1 -> n1,n3\n\
+         n3 Cond@L2 -> n4,n5\n\
+         n4 Stmt@L2 -> n1\n\
+         n5 Stmt@L3 -> n1\n"
+    );
+}
+
+/// Vocabulary for the token soup: control keywords, delimiters
+/// (deliberately unbalanced), terminators, operators, and filler.
+const SOUP: &[&str] = &[
+    "if",
+    "else",
+    "match",
+    "loop",
+    "while",
+    "for",
+    "break",
+    "continue",
+    "return",
+    "let",
+    "mut",
+    "in",
+    "panic",
+    "unreachable",
+    "{",
+    "}",
+    "(",
+    ")",
+    "[",
+    "]",
+    ";",
+    ",",
+    "=>",
+    "->",
+    "::",
+    "=",
+    "==",
+    "+",
+    "?",
+    "!",
+    "&",
+    "|",
+    "..",
+    "#",
+    "'outer",
+    ":",
+    "x",
+    "y",
+    "sink",
+    "event",
+    "0",
+    "1",
+    "42",
+    "\"s\"",
+    "'c'",
+    "_",
+];
+
+fn soup(rng: &mut StdRng) -> String {
+    let len = rng.gen_range(0usize..120);
+    let mut src = String::from("{");
+    for _ in 0..len {
+        src.push(' ');
+        src.push_str(SOUP[rng.gen_range(0usize..SOUP.len())]);
+    }
+    src.push_str(" }");
+    src
+}
+
+fn check_invariants(cfg: &Cfg, src: &str) {
+    assert!(cfg.nodes.len() >= 2, "{src}");
+    assert_eq!(cfg.nodes[ENTRY].kind, NodeKind::Entry, "{src}");
+    assert_eq!(cfg.nodes[EXIT].kind, NodeKind::Exit, "{src}");
+    for (i, n) in cfg.nodes.iter().enumerate() {
+        for &s in &n.succs {
+            assert!(
+                s < cfg.nodes.len(),
+                "edge n{i} -> n{s} out of bounds: {src}"
+            );
+        }
+        let is_unique = (n.kind == NodeKind::Entry) == (i == ENTRY)
+            && (n.kind == NodeKind::Exit) == (i == EXIT);
+        assert!(is_unique, "entry/exit must be exactly n0/n1: {src}");
+    }
+    // Unreachable code emits no nodes, so everything the builder did
+    // emit must be reachable from the entry …
+    let mut seen = vec![false; cfg.nodes.len()];
+    let mut stack = vec![ENTRY];
+    seen[ENTRY] = true;
+    while let Some(n) = stack.pop() {
+        for &s in &cfg.nodes[n].succs {
+            if !seen[s] {
+                seen[s] = true;
+                stack.push(s);
+            }
+        }
+    }
+    for (i, r) in seen.iter().enumerate() {
+        assert!(
+            *r || i == EXIT,
+            "node n{i} emitted but unreachable:\n{}\nsource: {src}",
+            cfg.dump()
+        );
+    }
+    // … and nothing but the exit sink may dangle: control always
+    // flows somewhere, ultimately into n1.
+    for (i, n) in cfg.nodes.iter().enumerate() {
+        assert!(
+            i == EXIT || !n.succs.is_empty(),
+            "node n{i} dangles:\n{}\nsource: {src}",
+            cfg.dump()
+        );
+    }
+}
+
+#[test]
+fn fuzz_token_soup_never_panics_and_keeps_invariants() {
+    // Deterministic fuzz (xoshiro256++, fixed seeds): unbalanced
+    // delimiters, stray `=>`/`else`, keywords in absurd positions.
+    for seed in 0..400u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let src = soup(&mut rng);
+        let lexed = lex(&src);
+        let cfg = Cfg::build(&lexed.tokens, (0, lexed.tokens.len()));
+        check_invariants(&cfg, &src);
+    }
+}
+
+#[test]
+fn fuzz_structured_nests_stay_well_formed() {
+    // A second generator biased toward *almost* well-formed nesting:
+    // recursive blocks with real headers, occasionally corrupted.
+    fn gen(rng: &mut StdRng, depth: u32, out: &mut String) {
+        let stmts = rng.gen_range(0usize..5);
+        for _ in 0..stmts {
+            match rng.gen_range(0u32..8) {
+                0 if depth < 4 => {
+                    out.push_str(" if x {");
+                    gen(rng, depth + 1, out);
+                    if rng.gen_bool(0.5) {
+                        out.push_str(" } else {");
+                        gen(rng, depth + 1, out);
+                    }
+                    out.push_str(" }");
+                }
+                1 if depth < 4 => {
+                    out.push_str(" loop {");
+                    gen(rng, depth + 1, out);
+                    out.push_str(" }");
+                }
+                2 if depth < 4 => {
+                    out.push_str(" match e { A => {");
+                    gen(rng, depth + 1, out);
+                    out.push_str(" } _ => f(), }");
+                }
+                3 => out.push_str(" break;"),
+                4 => out.push_str(" continue;"),
+                5 => out.push_str(" return;"),
+                6 => out.push_str(" g()?;"),
+                _ => out.push_str(" step();"),
+            }
+            // Rare corruption: drop into soup mid-structure.
+            if rng.gen_bool(0.05) {
+                out.push_str(" } => ; {");
+            }
+        }
+    }
+    for seed in 0..200u64 {
+        let mut rng = StdRng::seed_from_u64(0x5EED ^ seed);
+        let mut src = String::from("{");
+        gen(&mut rng, 0, &mut src);
+        src.push_str(" }");
+        let lexed = lex(&src);
+        let cfg = Cfg::build(&lexed.tokens, (0, lexed.tokens.len()));
+        check_invariants(&cfg, &src);
+    }
+}

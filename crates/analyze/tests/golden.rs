@@ -98,13 +98,33 @@ fn panic_path_pair() {
 }
 
 #[test]
-fn event_protocol_pair() {
+fn event_typestate_pair() {
     assert_pair(
-        "event-protocol",
-        "event_protocol_violating.rs",
-        "event_protocol_clean.rs",
-        2,
+        "event-typestate",
+        "event_typestate_violating.rs",
+        "event_typestate_clean.rs",
+        4,
     );
+}
+
+#[test]
+fn cost_units_pair() {
+    assert_pair(
+        "cost-units",
+        "cost_units_violating.rs",
+        "cost_units_clean.rs",
+        4,
+    );
+}
+
+#[test]
+fn lexer_desync_fixture_stays_clean() {
+    // Nested block comments and the full escape set: if the lexer
+    // loses a literal boundary, the fixture's trap strings leak
+    // panic-path bait as real tokens and this clean check fails.
+    let (ok, stdout) = run_fixture("lexer_desync_clean.rs");
+    assert!(ok, "lexer desync leaked tokens:\n{stdout}");
+    assert!(stdout.starts_with("cce-analyze: 0 finding(s)"), "{stdout}");
 }
 
 #[test]
@@ -232,7 +252,7 @@ fn baseline_ratchets_findings_to_zero_but_not_below() {
 
     // A baseline for a different file transfers no budget.
     let out = run(&[
-        &fixture("event_protocol_violating.rs"),
+        &fixture("cost_constant_violating.rs"),
         "--baseline",
         &baseline,
     ]);
@@ -363,4 +383,191 @@ fn lock_model_matches_the_real_concurrent_cache() {
         findings.is_empty(),
         "the concurrent layer must satisfy its own lock model: {findings:?}"
     );
+}
+
+#[test]
+fn typestate_path_traces_are_identical_across_formats() {
+    // The same (file, line) hop sequences must come out of the text
+    // renderer, the JSON trace arrays, and the SARIF codeFlows.
+    let target = fixture("event_typestate_violating.rs");
+
+    // Text: continuation lines carry "label (file:line)".
+    let (ok, stdout) = run_fixture("event_typestate_violating.rs");
+    assert!(!ok);
+    let mut text_hops: Vec<Vec<(String, u64)>> = Vec::new();
+    for line in stdout.lines() {
+        if line.contains("[event-typestate]") {
+            text_hops.push(Vec::new());
+        } else if let Some(rest) = line.strip_prefix("    ") {
+            let loc = rest.rsplit('(').next().expect("hop location");
+            let loc = loc.trim_end_matches(')');
+            let (file, ln) = loc.rsplit_once(':').expect("file:line");
+            text_hops
+                .last_mut()
+                .expect("hop follows a finding")
+                .push((file.to_owned(), ln.parse().expect("line number")));
+        }
+    }
+    assert_eq!(text_hops.len(), 4, "{stdout}");
+    assert!(
+        text_hops.iter().all(|t| t.len() >= 2),
+        "every finding is multi-hop: {text_hops:?}"
+    );
+    assert!(
+        text_hops.iter().any(|t| t.len() >= 3),
+        "the interprocedural finding crosses a call: {text_hops:?}"
+    );
+
+    // JSON.
+    let out = run(&["--format", "json", &target]);
+    let doc = Json::parse(std::str::from_utf8(&out.stdout).expect("utf-8")).expect("json parses");
+    let findings = doc
+        .get("findings")
+        .and_then(Json::as_arr)
+        .expect("findings");
+    let json_hops: Vec<Vec<(String, u64)>> = findings
+        .iter()
+        .map(|f| {
+            f.get("trace")
+                .and_then(Json::as_arr)
+                .expect("every typestate finding has a trace")
+                .iter()
+                .map(|h| {
+                    (
+                        h.get("file")
+                            .and_then(Json::as_str)
+                            .expect("file")
+                            .to_owned(),
+                        h.get("line").and_then(Json::as_u64).expect("line"),
+                    )
+                })
+                .collect()
+        })
+        .collect();
+    assert_eq!(json_hops, text_hops, "JSON trace must match the text hops");
+
+    // SARIF codeFlows.
+    let out = run(&["--format", "sarif", &target]);
+    let doc = Json::parse(std::str::from_utf8(&out.stdout).expect("utf-8")).expect("sarif parses");
+    assert_eq!(doc.get("version").and_then(Json::as_str), Some("2.1.0"));
+    let results = doc
+        .get("runs")
+        .and_then(Json::as_arr)
+        .and_then(|r| r[0].get("results"))
+        .and_then(Json::as_arr)
+        .expect("results");
+    let sarif_hops: Vec<Vec<(String, u64)>> = results
+        .iter()
+        .map(|r| {
+            r.get("codeFlows")
+                .and_then(Json::as_arr)
+                .and_then(|cf| cf[0].get("threadFlows"))
+                .and_then(Json::as_arr)
+                .and_then(|tf| tf[0].get("locations"))
+                .and_then(Json::as_arr)
+                .expect("codeFlows locations")
+                .iter()
+                .map(|l| {
+                    let phys = l
+                        .get("location")
+                        .and_then(|loc| loc.get("physicalLocation"))
+                        .expect("physicalLocation");
+                    (
+                        phys.get("artifactLocation")
+                            .and_then(|a| a.get("uri"))
+                            .and_then(Json::as_str)
+                            .expect("uri")
+                            .to_owned(),
+                        phys.get("region")
+                            .and_then(|r| r.get("startLine"))
+                            .and_then(Json::as_u64)
+                            .expect("startLine"),
+                    )
+                })
+                .collect()
+        })
+        .collect();
+    assert_eq!(
+        sarif_hops, text_hops,
+        "SARIF codeFlows must match the text hops"
+    );
+}
+
+#[test]
+fn git_diff_mode_reports_only_changed_files() {
+    use std::fs;
+    let root = std::env::temp_dir().join(format!("cce-analyze-gitdiff-{}", std::process::id()));
+    fs::remove_dir_all(&root).ok();
+    for krate in ["core", "sim"] {
+        fs::create_dir_all(root.join(format!("crates/{krate}/src"))).expect("mkdir");
+        fs::write(
+            root.join(format!("crates/{krate}/src/lib.rs")),
+            "pub fn f(v: Option<u32>) -> u32 {\n    v.unwrap()\n}\n",
+        )
+        .expect("write");
+    }
+    let git = |args: &[&str]| {
+        let out = Command::new("git")
+            .arg("-C")
+            .arg(&root)
+            .args(args)
+            .output()
+            .expect("spawn git");
+        assert!(out.status.success(), "git {args:?}: {out:?}");
+    };
+    git(&["init", "-q"]);
+    git(&["add", "-A"]);
+    git(&[
+        "-c",
+        "user.email=ci@example.invalid",
+        "-c",
+        "user.name=ci",
+        "commit",
+        "-q",
+        "-m",
+        "seed",
+    ]);
+    // Change only the sim crate.
+    fs::write(
+        root.join("crates/sim/src/lib.rs"),
+        "pub fn f(v: Option<u32>) -> u32 {\n    v.unwrap()\n}\n// touched\n",
+    )
+    .expect("rewrite");
+
+    let out = run(&["--root", &root.to_string_lossy(), "--git-diff", "HEAD"]);
+    let stdout = String::from_utf8(out.stdout).expect("utf-8");
+    assert!(
+        !out.status.success(),
+        "changed file still violates:\n{stdout}"
+    );
+    assert!(stdout.contains("crates/sim/src/lib.rs"), "{stdout}");
+    assert!(
+        !stdout.contains("crates/core/src/lib.rs"),
+        "unchanged files are filtered out:\n{stdout}"
+    );
+    assert!(stdout.contains("1 finding(s)"), "{stdout}");
+
+    // A full scan of the same tree reports both.
+    let out = run(&["--root", &root.to_string_lossy()]);
+    let stdout = String::from_utf8(out.stdout).expect("utf-8");
+    assert!(stdout.contains("2 finding(s)"), "{stdout}");
+
+    fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn git_diff_usage_and_failures_exit_two() {
+    // An unknown revision is an I/O-style error, not a silent pass.
+    let root = repo_root();
+    let out = run(&[
+        "--root",
+        &root.to_string_lossy(),
+        "--git-diff",
+        "no-such-rev-xyzzy",
+    ]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    // Mixing incremental mode with explicit fixture files is a usage
+    // error.
+    let out = run(&["--git-diff", "HEAD", &fixture("panic_path_clean.rs")]);
+    assert_eq!(out.status.code(), Some(2));
 }

@@ -66,6 +66,10 @@ pub enum SimError {
     /// A streaming event source failed mid-replay (I/O, corruption, or
     /// an event count that contradicts its header).
     Ingest(String),
+    /// A sweep worker thread died before reporting its cells (it
+    /// panicked, or a claimed slot was never filled). The payload is
+    /// the panic message when one could be recovered.
+    Worker(String),
 }
 
 impl fmt::Display for SimError {
@@ -77,6 +81,7 @@ impl fmt::Display for SimError {
             }
             SimError::EmptyTrace => write!(f, "trace has no access events"),
             SimError::Ingest(what) => write!(f, "trace ingest failed: {what}"),
+            SimError::Worker(what) => write!(f, "sweep worker failed: {what}"),
         }
     }
 }

@@ -114,12 +114,9 @@ pub fn jobs_from(flag: Option<usize>, env: Option<&str>) -> usize {
 /// # Errors
 ///
 /// If any cell fails, returns the error of the *lowest-indexed* failing
-/// cell — again independent of scheduling.
-///
-/// # Panics
-///
-/// Panics if a worker thread panics (a simulator bug, not an I/O
-/// condition).
+/// cell — again independent of scheduling. A worker thread that dies
+/// without reporting (a simulator bug surfacing as a panic) becomes
+/// [`SimError::Worker`] rather than tearing down the caller.
 pub fn run_sharded(
     traces: &[TraceLog],
     granularities: &[Granularity],
@@ -156,12 +153,8 @@ pub fn run_shared(
 ///
 /// # Errors
 ///
-/// Same conditions as [`run_sharded`].
-///
-/// # Panics
-///
-/// Panics if a worker thread panics (a simulator bug, not an I/O
-/// condition).
+/// Same conditions as [`run_sharded`], including [`SimError::Worker`]
+/// for a worker thread that panicked instead of reporting.
 pub fn run_matrix<T: EventSource + Sync>(
     traces: &[T],
     granularities: &[Granularity],
@@ -200,16 +193,35 @@ pub fn run_matrix<T: EventSource + Sync>(
                 })
             })
             .collect();
+        let mut failure: Option<String> = None;
         for h in handles {
-            for (i, r) in h.join().expect("sweep worker panicked") {
-                slots[i] = Some(r);
+            match h.join() {
+                Ok(rows) => {
+                    for (i, r) in rows {
+                        slots[i] = Some(r);
+                    }
+                }
+                Err(payload) => {
+                    let msg = payload
+                        .downcast_ref::<&str>()
+                        .map(|s| (*s).to_owned())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "worker panicked with an opaque payload".to_owned());
+                    failure.get_or_insert(msg);
+                }
             }
         }
-    });
+        failure
+    })
+    .map_or(Ok(()), |msg| Err(SimError::Worker(msg)))?;
 
     let mut out = Vec::with_capacity(cells.len());
-    for (cell, slot) in cells.into_iter().zip(slots) {
-        let result = slot.expect("every claimed slot is filled")?;
+    for (idx, (cell, slot)) in cells.into_iter().zip(slots).enumerate() {
+        // Unreachable once no worker failed, but a lost slot must not
+        // become a panic either: surface it as the same error class.
+        let result = slot.ok_or_else(|| {
+            SimError::Worker(format!("cell {idx} was claimed but never reported"))
+        })??;
         out.push(SweepPoint { cell, result });
     }
     Ok(out)
@@ -341,5 +353,41 @@ mod tests {
     fn empty_grid_is_fine() {
         let base = SimConfig::default();
         assert_eq!(run_sharded(&[], &[], &[], &[1], &base, 4).unwrap(), vec![]);
+    }
+
+    /// An [`EventSource`] whose stream blows up mid-replay, standing in
+    /// for a simulator bug inside a worker thread.
+    struct ExplodingSource {
+        registry: Vec<cce_dbt::SuperblockInfo>,
+    }
+
+    impl EventSource for ExplodingSource {
+        fn source_name(&self) -> &str {
+            "exploding"
+        }
+        fn registry(&self) -> &[cce_dbt::SuperblockInfo] {
+            &self.registry
+        }
+        fn event_count(&self) -> u64 {
+            1
+        }
+        fn event_chunks(&self) -> Box<dyn Iterator<Item = &[cce_dbt::TraceEvent]> + '_> {
+            panic!("injected worker fault");
+        }
+    }
+
+    #[test]
+    fn worker_panic_surfaces_as_an_error_not_a_crash() {
+        let trace = catalog::by_name("gzip").unwrap().trace(0.1, 7);
+        let sources = vec![ExplodingSource {
+            registry: trace.registry().to_vec(),
+        }];
+        let base = SimConfig::default();
+        let err = run_matrix(&sources, &[Granularity::Flush], &[2], &[1], &base, 2)
+            .expect_err("the injected fault must be reported");
+        match err {
+            SimError::Worker(msg) => assert!(msg.contains("injected worker fault"), "{msg}"),
+            other => panic!("wrong error class: {other:?}"),
+        }
     }
 }
