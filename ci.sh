@@ -54,3 +54,13 @@ cargo run --release -p cce-experiments -- bench_trace_io --scale 0.2 --quiet --o
 # because CI hosts may expose a single hardware thread (the JSON records
 # available_parallelism alongside the timings).
 cargo run --release -p cce-experiments -- bench_concurrent --scale 0.2 --quiet --out BENCH_concurrent.json
+# Serve smoke: a short fixed-seed open-loop run through the framed
+# transport and the concurrent server loop, regenerating
+# BENCH_serve.json. --smoke hard-fails the gate unless the run applied
+# events and shed nothing (drops under nominal load mean the serving
+# path regressed). The serve↔offline byte-identity itself is pinned by
+# crates/sim/tests/serve_conformance.rs in the test pass above.
+CCE_TEST_THREADS=1 cargo test -q -p cce-sim --test serve_conformance
+CCE_TEST_THREADS=4 cargo test -q -p cce-sim --test serve_conformance
+cargo run --release -p cce-experiments -- serve --rps 2000 --duration 2 \
+    --tenants 4 --threads 2 --seed 7 --scale 0.2 --smoke --quiet --out BENCH_serve.json

@@ -50,14 +50,9 @@ impl InsertRequest {
         }
     }
 
-    /// Sets the placement hint.
-    #[must_use]
-    pub fn hinted(mut self, partner: SuperblockId) -> InsertRequest {
-        self.hint = Some(partner);
-        self
-    }
-
-    /// Sets (or clears) the placement hint from an `Option`.
+    /// Sets (or clears) the placement hint. This is the one canonical
+    /// hint constructor: pass `Some(partner)` where the deleted
+    /// `hinted(partner)` shim used to be called.
     #[must_use]
     pub fn with_hint(mut self, hint: Option<SuperblockId>) -> InsertRequest {
         self.hint = hint;
@@ -179,6 +174,63 @@ pub trait CacheSession: fmt::Debug + Send {
     }
 }
 
+/// Boxed sessions forward every method, so heterogeneous caches (a bare
+/// [`CodeCache`], a [`crate::shard::ShardedCache`], a custom policy) can
+/// flow through one non-generic replay pipeline.
+impl CacheSession for Box<dyn CacheSession> {
+    fn access(&mut self, id: SuperblockId) -> AccessResult {
+        (**self).access(id)
+    }
+
+    fn access_or_insert(
+        &mut self,
+        req: InsertRequest,
+        sink: &mut dyn EventSink,
+    ) -> Result<AccessOutcome, CacheError> {
+        (**self).access_or_insert(req, sink)
+    }
+
+    fn link(&mut self, from: SuperblockId, to: SuperblockId) -> Result<bool, CacheError> {
+        (**self).link(from, to)
+    }
+
+    fn flush(&mut self, sink: &mut dyn EventSink) -> Option<InsertSummary> {
+        (**self).flush(sink)
+    }
+
+    fn is_resident(&self, id: SuperblockId) -> bool {
+        (**self).is_resident(id)
+    }
+
+    fn contains_link(&self, from: SuperblockId, to: SuperblockId) -> bool {
+        (**self).contains_link(from, to)
+    }
+
+    fn capacity(&self) -> u64 {
+        (**self).capacity()
+    }
+
+    fn used(&self) -> u64 {
+        (**self).used()
+    }
+
+    fn resident_count(&self) -> usize {
+        (**self).resident_count()
+    }
+
+    fn granularity(&self) -> Granularity {
+        (**self).granularity()
+    }
+
+    fn stats_snapshot(&self) -> CacheStats {
+        (**self).stats_snapshot()
+    }
+
+    fn link_census(&self) -> (u64, u64) {
+        (**self).link_census()
+    }
+}
+
 impl CacheSession for CodeCache {
     fn access(&mut self, id: SuperblockId) -> AccessResult {
         CodeCache::access(self, id)
@@ -287,9 +339,8 @@ mod tests {
     fn request_builder_sets_and_clears_hints() {
         let req = InsertRequest::new(sb(1), 64);
         assert_eq!(req.hint, None);
-        assert_eq!(req.hinted(sb(2)).hint, Some(sb(2)));
         assert_eq!(req.with_hint(Some(sb(3))).hint, Some(sb(3)));
-        assert_eq!(req.hinted(sb(2)).with_hint(None).hint, None);
+        assert_eq!(req.with_hint(Some(sb(2))).with_hint(None).hint, None);
     }
 
     #[test]

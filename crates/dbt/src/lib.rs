@@ -48,12 +48,14 @@ pub mod engine;
 pub mod formation;
 pub mod hashtable;
 pub mod profile;
+pub mod stream;
 pub mod superblock;
 pub mod trace_bin;
 pub mod trace_log;
 pub mod translate;
 
 pub use engine::{Engine, EngineConfig, RunSummary};
+pub use stream::{FrameStream, StreamFrame, StreamWriter};
 pub use superblock::Superblock;
 pub use trace_bin::{SharedTrace, TraceReader};
 pub use trace_log::{SuperblockInfo, TraceEvent, TraceLog};

@@ -61,7 +61,7 @@ pub const DEFAULT_CHUNK_EVENTS: usize = 64 * 1024;
 /// Decoded chunks the reader thread may buffer ahead of the consumer.
 pub const DEFAULT_READER_DEPTH: usize = 2;
 
-fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> Result<(), TraceLogError> {
+pub(crate) fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> Result<(), TraceLogError> {
     let len = u32::try_from(payload.len()).map_err(|_| TraceLogError::Corrupt("frame too big"))?;
     w.write_all(&len.to_le_bytes())?;
     w.write_all(&crc32(payload).to_le_bytes())?;
@@ -69,7 +69,7 @@ fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> Result<(), TraceLogError>
     Ok(())
 }
 
-fn encode_event(buf: &mut Vec<u8>, ev: TraceEvent) {
+pub(crate) fn encode_event(buf: &mut Vec<u8>, ev: TraceEvent) {
     let TraceEvent::Access { id, direct_from } = ev;
     varint::write_u64(buf, id.0);
     match direct_from {
@@ -106,18 +106,7 @@ pub fn save_binary_chunked<W: Write>(
     writer.write_all(&MAGIC)?;
     writer.write_all(&VERSION.to_le_bytes())?;
 
-    let mut payload = Vec::new();
-    varint::write_u64(&mut payload, log.name.len() as u64);
-    payload.extend_from_slice(log.name.as_bytes());
-    varint::write_u64(&mut payload, log.events.len() as u64);
-    varint::write_u64(&mut payload, log.superblocks.len() as u64);
-    for s in &log.superblocks {
-        varint::write_u64(&mut payload, s.id.0);
-        varint::write_u64(&mut payload, s.head_pc.0);
-        varint::write_u64(&mut payload, u64::from(s.size));
-        varint::write_u64(&mut payload, u64::from(s.guest_blocks));
-        varint::write_u64(&mut payload, u64::from(s.exits));
-    }
+    let mut payload = encode_header(&log.name, log.events.len() as u64, &log.superblocks);
     write_frame(&mut writer, &payload)?;
 
     for chunk in log.events.chunks(chunk_events) {
@@ -132,8 +121,29 @@ pub fn save_binary_chunked<W: Write>(
     Ok(())
 }
 
+/// Encodes the header-frame payload: name, total event count, registry.
+pub(crate) fn encode_header(
+    name: &str,
+    event_count: u64,
+    superblocks: &[SuperblockInfo],
+) -> Vec<u8> {
+    let mut payload = Vec::new();
+    varint::write_u64(&mut payload, name.len() as u64);
+    payload.extend_from_slice(name.as_bytes());
+    varint::write_u64(&mut payload, event_count);
+    varint::write_u64(&mut payload, superblocks.len() as u64);
+    for s in superblocks {
+        varint::write_u64(&mut payload, s.id.0);
+        varint::write_u64(&mut payload, s.head_pc.0);
+        varint::write_u64(&mut payload, u64::from(s.size));
+        varint::write_u64(&mut payload, u64::from(s.guest_blocks));
+        varint::write_u64(&mut payload, u64::from(s.exits));
+    }
+    payload
+}
+
 /// Reads one CRC-checked frame; `Ok(None)` is the terminator.
-fn read_frame<R: Read>(
+pub(crate) fn read_frame<R: Read>(
     reader: &mut R,
     buf: &mut Vec<u8>,
     what: &'static str,
@@ -170,13 +180,13 @@ fn corrupt(what: &'static str) -> impl FnOnce() -> TraceLogError {
 /// The decoded header frame: the registry and the event count, known
 /// before any event chunk is touched.
 #[derive(Debug, Clone, PartialEq, Eq)]
-struct Header {
-    name: String,
-    event_count: u64,
-    superblocks: Vec<SuperblockInfo>,
+pub(crate) struct Header {
+    pub(crate) name: String,
+    pub(crate) event_count: u64,
+    pub(crate) superblocks: Vec<SuperblockInfo>,
 }
 
-fn read_header<R: Read>(reader: &mut R) -> Result<Header, TraceLogError> {
+pub(crate) fn read_header<R: Read>(reader: &mut R) -> Result<Header, TraceLogError> {
     let mut magic = [0u8; 4];
     reader
         .read_exact(&mut magic)
@@ -240,7 +250,7 @@ fn read_header<R: Read>(reader: &mut R) -> Result<Header, TraceLogError> {
     })
 }
 
-fn decode_chunk(payload: &[u8]) -> Result<Vec<TraceEvent>, TraceLogError> {
+pub(crate) fn decode_chunk(payload: &[u8]) -> Result<Vec<TraceEvent>, TraceLogError> {
     let pos = &mut 0usize;
     let count = varint::read_u64(payload, pos).ok_or_else(corrupt("event varint"))?;
     // Each event is ≥ 2 bytes; a count beyond that is structurally lying.

@@ -12,7 +12,8 @@ use crate::Options;
 use cce_dbt::{trace_bin, TraceLog, TraceReader};
 use cce_sim::pressure::capacity_for_pressure;
 use cce_sim::report::TextTable;
-use cce_sim::simulator::{simulate, simulate_reader, SimConfig};
+use cce_sim::simulator::SimConfig;
+use cce_sim::Replay;
 use cce_util::Json;
 use cce_workloads::catalog;
 use std::time::Instant;
@@ -76,14 +77,22 @@ pub fn bench_trace_io(opts: &Options) -> Result<String, String> {
     // simulates; the streaming path overlaps binary decode with replay.
     let (inmem_replay_s, inmem) = min_secs(REPS, || {
         let log = TraceLog::load(json_bytes.as_slice()).map_err(|e| e.to_string())?;
-        simulate(&log, &config).map_err(|e| e.to_string())
+        Replay::new(&log)
+            .config(&config)
+            .run()
+            .map(cce_sim::ReplayReport::into_solo)
+            .map_err(|e| e.to_string())
     });
     let inmem = inmem?;
     let (stream_replay_s, streamed) = min_secs(REPS, || {
         let bytes = bin_bytes.clone();
         let mut reader =
             TraceReader::new(std::io::Cursor::new(bytes)).map_err(|e| e.to_string())?;
-        simulate_reader(&mut reader, &config).map_err(|e| e.to_string())
+        Replay::stream(&mut reader)
+            .config(&config)
+            .run()
+            .map(cce_sim::ReplayReport::into_solo)
+            .map_err(|e| e.to_string())
     });
     let streamed = streamed?;
     if inmem != streamed {

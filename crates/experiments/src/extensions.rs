@@ -9,7 +9,8 @@ use cce_core::{
 use cce_sim::pressure::capacity_for_pressure;
 use cce_sim::report::{pct, TextTable};
 use cce_sim::seeds::over_seeds;
-use cce_sim::simulator::{simulate_cache, SimConfig, SimResult};
+use cce_sim::simulator::{SimConfig, SimResult};
+use cce_sim::Replay;
 use cce_workloads::catalog;
 use std::fmt::Write as _;
 
@@ -17,7 +18,10 @@ use std::fmt::Write as _;
 const ABLATION_BENCHMARKS: [&str; 3] = ["gzip", "crafty", "gcc"];
 
 fn run_policy(trace: &cce_dbt::TraceLog, label: &str, cache: CodeCache) -> SimResult {
-    simulate_cache(trace, cache, label.to_owned(), &SimConfig::default())
+    Replay::new(trace)
+        .session(cache, label)
+        .run()
+        .map(cce_sim::ReplayReport::into_solo)
         .expect("generated traces are well-formed")
 }
 
@@ -249,7 +253,6 @@ pub fn stability(opts: &Options) -> String {
 /// rates.
 pub fn multiprog(opts: &Options) -> String {
     use cce_core::Granularity;
-    use cce_sim::simulator::simulate;
     use cce_workloads::mix::interleave;
 
     let apps = ["gzip", "crafty", "gcc"];
@@ -295,15 +298,12 @@ pub fn multiprog(opts: &Options) -> String {
                 .max()
                 .unwrap_or(1);
             let eff = cce_sim::pressure::effective_granularity(g, capacity, max_block);
-            let r = simulate(
-                &mixed,
-                &SimConfig {
-                    granularity: eff,
-                    capacity,
-                    ..SimConfig::default()
-                },
-            )
-            .expect("mixed trace is well-formed");
+            let r = Replay::new(&mixed)
+                .granularity(eff)
+                .capacity(capacity)
+                .run()
+                .map(cce_sim::ReplayReport::into_solo)
+                .expect("mixed trace is well-formed");
             row.push(pct(r.stats.miss_rate()));
             if slice == 200 {
                 evictions = r.stats.eviction_invocations;

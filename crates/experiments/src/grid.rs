@@ -4,7 +4,7 @@
 
 use cce_core::Granularity;
 use cce_sim::simulator::SimConfig;
-use cce_sim::sweep::run_sharded;
+use cce_sim::Replay;
 use cce_workloads::BenchmarkModel;
 
 /// One simulated cell.
@@ -143,7 +143,7 @@ impl Grid {
 ///
 /// Traces are generated once per benchmark and replayed for every
 /// configuration — the paper's save-and-replay methodology. The cells
-/// run on [`run_sharded`], whose pre-indexed result slots make the grid
+/// run on [`cce_sim::ReplayMatrix`], whose pre-indexed result slots make the grid
 /// (and therefore every figure rendered from it) byte-identical at any
 /// `jobs` count.
 pub fn compute_grid(
@@ -175,7 +175,12 @@ pub fn compute_grid(
             traces.len() * granularities.len() * pressures.len()
         );
     }
-    let points = run_sharded(&traces, granularities, pressures, &[1], &base, jobs)
+    let points = Replay::matrix(&traces)
+        .granularities(granularities)
+        .pressures(pressures)
+        .config(&base)
+        .jobs(jobs)
+        .run()
         .expect("generated traces are well-formed");
     let cells = points
         .into_iter()

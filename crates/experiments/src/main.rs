@@ -24,6 +24,7 @@ mod fig9;
 mod grid;
 mod miss_figs;
 mod overhead_figs;
+mod serve_cmd;
 mod shards;
 mod stats_figs;
 mod tenants;
@@ -55,6 +56,16 @@ pub struct Options {
     pub tenants: Option<u32>,
     /// Worker threads for the `replay` tool's concurrent mode.
     pub threads: Option<usize>,
+    /// Offered request rate for the `serve` benchmark.
+    pub rps: Option<f64>,
+    /// Target duration in seconds for the `serve` benchmark.
+    pub duration: Option<f64>,
+    /// Ingress budget in queued events for the `serve` benchmark.
+    pub queue: Option<usize>,
+    /// Zipf popularity exponent for the `serve` benchmark.
+    pub skew: Option<f64>,
+    /// Fail the `serve` run unless it applied work and shed nothing.
+    pub smoke: bool,
     /// Print progress to stderr.
     pub verbose: bool,
 }
@@ -72,6 +83,11 @@ impl Default for Options {
             jobs: None,
             tenants: None,
             threads: None,
+            rps: None,
+            duration: None,
+            queue: None,
+            skew: None,
+            smoke: false,
             verbose: true,
         }
     }
@@ -85,7 +101,9 @@ fn usage() -> &'static str {
      replay --log <path> [--pressure N] [--tenants N --threads T] | \
      convert --log <in> --out <out> [--format json|binary] | \
      bench_trace_io [--scale F] [--out PATH] | \
-     bench_concurrent [--scale F] [--out PATH]"
+     bench_concurrent [--scale F] [--out PATH] | \
+     serve [--bench <name>] [--rps R] [--duration S] [--tenants N] [--threads T] \
+     [--queue EVENTS] [--skew Z] [--seed N] [--smoke] [--out BENCH_serve.json]"
 }
 
 fn parse_args(args: &[String]) -> Result<(String, Options), String> {
@@ -155,6 +173,43 @@ fn parse_args(args: &[String]) -> Result<(String, Options), String> {
                 }
                 opts.threads = Some(n);
             }
+            "--rps" => {
+                i += 1;
+                let v = args.get(i).ok_or("--rps needs a value")?;
+                let r: f64 = v.parse().map_err(|_| format!("bad rps: {v}"))?;
+                if r <= 0.0 {
+                    return Err("rps must be positive".to_owned());
+                }
+                opts.rps = Some(r);
+            }
+            "--duration" => {
+                i += 1;
+                let v = args.get(i).ok_or("--duration needs a value")?;
+                let d: f64 = v.parse().map_err(|_| format!("bad duration: {v}"))?;
+                if d <= 0.0 {
+                    return Err("duration must be positive".to_owned());
+                }
+                opts.duration = Some(d);
+            }
+            "--queue" => {
+                i += 1;
+                let v = args.get(i).ok_or("--queue needs a value")?;
+                let n: usize = v.parse().map_err(|_| format!("bad queue: {v}"))?;
+                if n == 0 {
+                    return Err("queue must be at least 1 event".to_owned());
+                }
+                opts.queue = Some(n);
+            }
+            "--skew" => {
+                i += 1;
+                let v = args.get(i).ok_or("--skew needs a value")?;
+                let z: f64 = v.parse().map_err(|_| format!("bad skew: {v}"))?;
+                if !(0.0..=8.0).contains(&z) {
+                    return Err("skew must be in 0..=8".to_owned());
+                }
+                opts.skew = Some(z);
+            }
+            "--smoke" => opts.smoke = true,
             "--quiet" => opts.verbose = false,
             other if cmd.is_none() && !other.starts_with('-') => cmd = Some(other.to_owned()),
             other => return Err(format!("unknown argument: {other}")),
@@ -194,6 +249,7 @@ fn run(cmd: &str, opts: &Options) -> Result<String, String> {
         "convert" => return tools::convert(opts),
         "bench_trace_io" => return bench_io::bench_trace_io(opts),
         "bench_concurrent" => return bench_concurrent::bench_concurrent(opts),
+        "serve" => return serve_cmd::serve(opts),
         "all" => all::all(opts),
         other => return Err(format!("unknown command: {other}\n{}", usage())),
     };
@@ -215,7 +271,7 @@ fn main() -> ExitCode {
             // These tools write their own --out file in a non-text format.
             let skip_generic_write = matches!(
                 cmd.as_str(),
-                "trace" | "convert" | "bench_trace_io" | "bench_concurrent"
+                "trace" | "convert" | "bench_trace_io" | "bench_concurrent" | "serve"
             );
             if let Some(path) = opts.out.as_ref().filter(|_| !skip_generic_write) {
                 if let Err(e) = std::fs::write(path, &output) {

@@ -1,0 +1,243 @@
+//! The `serve` subcommand: the traffic-driven serving benchmark.
+//!
+//! Builds an open-loop traffic plan from a catalog workload's superblock
+//! registry ([`cce_sim::serve::ServePlan::build`]), streams it through
+//! the framed byte transport into the concurrent-session server loop
+//! ([`cce_sim::run_serve`]), and reports sustained throughput, service
+//! latency percentiles, queue high-water and per-tenant cache outcomes.
+//! With `--out`, the same numbers land in a `BENCH_serve.json` for CI
+//! trend lines; with `--smoke`, the run fails unless it applied work and
+//! shed nothing (the ci.sh gate).
+
+use crate::Options;
+use cce_sim::serve::ServePlan;
+use cce_sim::{run_serve, ServeConfig, ServeReport};
+use cce_util::Json;
+use cce_workloads::catalog;
+
+/// Builds the [`ServeConfig`] for the CLI options (defaults documented
+/// in `usage()`).
+fn serve_config(opts: &Options) -> ServeConfig {
+    let mut cfg = ServeConfig {
+        seed: opts.seed,
+        ..ServeConfig::default()
+    };
+    if let Some(t) = opts.tenants {
+        cfg.tenants = t as usize;
+    }
+    if let Some(t) = opts.threads {
+        cfg.threads = t;
+    }
+    if let Some(r) = opts.rps {
+        cfg.rps = r;
+    }
+    if let Some(d) = opts.duration {
+        cfg.duration_secs = d;
+    }
+    if let Some(q) = opts.queue {
+        cfg.queue_events = q;
+    }
+    if let Some(s) = opts.skew {
+        cfg.skew = s;
+    }
+    cfg
+}
+
+fn json_report(report: &ServeReport) -> Json {
+    let per_tenant: Vec<Json> = report
+        .per_tenant
+        .iter()
+        .map(|t| {
+            Json::obj(vec![
+                ("tenant", Json::from(t.tenant)),
+                ("applied_events", Json::from(t.applied_events)),
+                ("accesses", Json::from(t.stats.accesses)),
+                ("misses", Json::from(t.stats.misses)),
+                ("miss_rate", Json::from(t.stats.miss_rate())),
+                (
+                    "eviction_invocations",
+                    Json::from(t.stats.eviction_invocations),
+                ),
+                ("blocks_evicted", Json::from(t.stats.blocks_evicted)),
+            ])
+        })
+        .collect();
+    Json::obj(vec![
+        ("benchmark", Json::from("serve")),
+        ("name", Json::from(report.name.clone())),
+        ("tenants", Json::from(report.tenants)),
+        ("threads", Json::from(report.threads)),
+        ("offered_requests", Json::from(report.offered_requests)),
+        ("offered_events", Json::from(report.offered_events)),
+        ("sent_requests", Json::from(report.sent_requests)),
+        ("delivered_events", Json::from(report.delivered_events)),
+        ("applied_events", Json::from(report.applied_events)),
+        ("dropped_requests", Json::from(report.dropped_requests)),
+        ("dropped_events", Json::from(report.dropped_events)),
+        ("rejected_frames", Json::from(report.rejected_frames)),
+        ("disconnected", Json::from(report.disconnected)),
+        ("wall_secs", Json::from(report.wall_secs)),
+        (
+            "throughput_events_per_sec",
+            Json::from(report.throughput_events_per_sec),
+        ),
+        ("queue_high_water", Json::from(report.queue_high_water)),
+        ("latency_samples", Json::from(report.latency.samples)),
+        ("p50_nanos", Json::from(report.latency.p50_nanos)),
+        ("p95_nanos", Json::from(report.latency.p95_nanos)),
+        ("p99_nanos", Json::from(report.latency.p99_nanos)),
+        ("max_nanos", Json::from(report.latency.max_nanos)),
+        ("per_tenant", Json::Arr(per_tenant)),
+    ])
+}
+
+fn render(report: &ServeReport) -> String {
+    use cce_sim::report::TextTable;
+    let ms = |n: u64| format!("{:.3}", n as f64 / 1e6);
+    let mut out = format!(
+        "Serve: {} — {} tenants on {} thread(s), {:.1} s wall\n\
+         offered {} requests ({} events); delivered {}, applied {}, \
+         dropped {} ({} requests), rejected {} frame(s){}\n\
+         throughput {:.0} events/s, queue high-water {} events\n\
+         latency (ms): p50 {}  p95 {}  p99 {}  max {}  ({} samples)\n\n",
+        report.name,
+        report.tenants,
+        report.threads,
+        report.wall_secs,
+        report.offered_requests,
+        report.offered_events,
+        report.delivered_events,
+        report.applied_events,
+        report.dropped_events,
+        report.dropped_requests,
+        report.rejected_frames,
+        if report.disconnected {
+            ", DISCONNECTED"
+        } else {
+            ""
+        },
+        report.throughput_events_per_sec,
+        report.queue_high_water,
+        ms(report.latency.p50_nanos),
+        ms(report.latency.p95_nanos),
+        ms(report.latency.p99_nanos),
+        ms(report.latency.max_nanos),
+        report.latency.samples,
+    );
+    let mut t = TextTable::new(
+        "per-tenant outcomes",
+        ["tenant", "applied", "accesses", "miss rate", "evictions"],
+    );
+    for tn in &report.per_tenant {
+        t.row([
+            tn.tenant.to_string(),
+            tn.applied_events.to_string(),
+            tn.stats.accesses.to_string(),
+            format!("{:.2}%", tn.stats.miss_rate() * 100.0),
+            tn.stats.eviction_invocations.to_string(),
+        ]);
+    }
+    out.push_str(&t.to_string());
+    out
+}
+
+/// `serve --rps R --duration S --tenants N --threads T [--bench NAME]
+/// [--queue E] [--skew Z] [--seed N] [--smoke] [--out BENCH_serve.json]`
+pub fn serve(opts: &Options) -> Result<String, String> {
+    let bench = opts.bench.as_deref().unwrap_or("gzip");
+    let trace = catalog::by_name(bench)
+        .ok_or_else(|| format!("unknown benchmark: {bench}"))?
+        .trace(opts.scale, opts.seed);
+    let cfg = serve_config(opts);
+    let plan = ServePlan::build(&trace.superblocks, &trace.name, &cfg)
+        .map_err(|e| format!("plan: {e}"))?;
+    if opts.verbose {
+        eprintln!(
+            "serving {} requests ({} events) to {} tenant(s)...",
+            plan.requests.len(),
+            plan.event_count,
+            cfg.tenants
+        );
+    }
+    let report = run_serve(&plan, &cfg).map_err(|e| format!("serve: {e}"))?;
+
+    let mut out = render(&report);
+    if let Some(path) = opts.out.as_deref() {
+        std::fs::write(path, json_report(&report).to_string_compact())
+            .map_err(|e| format!("write {path}: {e}"))?;
+        out.push_str(&format!("wrote {path}\n"));
+    }
+    if opts.smoke {
+        // The CI gate: an unloaded short run must apply real work and
+        // shed nothing, or the serving path has regressed.
+        if report.applied_events == 0 {
+            return Err(format!("smoke: no events were applied\n{out}"));
+        }
+        if report.dropped_events > 0 || report.dropped_requests > 0 {
+            return Err(format!(
+                "smoke: shed {} events ({} requests) under nominal load\n{out}",
+                report.dropped_events, report.dropped_requests
+            ));
+        }
+        if report.disconnected || report.rejected_frames > 0 {
+            return Err(format!(
+                "smoke: stream faults without fault injection\n{out}"
+            ));
+        }
+        out.push_str("smoke: ok (zero drops, nonzero throughput)\n");
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_opts() -> Options {
+        Options {
+            scale: 0.05,
+            seed: 11,
+            bench: Some("gzip".to_owned()),
+            tenants: Some(3),
+            threads: Some(2),
+            rps: Some(200_000.0),
+            duration: Some(0.005),
+            verbose: false,
+            ..Options::default()
+        }
+    }
+
+    #[test]
+    fn serve_command_renders_and_writes_json() {
+        let dir = std::env::temp_dir().join("cce_serve_cmd_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_serve.json").to_string_lossy().into_owned();
+        let opts = Options {
+            out: Some(path.clone()),
+            smoke: true,
+            ..quick_opts()
+        };
+        let out = serve(&opts).unwrap();
+        assert!(out.contains("per-tenant outcomes"), "{out}");
+        assert!(out.contains("smoke: ok"), "{out}");
+        let json = std::fs::read_to_string(&path).unwrap();
+        let parsed = Json::parse(&json).unwrap();
+        let Json::Obj(pairs) = parsed else {
+            panic!("BENCH_serve.json is not an object");
+        };
+        let field = |k: &str| pairs.iter().find(|(n, _)| n == k).map(|(_, v)| v.clone());
+        assert_eq!(field("benchmark"), Some(Json::from("serve")));
+        assert!(matches!(field("applied_events"), Some(Json::Int(n)) if n > 0));
+        assert_eq!(field("dropped_events"), Some(Json::from(0u64)));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn unknown_benchmark_is_an_error() {
+        let opts = Options {
+            bench: Some("nope".to_owned()),
+            ..quick_opts()
+        };
+        assert!(serve(&opts).is_err());
+    }
+}

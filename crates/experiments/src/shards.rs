@@ -18,7 +18,8 @@ use cce_core::{
 use cce_sim::metrics::unified_miss_rate;
 use cce_sim::pressure::capacity_for_pressure;
 use cce_sim::report::{pct, TextTable};
-use cce_sim::simulator::{simulate_session, SimConfig, SimResult};
+use cce_sim::simulator::{SimConfig, SimResult};
+use cce_sim::Replay;
 use cce_workloads::catalog;
 
 /// Same benchmark trio as the policy ablation: small, medium, large.
@@ -92,7 +93,11 @@ fn run_cell(
     };
     for (trace, capacity, max_block) in traces {
         let session = sharded_org(kind, *capacity, n, *max_block);
-        let r: SimResult = simulate_session(trace, session, format!("{kind} x{n}"), config)
+        let r: SimResult = Replay::new(trace)
+            .config(config)
+            .session(session, format!("{kind} x{n}"))
+            .run()
+            .map(cce_sim::ReplayReport::into_solo)
             .expect("generated traces are well-formed");
         cell.misses_accesses
             .push((r.stats.misses, r.stats.accesses));

@@ -8,7 +8,8 @@ use cce_dbt::trace_bin;
 use cce_dbt::{SharedTrace, TraceLog};
 use cce_sim::pressure::{capacity_for_pressure, effective_granularity, TraceSizing};
 use cce_sim::report::{pct, TextTable};
-use cce_sim::simulator::{simulate_source, SimConfig};
+use cce_sim::simulator::SimConfig;
+use cce_sim::Replay;
 use cce_sim::{simulate_concurrent, ConcurrentSimConfig};
 use cce_workloads::catalog;
 use std::fmt::Write as _;
@@ -183,7 +184,11 @@ pub fn replay(opts: &Options) -> Result<String, String> {
             // The rows report one guest; swap_remove avoids a clone.
             results.swap_remove(0)
         } else {
-            simulate_source(&trace, &config).map_err(|e| format!("simulate: {e}"))?
+            Replay::new(&trace)
+                .config(&config)
+                .run()
+                .map(cce_sim::ReplayReport::into_solo)
+                .map_err(|e| format!("simulate: {e}"))?
         };
         t.row([
             g.label(),

@@ -234,20 +234,19 @@ mod tests {
         // FIFO-family it is heuristic; on these deterministic traces it
         // holds as well (checked, not assumed).
         use crate::pressure::{capacity_for_pressure, simulate_at_pressure};
-        use crate::simulator::{simulate_cache, SimConfig};
+        use crate::replay::Replay;
+        use crate::simulator::SimConfig;
         use cce_core::{CodeCache, Granularity, LruCache};
         let trace = cce_workloads::by_name("gzip").unwrap().trace(0.2, 4);
         let profile = reuse_profile(&trace);
         for pressure in [2u32, 6] {
             let cap = capacity_for_pressure(trace.max_cache_bytes(), pressure);
             let bound = profile.miss_rate_bound(cap);
-            let lru = simulate_cache(
-                &trace,
-                CodeCache::new(Box::new(LruCache::new(cap).unwrap())),
-                "LRU".to_owned(),
-                &SimConfig::default(),
-            )
-            .unwrap();
+            let lru = Replay::new(&trace)
+                .session(CodeCache::new(Box::new(LruCache::new(cap).unwrap())), "LRU")
+                .run()
+                .unwrap()
+                .into_solo();
             assert!(
                 lru.stats.miss_rate() >= bound - 1e-9,
                 "LRU@{pressure}: {} beat the Mattson bound {bound}",

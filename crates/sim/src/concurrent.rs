@@ -61,7 +61,7 @@ impl Default for ConcurrentSimConfig {
 ///
 /// Returns [`SimError::EmptyTrace`] when `traces` is empty or any trace
 /// has no events, [`SimError::Cache`] for invalid geometry, and the
-/// per-tenant replay errors of [`crate::simulator::simulate`].
+/// per-tenant replay errors of a solo [`crate::replay::Replay`] run.
 pub fn simulate_concurrent(
     traces: &[SharedTrace],
     cfg: &ConcurrentSimConfig,

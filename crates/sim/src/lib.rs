@@ -12,6 +12,15 @@
 //!   the chunk-oriented core also ingests streaming binary traces
 //!   ([`cce_dbt::TraceReader`]) with I/O overlapped against simulation
 //!   and O(chunk) peak memory;
+//! * [`replay`] — the one front door: a [`replay::Replay`] builder that
+//!   configures any source (in-memory, shared, streaming), geometry
+//!   (granularity/capacity/pressure/shards), session override, or
+//!   multi-tenant concurrent run, and a [`replay::ReplayMatrix`] for
+//!   full sweep grids;
+//! * [`serve`] — the traffic-driven serving benchmark: an open-loop
+//!   load generator streams framed trace chunks over a byte transport
+//!   into a concurrent-session server loop, reporting throughput,
+//!   latency percentiles and shed counts (DESIGN.md §13);
 //! * [`concurrent`] — multi-tenant concurrent replay: N per-tenant
 //!   traces served by T threads against one shared
 //!   [`cce_core::ConcurrentSession`], each tenant's result byte-identical
@@ -40,16 +49,15 @@
 //!
 //! ```
 //! use cce_core::Granularity;
-//! use cce_sim::simulator::{simulate, SimConfig};
+//! use cce_sim::Replay;
 //! use cce_workloads::catalog;
 //!
 //! let trace = catalog::by_name("mcf").unwrap().trace(0.5, 1);
-//! let config = SimConfig {
-//!     granularity: Granularity::units(8),
-//!     capacity: trace.max_cache_bytes() / 2, // cache pressure 2
-//!     ..SimConfig::default()
-//! };
-//! let result = simulate(&trace, &config)?;
+//! let result = Replay::new(&trace)
+//!     .granularity(Granularity::units(8))
+//!     .capacity(trace.max_cache_bytes() / 2) // cache pressure 2
+//!     .run()?
+//!     .into_solo();
 //! assert!(result.stats.miss_rate() > 0.0);
 //! # Ok::<(), cce_sim::SimError>(())
 //! ```
@@ -64,19 +72,20 @@ pub mod metrics;
 pub mod overhead;
 pub mod pressure;
 pub mod regression;
+pub mod replay;
 pub mod report;
 pub mod seeds;
+pub mod serve;
 pub mod simulator;
 pub mod sweep;
 
 pub use concurrent::{simulate_concurrent, simulate_concurrent_with, ConcurrentSimConfig};
 pub use overhead::{LinearModel, OverheadModel};
 pub use regression::fit_line;
-pub use simulator::{
-    simulate, simulate_reader, simulate_source, EventSource, SimConfig, SimDriver, SimError,
-    SimResult,
-};
-pub use sweep::{resolve_jobs, run_matrix, run_sharded, run_shared, SweepCell, SweepPoint};
+pub use replay::{Replay, ReplayMatrix, ReplayReport};
+pub use serve::{run_serve, ServeConfig, ServeFaults, ServeReport};
+pub use simulator::{EventSource, SimConfig, SimDriver, SimError, SimResult};
+pub use sweep::{resolve_jobs, SweepCell, SweepPoint};
 
 // `cce-workloads` is a dev-dependency (doc tests and integration tests
 // only), so the library proper stays decoupled from the benchmark models.

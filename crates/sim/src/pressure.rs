@@ -5,11 +5,9 @@
 //! which guarantees the replacement policy is actually stressed. These
 //! helpers run a trace across a (granularity × pressure) grid.
 
-use crate::simulator::{
-    simulate_source, simulate_source_sharded, EventSource, SimConfig, SimError, SimResult,
-};
-use cce_core::Granularity;
-use cce_dbt::TraceLog;
+use crate::simulator::{simulate_source_session, EventSource, SimConfig, SimError, SimResult};
+use cce_core::{CodeCache, Granularity, ShardedCache};
+use cce_dbt::{SuperblockInfo, TraceLog};
 
 /// Minimum capacity used by [`capacity_for_pressure`], so extreme
 /// pressures on tiny workloads still admit at least a few superblocks.
@@ -86,7 +84,14 @@ impl TraceSizing {
     /// from the registry alone, so a streaming header is enough.
     #[must_use]
     pub fn of_source<T: EventSource + ?Sized>(source: &T) -> TraceSizing {
-        let registry = source.registry();
+        TraceSizing::of_registry(source.registry())
+    }
+
+    /// [`TraceSizing::of`] from a bare superblock registry — what a
+    /// streaming reader or a serve-mode header hands over before any
+    /// events arrive.
+    #[must_use]
+    pub fn of_registry(registry: &[SuperblockInfo]) -> TraceSizing {
         TraceSizing {
             max_cache_bytes: registry.iter().map(|s| u64::from(s.size)).sum(),
             max_block_bytes: registry
@@ -157,20 +162,44 @@ pub fn simulate_cell_source<T: EventSource + ?Sized>(
     shards: u32,
     base: &SimConfig,
 ) -> Result<SimResult, SimError> {
-    let capacity = capacity_for_pressure(sizing.max_cache_bytes, pressure);
-    let shard_capacity = capacity / u64::from(shards.max(1));
-    let config = SimConfig {
-        granularity: effective_granularity(granularity, shard_capacity, sizing.max_block_bytes),
-        capacity,
-        ..*base
-    };
+    let config = cell_config(sizing, granularity, pressure, shards, base);
+    let label = config.granularity.label();
     let mut result = if shards <= 1 {
-        simulate_source(source, &config)?
+        let cache = CodeCache::with_granularity(config.granularity, config.capacity)?;
+        simulate_source_session(source, cache, label, &config)?
     } else {
-        simulate_source_sharded(source, &config, shards)?
+        let cache = ShardedCache::with_granularity(config.granularity, config.capacity, shards)?;
+        simulate_source_session(source, cache, label, &config)?
     };
     result.granularity_label = granularity.label();
     Ok(result)
+}
+
+/// Resolves one sweep cell's geometry into a concrete [`SimConfig`]:
+/// `capacity = maxCache / pressure` (floored at [`MIN_CAPACITY`]) and
+/// the granularity's unit count clamped via [`effective_granularity`]
+/// against the **per-shard** capacity — each shard is its own eviction
+/// domain, so units must fit the largest superblock inside one shard.
+///
+/// # Panics
+///
+/// Panics if `pressure == 0` (callers such as [`crate::replay::Replay`]
+/// validate first and surface [`SimError::Config`] instead).
+#[must_use]
+pub fn cell_config(
+    sizing: TraceSizing,
+    granularity: Granularity,
+    pressure: u32,
+    shards: u32,
+    base: &SimConfig,
+) -> SimConfig {
+    let capacity = capacity_for_pressure(sizing.max_cache_bytes, pressure);
+    let shard_capacity = capacity / u64::from(shards.max(1));
+    SimConfig {
+        granularity: effective_granularity(granularity, shard_capacity, sizing.max_block_bytes),
+        capacity,
+        ..*base
+    }
 }
 
 /// Sweeps `trace` over the full `(granularity × pressure)` grid.

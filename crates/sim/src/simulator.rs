@@ -1,25 +1,27 @@
 //! Trace-driven code-cache simulation.
 //!
-//! [`simulate`] replays a [`TraceLog`] — from the real DBT engine or from
-//! the statistical workload models — against a fresh [`CodeCache`] at one
+//! The simulator replays a [`TraceLog`] — from the real DBT engine or
+//! from the statistical workload models — against a fresh cache at one
 //! (granularity, capacity) point, charging the [`OverheadModel`] for every
 //! miss, eviction invocation and unlink operation. This is the paper's
 //! code-cache simulator (§4.1) with the overhead penalties of §4.4/§5.3
-//! built in.
+//! built in. Callers configure and launch a replay through the
+//! [`crate::replay::Replay`] builder; this module holds the engine it
+//! drives.
 //!
 //! Replay is **chunk-oriented**: the core loop ([`simulate_event_chunks`])
 //! consumes any fallible iterator of event slices, so the same code path
 //! serves an in-memory [`TraceLog`] (one big chunk), a decoded-once
-//! [`SharedTrace`] shared across sweep cells, and a streaming
+//! [`SharedTrace`] shared across sweep cells, a streaming
 //! [`TraceReader`] whose decoder thread overlaps file I/O with the
-//! simulation (DESIGN.md §11). The periodic link-graph census is placed
-//! by *total* event count — carried in the binary header — so every
-//! ingest path produces bit-identical [`SimResult`]s at any chunk size.
+//! simulation (DESIGN.md §11), and the serve-mode session loop that
+//! applies framed events as they arrive off the wire (DESIGN.md §13).
+//! The periodic link-graph census is placed by *total* event count —
+//! carried in the binary header — so every ingest path produces
+//! bit-identical [`SimResult`]s at any chunk size.
 
 use crate::overhead::OverheadModel;
-use cce_core::{
-    CacheError, CacheSession, CodeCache, Granularity, InsertRequest, ShardedCache, SuperblockId,
-};
+use cce_core::{CacheError, CacheSession, Granularity, InsertRequest, SuperblockId};
 use cce_dbt::{SharedTrace, SuperblockInfo, TraceEvent, TraceLog, TraceReader};
 use std::collections::HashMap;
 use std::error::Error;
@@ -54,11 +56,14 @@ impl Default for SimConfig {
     }
 }
 
-/// Errors from [`simulate`].
+/// Errors from a replay or serve run.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SimError {
     /// The cache geometry was invalid.
     Cache(CacheError),
+    /// The requested run was contradictory before any events flowed
+    /// (zero pressure, a custom session combined with tenants, …).
+    Config(&'static str),
     /// The trace references a superblock missing from its registry.
     UnknownSuperblock(SuperblockId),
     /// The trace has no events.
@@ -76,6 +81,7 @@ impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SimError::Cache(e) => write!(f, "cache error: {e}"),
+            SimError::Config(what) => write!(f, "invalid replay configuration: {what}"),
             SimError::UnknownSuperblock(id) => {
                 write!(f, "trace references unregistered superblock {id}")
             }
@@ -205,100 +211,18 @@ impl EventSource for SharedTrace {
     }
 }
 
-/// Replays `trace` against a cache configured by `config`.
+/// Replays any [`EventSource`] against an arbitrary pre-built
+/// [`CacheSession`] — a bare [`cce_core::CodeCache`], a
+/// [`cce_core::ShardedCache`], a boxed custom policy. The `label` names
+/// the session in the result; `config.granularity` and `config.capacity`
+/// are advisory here (the session brings its own geometry). Most callers
+/// reach this through [`crate::replay::Replay`].
 ///
 /// # Errors
 ///
 /// Returns [`SimError::Cache`] for invalid geometry,
 /// [`SimError::UnknownSuperblock`] for a malformed trace, and
 /// [`SimError::EmptyTrace`] if there is nothing to replay.
-pub fn simulate(trace: &TraceLog, config: &SimConfig) -> Result<SimResult, SimError> {
-    simulate_source(trace, config)
-}
-
-/// [`simulate`] over any [`EventSource`] — the entry point sweeps use to
-/// replay one decoded [`SharedTrace`] across many cells without copying.
-///
-/// # Errors
-///
-/// Same conditions as [`simulate`].
-pub fn simulate_source<T: EventSource + ?Sized>(
-    source: &T,
-    config: &SimConfig,
-) -> Result<SimResult, SimError> {
-    let cache = CodeCache::with_granularity(config.granularity, config.capacity)?;
-    simulate_source_session(source, cache, config.granularity.label(), config)
-}
-
-/// [`simulate_sharded`] over any [`EventSource`].
-///
-/// # Errors
-///
-/// Same conditions as [`simulate`].
-pub fn simulate_source_sharded<T: EventSource + ?Sized>(
-    source: &T,
-    config: &SimConfig,
-    shards: u32,
-) -> Result<SimResult, SimError> {
-    let cache = ShardedCache::with_granularity(config.granularity, config.capacity, shards)?;
-    simulate_source_session(source, cache, config.granularity.label(), config)
-}
-
-/// [`simulate`] against a [`ShardedCache`]: the total capacity is split
-/// evenly over `shards` consistent-hashed shards of the configured
-/// granularity (shards = eviction domains; cross-shard links are
-/// always-indirect and charged on eviction by the shard layer).
-///
-/// # Errors
-///
-/// Same conditions as [`simulate`].
-pub fn simulate_sharded(
-    trace: &TraceLog,
-    config: &SimConfig,
-    shards: u32,
-) -> Result<SimResult, SimError> {
-    simulate_source_sharded(trace, config, shards)
-}
-
-/// Replays `trace` against an arbitrary pre-built cache (any
-/// [`cce_core::CacheOrg`] implementation) — the entry point for ablations
-/// of policies outside the paper's FLUSH/N-unit/FIFO spectrum. The
-/// `label` names the policy in the result; `config.granularity` and
-/// `config.capacity` are ignored (the cache brings its own).
-///
-/// # Errors
-///
-/// Same conditions as [`simulate`].
-pub fn simulate_cache(
-    trace: &TraceLog,
-    cache: CodeCache,
-    label: String,
-    config: &SimConfig,
-) -> Result<SimResult, SimError> {
-    simulate_session(trace, cache, label, config)
-}
-
-/// The generic core: replays `trace` against any [`CacheSession`] — a
-/// bare [`CodeCache`] or a [`ShardedCache`] — through the unified
-/// `access_or_insert` surface.
-///
-/// # Errors
-///
-/// Same conditions as [`simulate`].
-pub fn simulate_session<S: CacheSession>(
-    trace: &TraceLog,
-    session: S,
-    label: String,
-    config: &SimConfig,
-) -> Result<SimResult, SimError> {
-    simulate_source_session(trace, session, label, config)
-}
-
-/// [`simulate_session`] over any [`EventSource`].
-///
-/// # Errors
-///
-/// Same conditions as [`simulate`].
 pub fn simulate_source_session<T: EventSource + ?Sized, S: CacheSession>(
     source: &T,
     session: S,
@@ -316,47 +240,21 @@ pub fn simulate_source_session<T: EventSource + ?Sized, S: CacheSession>(
     )
 }
 
-/// Streams a binary trace straight from its reader against a cache
-/// configured by `config`: the reader's decoder thread stays one or two
-/// chunks ahead, so file I/O and varint decode overlap with the cache
+/// Streams a binary trace straight from its reader against an arbitrary
+/// pre-built [`CacheSession`]: the reader's decoder thread stays one or
+/// two chunks ahead, so file I/O and varint decode overlap with the cache
 /// simulation and peak event memory is O(chunk), never O(trace).
-///
-/// # Errors
-///
-/// Same conditions as [`simulate`], plus [`SimError::Ingest`] if the
-/// stream fails mid-replay or delivers a different number of events than
-/// its header promised.
-pub fn simulate_reader(
-    reader: &mut TraceReader,
-    config: &SimConfig,
-) -> Result<SimResult, SimError> {
-    let cache = CodeCache::with_granularity(config.granularity, config.capacity)?;
-    simulate_reader_session(reader, cache, config.granularity.label(), config)
-}
-
-/// [`simulate_reader`] against a [`ShardedCache`].
-///
-/// # Errors
-///
-/// Same conditions as [`simulate_reader`].
-pub fn simulate_reader_sharded(
-    reader: &mut TraceReader,
-    config: &SimConfig,
-    shards: u32,
-) -> Result<SimResult, SimError> {
-    let cache = ShardedCache::with_granularity(config.granularity, config.capacity, shards)?;
-    simulate_reader_session(reader, cache, config.granularity.label(), config)
-}
-
-/// [`simulate_reader`] against an arbitrary pre-built [`CacheSession`].
 ///
 /// The reader is consumed to its end (or first error); the census
 /// schedule comes from the header's event count, so the result is
-/// bit-identical to replaying the same trace in memory.
+/// bit-identical to replaying the same trace in memory. Most callers
+/// reach this through [`crate::replay::Replay::stream`].
 ///
 /// # Errors
 ///
-/// Same conditions as [`simulate_reader`].
+/// Same conditions as [`simulate_source_session`], plus
+/// [`SimError::Ingest`] if the stream fails mid-replay or delivers a
+/// different number of events than its header promised.
 pub fn simulate_reader_session<S: CacheSession>(
     reader: &mut TraceReader,
     session: S,
@@ -385,8 +283,9 @@ pub fn simulate_reader_session<S: CacheSession>(
 ///
 /// # Errors
 ///
-/// Same conditions as [`simulate`]; a failed chunk or an event count
-/// that contradicts `event_count` becomes [`SimError::Ingest`].
+/// Same conditions as [`simulate_source_session`]; a failed chunk or an
+/// event count that contradicts `event_count` becomes
+/// [`SimError::Ingest`].
 pub fn simulate_event_chunks<S, I, C, E>(
     name: &str,
     registry: &[SuperblockInfo],
@@ -411,7 +310,7 @@ where
 }
 
 /// Incremental replay: the per-event core that [`simulate_event_chunks`]
-/// (and through it every `simulate_*` entry point) runs, factored out so
+/// (and through it every replay entry point) runs, factored out so
 /// concurrent runners can feed one tenant's stream in arbitrary slices
 /// interleaved with other tenants. Feeding the same events through one
 /// `SimDriver` yields a bit-identical [`SimResult`] regardless of how
@@ -477,7 +376,7 @@ impl<S: CacheSession> SimDriver<S> {
     ///
     /// # Errors
     ///
-    /// Same conditions as [`simulate`].
+    /// Same conditions as [`simulate_source_session`].
     pub fn feed(&mut self, events: &[TraceEvent]) -> Result<(), SimError> {
         for ev in events {
             let TraceEvent::Access { id, direct_from } = *ev;
@@ -571,11 +470,36 @@ impl<S: CacheSession> SimDriver<S> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::replay::Replay;
+    use cce_core::ShardedCache;
     use cce_dbt::SuperblockInfo;
     use cce_tinyvm::program::Pc;
 
     fn sb(n: u64) -> SuperblockId {
         SuperblockId(n)
+    }
+
+    /// The engine under test, reached the way callers reach it.
+    fn simulate(trace: &TraceLog, config: &SimConfig) -> Result<SimResult, SimError> {
+        Replay::new(trace)
+            .config(config)
+            .run()
+            .map(crate::replay::ReplayReport::into_solo)
+    }
+
+    /// Always builds a real [`ShardedCache`], even for one shard, so the
+    /// transparency assertion below stays meaningful.
+    fn simulate_sharded(
+        trace: &TraceLog,
+        config: &SimConfig,
+        shards: u32,
+    ) -> Result<SimResult, SimError> {
+        let cache = ShardedCache::with_granularity(config.granularity, config.capacity, shards)?;
+        Replay::new(trace)
+            .config(config)
+            .session(cache, config.granularity.label())
+            .run()
+            .map(crate::replay::ReplayReport::into_solo)
     }
 
     /// A trace of `n` superblocks of equal `size`, accessed round-robin

@@ -7,18 +7,21 @@
 //! [`plan`] enumerates the cells in a fixed canonical order (trace-major,
 //! then shard count, then pressure, then granularity — with a single
 //! shard count this is exactly the order the sequential grid loop has
-//! always used), and [`run_sharded`] lets a scoped thread pool claim
+//! always used), and `run_matrix` lets a scoped thread pool claim
 //! cells from an atomic cursor while every worker writes its result into
 //! the cell's *pre-indexed slot*. Scheduling nondeterminism affects only
 //! which thread computes a cell, never where the result lands, so
 //! `--jobs N` output is byte-identical to `--jobs 1`. Whole-trace sizing
 //! scans ([`TraceSizing`]) are hoisted out and computed once per trace
 //! per plan, not once per cell.
+//!
+//! Callers configure sweeps through [`crate::replay::ReplayMatrix`]
+//! (built by [`crate::replay::Replay::matrix`]); this module holds the
+//! planner and the worker pool it runs on.
 
 use crate::pressure::{simulate_cell_source, TraceSizing};
 use crate::simulator::{EventSource, SimConfig, SimError, SimResult};
 use cce_core::Granularity;
-use cce_dbt::{SharedTrace, TraceLog};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// One planned cell of a sweep, identified by axis indices so the cell
@@ -46,7 +49,7 @@ pub struct SweepPoint {
 }
 
 /// Enumerates every `(trace, shards, pressure, granularity)` cell in
-/// canonical order. This order is the contract: [`run_sharded`] returns
+/// canonical order. This order is the contract: [`run_matrix`] returns
 /// results in exactly this sequence regardless of worker count. With
 /// `shard_counts == [1]` the sequence is identical to the historical
 /// `(trace, pressure, granularity)` order.
@@ -101,7 +104,10 @@ pub fn jobs_from(flag: Option<usize>, env: Option<&str>) -> usize {
 
 /// Runs every cell of the `(traces × shard-counts × granularities ×
 /// pressures)` grid across `jobs` scoped worker threads and returns the
-/// results in [`plan`] order.
+/// results in [`plan`] order. Any `Sync` [`EventSource`] works — an
+/// in-memory [`cce_dbt::TraceLog`] or a decode-once
+/// [`cce_dbt::SharedTrace`] whose `Arc`'d chunks every cell replays
+/// without copying.
 ///
 /// Workers claim cells from a shared atomic cursor (dynamic load
 /// balancing — big benchmarks don't serialize behind small ones) and
@@ -117,45 +123,7 @@ pub fn jobs_from(flag: Option<usize>, env: Option<&str>) -> usize {
 /// cell — again independent of scheduling. A worker thread that dies
 /// without reporting (a simulator bug surfacing as a panic) becomes
 /// [`SimError::Worker`] rather than tearing down the caller.
-pub fn run_sharded(
-    traces: &[TraceLog],
-    granularities: &[Granularity],
-    pressures: &[u32],
-    shard_counts: &[u32],
-    base: &SimConfig,
-    jobs: usize,
-) -> Result<Vec<SweepPoint>, SimError> {
-    run_matrix(traces, granularities, pressures, shard_counts, base, jobs)
-}
-
-/// [`run_sharded`] over decode-once [`SharedTrace`]s: a multi-gigabyte
-/// binary log is decoded exactly once (ideally streamed in through a
-/// [`cce_dbt::TraceReader`]) and every cell replays the same `Arc`'d
-/// chunks — the sweep's memory is one decoded trace, not one per worker.
-///
-/// # Errors
-///
-/// Same conditions as [`run_sharded`].
-pub fn run_shared(
-    traces: &[SharedTrace],
-    granularities: &[Granularity],
-    pressures: &[u32],
-    shard_counts: &[u32],
-    base: &SimConfig,
-    jobs: usize,
-) -> Result<Vec<SweepPoint>, SimError> {
-    run_matrix(traces, granularities, pressures, shard_counts, base, jobs)
-}
-
-/// The generic sweep core behind [`run_sharded`] and [`run_shared`]:
-/// any `Sync` [`EventSource`] works, and the determinism contract (plan
-/// order, pre-indexed slots, lowest-indexed error) is identical.
-///
-/// # Errors
-///
-/// Same conditions as [`run_sharded`], including [`SimError::Worker`]
-/// for a worker thread that panicked instead of reporting.
-pub fn run_matrix<T: EventSource + Sync>(
+pub(crate) fn run_matrix<T: EventSource + Sync>(
     traces: &[T],
     granularities: &[Granularity],
     pressures: &[u32],
@@ -231,6 +199,7 @@ pub fn run_matrix<T: EventSource + Sync>(
 mod tests {
     use super::*;
     use crate::pressure::sweep_trace;
+    use cce_dbt::TraceLog;
     use cce_workloads::catalog;
 
     fn small_traces() -> Vec<TraceLog> {
@@ -299,7 +268,7 @@ mod tests {
         let traces = small_traces();
         let (gs, ps) = axes();
         let base = SimConfig::default();
-        let points = run_sharded(&traces, &gs, &ps, &[1], &base, 3).unwrap();
+        let points = run_matrix(&traces, &gs, &ps, &[1], &base, 3).unwrap();
 
         // The sequential reference: per-trace pressure sweeps concatenated.
         let mut reference = Vec::new();
@@ -319,11 +288,11 @@ mod tests {
         let traces = small_traces();
         let (gs, ps) = axes();
         let base = SimConfig::default();
-        let one = run_sharded(&traces, &gs, &ps, &[1], &base, 1).unwrap();
+        let one = run_matrix(&traces, &gs, &ps, &[1], &base, 1).unwrap();
         for jobs in [2, 4, 16] {
             assert_eq!(
                 one,
-                run_sharded(&traces, &gs, &ps, &[1], &base, jobs).unwrap()
+                run_matrix(&traces, &gs, &ps, &[1], &base, jobs).unwrap()
             );
         }
     }
@@ -335,16 +304,16 @@ mod tests {
         let traces = small_traces();
         let (gs, ps) = axes();
         let base = SimConfig::default();
-        let one = run_sharded(&traces, &gs, &ps, &[1, 4], &base, 1).unwrap();
+        let one = run_matrix(&traces, &gs, &ps, &[1, 4], &base, 1).unwrap();
         assert_eq!(one.len(), 2 * 2 * 3 * 2);
         for jobs in [2, 5, 16] {
             assert_eq!(
                 one,
-                run_sharded(&traces, &gs, &ps, &[1, 4], &base, jobs).unwrap()
+                run_matrix(&traces, &gs, &ps, &[1, 4], &base, jobs).unwrap()
             );
         }
         // And the shards=1 slice equals a shard-free sweep.
-        let bare = run_sharded(&traces, &gs, &ps, &[1], &base, 2).unwrap();
+        let bare = run_matrix(&traces, &gs, &ps, &[1], &base, 2).unwrap();
         let n1: Vec<_> = one.iter().filter(|p| p.cell.shards == 1).cloned().collect();
         assert_eq!(n1, bare);
     }
@@ -352,7 +321,11 @@ mod tests {
     #[test]
     fn empty_grid_is_fine() {
         let base = SimConfig::default();
-        assert_eq!(run_sharded(&[], &[], &[], &[1], &base, 4).unwrap(), vec![]);
+        let no_traces: &[TraceLog] = &[];
+        assert_eq!(
+            run_matrix(no_traces, &[], &[], &[1], &base, 4).unwrap(),
+            vec![]
+        );
     }
 
     /// An [`EventSource`] whose stream blows up mid-replay, standing in

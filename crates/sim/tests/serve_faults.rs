@@ -1,0 +1,148 @@
+//! Fault injection for the serve loop (DESIGN.md §13): the server must
+//! *degrade*, never deadlock — a mid-chunk disconnect ends the run
+//! cleanly with partial progress, a CRC-corrupt frame is rejected
+//! per-frame while the stream stays aligned, and sustained overload
+//! sheds whole batches against the bounded ingress instead of growing
+//! without limit. Every scenario runs under a watchdog (the
+//! `lock_interleave.rs` idiom): a hang shows up as a timeout here, not
+//! a stuck CI job.
+
+use std::sync::mpsc;
+use std::time::Duration;
+
+use cce_core::SuperblockId;
+use cce_dbt::SuperblockInfo;
+use cce_sim::serve::{ServePlan, ServeReport};
+use cce_sim::{run_serve, ServeConfig, ServeFaults};
+use cce_tinyvm::program::Pc;
+
+/// Generous bound for a millisecond-scale serve run; only a lost lock
+/// or an unbounded queue ever gets near it.
+const WATCHDOG: Duration = Duration::from_secs(120);
+
+fn registry(n: u64) -> Vec<SuperblockInfo> {
+    (0..n)
+        .map(|i| SuperblockInfo {
+            id: SuperblockId(i * 13 + 5),
+            head_pc: Pc(i * 64),
+            size: 100 + (i as u32 % 7) * 30,
+            guest_blocks: 3,
+            exits: 2,
+        })
+        .collect()
+}
+
+/// Unpaced baseline: ~2000 requests of 16 events each.
+fn base_cfg() -> ServeConfig {
+    ServeConfig {
+        tenants: 3,
+        threads: 2,
+        rps: 500_000.0,
+        duration_secs: 0.004,
+        batch_events: 16,
+        seed: 31,
+        ..ServeConfig::default()
+    }
+}
+
+/// Runs the scenario on its own thread and panics if it outlives the
+/// watchdog instead of letting CI hang.
+fn serve_with_watchdog(cfg: ServeConfig) -> (ServePlan, ServeReport) {
+    let (tx, rx) = mpsc::channel();
+    std::thread::spawn(move || {
+        let plan = ServePlan::build(&registry(24), "faults", &cfg).unwrap();
+        let report = run_serve(&plan, &cfg).unwrap();
+        // A hung serve loop means nobody is listening; ignore that.
+        let _ = tx.send((plan, report));
+    });
+    rx.recv_timeout(WATCHDOG)
+        .expect("serve run exceeded the watchdog: lost lock or unbounded queue")
+}
+
+#[test]
+fn mid_chunk_disconnect_ends_cleanly_with_partial_progress() {
+    let cfg = ServeConfig {
+        faults: ServeFaults {
+            // Past the header, far short of the ~100+ KiB of frames.
+            disconnect_after_bytes: Some(4096),
+            ..ServeFaults::default()
+        },
+        ..base_cfg()
+    };
+    let (plan, report) = serve_with_watchdog(cfg);
+    assert!(report.disconnected, "the cut stream must be reported");
+    assert!(
+        report.applied_events > 0,
+        "frames before the cut must have been served"
+    );
+    assert!(
+        report.applied_events < plan.event_count,
+        "the disconnect cannot have delivered the whole plan"
+    );
+    // Everything admitted was drained before shutdown.
+    assert_eq!(report.applied_events, report.delivered_events);
+}
+
+#[test]
+fn crc_corrupt_frames_are_rejected_without_losing_the_stream() {
+    let every = 3u64;
+    let cfg = ServeConfig {
+        faults: ServeFaults {
+            corrupt_every: Some(every),
+            ..ServeFaults::default()
+        },
+        ..base_cfg()
+    };
+    let (plan, report) = serve_with_watchdog(cfg);
+    let corrupted = plan.requests.len() as u64 / every;
+    assert!(corrupted > 0, "the plan is too small to corrupt anything");
+    assert_eq!(report.rejected_frames, corrupted);
+    assert!(!report.disconnected, "rejection must not kill the stream");
+    assert_eq!(report.dropped_events, 0);
+    // Every healthy frame was applied; every corrupt one was skipped
+    // whole (the plan makes all frames exactly `batch_events` long).
+    assert_eq!(
+        report.applied_events,
+        plan.event_count - corrupted * cfg.batch_events as u64
+    );
+}
+
+#[test]
+fn sustained_overload_sheds_batches_against_the_bounded_ingress() {
+    let cfg = ServeConfig {
+        threads: 1,
+        // Each batch holds the worker ~1ms while ~2000 requests arrive
+        // unpaced: the ingress saturates almost immediately.
+        queue_events: 64,
+        faults: ServeFaults {
+            apply_delay_micros: 1000,
+            ..ServeFaults::default()
+        },
+        duration_secs: 0.001,
+        ..base_cfg()
+    };
+    let (plan, report) = serve_with_watchdog(cfg);
+    assert!(
+        report.dropped_events > 0,
+        "overload must shed, not queue without bound"
+    );
+    assert!(
+        report.queue_high_water <= cfg.queue_events as u64,
+        "high water {} broke the ingress budget {}",
+        report.queue_high_water,
+        cfg.queue_events
+    );
+    // Shedding is whole-batch and fully accounted.
+    assert_eq!(
+        report.dropped_events,
+        report.dropped_requests * cfg.batch_events as u64
+    );
+    assert_eq!(
+        report.delivered_events + report.dropped_events,
+        plan.event_count,
+        "every offered event is either delivered or counted as shed"
+    );
+    // The queue drains completely before shutdown: bounded memory and
+    // no abandoned work.
+    assert_eq!(report.applied_events, report.delivered_events);
+}

@@ -172,23 +172,24 @@ mod tests {
         // caches — statistical multiplexing — so the slice length is the
         // interesting axis, not sharing per se.)
         use cce_core::Granularity;
-        use cce_sim::simulator::{simulate, SimConfig};
+        use cce_sim::simulator::SimConfig;
+        use cce_sim::Replay;
 
         let a = catalog::by_name("gzip").unwrap().trace(0.2, 9);
         let b = catalog::by_name("crafty").unwrap().trace(0.2, 9);
         let rate = |slice: usize| {
             let mixed = interleave(&[a.clone(), b.clone()], slice);
-            simulate(
-                &mixed,
-                &SimConfig {
+            Replay::new(&mixed)
+                .config(&SimConfig {
                     granularity: Granularity::Flush,
                     capacity: mixed.max_cache_bytes() / 4,
                     ..SimConfig::default()
-                },
-            )
-            .unwrap()
-            .stats
-            .miss_rate()
+                })
+                .run()
+                .unwrap()
+                .into_solo()
+                .stats
+                .miss_rate()
         };
         let fast = rate(25);
         let slow = rate(800);

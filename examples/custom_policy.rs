@@ -183,14 +183,11 @@ fn main() -> Result<(), Box<dyn Error>> {
         Granularity::units(8),
         Granularity::Superblock,
     ] {
-        let r = cce::sim::simulator::simulate(
-            &trace,
-            &cce::sim::simulator::SimConfig {
-                granularity: g,
-                capacity,
-                ..cce::sim::simulator::SimConfig::default()
-            },
-        )?;
+        let r = cce::sim::Replay::new(&trace)
+            .granularity(g)
+            .capacity(capacity)
+            .run()?
+            .into_solo();
         println!(
             "{:>18}: miss {:.2}%  ({} eviction invocations)",
             g.label(),

@@ -14,7 +14,7 @@
 use cce::core::Granularity;
 use cce::dbt::engine::{Engine, EngineConfig};
 use cce::dbt::{TraceLog, TraceReader};
-use cce::sim::simulator::{simulate, simulate_reader, SimConfig};
+use cce::sim::{Replay, SimConfig};
 use cce::tinyvm::gen::{generate, GenConfig};
 use std::error::Error;
 
@@ -89,7 +89,7 @@ fn main() -> Result<(), Box<dyn Error>> {
         capacity: (reloaded.max_cache_bytes() / 2).max(4096),
         ..SimConfig::default()
     };
-    let result = simulate(&reloaded, &sim_cfg)?;
+    let result = Replay::new(&reloaded).config(&sim_cfg).run()?.into_solo();
     println!(
         "\nreplayed saved log at pressure 2, 4-unit FIFO: miss rate {:.2}%, \
          overhead {:.2e} instructions",
@@ -107,7 +107,10 @@ fn main() -> Result<(), Box<dyn Error>> {
     // trace (production files use the 64K-event default).
     cce::dbt::trace_bin::save_binary_chunked(&trace, std::fs::File::create(&bin_path)?, 2048)?;
     let mut reader = TraceReader::open(&bin_path)?;
-    let streamed = simulate_reader(&mut reader, &sim_cfg)?;
+    let streamed = Replay::stream(&mut reader)
+        .config(&sim_cfg)
+        .run()?
+        .into_solo();
     assert_eq!(result, streamed, "streaming replay must match in-memory");
     println!(
         "streamed binary log ({} bytes vs {json_len} JSON): identical result, \

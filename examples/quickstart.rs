@@ -5,7 +5,7 @@
 use cce::core::{
     CodeCache, EventBuffer, Granularity, InsertReport, InsertRequest, NullSink, SuperblockId,
 };
-use cce::sim::simulator::{simulate, SimConfig};
+use cce::sim::{Replay, SimConfig};
 use cce::workloads::catalog;
 use std::error::Error;
 
@@ -66,7 +66,7 @@ fn main() -> Result<(), Box<dyn Error>> {
         capacity: trace.max_cache_bytes() / 2,
         ..SimConfig::default()
     };
-    let result = simulate(&trace, &config)?;
+    let result = Replay::new(&trace).config(&config).run()?.into_solo();
     println!(
         "\ngzip @ pressure 2, 8-unit FIFO: miss rate {:.2}%, {} eviction invocations, \
          management overhead {:.2e} instructions",

@@ -4,7 +4,17 @@
 use cce::core::Granularity;
 use cce::dbt::engine::{Engine, EngineConfig};
 use cce::dbt::TraceLog;
-use cce::sim::simulator::{simulate, SimConfig};
+use cce::sim::simulator::{SimConfig, SimError, SimResult};
+use cce::sim::{EventSource, Replay};
+
+/// All replays in this suite are solo; route them through the one
+/// front-door builder and unwrap the single-tenant report.
+fn simulate<T: EventSource>(trace: &T, config: &SimConfig) -> Result<SimResult, SimError> {
+    Replay::new(trace)
+        .config(config)
+        .run()
+        .map(cce::sim::ReplayReport::into_solo)
+}
 use cce::tinyvm::gen::{generate, GenConfig};
 use cce::tinyvm::interp::{Interp, StopReason};
 

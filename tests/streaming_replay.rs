@@ -11,10 +11,8 @@ use cce::core::{
 use cce::dbt::trace_bin::{save_binary_chunked, TraceReader};
 use cce::dbt::{SharedTrace, TraceLog};
 use cce::sim::pressure::capacity_for_pressure;
-use cce::sim::simulator::{
-    simulate, simulate_reader, simulate_reader_session, simulate_session, simulate_sharded,
-    simulate_source, SimConfig, SimResult,
-};
+use cce::sim::simulator::{SimConfig, SimError, SimResult};
+use cce::sim::{EventSource, Replay, ReplayReport};
 use cce::workloads::catalog;
 use std::sync::{Arc, Mutex};
 
@@ -30,6 +28,14 @@ fn binary(log: &TraceLog, chunk: usize) -> Vec<u8> {
 
 fn reader(log: &TraceLog, chunk: usize) -> TraceReader {
     TraceReader::new(std::io::Cursor::new(binary(log, chunk))).unwrap()
+}
+
+/// Solo in-memory (or shared) replay through the front-door builder.
+fn simulate<T: EventSource>(trace: &T, cfg: &SimConfig) -> Result<SimResult, SimError> {
+    Replay::new(trace)
+        .config(cfg)
+        .run()
+        .map(ReplayReport::into_solo)
 }
 
 fn config(log: &TraceLog) -> SimConfig {
@@ -94,7 +100,12 @@ fn streaming_matches_in_memory_for_every_organization() {
     let mut inmem_results: Vec<(&str, SimResult, Vec<CacheEvent>)> = Vec::new();
     for (label, mut cache) in organizations(cfg.capacity) {
         let events = record_events(&mut cache);
-        let r = simulate_session(&log, cache, label.to_owned(), &cfg).unwrap();
+        let r = Replay::new(&log)
+            .config(&cfg)
+            .session(cache, label)
+            .run()
+            .unwrap()
+            .into_solo();
         let events = events.lock().unwrap().clone();
         assert!(!events.is_empty(), "{label}: observer saw nothing");
         inmem_results.push((label, r, events));
@@ -107,7 +118,12 @@ fn streaming_matches_in_memory_for_every_organization() {
             .unwrap();
         let events = record_events(&mut cache);
         let mut rd = reader(&log, 500);
-        let got = simulate_reader_session(&mut rd, cache, (*label).to_owned(), &cfg).unwrap();
+        let got = Replay::stream(&mut rd)
+            .config(&cfg)
+            .session(cache, *label)
+            .run()
+            .unwrap()
+            .into_solo();
         assert_eq!(&got, expected, "{label}: SimResult diverged");
         assert_eq!(
             &*events.lock().unwrap(),
@@ -124,7 +140,11 @@ fn streaming_is_chunk_size_independent() {
     let expected = simulate(&log, &cfg).unwrap();
     for chunk in [1usize, 7, 100, 4096, 1 << 20] {
         let mut rd = reader(&log, chunk);
-        let got = simulate_reader(&mut rd, &cfg).unwrap();
+        let got = Replay::stream(&mut rd)
+            .config(&cfg)
+            .run()
+            .unwrap()
+            .into_solo();
         assert_eq!(got, expected, "chunk={chunk}");
     }
 }
@@ -134,9 +154,19 @@ fn streaming_matches_in_memory_across_shard_counts() {
     let log = trace();
     let cfg = config(&log);
     for shards in [1u32, 2, 4] {
-        let expected = simulate_sharded(&log, &cfg, shards).unwrap();
+        let expected = Replay::new(&log)
+            .config(&cfg)
+            .shards(shards)
+            .run()
+            .unwrap()
+            .into_solo();
         let mut rd = reader(&log, 333);
-        let got = cce::sim::simulator::simulate_reader_sharded(&mut rd, &cfg, shards).unwrap();
+        let got = Replay::stream(&mut rd)
+            .config(&cfg)
+            .shards(shards)
+            .run()
+            .unwrap()
+            .into_solo();
         assert_eq!(got, expected, "shards={shards}");
     }
 }
@@ -157,7 +187,12 @@ fn streaming_matches_across_granularities() {
         };
         let expected = simulate(&log, &cfg).unwrap();
         let mut rd = reader(&log, 250);
-        assert_eq!(simulate_reader(&mut rd, &cfg).unwrap(), expected, "{g}");
+        let streamed = Replay::stream(&mut rd)
+            .config(&cfg)
+            .run()
+            .unwrap()
+            .into_solo();
+        assert_eq!(streamed, expected, "{g}");
     }
 }
 
@@ -168,13 +203,13 @@ fn shared_trace_replay_matches_in_memory() {
     let expected = simulate(&log, &cfg).unwrap();
     // Via from_log and via a streamed reader: both must agree.
     assert_eq!(
-        simulate_source(&SharedTrace::from_log(&log), &cfg).unwrap(),
+        simulate(&SharedTrace::from_log(&log), &cfg).unwrap(),
         expected
     );
     let shared = SharedTrace::collect(reader(&log, 640)).unwrap();
-    assert_eq!(simulate_source(&shared, &cfg).unwrap(), expected);
+    assert_eq!(simulate(&shared, &cfg).unwrap(), expected);
     // Replaying the same shared chunks twice is free of interference.
-    assert_eq!(simulate_source(&shared, &cfg).unwrap(), expected);
+    assert_eq!(simulate(&shared, &cfg).unwrap(), expected);
 }
 
 #[test]
@@ -188,7 +223,11 @@ fn streaming_replay_memory_stays_bounded() {
     assert!(total >= 10 * 4 * chunk, "trace too small for the bound");
     let cfg = config(&log);
     let mut rd = TraceReader::with_depth(std::io::Cursor::new(binary(&log, chunk)), 2).unwrap();
-    let r = simulate_reader(&mut rd, &cfg).unwrap();
+    let r = Replay::stream(&mut rd)
+        .config(&cfg)
+        .run()
+        .unwrap()
+        .into_solo();
     assert_eq!(r.stats.accesses, total as u64);
     let hw = rd.high_water_events();
     assert!(hw > 0, "the decoder never ran ahead at all");
@@ -213,7 +252,21 @@ fn sweep_over_shared_traces_matches_sweep_over_logs() {
     let gs = [Granularity::Flush, Granularity::units(8)];
     let ps = [2u32, 6];
     let base = SimConfig::default();
-    let a = cce::sim::run_sharded(&logs, &gs, &ps, &[1, 2], &base, 4).unwrap();
-    let b = cce::sim::run_shared(&shared, &gs, &ps, &[1, 2], &base, 4).unwrap();
+    let a = Replay::matrix(&logs)
+        .granularities(&gs)
+        .pressures(&ps)
+        .shard_counts(&[1, 2])
+        .config(&base)
+        .jobs(4)
+        .run()
+        .unwrap();
+    let b = Replay::matrix(&shared)
+        .granularities(&gs)
+        .pressures(&ps)
+        .shard_counts(&[1, 2])
+        .config(&base)
+        .jobs(4)
+        .run()
+        .unwrap();
     assert_eq!(a, b, "shared-chunk sweep must equal in-memory sweep");
 }

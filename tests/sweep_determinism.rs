@@ -4,7 +4,7 @@
 use cce::core::Granularity;
 use cce::sim::report::TextTable;
 use cce::sim::simulator::SimConfig;
-use cce::sim::{run_sharded, SweepPoint};
+use cce::sim::{Replay, SweepPoint};
 
 fn render(points: &[SweepPoint], names: &[&str]) -> String {
     // The same shape the experiment binaries emit: one row per cell,
@@ -55,8 +55,17 @@ fn jobs_1_and_jobs_4_render_byte_identical_reports() {
         ..SimConfig::default()
     };
 
-    let serial = run_sharded(&traces, &gs, &ps, &[1], &base, 1).unwrap();
-    let threaded = run_sharded(&traces, &gs, &ps, &[1], &base, 4).unwrap();
+    let matrix = |jobs| {
+        Replay::matrix(&traces)
+            .granularities(&gs)
+            .pressures(&ps)
+            .config(&base)
+            .jobs(jobs)
+            .run()
+            .unwrap()
+    };
+    let serial = matrix(1);
+    let threaded = matrix(4);
 
     let a = render(&serial, &names);
     let b = render(&threaded, &names);
@@ -77,10 +86,20 @@ fn shard_axis_renders_byte_identical_at_any_worker_count() {
     let shard_counts = [1, 2, 4, 8];
     let base = SimConfig::default();
 
-    let serial = run_sharded(&traces, &gs, &ps, &shard_counts, &base, 1).unwrap();
+    let matrix = |jobs| {
+        Replay::matrix(&traces)
+            .granularities(&gs)
+            .pressures(&ps)
+            .shard_counts(&shard_counts)
+            .config(&base)
+            .jobs(jobs)
+            .run()
+            .unwrap()
+    };
+    let serial = matrix(1);
     let a = render(&serial, &names);
     for jobs in [3, 8] {
-        let threaded = run_sharded(&traces, &gs, &ps, &shard_counts, &base, jobs).unwrap();
+        let threaded = matrix(jobs);
         assert_eq!(a.as_bytes(), render(&threaded, &names).as_bytes());
     }
 }
