@@ -62,5 +62,16 @@ cargo run --release -p cce-experiments -- bench_concurrent --scale 0.2 --quiet -
 # crates/sim/tests/serve_conformance.rs in the test pass above.
 CCE_TEST_THREADS=1 cargo test -q -p cce-sim --test serve_conformance
 CCE_TEST_THREADS=4 cargo test -q -p cce-sim --test serve_conformance
+# Ladder conformance at the same thread axis: the single-pass
+# configuration ladder (DESIGN.md §14) must stay byte-identical to the
+# per-cell naive oracle — matrix results and per-cell event streams —
+# before any figure job is allowed to use it.
+CCE_TEST_THREADS=1 cargo test -q -p cce-sim --test ladder_conformance
+CCE_TEST_THREADS=4 cargo test -q -p cce-sim --test ladder_conformance
+# Grid-sweep micro-benchmark: regenerates BENCH_grid.json. --smoke
+# hard-fails the gate if the ladder's speedup over the per-cell sweep
+# drops below 5x (a regression back toward per-cell cost); the bench
+# itself also fails if the two grids are not byte-identical.
+cargo run --release -p cce-experiments -- bench_grid --scale 0.2 --seed 7 --smoke --quiet --out BENCH_grid.json
 cargo run --release -p cce-experiments -- serve --rps 2000 --duration 2 \
     --tenants 4 --threads 2 --seed 7 --scale 0.2 --smoke --quiet --out BENCH_serve.json

@@ -30,3 +30,23 @@ fn float_total(per_event_cost: f64, rounds: u64) -> f64 {
 fn same_unit(total_bytes: u64, freed_bytes: u64) -> u64 {
     total_bytes - freed_bytes
 }
+
+fn ladder_lanes(lane_cost_cycles: u64, lanes: u64) -> u64 {
+    let mut grid_cycles: u64 = 0;
+    let mut lane = 0;
+    while lane < lanes {
+        grid_cycles = grid_cycles.saturating_add(lane_cost_cycles);
+        lane += 1;
+    }
+    grid_cycles
+}
+
+fn ladder_overheads(model: &OverheadModel, lanes: u64) -> f64 {
+    let mut miss_cycles = 0.0;
+    let mut lane: u64 = 0;
+    while lane < lanes {
+        miss_cycles += model.eval(2, 1);
+        lane += 1;
+    }
+    miss_cycles
+}

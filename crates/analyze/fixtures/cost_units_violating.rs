@@ -27,3 +27,13 @@ fn eval_mix(model: &OverheadModel, freed_bytes: u64) -> u64 {
     let total = unlink + freed_bytes;
     total
 }
+
+fn ladder_lanes(lane_cost_cycles: u64, lanes: u64) -> u64 {
+    let mut grid_cycles: u64 = 0;
+    let mut lane = 0;
+    while lane < lanes {
+        grid_cycles += lane_cost_cycles;
+        lane += 1;
+    }
+    grid_cycles
+}

@@ -677,9 +677,10 @@ fn report(
                 EVENT_TYPESTATE,
                 format!(
                     "direct construction of CacheEvent::{} outside the event machinery \
-                     (crates/core/src/{{events,cache,shard,concurrent,testutil}}.rs); \
-                     organizations must stream evictions through cce_core::EvictionScope \
-                     so the begin/end grammar cannot be violated",
+                     (crates/core/src/{{events,cache,shard,concurrent,testutil}}.rs and \
+                     the conformance-pinned crates/sim/src/ladder.rs); organizations \
+                     must stream evictions through cce_core::EvictionScope so the \
+                     begin/end grammar cannot be violated",
                     e.variant.name()
                 ),
             ));

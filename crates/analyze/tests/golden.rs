@@ -113,7 +113,7 @@ fn cost_units_pair() {
         "cost-units",
         "cost_units_violating.rs",
         "cost_units_clean.rs",
-        4,
+        5,
     );
 }
 

@@ -1,0 +1,70 @@
+//! Sweep-engine benchmarks: the paper's granularity × pressure grid on
+//! the per-cell naive oracle vs the single-pass configuration ladder
+//! (DESIGN.md §14).
+//!
+//! The offline CI equivalent — which also emits `BENCH_grid.json` and
+//! gates the speedup — is `cce-experiments bench_grid`; this criterion
+//! group exists for machines with a crates.io mirror where statistical
+//! timing is wanted.
+
+use cce_core::Granularity;
+use cce_sim::simulator::SimConfig;
+use cce_sim::{Engine, Replay};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+const PRESSURES: [u32; 5] = [2, 4, 6, 8, 10];
+
+fn run_grid(traces: &[cce_dbt::TraceLog], engine: Engine) -> usize {
+    Replay::matrix(traces)
+        .granularities(&Granularity::spectrum(8))
+        .pressures(&PRESSURES)
+        .config(&SimConfig::default())
+        .engine(engine)
+        .run()
+        .unwrap()
+        .len()
+}
+
+fn grid_engines(c: &mut Criterion) {
+    let traces = vec![cce_bench::bench_trace("gzip")];
+    let cells = Granularity::spectrum(8).len() * PRESSURES.len();
+    let events = traces[0].events.len() as u64;
+    let mut g = c.benchmark_group("grid_sweep");
+    // Cells per second is the figure of merit: the ladder's win is
+    // amortizing one event-stream traversal across the whole grid.
+    g.throughput(Throughput::Elements(cells as u64 * events));
+    g.bench_function("naive_per_cell", |b| {
+        b.iter(|| black_box(run_grid(&traces, Engine::Naive)));
+    });
+    g.bench_function("ladder_single_pass", |b| {
+        b.iter(|| black_box(run_grid(&traces, Engine::Ladder)));
+    });
+    g.finish();
+}
+
+fn single_replay_baseline(c: &mut Criterion) {
+    // The acceptance framing for the ladder: the whole grid should cost
+    // on the order of ONE naive replay, not one per cell.
+    let trace = cce_bench::bench_trace("gzip");
+    let mut g = c.benchmark_group("grid_single_replay");
+    g.throughput(Throughput::Elements(trace.events.len() as u64));
+    g.bench_function("naive_one_cell", |b| {
+        b.iter(|| {
+            black_box(
+                Replay::new(&trace)
+                    .config(&SimConfig::default())
+                    .run()
+                    .unwrap(),
+            )
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    name = grid;
+    config = Criterion::default().sample_size(10);
+    targets = grid_engines, single_replay_baseline
+);
+criterion_main!(grid);

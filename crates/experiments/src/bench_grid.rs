@@ -1,0 +1,161 @@
+//! `bench_grid`: the sweep-engine micro-benchmark.
+//!
+//! Times the full paper grid — the granularity spectrum × the pressure
+//! ladder — on the smoke workload twice: once per cell on the naive
+//! oracle, once fused through the single-pass configuration ladder
+//! (DESIGN.md §14). Emits `BENCH_grid.json` (via `--out`) with cells
+//! per second for both engines, the ladder-vs-naive speedup, and the
+//! ladder's cost relative to a *single* naive replay — the ISSUE 10
+//! acceptance metric (the whole grid in ≤ 2× one replay). `--smoke`
+//! turns the ≥ 5x speedup floor into a hard failure so CI catches
+//! regressions back toward per-cell cost.
+
+use crate::bench_io::min_secs;
+use crate::miss_figs::spectrum;
+use crate::Options;
+use cce_sim::report::TextTable;
+use cce_sim::simulator::SimConfig;
+use cce_sim::{Engine, Replay, SweepPoint};
+use cce_util::Json;
+use cce_workloads::catalog;
+
+/// Repetitions per engine; the minimum is reported. The naive sweep is
+/// the slow side by construction, so it gets fewer.
+const NAIVE_REPS: usize = 2;
+const LADDER_REPS: usize = 5;
+
+/// Minimum ladder-vs-naive speedup `--smoke` enforces.
+const SMOKE_SPEEDUP_FLOOR: f64 = 5.0;
+
+/// Runs the benchmark; writes `BENCH_grid.json` to `--out` if given and
+/// returns a human-readable table either way.
+///
+/// # Errors
+///
+/// Returns a message for simulation failures, an engine divergence
+/// (the two grids must be byte-identical), or a `--smoke` gate miss.
+pub fn bench_grid(opts: &Options) -> Result<String, String> {
+    let model = catalog::by_name("gzip").ok_or("catalog is missing gzip")?;
+    let trace = model.trace(opts.scale, opts.seed);
+    if trace.events.is_empty() {
+        return Err("benchmark trace is empty; raise --scale".to_owned());
+    }
+    let traces = vec![trace];
+    let granularities = spectrum();
+    let pressures = [2u32, 4, 6, 8, 10];
+    let cells = granularities.len() * pressures.len();
+    let base = SimConfig::default();
+    let run = |engine: Engine| -> Result<Vec<SweepPoint>, String> {
+        Replay::matrix(&traces)
+            .granularities(&granularities)
+            .pressures(&pressures)
+            .config(&base)
+            .engine(engine)
+            .run()
+            .map_err(|e| e.to_string())
+    };
+
+    if opts.verbose {
+        eprintln!(
+            "  [bench_grid] {cells} cells × {} events",
+            traces[0].events.len()
+        );
+    }
+    let (naive_s, naive) = min_secs(NAIVE_REPS, || run(Engine::Naive));
+    let naive = naive?;
+    let (ladder_s, ladder) = min_secs(LADDER_REPS, || run(Engine::Ladder));
+    let ladder = ladder?;
+    if naive != ladder {
+        return Err("ladder grid diverged from the naive oracle".to_owned());
+    }
+
+    let events = traces[0].events.len() as u64;
+    let speedup = naive_s / ladder_s.max(1e-12);
+    // The acceptance framing: one naive replay costs naive_s / cells;
+    // the whole ladder grid should cost at most ~2x that.
+    let single_replay_s = naive_s / cells as f64;
+    let ladder_vs_single_replay = ladder_s / single_replay_s.max(1e-12);
+
+    let mut t = TextTable::new(
+        &format!(
+            "Grid sweep: {cells} cells ({} granularities × {} pressures), {events} events",
+            granularities.len(),
+            pressures.len()
+        ),
+        ["engine", "grid (ms)", "cells/s", "vs single replay"],
+    );
+    t.row([
+        "naive (per cell)".to_owned(),
+        format!("{:.2}", naive_s * 1e3),
+        format!("{:.1}", cells as f64 / naive_s.max(1e-12)),
+        format!("{:.1}x", cells as f64),
+    ]);
+    t.row([
+        "ladder (one pass)".to_owned(),
+        format!("{:.2}", ladder_s * 1e3),
+        format!("{:.1}", cells as f64 / ladder_s.max(1e-12)),
+        format!("{ladder_vs_single_replay:.1}x"),
+    ]);
+    let mut out = t.to_string();
+    out.push_str(&format!(
+        "ladder speedup {speedup:.1}x over the per-cell sweep; grids byte-identical\n"
+    ));
+
+    if let Some(path) = opts.out.as_deref() {
+        let report = Json::obj(vec![
+            ("benchmark", Json::from("grid")),
+            ("cells", Json::from(cells as u64)),
+            ("events", Json::from(events)),
+            ("naive_seconds", Json::from(naive_s)),
+            ("ladder_seconds", Json::from(ladder_s)),
+            (
+                "naive_cells_per_sec",
+                Json::from(cells as f64 / naive_s.max(1e-12)),
+            ),
+            (
+                "ladder_cells_per_sec",
+                Json::from(cells as f64 / ladder_s.max(1e-12)),
+            ),
+            ("speedup", Json::from(speedup)),
+            (
+                "ladder_vs_single_replay",
+                Json::from(ladder_vs_single_replay),
+            ),
+        ]);
+        std::fs::write(path, report.to_string_compact())
+            .map_err(|e| format!("write {path}: {e}"))?;
+        out.push_str(&format!("wrote {path}\n"));
+    }
+    if opts.smoke && speedup < SMOKE_SPEEDUP_FLOOR {
+        return Err(format!(
+            "--smoke: ladder speedup {speedup:.1}x is below the {SMOKE_SPEEDUP_FLOOR}x gate"
+        ));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports_both_engines() {
+        let dir = std::env::temp_dir().join("cce_bench_grid_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_grid.json").to_string_lossy().into_owned();
+        let opts = Options {
+            scale: 0.05,
+            seed: 2,
+            out: Some(path.clone()),
+            verbose: false,
+            ..Options::default()
+        };
+        let out = bench_grid(&opts).unwrap();
+        assert!(out.contains("ladder (one pass)"));
+        let json = Json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(json.get("benchmark").unwrap().as_str(), Some("grid"));
+        assert!(json.get("speedup").unwrap().as_f64().unwrap() > 0.0);
+        assert_eq!(json.get("cells").unwrap().as_f64().unwrap(), 50.0);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -22,7 +22,9 @@ use std::time::Instant;
 /// wall-clock micro-benchmarks: the minimum is the least noisy).
 const REPS: usize = 5;
 
-fn min_secs<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+/// Times `reps` runs of `f` and returns the best wall-clock seconds
+/// with the last result. Shared with `bench_grid`.
+pub(crate) fn min_secs<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, T) {
     let mut best = f64::INFINITY;
     let mut last = None;
     for _ in 0..reps.max(1) {

@@ -137,24 +137,27 @@ impl Grid {
     }
 }
 
-/// Computes the grid for `models` at the given scale/seed over the
-/// granularity spectrum and pressure set, sharding the cells across
-/// `jobs` worker threads.
+/// Computes the grid for `models` over the granularity spectrum and
+/// pressure set at the options' scale/seed, sharding the cells across
+/// the resolved worker threads on the resolved engine.
 ///
 /// Traces are generated once per benchmark and replayed for every
 /// configuration — the paper's save-and-replay methodology. The cells
 /// run on [`cce_sim::ReplayMatrix`], whose pre-indexed result slots make the grid
 /// (and therefore every figure rendered from it) byte-identical at any
-/// `jobs` count.
+/// `jobs` count — and, because [`cce_sim::Engine::Ladder`] is conformance-pinned
+/// to the per-cell oracle, at either engine.
 pub fn compute_grid(
     models: &[BenchmarkModel],
     granularities: &[Granularity],
     pressures: &[u32],
-    scale: f64,
-    seed: u64,
-    jobs: usize,
-    verbose: bool,
+    opts: &crate::Options,
 ) -> Grid {
+    let scale = opts.scale;
+    let seed = opts.seed;
+    let jobs = cce_sim::resolve_jobs(opts.jobs);
+    let engine = opts.engine_choice();
+    let verbose = opts.verbose;
     let base = SimConfig::default();
     let traces: Vec<_> = models
         .iter()
@@ -180,6 +183,7 @@ pub fn compute_grid(
         .pressures(pressures)
         .config(&base)
         .jobs(jobs)
+        .engine(engine)
         .run()
         .expect("generated traces are well-formed");
     let cells = points

@@ -17,6 +17,7 @@
 
 mod all;
 mod bench_concurrent;
+mod bench_grid;
 mod bench_io;
 mod chaining;
 mod extensions;
@@ -65,9 +66,26 @@ pub struct Options {
     /// Zipf popularity exponent for the `serve` benchmark.
     pub skew: Option<f64>,
     /// Fail the `serve` run unless it applied work and shed nothing.
+    /// For `bench_grid`, fail unless the ladder speedup clears its gate.
     pub smoke: bool,
+    /// Sweep engine (`--engine naive|ladder`); `None` means the
+    /// default, the single-pass ladder.
+    pub engine: Option<String>,
     /// Print progress to stderr.
     pub verbose: bool,
+}
+
+impl Options {
+    /// Resolves `--engine`: figures default to the single-pass ladder
+    /// (conformance-pinned byte-identical to the oracle); `--engine
+    /// naive` falls back to one replay per grid cell.
+    #[must_use]
+    pub fn engine_choice(&self) -> cce_sim::Engine {
+        match self.engine.as_deref() {
+            Some("naive") => cce_sim::Engine::Naive,
+            _ => cce_sim::Engine::Ladder,
+        }
+    }
 }
 
 impl Default for Options {
@@ -88,13 +106,15 @@ impl Default for Options {
             queue: None,
             skew: None,
             smoke: false,
+            engine: None,
             verbose: true,
         }
     }
 }
 
 fn usage() -> &'static str {
-    "usage: cce-experiments <command> [--scale F] [--seed N] [--jobs N] [--out PATH] [--quiet]\n\
+    "usage: cce-experiments <command> [--scale F] [--seed N] [--jobs N] \
+     [--engine naive|ladder] [--out PATH] [--quiet]\n\
      commands: table1 fig3 fig4 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 \
      table2 sec5_3 ablation future_work stability multiprog analysis shards tenants all\n     \
      tools: trace --bench <name> --out <path> [--format json|binary] | \
@@ -102,6 +122,7 @@ fn usage() -> &'static str {
      convert --log <in> --out <out> [--format json|binary] | \
      bench_trace_io [--scale F] [--out PATH] | \
      bench_concurrent [--scale F] [--out PATH] | \
+     bench_grid [--scale F] [--smoke] [--out BENCH_grid.json] | \
      serve [--bench <name>] [--rps R] [--duration S] [--tenants N] [--threads T] \
      [--queue EVENTS] [--skew Z] [--seed N] [--smoke] [--out BENCH_serve.json]"
 }
@@ -210,6 +231,14 @@ fn parse_args(args: &[String]) -> Result<(String, Options), String> {
                 opts.skew = Some(z);
             }
             "--smoke" => opts.smoke = true,
+            "--engine" => {
+                i += 1;
+                let v = args.get(i).ok_or("--engine needs a value")?;
+                if v != "naive" && v != "ladder" {
+                    return Err(format!("bad engine: {v} (expected naive or ladder)"));
+                }
+                opts.engine = Some(v.clone());
+            }
             "--quiet" => opts.verbose = false,
             other if cmd.is_none() && !other.starts_with('-') => cmd = Some(other.to_owned()),
             other => return Err(format!("unknown argument: {other}")),
@@ -249,6 +278,7 @@ fn run(cmd: &str, opts: &Options) -> Result<String, String> {
         "convert" => return tools::convert(opts),
         "bench_trace_io" => return bench_io::bench_trace_io(opts),
         "bench_concurrent" => return bench_concurrent::bench_concurrent(opts),
+        "bench_grid" => return bench_grid::bench_grid(opts),
         "serve" => return serve_cmd::serve(opts),
         "all" => all::all(opts),
         other => return Err(format!("unknown command: {other}\n{}", usage())),
@@ -271,7 +301,12 @@ fn main() -> ExitCode {
             // These tools write their own --out file in a non-text format.
             let skip_generic_write = matches!(
                 cmd.as_str(),
-                "trace" | "convert" | "bench_trace_io" | "bench_concurrent" | "serve"
+                "trace"
+                    | "convert"
+                    | "bench_trace_io"
+                    | "bench_concurrent"
+                    | "bench_grid"
+                    | "serve"
             );
             if let Some(path) = opts.out.as_ref().filter(|_| !skip_generic_write) {
                 if let Err(e) = std::fs::write(path, &output) {
@@ -320,6 +355,17 @@ mod tests {
         assert_eq!(o.threads, Some(2));
         assert!(parse_args(&s(&["replay", "--tenants", "0"])).is_err());
         assert!(parse_args(&s(&["replay", "--threads", "0"])).is_err());
+    }
+
+    #[test]
+    fn parses_engine() {
+        let (_, o) = parse_args(&s(&["fig6", "--engine", "naive"])).unwrap();
+        assert_eq!(o.engine_choice(), cce_sim::Engine::Naive);
+        let (_, o) = parse_args(&s(&["fig6", "--engine", "ladder"])).unwrap();
+        assert_eq!(o.engine_choice(), cce_sim::Engine::Ladder);
+        let (_, o) = parse_args(&s(&["fig6"])).unwrap();
+        assert_eq!(o.engine_choice(), cce_sim::Engine::Ladder);
+        assert!(parse_args(&s(&["fig6", "--engine", "magic"])).is_err());
     }
 
     #[test]

@@ -13,15 +13,7 @@ pub fn spectrum() -> Vec<Granularity> {
 }
 
 pub(crate) fn grid_at(opts: &Options, pressures: &[u32]) -> Grid {
-    compute_grid(
-        &catalog::all(),
-        &spectrum(),
-        pressures,
-        opts.scale,
-        opts.seed,
-        cce_sim::resolve_jobs(opts.jobs),
-        opts.verbose,
-    )
+    compute_grid(&catalog::all(), &spectrum(), pressures, opts)
 }
 
 /// Figure 6: unified miss rate vs granularity at pressure 2.

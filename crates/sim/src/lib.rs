@@ -67,6 +67,7 @@
 pub mod analysis;
 pub mod concurrent;
 pub mod exectime;
+pub mod ladder;
 pub mod measurement;
 pub mod metrics;
 pub mod overhead;
@@ -80,6 +81,7 @@ pub mod simulator;
 pub mod sweep;
 
 pub use concurrent::{simulate_concurrent, simulate_concurrent_with, ConcurrentSimConfig};
+pub use ladder::{simulate_ladder_observed, simulate_ladder_source, Engine, LadderCell};
 pub use overhead::{LinearModel, OverheadModel};
 pub use regression::fit_line;
 pub use replay::{Replay, ReplayMatrix, ReplayReport};

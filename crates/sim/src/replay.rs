@@ -48,6 +48,7 @@
 //! streaming-replay conformance suite pins this.
 
 use crate::concurrent::{simulate_concurrent, ConcurrentSimConfig};
+use crate::ladder::Engine;
 use crate::pressure::{cell_config, TraceSizing};
 use crate::simulator::{
     simulate_reader_session, simulate_source_session, EventSource, SimConfig, SimError, SimResult,
@@ -116,6 +117,7 @@ impl<'a> Replay<'a> {
             shard_counts: vec![1],
             base: SimConfig::default(),
             jobs: 1,
+            engine: Engine::default(),
         }
     }
 
@@ -420,6 +422,7 @@ pub struct ReplayMatrix<'a, T: EventSource + Sync> {
     shard_counts: Vec<u32>,
     base: SimConfig,
     jobs: usize,
+    engine: Engine,
 }
 
 impl<T: EventSource + Sync> ReplayMatrix<'_, T> {
@@ -460,6 +463,16 @@ impl<T: EventSource + Sync> ReplayMatrix<'_, T> {
         self
     }
 
+    /// Selects the simulation engine (default [`Engine::Naive`]).
+    /// [`Engine::Ladder`] fuses every unsharded cell of a trace into
+    /// one single-pass replay (DESIGN.md §14) with byte-identical
+    /// results; sharded cells always run on the per-cell oracle.
+    #[must_use]
+    pub fn engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
+    }
+
     /// Runs every cell and returns results in plan order.
     ///
     /// # Errors
@@ -474,6 +487,7 @@ impl<T: EventSource + Sync> ReplayMatrix<'_, T> {
             &self.shard_counts,
             &self.base,
             self.jobs,
+            self.engine,
         )
     }
 }

@@ -417,9 +417,11 @@ impl<S: CacheSession> SimDriver<S> {
             if self.config.chaining {
                 if let Some(from) = direct_from {
                     if self.session.is_resident(from) && self.session.is_resident(id) {
-                        self.session
-                            .link(from, id)
-                            .expect("both endpoints checked resident");
+                        // Both endpoints were just checked resident, so
+                        // this cannot fail for the built-in sessions —
+                        // but a custom session may disagree, and that
+                        // deserves an error, not a panic.
+                        self.session.link(from, id).map_err(SimError::Cache)?;
                     }
                 }
             }

@@ -19,7 +19,8 @@
 //! (built by [`crate::replay::Replay::matrix`]); this module holds the
 //! planner and the worker pool it runs on.
 
-use crate::pressure::{simulate_cell_source, TraceSizing};
+use crate::ladder::{simulate_ladder_source, Engine, LadderCell};
+use crate::pressure::{cell_config, simulate_cell_source, TraceSizing};
 use crate::simulator::{EventSource, SimConfig, SimError, SimResult};
 use cce_core::Granularity;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -117,6 +118,13 @@ pub fn jobs_from(flag: Option<usize>, env: Option<&str>) -> usize {
 /// Per-trace [`TraceSizing`] summaries are computed once up front, so
 /// adding shard counts never multiplies whole-trace scans.
 ///
+/// When `engine` is [`Engine::Ladder`], all unsharded cells of one
+/// trace become a single work item simulated in one pass by
+/// [`simulate_ladder_source`]; sharded cells (each shard is its own
+/// eviction domain) stay on the per-cell oracle. Either way every
+/// result lands in its plan slot, so the output — including its byte
+/// identity across `jobs` counts — is unchanged.
+///
 /// # Errors
 ///
 /// If any cell fails, returns the error of the *lowest-indexed* failing
@@ -130,10 +138,12 @@ pub(crate) fn run_matrix<T: EventSource + Sync>(
     shard_counts: &[u32],
     base: &SimConfig,
     jobs: usize,
+    engine: Engine,
 ) -> Result<Vec<SweepPoint>, SimError> {
     let cells = plan(traces.len(), granularities, pressures, shard_counts);
     let sizings: Vec<TraceSizing> = traces.iter().map(TraceSizing::of_source).collect();
-    let jobs = jobs.max(1).min(cells.len().max(1));
+    let items = build_items(&cells, traces.len(), engine);
+    let jobs = jobs.max(1).min(items.len().max(1));
     let cursor = AtomicUsize::new(0);
 
     let mut slots: Vec<Option<Result<SimResult, SimError>>> = Vec::new();
@@ -146,16 +156,30 @@ pub(crate) fn run_matrix<T: EventSource + Sync>(
                     let mut local = Vec::new();
                     loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
-                        let Some(cell) = cells.get(i) else { break };
-                        let r = simulate_cell_source(
-                            &traces[cell.trace],
-                            sizings[cell.trace],
-                            cell.granularity,
-                            cell.pressure,
-                            cell.shards,
-                            base,
-                        );
-                        local.push((i, r));
+                        match items.get(i) {
+                            None => break,
+                            Some(WorkItem::Cell(idx)) => {
+                                let cell = cells[*idx];
+                                let r = simulate_cell_source(
+                                    &traces[cell.trace],
+                                    sizings[cell.trace],
+                                    cell.granularity,
+                                    cell.pressure,
+                                    cell.shards,
+                                    base,
+                                );
+                                local.push((*idx, r));
+                            }
+                            Some(WorkItem::Group { trace, members }) => {
+                                local.extend(run_ladder_group(
+                                    &traces[*trace],
+                                    sizings[*trace],
+                                    &cells,
+                                    members,
+                                    base,
+                                ));
+                            }
+                        }
                     }
                     local
                 })
@@ -193,6 +217,95 @@ pub(crate) fn run_matrix<T: EventSource + Sync>(
         out.push(SweepPoint { cell, result });
     }
     Ok(out)
+}
+
+/// A unit of work a sweep worker claims from the cursor.
+enum WorkItem {
+    /// One grid cell on the per-cell oracle engine.
+    Cell(usize),
+    /// Every unsharded cell of one trace, fused into a single ladder
+    /// pass. `members` are plan indices (the result slots).
+    Group { trace: usize, members: Vec<usize> },
+}
+
+/// Maps the planned cells onto work items for the chosen engine. Item
+/// order only affects scheduling — results are slot-addressed — so
+/// grouping keeps the naive path's byte-for-byte output guarantee.
+fn build_items(cells: &[SweepCell], trace_count: usize, engine: Engine) -> Vec<WorkItem> {
+    match engine {
+        Engine::Naive => (0..cells.len()).map(WorkItem::Cell).collect(),
+        Engine::Ladder => {
+            let mut groups: Vec<Vec<usize>> = vec![Vec::new(); trace_count];
+            let mut items = Vec::new();
+            for (i, cell) in cells.iter().enumerate() {
+                if cell.shards == 1 {
+                    groups[cell.trace].push(i);
+                } else {
+                    items.push(WorkItem::Cell(i));
+                }
+            }
+            for (trace, members) in groups.into_iter().enumerate() {
+                if !members.is_empty() {
+                    items.push(WorkItem::Group { trace, members });
+                }
+            }
+            items
+        }
+    }
+}
+
+/// Runs one trace's fused cells through the ladder engine and labels
+/// each result exactly as the oracle's cell runner would: the
+/// *requested* granularity's label, the *effective* geometry.
+///
+/// Granularity clamping and the pressure ladder's capacity floor
+/// collapse many requested cells onto the same effective `(granularity,
+/// capacity)` pair — on the paper grid well over half of them. The
+/// simulator is deterministic, so duplicates are simulated once and the
+/// result is cloned into every requesting slot; only the per-cell label
+/// differs. The oracle engine deliberately keeps paying per cell — it
+/// is the baseline this shortcut is measured against.
+fn run_ladder_group<T: EventSource + ?Sized>(
+    source: &T,
+    sizing: TraceSizing,
+    cells: &[SweepCell],
+    members: &[usize],
+    base: &SimConfig,
+) -> Vec<(usize, Result<SimResult, SimError>)> {
+    let mut distinct: Vec<LadderCell> = Vec::new();
+    let mut rung_of: Vec<usize> = Vec::with_capacity(members.len());
+    for &i in members {
+        let config = cell_config(sizing, cells[i].granularity, cells[i].pressure, 1, base);
+        // The ladder takes exact capacities; apply the same truncation
+        // the UnitFifo constructor applies silently.
+        let capacity = match config.granularity.unit_count() {
+            Some(n) => (config.capacity / u64::from(n)) * u64::from(n),
+            None => config.capacity,
+        };
+        let rung = LadderCell {
+            granularity: config.granularity,
+            capacity,
+        };
+        match distinct.iter().position(|d| *d == rung) {
+            Some(p) => rung_of.push(p),
+            None => {
+                rung_of.push(distinct.len());
+                distinct.push(rung);
+            }
+        }
+    }
+    match simulate_ladder_source(source, &distinct, base) {
+        Ok(results) => members
+            .iter()
+            .zip(rung_of)
+            .map(|(&i, rung)| {
+                let mut result = results[rung].clone();
+                result.granularity_label = cells[i].granularity.label();
+                (i, Ok(result))
+            })
+            .collect(),
+        Err(err) => members.iter().map(|&i| (i, Err(err.clone()))).collect(),
+    }
 }
 
 #[cfg(test)]
@@ -268,7 +381,7 @@ mod tests {
         let traces = small_traces();
         let (gs, ps) = axes();
         let base = SimConfig::default();
-        let points = run_matrix(&traces, &gs, &ps, &[1], &base, 3).unwrap();
+        let points = run_matrix(&traces, &gs, &ps, &[1], &base, 3, Engine::Naive).unwrap();
 
         // The sequential reference: per-trace pressure sweeps concatenated.
         let mut reference = Vec::new();
@@ -288,11 +401,11 @@ mod tests {
         let traces = small_traces();
         let (gs, ps) = axes();
         let base = SimConfig::default();
-        let one = run_matrix(&traces, &gs, &ps, &[1], &base, 1).unwrap();
+        let one = run_matrix(&traces, &gs, &ps, &[1], &base, 1, Engine::Naive).unwrap();
         for jobs in [2, 4, 16] {
             assert_eq!(
                 one,
-                run_matrix(&traces, &gs, &ps, &[1], &base, jobs).unwrap()
+                run_matrix(&traces, &gs, &ps, &[1], &base, jobs, Engine::Naive).unwrap()
             );
         }
     }
@@ -304,16 +417,16 @@ mod tests {
         let traces = small_traces();
         let (gs, ps) = axes();
         let base = SimConfig::default();
-        let one = run_matrix(&traces, &gs, &ps, &[1, 4], &base, 1).unwrap();
+        let one = run_matrix(&traces, &gs, &ps, &[1, 4], &base, 1, Engine::Naive).unwrap();
         assert_eq!(one.len(), 2 * 2 * 3 * 2);
         for jobs in [2, 5, 16] {
             assert_eq!(
                 one,
-                run_matrix(&traces, &gs, &ps, &[1, 4], &base, jobs).unwrap()
+                run_matrix(&traces, &gs, &ps, &[1, 4], &base, jobs, Engine::Naive).unwrap()
             );
         }
         // And the shards=1 slice equals a shard-free sweep.
-        let bare = run_matrix(&traces, &gs, &ps, &[1], &base, 2).unwrap();
+        let bare = run_matrix(&traces, &gs, &ps, &[1], &base, 2, Engine::Naive).unwrap();
         let n1: Vec<_> = one.iter().filter(|p| p.cell.shards == 1).cloned().collect();
         assert_eq!(n1, bare);
     }
@@ -323,9 +436,31 @@ mod tests {
         let base = SimConfig::default();
         let no_traces: &[TraceLog] = &[];
         assert_eq!(
-            run_matrix(no_traces, &[], &[], &[1], &base, 4).unwrap(),
+            run_matrix(no_traces, &[], &[], &[1], &base, 4, Engine::Naive).unwrap(),
             vec![]
         );
+    }
+
+    #[test]
+    fn ladder_engine_matches_the_naive_matrix() {
+        let traces = small_traces();
+        let (gs, ps) = axes();
+        let base = SimConfig::default();
+        let naive = run_matrix(&traces, &gs, &ps, &[1], &base, 2, Engine::Naive).unwrap();
+        for jobs in [1, 2, 8] {
+            let ladder = run_matrix(&traces, &gs, &ps, &[1], &base, jobs, Engine::Ladder).unwrap();
+            assert_eq!(ladder, naive, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn ladder_engine_leaves_sharded_cells_on_the_oracle() {
+        let traces = small_traces();
+        let (gs, ps) = axes();
+        let base = SimConfig::default();
+        let naive = run_matrix(&traces, &gs, &ps, &[1, 4], &base, 2, Engine::Naive).unwrap();
+        let ladder = run_matrix(&traces, &gs, &ps, &[1, 4], &base, 2, Engine::Ladder).unwrap();
+        assert_eq!(ladder, naive);
     }
 
     /// An [`EventSource`] whose stream blows up mid-replay, standing in
@@ -356,8 +491,16 @@ mod tests {
             registry: trace.registry().to_vec(),
         }];
         let base = SimConfig::default();
-        let err = run_matrix(&sources, &[Granularity::Flush], &[2], &[1], &base, 2)
-            .expect_err("the injected fault must be reported");
+        let err = run_matrix(
+            &sources,
+            &[Granularity::Flush],
+            &[2],
+            &[1],
+            &base,
+            2,
+            Engine::Naive,
+        )
+        .expect_err("the injected fault must be reported");
         match err {
             SimError::Worker(msg) => assert!(msg.contains("injected worker fault"), "{msg}"),
             other => panic!("wrong error class: {other:?}"),
